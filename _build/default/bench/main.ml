@@ -1,0 +1,297 @@
+(* Benchmark harness.
+
+   Two layers:
+
+   1. A bechamel suite with one Test.make per experiment (E1..E13), each
+      exercising that experiment's core routing/percolation kernel at a
+      small fixed size — wall-clock and allocation profiles of the
+      machinery itself.
+
+   2. The experiment tables: every report from the catalog, in quick
+      mode by default (pass --full for paper-scale parameters). These are
+      the reproduction's "figures"; EXPERIMENTS.md records a full-scale
+      run. *)
+
+open Bechamel
+open Toolkit
+
+let seed = 0xBE7CAL
+
+(* ------------------------------------------------------------------ *)
+(* Kernels: one per experiment, small enough to run repeatedly.        *)
+
+let conditioned_route graph ~p ~source ~target router_of =
+  (* One conditioned routing attempt: scan derived seeds for a connected
+     world (bounded), then route. Mirrors Trial.run's inner loop. *)
+  let rec attempt k =
+    if k > 50 then 0
+    else begin
+      let world_seed = Prng.Coin.derive seed k in
+      let world = Percolation.World.create graph ~p ~seed:world_seed in
+      match Percolation.Reveal.connected world source target with
+      | Percolation.Reveal.Connected _ ->
+          let outcome = Routing.Router.run (router_of ()) world ~source ~target in
+          Routing.Outcome.probes outcome
+      | Percolation.Reveal.Disconnected | Percolation.Reveal.Unknown -> attempt (k + 1)
+    end
+  in
+  attempt 1
+
+let bench_e1 () =
+  let n = 10 in
+  let graph = Topology.Hypercube.graph n in
+  let target = Topology.Hypercube.antipode ~n 0 in
+  conditioned_route graph ~p:(float_of_int n ** -0.3) ~source:0 ~target (fun () ->
+      Routing.Path_follow.hypercube ~n ~source:0 ~target)
+
+let bench_e2 () =
+  let n = 12 in
+  let graph = Topology.Hypercube.graph n in
+  let target = Topology.Hypercube.antipode ~n 0 in
+  conditioned_route graph ~p:(float_of_int n ** -0.4) ~source:0 ~target (fun () ->
+      Routing.Path_follow.hypercube ~n ~source:0 ~target)
+
+let bench_e3 () =
+  let n = 10 in
+  let graph = Topology.Hypercube.graph n in
+  let target = Topology.Hypercube.antipode ~n 0 in
+  conditioned_route graph ~p:(float_of_int n ** -0.7) ~source:0 ~target (fun () ->
+      Routing.Local_bfs.router)
+
+let bench_e4 () =
+  let d = 2 and m = 40 in
+  let graph = Topology.Mesh.graph ~d ~m in
+  let source = Topology.Mesh.index ~m [| 10; 20 |] in
+  let target = Topology.Mesh.index ~m [| 30; 20 |] in
+  conditioned_route graph ~p:0.7 ~source ~target (fun () ->
+      Routing.Path_follow.mesh ~d ~m ~source ~target)
+
+let bench_e5 () =
+  let d = 2 and m = 30 in
+  let graph = Topology.Mesh.graph ~d ~m in
+  let world = Percolation.World.create graph ~p:0.5 ~seed in
+  (Percolation.Clusters.census world).Percolation.Clusters.largest
+
+let bench_e6 () =
+  let n = 10 in
+  let graph = Topology.Double_tree.graph n in
+  let world = Percolation.World.create graph ~p:0.75 ~seed in
+  match
+    Percolation.Reveal.connected world Topology.Double_tree.root1
+      (Topology.Double_tree.root2 ~n)
+  with
+  | Percolation.Reveal.Connected d -> d
+  | Percolation.Reveal.Disconnected | Percolation.Reveal.Unknown -> -1
+
+let bench_e7 () =
+  let n = 10 in
+  let graph = Topology.Double_tree.graph n in
+  let target = Topology.Double_tree.root2 ~n in
+  conditioned_route graph ~p:0.8 ~source:Topology.Double_tree.root1 ~target (fun () ->
+      Routing.Tree_pair_dfs.router ~n)
+
+let bench_e8 () =
+  let n = 300 in
+  let graph = Topology.Complete.graph n in
+  conditioned_route graph ~p:(3.0 /. float_of_int n) ~source:0 ~target:(n - 1)
+    (fun () -> Routing.Local_bfs.router)
+
+let bench_e9 () =
+  let n = 300 in
+  let graph = Topology.Complete.graph n in
+  conditioned_route graph ~p:(3.0 /. float_of_int n) ~source:0 ~target:(n - 1)
+    (fun () -> Routing.Bidirectional.router)
+
+let bench_e10 () =
+  let d = 256 in
+  let graph = Topology.Theta.graph d in
+  conditioned_route graph
+    ~p:(1.0 /. sqrt (float_of_int d))
+    ~source:Topology.Theta.endpoint_u ~target:Topology.Theta.endpoint_v (fun () ->
+      Routing.Local_bfs.router)
+
+let bench_e11 () =
+  let n = 12 in
+  let graph = Topology.Hypercube.graph n in
+  let world = Percolation.World.create graph ~p:(1.5 /. float_of_int n) ~seed in
+  (Percolation.Clusters.census world).Percolation.Clusters.largest
+
+let bench_e12 () =
+  let graph = Topology.De_bruijn.graph 10 in
+  conditioned_route graph ~p:0.6 ~source:1
+    ~target:(graph.Topology.Graph.vertex_count - 2) (fun () -> Routing.Local_bfs.router)
+
+let bench_e13 () =
+  let d = 2 and m = 40 in
+  let graph = Topology.Mesh.graph ~d ~m in
+  let world = Percolation.World.create graph ~p:0.7 ~seed in
+  let source = Topology.Mesh.index ~m [| 10; 20 |] in
+  let target = Topology.Mesh.index ~m [| 30; 20 |] in
+  match Percolation.Chemical.distance world source target with
+  | Some dist -> dist
+  | None -> -1
+
+let bench_e14 () =
+  let n = 10 in
+  let graph = Topology.Hypercube.graph n in
+  let target = Topology.Hypercube.antipode ~n 0 in
+  conditioned_route graph ~p:(float_of_int n ** -0.7) ~source:0 ~target (fun () ->
+      Routing.Bidirectional.router)
+
+let bench_e15 () =
+  let n = 10 in
+  let graph = Topology.Hypercube.graph n in
+  let target = (1 lsl (n / 2)) - 1 in
+  conditioned_route graph ~p:(float_of_int n ** -0.35) ~source:0 ~target (fun () ->
+      let backbone =
+        Array.of_list (Topology.Hypercube.fixed_path_desc ~n 0 target)
+      in
+      Routing.Path_follow.router ~backbone)
+
+let bench_e16 () =
+  let d = 2 and m = 30 in
+  let graph = Topology.Torus.graph ~d ~m in
+  let source = 0 in
+  let target = Topology.Mesh.index ~m [| 15; 0 |] in
+  conditioned_route graph ~p:0.7 ~source ~target (fun () ->
+      Routing.Path_follow.torus ~d ~m ~source ~target)
+
+let bench_e17 () =
+  Routing.Ball_walks.count_walks ~n:10 ~center:0 ~radius:3
+    ~target:(Routing.Ball_walks.boundary_vertex ~l:3)
+    ~length:9
+  |> int_of_float
+
+let bench_e18 () =
+  let n = 8 in
+  let graph = Topology.Hypercube.graph n in
+  let world = Percolation.World.create graph ~p:0.6 ~seed in
+  let engine = Netsim.Engine.create world Netsim.Flood.protocol in
+  Netsim.Flood.start engine ~source:0;
+  let target = Topology.Hypercube.antipode ~n 0 in
+  match
+    Netsim.Engine.run engine ~until:(fun e -> Netsim.Flood.informed_at e target <> None)
+  with
+  | `Stopped rounds -> rounds
+  | `Quiescent rounds -> rounds
+  | `Out_of_rounds -> -1
+
+let bench_e19 () =
+  let stream = Prng.Stream.create seed in
+  let curve =
+    Percolation.Scaling.measure_giant_curve stream
+      ~graph_of_size:(fun m -> Topology.Mesh.graph ~d:2 ~m)
+      ~size:16
+      ~ps:[ 0.45; 0.5; 0.55 ]
+      ~trials:3
+  in
+  List.length curve.Percolation.Scaling.points
+
+let bench_e20 () =
+  let n = 10 in
+  let graph = Topology.Hypercube.graph n in
+  let world = Percolation.World.create graph ~p:(float_of_int n ** -0.3) ~seed in
+  if Routing.Good_vertex.is_good world 0 then 1 else 0
+
+let bench_e21 () =
+  let stream = Prng.Stream.create seed in
+  let graph = Topology.Small_world.graph stream ~m:12 ~r:2.0 in
+  let world = Percolation.World.create graph ~p:1.0 ~seed in
+  match Routing.Router.run Routing.Greedy.router world ~source:0 ~target:(graph.Topology.Graph.vertex_count - 1) with
+  | Routing.Outcome.Found { probes; _ } -> probes
+  | Routing.Outcome.No_path { probes } | Routing.Outcome.Budget_exceeded { probes } -> probes
+
+let bench_e22 () =
+  let graph = Topology.Hypercube.graph 8 in
+  Topology.Mincut.max_flow graph ~source:0 ~sink:255
+
+let bench_e23 () =
+  let graph = Topology.Mesh.graph ~d:2 ~m:30 in
+  let world = Percolation.World.create ~site_p:0.7 graph ~p:1.0 ~seed in
+  (Percolation.Clusters.census world).Percolation.Clusters.largest
+
+let bench_e24 () =
+  let n = 5 in
+  let graph = Topology.Butterfly.graph n in
+  let world = Percolation.World.create graph ~p:0.95 ~seed in
+  let engine =
+    Netsim.Engine.create ~link_capacity:1 world (Netsim.Butterfly_route.protocol ~n)
+  in
+  Netsim.Butterfly_route.inject_permutation (Prng.Stream.create seed) engine ~n
+    ~passes:3;
+  ignore (Netsim.Engine.run ~max_rounds:500 engine ~until:(fun _ -> false));
+  Netsim.Butterfly_route.delivered engine
+
+let tests =
+  [
+    ("E1:hypercube-segment", bench_e1);
+    ("E2:hypercube-segment-12", bench_e2);
+    ("E3:hypercube-bfs-hard", bench_e3);
+    ("E4:mesh-path-follow", bench_e4);
+    ("E5:mesh-census", bench_e5);
+    ("E6:double-tree-reveal", bench_e6);
+    ("E7:tree-pair-dfs", bench_e7);
+    ("E8:gnp-local-bfs", bench_e8);
+    ("E9:gnp-bidirectional", bench_e9);
+    ("E10:theta-bfs", bench_e10);
+    ("E11:hypercube-census", bench_e11);
+    ("E12:de-bruijn-bfs", bench_e12);
+    ("E13:mesh-chemical", bench_e13);
+    ("E14:hypercube-oracle", bench_e14);
+    ("E15:segment-desc", bench_e15);
+    ("E16:torus-path-follow", bench_e16);
+    ("E17:ball-walk-count", bench_e17);
+    ("E18:netsim-flood", bench_e18);
+    ("E19:scaling-curve", bench_e19);
+    ("E20:good-vertex", bench_e20);
+    ("E21:small-world-greedy", bench_e21);
+    ("E22:mincut", bench_e22);
+    ("E23:site-census", bench_e23);
+    ("E24:butterfly-permutation", bench_e24);
+  ]
+
+let benchmark () =
+  let test =
+    Test.make_grouped ~name:"experiments"
+      (List.map
+         (fun (name, kernel) ->
+           Test.make ~name (Staged.stage (fun () -> Sys.opaque_identity (kernel ()))))
+         tests)
+  in
+  let instances = Instance.[ monotonic_clock; minor_allocated ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  Analyze.merge ols instances results
+
+let report_benchmarks results =
+  let () =
+    List.iter
+      (fun instance -> Bechamel_notty.Unit.add instance (Measure.unit instance))
+      Instance.[ monotonic_clock; minor_allocated ]
+  in
+  let window = { Bechamel_notty.w = 100; h = 1 } in
+  let image =
+    Bechamel_notty.Multiple.image_of_ols_results ~rect:window
+      ~predictor:Measure.run results
+  in
+  Notty_unix.eol image |> Notty_unix.output_image
+
+let () =
+  let full = Array.exists (fun a -> a = "--full") Sys.argv in
+  let skip_micro = Array.exists (fun a -> a = "--tables-only") Sys.argv in
+  if not skip_micro then begin
+    print_endline "== bechamel micro-benchmarks (one kernel per experiment) ==";
+    report_benchmarks (benchmark ());
+    print_newline ()
+  end;
+  Printf.printf "== experiment tables (%s mode) ==\n\n" (if full then "full" else "quick");
+  let reports = Experiments.Catalog.run_all ~quick:(not full) ~seed:0x5EEDL () in
+  List.iter
+    (fun r ->
+      Experiments.Report.print r;
+      print_newline ())
+    reports

@@ -1,0 +1,418 @@
+(* faultroute — command-line front end.
+
+   Subcommands:
+     list                      enumerate experiments
+     exp <id> [--quick]        run one experiment, print its report
+     all [--quick]             run every experiment
+     route <topology> ...      one routing attempt with a chosen router
+     census <topology> ...     component census of one percolated world
+     threshold <topology> ...  bisect a critical probability *)
+
+let default_seed = 0x5EEDL
+
+(* ------------------------------------------------------------------ *)
+(* Topology construction from command-line descriptions.               *)
+
+let build_topology name size stream =
+  match String.lowercase_ascii name with
+  | "hypercube" -> Ok (Topology.Hypercube.graph size)
+  | "mesh2" -> Ok (Topology.Mesh.graph ~d:2 ~m:size)
+  | "mesh3" -> Ok (Topology.Mesh.graph ~d:3 ~m:size)
+  | "torus2" -> Ok (Topology.Torus.graph ~d:2 ~m:size)
+  | "tree" -> Ok (Topology.Binary_tree.graph size)
+  | "double-tree" -> Ok (Topology.Double_tree.graph size)
+  | "complete" -> Ok (Topology.Complete.graph size)
+  | "theta" -> Ok (Topology.Theta.graph size)
+  | "de-bruijn" -> Ok (Topology.De_bruijn.graph size)
+  | "shuffle-exchange" -> Ok (Topology.Shuffle_exchange.graph size)
+  | "butterfly" -> Ok (Topology.Butterfly.graph size)
+  | "cycle-matching" -> Ok (Topology.Cycle_matching.graph stream size)
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown topology %S (try hypercube, mesh2, mesh3, torus2, tree, \
+            double-tree, complete, theta, de-bruijn, shuffle-exchange, butterfly, \
+            cycle-matching)"
+           other)
+
+let build_router name graph ~size ~source ~target stream =
+  match String.lowercase_ascii name with
+  | "bfs" -> Ok Routing.Local_bfs.router
+  | "bfs-random" -> Ok (Routing.Local_bfs.router_randomized stream)
+  | "greedy" -> Ok Routing.Greedy.router
+  | "bidirectional" -> Ok Routing.Bidirectional.router
+  | "segment" -> (
+      match graph.Topology.Graph.name with
+      | name when String.length name >= 9 && String.sub name 0 9 = "hypercube" ->
+          Ok (Routing.Path_follow.hypercube ~n:size ~source ~target)
+      | _ -> Error "segment router applies to the hypercube topology only")
+  | "path-follow" -> (
+      match String.split_on_char '(' graph.Topology.Graph.name with
+      | "mesh" :: _ ->
+          let d = 2 in
+          Ok (Routing.Path_follow.mesh ~d ~m:size ~source ~target)
+      | _ -> Error "path-follow router applies to mesh topologies only")
+  | "tree-pair" -> Ok (Routing.Tree_pair_dfs.router ~n:size)
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown router %S (try bfs, bfs-random, greedy, segment, path-follow, \
+            bidirectional, tree-pair)"
+           other)
+
+(* ------------------------------------------------------------------ *)
+(* Subcommand implementations.                                         *)
+
+let cmd_list () =
+  List.iter
+    (fun e -> Printf.printf "%-4s %s\n" e.Experiments.Catalog.id e.Experiments.Catalog.title)
+    Experiments.Catalog.all;
+  0
+
+let cmd_exp id quick seed csv =
+  match Experiments.Catalog.find id with
+  | None ->
+      Printf.eprintf "no experiment %S; see `faultroute list`\n" id;
+      1
+  | Some e ->
+      let stream = Prng.Stream.create seed in
+      let report = e.Experiments.Catalog.run ~quick stream in
+      if csv then
+        List.iter
+          (fun (caption, body) -> Printf.printf "# %s\n%s" caption body)
+          (Experiments.Report.render_csv report)
+      else Experiments.Report.print report;
+      0
+
+let cmd_all quick seed =
+  let reports = Experiments.Catalog.run_all ~quick ~seed () in
+  List.iter
+    (fun r ->
+      Experiments.Report.print r;
+      print_newline ())
+    reports;
+  0
+
+let cmd_route topology size p seed source target router_name budget =
+  let stream = Prng.Stream.create seed in
+  match build_topology topology size (Prng.Stream.split stream 0) with
+  | Error message ->
+      prerr_endline message;
+      1
+  | Ok graph -> (
+      let source = Option.value source ~default:0 in
+      let target = Option.value target ~default:(graph.Topology.Graph.vertex_count - 1) in
+      match
+        build_router router_name graph ~size ~source ~target (Prng.Stream.split stream 1)
+      with
+      | Error message ->
+          prerr_endline message;
+          1
+      | Ok router ->
+          let world = Percolation.World.create graph ~p ~seed in
+          let ground_truth = Percolation.Reveal.connected world source target in
+          let outcome = Routing.Router.run ?budget router world ~source ~target in
+          Printf.printf "world: %s, p = %.4f, seed = %Ld\n" graph.Topology.Graph.name p
+            seed;
+          Printf.printf "pair: %d -> %d\n" source target;
+          (match ground_truth with
+          | Percolation.Reveal.Connected d ->
+              Printf.printf "ground truth: connected, percolation distance %d\n" d
+          | Percolation.Reveal.Disconnected -> print_endline "ground truth: disconnected"
+          | Percolation.Reveal.Unknown -> print_endline "ground truth: unknown (limit)");
+          Printf.printf "router %s: %s\n" router.Routing.Router.name
+            (Format.asprintf "%a" Routing.Outcome.pp outcome);
+          0)
+
+let cmd_census topology size p seed =
+  let stream = Prng.Stream.create seed in
+  match build_topology topology size stream with
+  | Error message ->
+      prerr_endline message;
+      1
+  | Ok graph ->
+      let world = Percolation.World.create graph ~p ~seed in
+      let census = Percolation.Clusters.census world in
+      Printf.printf "world: %s, p = %.4f, seed = %Ld\n" graph.Topology.Graph.name p seed;
+      Printf.printf "vertices: %d, open edges: %d\n"
+        census.Percolation.Clusters.vertex_count
+        census.Percolation.Clusters.open_edge_count;
+      Printf.printf "components: %d, largest: %d (%.2f%%), second: %d\n"
+        census.Percolation.Clusters.component_count census.Percolation.Clusters.largest
+        (100.0 *. Percolation.Clusters.giant_fraction census)
+        census.Percolation.Clusters.second_largest;
+      Printf.printf "giant present: %b\n" (Percolation.Clusters.has_giant census);
+      0
+
+let cmd_threshold topology size seed trials =
+  let stream = Prng.Stream.create seed in
+  match build_topology topology size stream with
+  | Error message ->
+      prerr_endline message;
+      1
+  | Ok graph ->
+      let event ~p ~seed =
+        let world = Percolation.World.create graph ~p ~seed in
+        Percolation.Clusters.has_giant (Percolation.Clusters.census world)
+      in
+      let estimate =
+        Percolation.Threshold.bisect ~trials_per_pivot:trials stream ~event ~lo:0.0
+          ~hi:1.0
+      in
+      Printf.printf "%s: estimated giant-component threshold p_c ~= %.4f\n"
+        graph.Topology.Graph.name estimate;
+      0
+
+let cmd_mincut topology size seed source target =
+  let stream = Prng.Stream.create seed in
+  match build_topology topology size stream with
+  | Error message ->
+      prerr_endline message;
+      1
+  | Ok graph ->
+      let source = Option.value source ~default:0 in
+      let target = Option.value target ~default:(graph.Topology.Graph.vertex_count - 1) in
+      let flow = Topology.Mincut.max_flow graph ~source ~sink:target in
+      let cut = Topology.Mincut.min_cut graph ~source ~sink:target in
+      Printf.printf "%s: edge connectivity of (%d, %d) = %d\n" graph.Topology.Graph.name
+        source target flow;
+      Printf.printf "one minimum cut: %s\n"
+        (String.concat ", " (List.map (fun (u, v) -> Printf.sprintf "(%d,%d)" u v) cut));
+      0
+
+let cmd_simulate topology size p seed protocol_name source target max_rounds =
+  let stream = Prng.Stream.create seed in
+  match build_topology topology size stream with
+  | Error message ->
+      prerr_endline message;
+      1
+  | Ok graph -> (
+      let world = Percolation.World.create graph ~p ~seed in
+      let source = Option.value source ~default:0 in
+      let target = Option.value target ~default:(graph.Topology.Graph.vertex_count - 1) in
+      Printf.printf "world: %s, p = %.4f, seed = %Ld; %s from %d to %d\n"
+        graph.Topology.Graph.name p seed protocol_name source target;
+      let describe metrics result =
+        (match result with
+        | `Stopped rounds -> Printf.printf "outcome: target reached at round %d\n" rounds
+        | `Quiescent rounds ->
+            Printf.printf "outcome: network quiescent at round %d (target not reached)\n"
+              rounds
+        | `Out_of_rounds -> print_endline "outcome: round limit hit");
+        Printf.printf "cost: %s\n" (Format.asprintf "%a" Netsim.Metrics.pp metrics);
+        0
+      in
+      match String.lowercase_ascii protocol_name with
+      | "flood" ->
+          let engine = Netsim.Engine.create world Netsim.Flood.protocol in
+          Netsim.Flood.start engine ~source;
+          let result =
+            Netsim.Engine.run ~max_rounds engine ~until:(fun e ->
+                Netsim.Flood.informed_at e target <> None)
+          in
+          (match Netsim.Flood.latency engine ~source ~target with
+          | Some latency -> Printf.printf "flood latency: %d rounds\n" latency
+          | None -> ());
+          describe (Netsim.Engine.metrics engine) result
+      | "gossip" ->
+          let engine = Netsim.Engine.create world Netsim.Gossip.protocol in
+          Netsim.Gossip.start engine ~source;
+          let result =
+            Netsim.Engine.run ~max_rounds engine ~until:(fun e ->
+                Netsim.Gossip.informed_at e target <> None)
+          in
+          Printf.printf "informed nodes: %d\n" (Netsim.Gossip.informed_count engine);
+          describe (Netsim.Engine.metrics engine) result
+      | "greedy" -> (
+          match graph.Topology.Graph.distance with
+          | None ->
+              prerr_endline "greedy simulation needs a topology with a metric";
+              1
+          | Some metric ->
+              let engine =
+                Netsim.Engine.create world (Netsim.Greedy_forward.protocol ~target ~metric)
+              in
+              Netsim.Greedy_forward.start engine ~source;
+              let result =
+                Netsim.Engine.run ~max_rounds engine ~until:(fun e ->
+                    Netsim.Greedy_forward.arrived e ~target <> None)
+              in
+              (match Netsim.Greedy_forward.dropped engine with
+              | Some node -> Printf.printf "token dropped at node %d\n" node
+              | None -> ());
+              describe (Netsim.Engine.metrics engine) result)
+      | "walk" ->
+          let engine = Netsim.Engine.create world (Netsim.Random_walk.protocol ~target) in
+          Netsim.Random_walk.start engine ~source;
+          let result =
+            Netsim.Engine.run ~max_rounds engine ~until:(fun e ->
+                Netsim.Random_walk.arrived e ~target <> None)
+          in
+          describe (Netsim.Engine.metrics engine) result
+      | other ->
+          Printf.eprintf "unknown protocol %S (try flood, gossip, greedy, walk)\n" other;
+          1)
+
+(* ------------------------------------------------------------------ *)
+(* Cmdliner wiring.                                                    *)
+
+open Cmdliner
+
+let seed_arg =
+  let doc = "Root random seed (decimal 64-bit)." in
+  Arg.(value & opt int64 default_seed & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let quick_arg =
+  let doc = "Shrink sizes and trial counts (smoke-test mode)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let csv_arg =
+  let doc = "Emit tables as CSV instead of aligned text." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let topology_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"TOPOLOGY" ~doc:"Topology family name.")
+
+let size_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "size"; "n" ] ~docv:"N"
+        ~doc:"Topology size parameter (dimension, depth, side or vertex count).")
+
+let p_arg =
+  Arg.(
+    value & opt float 0.6
+    & info [ "p" ] ~docv:"P" ~doc:"Edge retention probability.")
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List the experiments.") Term.(const cmd_list $ const ())
+
+let exp_cmd =
+  let id_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID" ~doc:"Experiment id, e.g. E1.")
+  in
+  Cmd.v
+    (Cmd.info "exp" ~doc:"Run one experiment and print its report.")
+    Term.(const cmd_exp $ id_arg $ quick_arg $ seed_arg $ csv_arg)
+
+let all_cmd =
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment in the catalog.")
+    Term.(const cmd_all $ quick_arg $ seed_arg)
+
+let route_cmd =
+  let source_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "source" ] ~docv:"U" ~doc:"Source vertex (default 0).")
+  in
+  let target_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "target" ] ~docv:"V" ~doc:"Target vertex (default |V|-1).")
+  in
+  let router_arg =
+    Arg.(
+      value & opt string "bfs"
+      & info [ "router" ] ~docv:"ROUTER" ~doc:"Routing algorithm.")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"B" ~doc:"Distinct-probe budget.")
+  in
+  Cmd.v
+    (Cmd.info "route" ~doc:"Run one routing attempt on one percolated world.")
+    Term.(
+      const cmd_route $ topology_arg $ size_arg $ p_arg $ seed_arg $ source_arg
+      $ target_arg $ router_arg $ budget_arg)
+
+let census_cmd =
+  Cmd.v
+    (Cmd.info "census" ~doc:"Component census of one percolated world.")
+    Term.(const cmd_census $ topology_arg $ size_arg $ p_arg $ seed_arg)
+
+let threshold_cmd =
+  let trials_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "trials" ] ~docv:"T" ~doc:"Worlds per bisection pivot.")
+  in
+  Cmd.v
+    (Cmd.info "threshold" ~doc:"Estimate a giant-component threshold by bisection.")
+    Term.(const cmd_threshold $ topology_arg $ size_arg $ seed_arg $ trials_arg)
+
+let simulate_cmd =
+  let protocol_arg =
+    Arg.(
+      value & opt string "flood"
+      & info [ "protocol" ] ~docv:"PROTO" ~doc:"flood, gossip, greedy or walk.")
+  in
+  let source_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "source" ] ~docv:"U" ~doc:"Source node (default 0).")
+  in
+  let target_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "target" ] ~docv:"V" ~doc:"Target node (default |V|-1).")
+  in
+  let rounds_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "max-rounds" ] ~docv:"R" ~doc:"Round limit.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run a message-passing protocol on one percolated world.")
+    Term.(
+      const cmd_simulate $ topology_arg $ size_arg $ p_arg $ seed_arg $ protocol_arg
+      $ source_arg $ target_arg $ rounds_arg)
+
+let mincut_cmd =
+  let source_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "source" ] ~docv:"U" ~doc:"Source vertex (default 0).")
+  in
+  let target_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "target" ] ~docv:"V" ~doc:"Target vertex (default |V|-1).")
+  in
+  Cmd.v
+    (Cmd.info "mincut" ~doc:"Edge connectivity and a minimum cut of a vertex pair.")
+    Term.(const cmd_mincut $ topology_arg $ size_arg $ seed_arg $ source_arg $ target_arg)
+
+let () =
+  let info =
+    Cmd.info "faultroute" ~version:"1.0.0"
+      ~doc:"Routing complexity of faulty networks — reproduction toolkit"
+  in
+  let group =
+    Cmd.group info
+      [
+        list_cmd;
+        exp_cmd;
+        all_cmd;
+        route_cmd;
+        census_cmd;
+        threshold_cmd;
+        simulate_cmd;
+        mincut_cmd;
+      ]
+  in
+  exit (Cmd.eval' group)

@@ -1,0 +1,1 @@
+examples/distributed_lookup.ml: Netsim Option Percolation Printf Topology

@@ -1,0 +1,1 @@
+examples/hypercube_phase.ml: Experiments List Printf Prng Routing Stats Topology

@@ -1,0 +1,1 @@
+examples/mesh_resilience.ml: Experiments List Printf Prng Routing Stats Topology

@@ -1,0 +1,1 @@
+examples/oracle_gap.ml: Experiments List Printf Prng Routing Topology

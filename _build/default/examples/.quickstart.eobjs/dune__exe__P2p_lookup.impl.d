@@ -1,0 +1,1 @@
+examples/p2p_lookup.ml: Experiments List Printf Prng Routing Stats String Topology

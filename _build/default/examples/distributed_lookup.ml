@@ -1,0 +1,85 @@
+(* Drive the message-passing simulator directly: one faulty overlay, one
+   lookup, four protocols racing — and a ground-truth check that
+   flooding's latency equals the percolation distance.
+
+   Run with:  dune exec examples/distributed_lookup.exe *)
+
+let () =
+  let n = 9 in
+  let graph = Topology.Hypercube.graph n in
+  let q = 0.5 in
+  let world = Percolation.World.create graph ~p:(1.0 -. q) ~seed:4242L in
+  let source = 0 in
+  let target = Topology.Hypercube.antipode ~n source in
+  Printf.printf
+    "Overlay: %s (%d nodes), failure rate q = %.2f, lookup %d -> %d.\n\n"
+    graph.Topology.Graph.name graph.Topology.Graph.vertex_count q source target;
+  (match Percolation.Reveal.connected world source target with
+  | Percolation.Reveal.Connected d ->
+      Printf.printf "ground truth: connected, percolation distance %d\n\n" d
+  | Percolation.Reveal.Disconnected ->
+      print_endline "ground truth: disconnected — pick another seed";
+      exit 0
+  | Percolation.Reveal.Unknown -> ());
+
+  (* Flooding: distributed BFS. *)
+  let flood = Netsim.Engine.create world Netsim.Flood.protocol in
+  Netsim.Flood.start flood ~source;
+  (match
+     Netsim.Engine.run flood ~until:(fun e -> Netsim.Flood.informed_at e target <> None)
+   with
+  | `Stopped _ ->
+      let metrics = Netsim.Engine.metrics flood in
+      Printf.printf "flood:       latency %d rounds, %d messages sent (%d delivered)\n"
+        (Option.get (Netsim.Flood.latency flood ~source ~target))
+        metrics.Netsim.Metrics.messages_sent metrics.Netsim.Metrics.messages_delivered
+  | `Quiescent _ | `Out_of_rounds -> print_endline "flood:       target not reached");
+
+  (* Push gossip. *)
+  let gossip = Netsim.Engine.create world Netsim.Gossip.protocol in
+  Netsim.Gossip.start gossip ~source;
+  (match
+     Netsim.Engine.run ~max_rounds:3000 gossip ~until:(fun e ->
+         Netsim.Gossip.informed_at e target <> None)
+   with
+  | `Stopped rounds ->
+      Printf.printf "gossip:      reached target in %d rounds, %d messages\n" rounds
+        (Netsim.Engine.metrics gossip).Netsim.Metrics.messages_sent
+  | `Quiescent _ | `Out_of_rounds -> print_endline "gossip:      target not reached");
+
+  (* Greedy DHT-style token. *)
+  let greedy =
+    Netsim.Engine.create world
+      (Netsim.Greedy_forward.protocol ~target ~metric:Topology.Hypercube.hamming)
+  in
+  Netsim.Greedy_forward.start greedy ~source;
+  (match
+     Netsim.Engine.run greedy ~until:(fun e ->
+         Netsim.Greedy_forward.arrived e ~target <> None)
+   with
+  | `Stopped _ ->
+      Printf.printf "greedy:      delivered in %d hops with %d probes\n"
+        (Option.get (Netsim.Greedy_forward.hops greedy ~target))
+        (Netsim.Engine.metrics greedy).Netsim.Metrics.distinct_probes
+  | `Quiescent _ ->
+      Printf.printf "greedy:      token dropped at node %d — lookup failed\n"
+        (Option.get (Netsim.Greedy_forward.dropped greedy))
+  | `Out_of_rounds -> print_endline "greedy:      did not terminate");
+
+  (* Random walk. *)
+  let walk = Netsim.Engine.create world (Netsim.Random_walk.protocol ~target) in
+  Netsim.Random_walk.start walk ~source;
+  (match
+     Netsim.Engine.run ~max_rounds:50_000 walk ~until:(fun e ->
+         Netsim.Random_walk.arrived e ~target <> None)
+   with
+  | `Stopped rounds -> Printf.printf "random walk: hit the target after %d rounds\n" rounds
+  | `Quiescent _ | `Out_of_rounds -> print_endline "random walk: gave up");
+
+  print_newline ();
+  print_endline
+    "Flooding's latency equals the percolation distance exactly (it is a\n\
+     distributed BFS of the open subgraph) — at the price of touching every\n\
+     reachable link. The greedy token probes one link per hop but has no detour\n\
+     capability: as q grows it gets trapped, which is Section 1.3's warning for\n\
+     routing-based exact search in faulty P2P overlays."

@@ -1,0 +1,53 @@
+(* A mesh-network story for Theorem 4: a 60x60 grid of radio nodes in
+   which each link fails independently (interference, obstacles). How
+   many link probes does a message from the west side to the east side
+   cost as the failure rate climbs towards the percolation threshold?
+
+   Run with:  dune exec examples/mesh_resilience.exe *)
+
+let () =
+  let d = 2 and m = 60 in
+  let graph = Topology.Mesh.graph ~d ~m in
+  let source = Topology.Mesh.index ~m [| 5; 30 |] in
+  let target = Topology.Mesh.index ~m [| 54; 30 |] in
+  let distance = Topology.Mesh.l1_distance ~d ~m source target in
+  let trials = 15 in
+  Printf.printf
+    "A %dx%d radio grid; routing across %d hops with the Theorem 4 path-follower.\n\
+     Failure rate q = 1 - p; the 2-d mesh percolates at q = 0.5.\n\n"
+    m m distance;
+  Printf.printf "%8s %8s %14s %12s %10s %8s\n" "q(fail)" "p" "mean probes" "probes/hop"
+    "P[u~v]" "stretch";
+  let stream = Prng.Stream.create 0x60DL in
+  List.iteri
+    (fun index p ->
+      let spec =
+        Experiments.Trial.spec ~graph ~p ~source ~target (fun ~source ~target ->
+            Routing.Path_follow.mesh ~d ~m ~source ~target)
+      in
+      let result =
+        Experiments.Trial.run
+          (Prng.Stream.split stream index)
+          ~trials ~max_attempts:(trials * 200) spec
+      in
+      let sample = Stats.Censored.count result.Experiments.Trial.observations in
+      let mean = Experiments.Trial.mean_probes_lower_bound result in
+      let stretch =
+        Stats.Summary.mean result.Experiments.Trial.chemical_distances
+        /. float_of_int distance
+      in
+      if sample = 0 then
+        Printf.printf "%8.2f %8.2f %14s %12s %10.2f %8s\n" (1.0 -. p) p "-" "-"
+          (Stats.Proportion.estimate result.Experiments.Trial.connection)
+          "-"
+      else
+        Printf.printf "%8.2f %8.2f %14.0f %12.1f %10.2f %8.2f\n" (1.0 -. p) p mean
+          (mean /. float_of_int distance)
+          (Stats.Proportion.estimate result.Experiments.Trial.connection)
+          stretch)
+    [ 0.95; 0.85; 0.75; 0.65; 0.60; 0.55; 0.50; 0.45 ];
+  print_newline ();
+  print_endline
+    "Per-hop cost stays a (p-dependent) constant all the way down to the\n\
+     threshold — Theorem 4's O(n) routing — then connectivity itself collapses\n\
+     at q = 0.5 and the question becomes moot."

@@ -1,0 +1,40 @@
+(* Section 5's exponential separation, live: on the double binary tree
+   TT_n, a local router pays exponentially many probes to connect the two
+   roots, while an oracle router that probes mirror edge pairs pays a
+   linear bill (Theorems 7 and 9).
+
+   Run with:  dune exec examples/oracle_gap.exe *)
+
+let () =
+  let p = 0.8 in
+  let trials = 12 in
+  Printf.printf
+    "Double binary tree TT_n, p = %.2f (above the 1/sqrt(2) ~ 0.707 threshold).\n\
+     Local BFS vs the paired-edge oracle DFS, root to root.\n\n"
+    p;
+  Printf.printf "%5s %12s %14s %14s %9s\n" "depth" "vertices" "local probes"
+    "oracle probes" "ratio";
+  let stream = Prng.Stream.create 0x7EEL in
+  List.iteri
+    (fun index n ->
+      let graph = Topology.Double_tree.graph n in
+      let source = Topology.Double_tree.root1 in
+      let target = Topology.Double_tree.root2 ~n in
+      let measure label router =
+        let spec = Experiments.Trial.spec ~graph ~p ~source ~target router in
+        Experiments.Trial.mean_probes_lower_bound
+          (Experiments.Trial.run
+             (Prng.Stream.split stream ((index * 10) + label))
+             ~trials spec)
+      in
+      let local = measure 1 (fun ~source:_ ~target:_ -> Routing.Local_bfs.router) in
+      let oracle = measure 2 (fun ~source:_ ~target:_ -> Routing.Tree_pair_dfs.router ~n) in
+      Printf.printf "%5d %12d %14.0f %14.0f %9.1f\n" n graph.Topology.Graph.vertex_count
+        local oracle (local /. oracle))
+    [ 4; 6; 8; 10; 12; 14 ];
+  print_newline ();
+  print_endline
+    "The local column grows geometrically with the depth (Theorem 7: at least\n\
+     p^-n); the oracle column grows linearly (Theorem 9). The oracle's trick is\n\
+     global knowledge: it probes each tree-1 edge together with its tree-2 mirror,\n\
+     turning the search into a supercritical branching process."

@@ -1,0 +1,81 @@
+(* Section 1.3 of the paper, acted out: hypercubic P2P overlays (Chord,
+   Pastry and friends share the hypercube's structure) keep their giant
+   component and short paths under heavy link failure, but routing-based
+   exact lookup degrades long before connectivity does. Flooding — here,
+   the local BFS that probes everything — keeps finding the data, at the
+   cost of touching a large part of the network.
+
+   We compare, across failure rates:
+     - greedy routing (distance-directed, what a DHT lookup does),
+     - the backbone segment router (Theorem 3(ii)'s repair strategy),
+     - flooding (local BFS, guaranteed but expensive).
+
+   Run with:  dune exec examples/p2p_lookup.exe *)
+
+let () =
+  let n = 11 in
+  let graph = Topology.Hypercube.graph n in
+  let source = 0 in
+  let target = Topology.Hypercube.antipode ~n source in
+  let trials = 10 in
+  let budget = 30_000 in
+  Printf.printf
+    "A %d-node hypercubic overlay. A node looks up a key stored at the\n\
+     antipodal node while a fraction q of links is down.\n\n"
+    graph.Topology.Graph.vertex_count;
+  Printf.printf "%8s | %18s | %18s | %18s | %7s\n" "q(fail)" "greedy (DHT hop)"
+    "segment repair" "flooding (BFS)" "P[u~v]";
+  let line = String.make 96 '-' in
+  print_endline line;
+  let stream = Prng.Stream.create 0x9EE9L in
+  let routers =
+    [
+      (fun ~source:_ ~target:_ -> Routing.Greedy.router);
+      (fun ~source ~target -> Routing.Path_follow.hypercube ~n ~source ~target);
+      (fun ~source:_ ~target:_ -> Routing.Local_bfs.router);
+    ]
+  in
+  List.iteri
+    (fun row q ->
+      let p = 1.0 -. q in
+      let cells =
+        List.mapi
+          (fun column router ->
+            let spec =
+              Experiments.Trial.spec ~budget ~graph ~p ~source ~target router
+            in
+            let result =
+              Experiments.Trial.run
+                (Prng.Stream.split stream ((row * 10) + column))
+                ~trials spec
+            in
+            match Experiments.Trial.median_observation result with
+            | Some (Stats.Censored.Exact v) -> Printf.sprintf "%.0f probes" v
+            | Some (Stats.Censored.At_least v) -> Printf.sprintf ">=%.0f probes" v
+            | None -> "unreachable")
+          routers
+      in
+      let connection =
+        let spec =
+          Experiments.Trial.spec ~budget ~graph ~p ~source ~target (List.hd routers)
+        in
+        let result =
+          Experiments.Trial.run (Prng.Stream.split stream ((row * 10) + 7)) ~trials spec
+        in
+        Stats.Proportion.estimate result.Experiments.Trial.connection
+      in
+      match cells with
+      | [ greedy; segment; flood ] ->
+          Printf.printf "%8.2f | %18s | %18s | %18s | %7.2f\n" q greedy segment flood
+            connection
+      | _ -> assert false)
+    [ 0.2; 0.4; 0.6; 0.7; 0.8 ];
+  print_endline line;
+  print_endline
+    "Reading: flooding pays a near-full-network bill at every failure level but\n\
+     always succeeds; the routing-based strategies are orders of magnitude cheaper\n\
+     while failures are light and inflate steeply as q grows — at hypercube scale\n\
+     (n large) they cross into the exponential regime of Theorem 3(i). The paper's\n\
+     conclusion for P2P systems (Section 1.3): under heavy faults, flooding and\n\
+     gossip remain effective for locating data while exact routing-based search\n\
+     breaks down."

@@ -1,0 +1,52 @@
+(* Quickstart: percolate a network, check connectivity, route, and count
+   probes — the core API in ~40 lines.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. A topology: the 12-dimensional hypercube (4096 vertices),
+        represented implicitly — no adjacency lists are materialised. *)
+  let n = 12 in
+  let graph = Topology.Hypercube.graph n in
+  Printf.printf "topology: %s (%d vertices)\n" graph.Topology.Graph.name
+    graph.Topology.Graph.vertex_count;
+
+  (* 2. A percolation world: each edge fails independently, keeping an
+        edge open with probability p. The world is a pure function of
+        (graph, p, seed): nothing is stored, everything is repeatable. *)
+  let p = 0.45 in
+  let world = Percolation.World.create graph ~p ~seed:2026L in
+
+  (* 3. Ground truth (free of charge — not part of routing complexity):
+        are two far-apart vertices even connected? *)
+  let source = 0 in
+  let target = Topology.Hypercube.antipode ~n source in
+  (match Percolation.Reveal.connected world source target with
+  | Percolation.Reveal.Connected d ->
+      Printf.printf "ground truth: connected, percolation distance %d (Hamming %d)\n" d
+        (Topology.Hypercube.hamming source target)
+  | Percolation.Reveal.Disconnected -> print_endline "ground truth: disconnected"
+  | Percolation.Reveal.Unknown -> print_endline "ground truth: unknown");
+
+  (* 4. Route! A local router may only probe edges adjacent to vertices
+        it has already reached (Definition 1 of the paper); the oracle
+        counts every distinct probe — that count is the routing
+        complexity (Definition 2). *)
+  let router = Routing.Path_follow.hypercube ~n ~source ~target in
+  (match Routing.Router.run router world ~source ~target with
+  | Routing.Outcome.Found { path; probes; raw_probes } ->
+      Printf.printf "%s: found a path of %d hops using %d probes (%d raw)\n"
+        router.Routing.Router.name
+        (List.length path - 1)
+        probes raw_probes
+  | Routing.Outcome.No_path { probes } ->
+      Printf.printf "no path exists (%d probes to prove it)\n" probes
+  | Routing.Outcome.Budget_exceeded { probes } ->
+      Printf.printf "gave up after %d probes\n" probes);
+
+  (* 5. Compare with plain local BFS — same world, same pair. *)
+  match Routing.Router.run Routing.Local_bfs.router world ~source ~target with
+  | Routing.Outcome.Found { probes; _ } ->
+      Printf.printf "local-bfs: same route costs %d probes — the backbone helps\n" probes
+  | Routing.Outcome.No_path _ | Routing.Outcome.Budget_exceeded _ ->
+      print_endline "local-bfs did not finish"

@@ -1,0 +1,1 @@
+lib/core/ball_walks.ml: Array Hashtbl List Topology

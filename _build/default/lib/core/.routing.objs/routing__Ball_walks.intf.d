@@ -1,0 +1,1 @@
+lib/core/ball_walks.mli:

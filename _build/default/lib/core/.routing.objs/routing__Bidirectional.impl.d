@@ -1,0 +1,1 @@
+lib/core/bidirectional.ml: Array Hashtbl List Outcome Percolation Queue Router Topology

@@ -1,0 +1,1 @@
+lib/core/bidirectional.mli: Router

@@ -1,0 +1,1 @@
+lib/core/good_vertex.ml: Float Hashtbl Percolation Prng Stats Topology

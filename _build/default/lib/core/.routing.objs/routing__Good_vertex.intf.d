@@ -1,0 +1,1 @@
+lib/core/good_vertex.mli: Percolation Prng Stats

@@ -1,0 +1,1 @@
+lib/core/greedy.ml: Array Hashtbl Outcome Path Percolation Router Stack Topology

@@ -1,0 +1,1 @@
+lib/core/local_bfs.ml: Array Hashtbl Outcome Percolation Prng Queue Router Topology

@@ -1,0 +1,1 @@
+lib/core/local_bfs.mli: Prng Router

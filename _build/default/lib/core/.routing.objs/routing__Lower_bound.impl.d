@@ -1,0 +1,1 @@
+lib/core/lower_bound.ml: Array Float Hashtbl Percolation Prng Queue Stats

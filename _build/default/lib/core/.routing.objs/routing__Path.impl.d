@@ -1,0 +1,1 @@
+lib/core/path.ml: Array Format Hashtbl List Percolation Topology

@@ -1,0 +1,1 @@
+lib/core/path_follow.ml: Array Hashtbl Outcome Path Percolation Queue Router Topology

@@ -1,0 +1,1 @@
+lib/core/router.ml: Outcome Path Percolation

@@ -1,0 +1,1 @@
+lib/core/tree_pair_dfs.ml: Array List Outcome Percolation Router Topology

@@ -1,0 +1,71 @@
+let boundary_vertex ~l = (1 lsl l) - 1
+
+(* Enumerate the radius-[radius] Hamming ball around [center] as an
+   index table, so the walk DP runs over a dense array. *)
+let ball_index ~n ~center ~radius =
+  let index = Hashtbl.create 256 in
+  let members = ref [] in
+  let count = ref 0 in
+  let rec explore v =
+    if not (Hashtbl.mem index v) then begin
+      Hashtbl.replace index v !count;
+      members := v :: !members;
+      incr count;
+      for bit = 0 to n - 1 do
+        let w = v lxor (1 lsl bit) in
+        if Topology.Hypercube.hamming center w <= radius then explore w
+      done
+    end
+  in
+  explore center;
+  (index, Array.of_list (List.rev !members))
+
+let count_walks ~n ~center ~radius ~target ~length =
+  if n < 1 || n > 24 then invalid_arg "Ball_walks.count_walks: need 1 <= n <= 24";
+  if radius < 0 || radius > n then invalid_arg "Ball_walks.count_walks: bad radius";
+  if length < 0 then invalid_arg "Ball_walks.count_walks: negative length";
+  if Topology.Hypercube.hamming center target > radius then
+    invalid_arg "Ball_walks.count_walks: target outside the ball";
+  let index, members = ball_index ~n ~center ~radius in
+  let size = Array.length members in
+  let current = Array.make size 0.0 in
+  current.(Hashtbl.find index center) <- 1.0;
+  let next = Array.make size 0.0 in
+  for _ = 1 to length do
+    Array.fill next 0 size 0.0;
+    Array.iteri
+      (fun i v ->
+        let weight = current.(i) in
+        if weight > 0.0 then
+          for bit = 0 to n - 1 do
+            let w = v lxor (1 lsl bit) in
+            match Hashtbl.find_opt index w with
+            | Some j -> next.(j) <- next.(j) +. weight
+            | None -> ()
+          done)
+      members;
+    Array.blit next 0 current 0 size
+  done;
+  current.(Hashtbl.find index target)
+
+let bound_ak ~n ~l ~k =
+  let rec factorial i acc = if i <= 1 then acc else factorial (i - 1) (acc *. float_of_int i) in
+  let nf = float_of_int n and lf = float_of_int l in
+  (nf ** float_of_int k) *. (lf ** float_of_int (2 * k)) *. factorial l 1.0
+
+let connection_probability_series ~n ~p ~l ~terms =
+  let center = 0 in
+  let target = boundary_vertex ~l in
+  let total = ref 0.0 in
+  for k = 0 to terms - 1 do
+    let length = l + (2 * k) in
+    let walks = count_walks ~n ~center ~radius:l ~target ~length in
+    total := !total +. ((p ** float_of_int length) *. walks)
+  done;
+  !total
+
+let eta_closed_form ~n ~p ~l =
+  let nf = float_of_int n and lf = float_of_int l in
+  let ratio = nf *. lf *. lf *. p *. p in
+  if ratio >= 1.0 then invalid_arg "Ball_walks.eta_closed_form: series diverges";
+  ((lf *. p) ** lf) /. (1.0 -. ratio)

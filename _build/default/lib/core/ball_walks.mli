@@ -1,0 +1,42 @@
+(** Exact walk counting inside Hamming balls — the combinatorial core of
+    Theorem 3(i)'s proof.
+
+    The lower-bound proof for the hypercube bounds the number of
+    coordinate-sequence paths of length [l + 2k] from the ball's centre
+    [v] to a boundary vertex [x] that stay inside the radius-[l] ball:
+    [|A_k| ≤ n^k · l^{2k} · l!], whence
+
+    [Pr[(v ~ x) ∈ S] ≤ Σ_k p^{l+2k} |A_k| ≤ (lp)^l / (1 - n l² p²)].
+
+    Walks staying in the ball over-count those paths, so the exact walk
+    count computed here must respect the same bound term by term — a
+    machine check of the proof's combinatorial step, and a numerically
+    {e tighter} η for Lemma 5 than the closed form. *)
+
+val count_walks :
+  n:int -> center:int -> radius:int -> target:int -> length:int -> float
+(** [count_walks ~n ~center ~radius ~target ~length] is the exact number
+    of walks of exactly [length] steps in [H_n] from [center] to
+    [target] in which every intermediate vertex (and both endpoints)
+    lies within Hamming distance [radius] of [center]. Returned as a
+    float (counts overflow 63-bit integers quickly).
+    @raise Invalid_argument on out-of-range parameters. *)
+
+val bound_ak : n:int -> l:int -> k:int -> float
+(** The proof's bound [n^k · l^{2k} · l!] on [|A_k|]. *)
+
+val connection_probability_series :
+  n:int -> p:float -> l:int -> terms:int -> float
+(** [connection_probability_series ~n ~p ~l ~terms] is the exact-count
+    upper bound [Σ_{k<terms} p^{l+2k} · walks(l+2k)] on
+    [Pr[(v ~ x) ∈ S]] for a boundary vertex [x] at distance [l] — a
+    union bound over open walks, evaluated with the true walk counts
+    instead of the proof's looser [|A_k|] estimate. *)
+
+val eta_closed_form : n:int -> p:float -> l:int -> float
+(** The proof's closed form [(lp)^l / (1 - n l² p²)].
+    @raise Invalid_argument when [n l² p² >= 1] (series diverges). *)
+
+val boundary_vertex : l:int -> int
+(** A canonical vertex at distance [l] from vertex 0: the word with the
+    low [l] bits set. *)

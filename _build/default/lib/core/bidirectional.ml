@@ -1,0 +1,134 @@
+type side = Source_side | Target_side
+
+type state = {
+  oracle : Percolation.Oracle.t;
+  graph : Topology.Graph.t;
+  membership : (int, side) Hashtbl.t;
+  predecessor : (int, int) Hashtbl.t; (* vertex -> previous hop on its side *)
+  cross : (int * int) Queue.t; (* candidate edges between the two sides *)
+  expand_source : (int * int) Queue.t; (* candidate outward edges, per side *)
+  expand_target : (int * int) Queue.t;
+  mutable size_source : int;
+  mutable size_target : int;
+}
+
+let side_of state v = Hashtbl.find_opt state.membership v
+
+let expansion_queue state = function
+  | Source_side -> state.expand_source
+  | Target_side -> state.expand_target
+
+(* Add [v] to [side] (reached via [prev]) and file its incident edges as
+   cross or expansion candidates. *)
+let absorb state side ~prev v =
+  Hashtbl.replace state.membership v side;
+  Hashtbl.replace state.predecessor v prev;
+  (match side with
+  | Source_side -> state.size_source <- state.size_source + 1
+  | Target_side -> state.size_target <- state.size_target + 1);
+  Array.iter
+    (fun w ->
+      match side_of state w with
+      | Some s when s = side -> ()
+      | Some _ -> Queue.push (v, w) state.cross
+      | None -> Queue.push (v, w) (expansion_queue state side))
+    (state.graph.Topology.Graph.neighbors v)
+
+(* Walk predecessor links back to the side's root. *)
+let branch state v =
+  let rec walk v acc =
+    let prev = Hashtbl.find state.predecessor v in
+    if prev = v then v :: acc else walk prev (v :: acc)
+  in
+  walk v []
+
+let joined_path state a b =
+  (* a on the source side, b on the target side, edge (a,b) open. *)
+  branch state a @ List.rev (branch state b)
+
+let rec drain_cross state =
+  if Queue.is_empty state.cross then None
+  else begin
+    let a, b = Queue.pop state.cross in
+    (* The far endpoint may have since been absorbed into the same side;
+       then this is no longer a cross edge. *)
+    match (side_of state a, side_of state b) with
+    | Some sa, Some sb when sa <> sb ->
+        let a, b = if sa = Source_side then (a, b) else (b, a) in
+        if Percolation.Oracle.probe state.oracle a b then Some (a, b)
+        else drain_cross state
+    | _ -> drain_cross state
+  end
+
+(* Pop expansion candidates until one genuinely leads outward; probe it.
+   Returns [false] when the queue ran dry without a single probe. *)
+let rec expand_step state side =
+  let queue = expansion_queue state side in
+  if Queue.is_empty queue then false
+  else begin
+    let u, w = Queue.pop queue in
+    match side_of state w with
+    | Some s when s = side -> expand_step state side (* already ours *)
+    | Some _ ->
+        (* Became a cross edge while queued. *)
+        Queue.push (u, w) state.cross;
+        true
+    | None ->
+        if Percolation.Oracle.probe state.oracle u w then absorb state side ~prev:u w;
+        true
+  end
+
+let route oracle ~target =
+  match Router.trivial_outcome oracle ~target with
+  | Some outcome -> outcome
+  | None ->
+      let world = Percolation.Oracle.world oracle in
+      let state =
+        {
+          oracle;
+          graph = Percolation.World.graph world;
+          membership = Hashtbl.create 256;
+          predecessor = Hashtbl.create 256;
+          cross = Queue.create ();
+          expand_source = Queue.create ();
+          expand_target = Queue.create ();
+          size_source = 0;
+          size_target = 0;
+        }
+      in
+      let source = Percolation.Oracle.source oracle in
+      absorb state Source_side ~prev:source source;
+      absorb state Target_side ~prev:target target;
+      let rec loop () =
+        match drain_cross state with
+        | Some (a, b) -> Router.found_outcome oracle (joined_path state a b)
+        | None ->
+            let preferred =
+              if state.size_source <= state.size_target then Source_side
+              else Target_side
+            in
+            let other =
+              match preferred with
+              | Source_side -> Target_side
+              | Target_side -> Source_side
+            in
+            if expand_step state preferred then loop ()
+            else if expand_step state other then loop ()
+            else
+              Outcome.No_path { probes = Percolation.Oracle.distinct_probes oracle }
+      in
+      loop ()
+
+let route_checked oracle ~target =
+  (match Percolation.Oracle.policy oracle with
+  | Percolation.Oracle.Unrestricted -> ()
+  | Percolation.Oracle.Local ->
+      invalid_arg "Bidirectional.router: requires an unrestricted oracle");
+  route oracle ~target
+
+let router =
+  {
+    Router.name = "bidirectional-oracle";
+    policy = Percolation.Oracle.Unrestricted;
+    route = route_checked;
+  }

@@ -1,0 +1,17 @@
+(** Bidirectional oracle routing — the Theorem 11 upper-bound algorithm.
+
+    Grows a reached set [U_t] around the source and [V_t] around the
+    target simultaneously (the [V_t] side is why this is {e not} a local
+    router). Following the paper's algorithm:
+
+    + whenever an unprobed edge runs between [U_t] and [V_t], probe it —
+      if open, the two trees join and the path is found;
+    + otherwise expand the smaller side by probing an unprobed edge
+      towards an unreached vertex;
+    + when nothing remains, report disconnection.
+
+    On [G_{n,p}] with [p = c/n] the sides meet at size [Θ(√n)] after
+    [O(n^{3/2})] probes — a [√n] factor below the [Ω(n²)] local bound of
+    Theorem 10. *)
+
+val router : Router.t

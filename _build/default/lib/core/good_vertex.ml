@@ -1,0 +1,32 @@
+let degree_threshold ~n ~p = float_of_int n *. p /. 2.0
+let ball_threshold ~n ~p = (float_of_int n *. p) ** 2.0 /. 4.0
+
+let is_good world v =
+  let graph = Percolation.World.graph world in
+  let n = Topology.Hypercube.dimension graph in
+  let p = Percolation.World.p world in
+  let open_degree = Percolation.World.open_degree world v in
+  (* Floor both richness thresholds at 1 so the definition does not
+     degenerate for tiny np (an isolated vertex is never good). *)
+  if float_of_int open_degree < Float.max 1.0 (degree_threshold ~n ~p) then false
+  else begin
+    let ball = Percolation.Reveal.ball world v ~radius:2 in
+    (* The ball includes v itself; count others. *)
+    float_of_int (Hashtbl.length ball - 1) >= Float.max 1.0 (ball_threshold ~n ~p)
+  end
+
+let fraction_good stream world ~samples =
+  let size = (Percolation.World.graph world).Topology.Graph.vertex_count in
+  let good = ref 0 in
+  for _ = 1 to samples do
+    let v = Prng.Stream.int_in stream size in
+    if is_good world v then incr good
+  done;
+  Stats.Proportion.make ~successes:!good ~trials:samples
+
+let good_pair_distance world u v =
+  if not (is_good world u && is_good world v) then `Not_good
+  else
+    match Percolation.Chemical.distance world u v with
+    | Some d -> `Distance d
+    | None -> `Disconnected

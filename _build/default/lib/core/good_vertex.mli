@@ -1,0 +1,41 @@
+(** Operational "good vertex" machinery behind Theorem 3(ii).
+
+    The upper-bound proof cites Angel–Benjamini [3]: call a vertex
+    {e good} when its percolation-radius-2 neighbourhood is rich enough;
+    then (1) each vertex is good with probability
+    [1 - exp(-c n^{1-α})], and (2) w.h.p. {e all} pairs of good vertices
+    at fault-free distance ≤ 3 are within percolation distance
+    [l = l(α) = O((1-2α)^{-1})] of each other. The segment router walks
+    good backbone vertices and pays [n^l] per BFS stage.
+
+    This paper does not restate [3]'s exact richness condition, so this
+    module uses a documented operational variant (the substitution is
+    recorded in DESIGN.md): a vertex [v] of [H_{n,p}] is {b good} when
+
+    - its open degree is at least [np/2], and
+    - its open ball of radius 2 holds at least [(np)²/4] vertices
+
+    — i.e. both its first and second percolation neighbourhoods reach
+    half of their expected sizes. Both properties are determined by the
+    radius-2 neighbourhood, as in [3]. E20 measures how the good
+    fraction and the good-pair percolation distances behave in [n] and
+    [α]; the trends, not the constants, are what the proof needs. *)
+
+val degree_threshold : n:int -> p:float -> float
+(** [np / 2]. *)
+
+val ball_threshold : n:int -> p:float -> float
+(** [(np)² / 4]. *)
+
+val is_good : Percolation.World.t -> int -> bool
+(** Whether a vertex of a hypercube world is good (reads edge states
+    directly; not a counted probe — this is analysis machinery, not a
+    router). *)
+
+val fraction_good :
+  Prng.Stream.t -> Percolation.World.t -> samples:int -> Stats.Proportion.t
+(** Estimate of the good fraction by uniform vertex sampling. *)
+
+val good_pair_distance :
+  Percolation.World.t -> int -> int -> [ `Distance of int | `Not_good | `Disconnected ]
+(** Percolation distance between two vertices when both are good. *)

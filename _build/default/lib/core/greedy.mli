@@ -1,0 +1,13 @@
+(** Greedy local routing with depth-first backtracking.
+
+    At each reached vertex, probe edges in order of the target distance
+    of their far endpoint (closest first, fault-free metric), moving
+    depth-first and backtracking when stuck. With no faults on the
+    hypercube this reduces to bit-fixing shortest-path routing — exactly
+    the greedy strategy discussed in the Remark after Theorem 3(ii).
+    Complete: it explores the whole open cluster before giving up, so it
+    returns [No_path] only when the target is genuinely unreachable. *)
+
+val router : Router.t
+(** Requires the topology to expose a metric.
+    @raise Invalid_argument (at routing time) if [distance] is [None]. *)

@@ -1,0 +1,17 @@
+(** Local breadth-first routing — the universal local baseline.
+
+    Explores the open cluster of the source outward, probing every edge
+    incident to each reached vertex. In the worst case this is the
+    "probe the entire graph" upper bound mentioned after Definition 2;
+    on the double tree and on [H_{n,p}] with [α > 1/2] it exhibits the
+    exponential lower bounds (Theorems 3(i) and 7), and on [G_{n,p}] the
+    [Ω(n²)] bound (Theorem 10) — no local algorithm can beat those, so
+    measuring BFS measures the regime, not the algorithm. *)
+
+val router : Router.t
+(** Probes neighbours in the topology's order. *)
+
+val router_randomized : Prng.Stream.t -> Router.t
+(** Same search, but each vertex's incident edges are probed in an order
+    shuffled by the stream — removes any bias from the topology's
+    neighbour enumeration (used to check order-independence of results). *)

@@ -1,0 +1,58 @@
+let bound ~t ~eta ~pr_path_in_s ~pr_connected =
+  if pr_connected <= 0.0 then invalid_arg "Lower_bound.bound: pr_connected must be positive";
+  let raw = ((t *. eta) +. pr_path_in_s) /. pr_connected in
+  Float.max 0.0 (Float.min 1.0 raw)
+
+let eta_theta ~p = p
+
+let eta_double_tree ~p ~n = p ** float_of_int n
+
+let eta_hypercube ~alpha ~beta ~n =
+  let nf = float_of_int n in
+  let l = nf ** beta in
+  let p = nf ** -.alpha in
+  let ratio = nf *. l *. l *. p *. p in
+  if ratio >= 1.0 then
+    invalid_arg "Lower_bound.eta_hypercube: series diverges (need beta < alpha - 1/2)";
+  ((l *. p) ** l) /. (1.0 -. ratio)
+
+let connected_within world ~member x y =
+  if not (member x && member y) then false
+  else if x = y then true
+  else begin
+    let seen = Hashtbl.create 64 in
+    Hashtbl.replace seen x ();
+    let queue = Queue.create () in
+    Queue.push x queue;
+    let found = ref false in
+    (try
+       while not (Queue.is_empty queue) do
+         let u = Queue.pop queue in
+         Array.iter
+           (fun v ->
+             if member v && not (Hashtbl.mem seen v) then begin
+               Hashtbl.replace seen v ();
+               if v = y then begin
+                 found := true;
+                 raise Exit
+               end;
+               Queue.push v queue
+             end)
+           (Percolation.World.open_neighbors world u)
+       done
+     with Exit -> ());
+    !found
+  end
+
+let estimate_eta stream ~trials ~graph ~p ~member ~target ~cut_edge =
+  let x, y = cut_edge in
+  let inner = if member x then x else y in
+  if not (member inner) then
+    invalid_arg "Lower_bound.estimate_eta: cut edge has no endpoint in S";
+  let successes = ref 0 in
+  for trial = 1 to trials do
+    let seed = Prng.Coin.derive (Prng.Stream.seed stream) trial in
+    let world = Percolation.World.create graph ~p ~seed in
+    if connected_within world ~member inner target then incr successes
+  done;
+  Stats.Proportion.make ~successes:!successes ~trials

@@ -1,0 +1,29 @@
+type t =
+  | Found of { path : int list; probes : int; raw_probes : int }
+  | No_path of { probes : int }
+  | Budget_exceeded of { probes : int }
+
+let probes = function
+  | Found { probes; _ } | No_path { probes } | Budget_exceeded { probes } -> probes
+
+let found = function Found _ -> true | No_path _ | Budget_exceeded _ -> false
+
+let path = function
+  | Found { path; _ } -> Some path
+  | No_path _ | Budget_exceeded _ -> None
+
+let path_length t = Option.map (fun p -> List.length p - 1) (path t)
+
+let to_observation = function
+  | Found { probes; _ } | No_path { probes } ->
+      Stats.Censored.Exact (float_of_int probes)
+  | Budget_exceeded { probes } -> Stats.Censored.At_least (float_of_int probes)
+
+let pp ppf = function
+  | Found { path; probes; raw_probes } ->
+      Format.fprintf ppf "found path of length %d with %d probes (%d raw)"
+        (List.length path - 1)
+        probes raw_probes
+  | No_path { probes } -> Format.fprintf ppf "no path (%d probes)" probes
+  | Budget_exceeded { probes } ->
+      Format.fprintf ppf "budget exceeded after %d probes" probes

@@ -1,0 +1,28 @@
+(** Result of one routing attempt, with its probe accounting. *)
+
+type t =
+  | Found of { path : int list; probes : int; raw_probes : int }
+      (** An open path from source to target (source first), and the
+          number of distinct edges probed to find it — the routing
+          complexity of Definition 2. *)
+  | No_path of { probes : int }
+      (** The router proved (within its knowledge) that no open path
+          exists — it exhausted every probeable edge. *)
+  | Budget_exceeded of { probes : int }
+      (** The probe budget ran out; the true complexity is [>= probes]. *)
+
+val probes : t -> int
+(** Distinct probes charged to the attempt, whatever the outcome. *)
+
+val found : t -> bool
+
+val path : t -> int list option
+
+val path_length : t -> int option
+(** Number of edges of the found path. *)
+
+val to_observation : t -> Stats.Censored.observation
+(** [Found] and [No_path] become exact observations of the probe count;
+    [Budget_exceeded] becomes a censored (lower-bound) observation. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,61 @@
+type failure =
+  | Empty
+  | Wrong_source of int
+  | Wrong_target of int
+  | Not_adjacent of int * int
+  | Closed_edge of int * int
+  | Repeated_vertex of int
+
+let validate world ~source ~target p =
+  match p with
+  | [] -> Error Empty
+  | first :: _ ->
+      if first <> source then Error (Wrong_source first)
+      else begin
+        let rec last = function [ x ] -> x | _ :: rest -> last rest | [] -> assert false in
+        if last p <> target then Error (Wrong_target (last p))
+        else begin
+          let seen = Hashtbl.create (List.length p) in
+          let rec walk = function
+            | [] -> Ok ()
+            | [ v ] -> if Hashtbl.mem seen v then Error (Repeated_vertex v) else Ok ()
+            | u :: (v :: _ as rest) ->
+                if Hashtbl.mem seen u then Error (Repeated_vertex u)
+                else begin
+                  Hashtbl.replace seen u ();
+                  match Percolation.World.is_open world u v with
+                  | true -> walk rest
+                  | false -> Error (Closed_edge (u, v))
+                  | exception Topology.Graph.Not_an_edge _ -> Error (Not_adjacent (u, v))
+                end
+          in
+          walk p
+        end
+      end
+
+let is_valid world ~source ~target p =
+  match validate world ~source ~target p with Ok () -> true | Error _ -> false
+
+let simplify p =
+  (* Skip from each vertex to just after its last occurrence in the walk:
+     the result visits each vertex once and each hop is a walk edge. *)
+  let arr = Array.of_list p in
+  let n = Array.length arr in
+  let last = Hashtbl.create n in
+  Array.iteri (fun i v -> Hashtbl.replace last v i) arr;
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else begin
+      let v = arr.(i) in
+      go (Hashtbl.find last v + 1) (v :: acc)
+    end
+  in
+  go 0 []
+
+let pp_failure ppf = function
+  | Empty -> Format.fprintf ppf "empty path"
+  | Wrong_source v -> Format.fprintf ppf "path starts at %d, not the source" v
+  | Wrong_target v -> Format.fprintf ppf "path ends at %d, not the target" v
+  | Not_adjacent (u, v) -> Format.fprintf ppf "%d and %d are not adjacent" u v
+  | Closed_edge (u, v) -> Format.fprintf ppf "edge (%d,%d) is closed" u v
+  | Repeated_vertex v -> Format.fprintf ppf "vertex %d repeats" v

@@ -1,0 +1,28 @@
+(** Validation of routed paths.
+
+    Routers are trusted nowhere: the measurement harness re-checks every
+    returned path against the world (through direct state reads, not
+    counted probes). *)
+
+type failure =
+  | Empty
+  | Wrong_source of int
+  | Wrong_target of int
+  | Not_adjacent of int * int
+  | Closed_edge of int * int
+  | Repeated_vertex of int
+
+val validate :
+  Percolation.World.t -> source:int -> target:int -> int list -> (unit, failure) result
+(** [validate w ~source ~target p] checks that [p] starts at [source],
+    ends at [target], walks only adjacent pairs, uses only open edges and
+    repeats no vertex (simple path). *)
+
+val is_valid : Percolation.World.t -> source:int -> target:int -> int list -> bool
+
+val simplify : int list -> int list
+(** [simplify p] removes cycles: keeps the portion of the walk between
+    the first and last visit of each vertex, yielding a simple path with
+    the same endpoints using a subset of the walk's edges. *)
+
+val pp_failure : Format.formatter -> failure -> unit

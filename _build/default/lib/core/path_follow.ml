@@ -1,0 +1,70 @@
+(* One stage: breadth-first probe outward from [start] until a vertex with
+   a backbone index greater than [current] turns up. Returns that index,
+   or None when start's open cluster holds no later backbone vertex. *)
+let stage oracle ~index_of ~current start =
+  let g = Percolation.World.graph (Percolation.Oracle.world oracle) in
+  let enqueued = Hashtbl.create 64 in
+  Hashtbl.replace enqueued start ();
+  let queue = Queue.create () in
+  Queue.push start queue;
+  let advance = ref None in
+  (try
+     while not (Queue.is_empty queue) do
+       let u = Queue.pop queue in
+       Array.iter
+         (fun v ->
+           if Percolation.Oracle.probe oracle u v then begin
+             (match index_of v with
+             | Some j when j > current ->
+                 advance := Some j;
+                 raise Exit
+             | Some _ | None -> ());
+             if not (Hashtbl.mem enqueued v) then begin
+               Hashtbl.replace enqueued v ();
+               Queue.push v queue
+             end
+           end)
+         (g.Topology.Graph.neighbors u)
+     done
+   with Exit -> ());
+  !advance
+
+let router ~backbone =
+  if Array.length backbone = 0 then invalid_arg "Path_follow.router: empty backbone";
+  let index_table = Hashtbl.create (Array.length backbone) in
+  Array.iteri (fun i v -> Hashtbl.replace index_table v i) backbone;
+  let index_of v = Hashtbl.find_opt index_table v in
+  let route oracle ~target =
+    match Router.trivial_outcome oracle ~target with
+    | Some outcome -> outcome
+    | None ->
+        let last = Array.length backbone - 1 in
+        let rec follow current =
+          if current = last then begin
+            match Percolation.Oracle.path_to oracle target with
+            | Some path -> Router.found_outcome oracle (Path.simplify path)
+            | None -> assert false
+          end
+          else begin
+            match stage oracle ~index_of ~current backbone.(current) with
+            | Some next -> follow next
+            | None ->
+                Outcome.No_path
+                  { probes = Percolation.Oracle.distinct_probes oracle }
+          end
+        in
+        follow 0
+  in
+  { Router.name = "path-follow"; policy = Percolation.Oracle.Local; route }
+
+let hypercube ~n ~source ~target =
+  let backbone = Array.of_list (Topology.Hypercube.fixed_path ~n source target) in
+  { (router ~backbone) with Router.name = "segment-bfs(hypercube)" }
+
+let mesh ~d ~m ~source ~target =
+  let backbone = Array.of_list (Topology.Mesh.fixed_path ~d ~m source target) in
+  { (router ~backbone) with Router.name = "path-follow(mesh)" }
+
+let torus ~d ~m ~source ~target =
+  let backbone = Array.of_list (Topology.Torus.fixed_path ~d ~m source target) in
+  { (router ~backbone) with Router.name = "path-follow(torus)" }

@@ -1,0 +1,28 @@
+(** Backbone-following local routing — the upper-bound algorithm of
+    Theorems 3(ii) and 4.
+
+    Fix a shortest path [u = u_0, u_1, …, u_m = v] in the {e fault-free}
+    topology (the backbone). From the furthest backbone vertex reached so
+    far, run a breadth-first search of the open cluster (probing as it
+    goes) until some {e later} backbone vertex is found; repeat. On the
+    mesh (Theorem 4) each stage costs O(1) expected probes for any
+    [p > p_c]; on the hypercube with [α < 1/2] each stage costs
+    [poly(n)] (Theorem 3(ii)), giving total [poly(n)] complexity. *)
+
+val router : backbone:int array -> Router.t
+(** [router ~backbone] follows the given backbone. The backbone must be
+    a path of distinct vertices; its first element must equal the routing
+    source and its last the target, or {!Router.run} will reject the
+    result.
+    @raise Invalid_argument on an empty backbone. *)
+
+val hypercube : n:int -> source:int -> target:int -> Router.t
+(** Theorem 3(ii) instance: backbone = the canonical bit-fixing shortest
+    path of [H_n]. *)
+
+val mesh : d:int -> m:int -> source:int -> target:int -> Router.t
+(** Theorem 4 instance: backbone = the canonical axis-by-axis monotone
+    path of the mesh. *)
+
+val torus : d:int -> m:int -> source:int -> target:int -> Router.t
+(** Torus variant of {!mesh}. *)

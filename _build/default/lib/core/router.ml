@@ -1,0 +1,38 @@
+type t = {
+  name : string;
+  policy : Percolation.Oracle.policy;
+  route : Percolation.Oracle.t -> target:int -> Outcome.t;
+}
+
+exception Invalid_route of { router : string; failure : Path.failure }
+
+let found_outcome oracle path =
+  Outcome.Found
+    {
+      path;
+      probes = Percolation.Oracle.distinct_probes oracle;
+      raw_probes = Percolation.Oracle.raw_probes oracle;
+    }
+
+let trivial_outcome oracle ~target =
+  if Percolation.Oracle.source oracle = target then
+    Some (found_outcome oracle [ target ])
+  else None
+
+let run ?budget router world ~source ~target =
+  let oracle =
+    Percolation.Oracle.create ~policy:router.policy ?budget world ~source
+  in
+  let outcome =
+    match router.route oracle ~target with
+    | outcome -> outcome
+    | exception Percolation.Oracle.Budget_exhausted ->
+        Outcome.Budget_exceeded { probes = Percolation.Oracle.distinct_probes oracle }
+  in
+  (match outcome with
+  | Outcome.Found { path; _ } -> (
+      match Path.validate world ~source ~target path with
+      | Ok () -> ()
+      | Error failure -> raise (Invalid_route { router = router.name; failure }))
+  | Outcome.No_path _ | Outcome.Budget_exceeded _ -> ());
+  outcome

@@ -1,0 +1,75 @@
+let router ~n =
+  let route oracle ~target =
+    match Router.trivial_outcome oracle ~target with
+    | Some outcome -> outcome
+    | None ->
+        let source = Percolation.Oracle.source oracle in
+        let root1 = Topology.Double_tree.root1 and root2 = Topology.Double_tree.root2 ~n in
+        if not ((source = root1 && target = root2) || (source = root2 && target = root1))
+        then invalid_arg "Tree_pair_dfs.router: routes only between the two roots";
+        (* Work in tree-1 coordinates descending from root1; mirror gives
+           the tree-2 half. If routing root2->root1 we reverse at the end. *)
+        let probe_pair parent child =
+          if Percolation.Oracle.probe oracle parent child then begin
+            let mirror_parent, mirror_child =
+              Topology.Double_tree.mirror_edge ~n parent child
+            in
+            Percolation.Oracle.probe oracle mirror_parent mirror_child
+          end
+          else false
+        in
+        let g = Topology.Double_tree.graph n in
+        let children_of v =
+          (* Tree-1 descendants of an internal vertex: its neighbours of
+             larger depth. *)
+          g.Topology.Graph.neighbors v
+          |> Array.to_list
+          |> List.filter (fun w ->
+                 Topology.Double_tree.depth_of ~n w
+                 > Topology.Double_tree.depth_of ~n v
+                 && Topology.Double_tree.role_of ~n w <> Topology.Double_tree.Internal2)
+        in
+        (* Depth-first search for a leaf whose whole branch is open in
+           both trees. Returns the branch (root1 .. leaf). *)
+        let rec descend v trail =
+          if Topology.Double_tree.role_of ~n v = Topology.Double_tree.Leaf then
+            Some (List.rev (v :: trail))
+          else begin
+            let rec try_children = function
+              | [] -> None
+              | child :: rest -> (
+                  if not (probe_pair v child) then try_children rest
+                  else
+                    match descend child (v :: trail) with
+                    | Some branch -> Some branch
+                    | None -> try_children rest)
+            in
+            try_children (children_of v)
+          end
+        in
+        (match descend root1 [] with
+        | None ->
+            Outcome.No_path { probes = Percolation.Oracle.distinct_probes oracle }
+        | Some branch ->
+            let mirrored =
+              (* Tree-2 half: the mirror of each branch vertex, from the
+                 leaf's parent mirror back up to root2. *)
+              let rec mirror_up = function
+                | child :: (parent :: _ as rest) ->
+                    let m_parent, _m_child =
+                      Topology.Double_tree.mirror_edge ~n parent child
+                    in
+                    m_parent :: mirror_up rest
+                | [ _ ] | [] -> []
+              in
+              mirror_up (List.rev branch)
+            in
+            let full = branch @ mirrored in
+            let full = if source = root1 then full else List.rev full in
+            Router.found_outcome oracle full)
+  in
+  {
+    Router.name = "tree-pair-dfs";
+    policy = Percolation.Oracle.Unrestricted;
+    route;
+  }

@@ -1,0 +1,16 @@
+(** Paired-edge depth-first oracle routing on the double tree [TT_n] —
+    the Theorem 9 algorithm.
+
+    A root-to-root path must descend tree 1 along some branch and climb
+    tree 2 along the mirror branch, so an edge is useful only if its
+    mirror is open too. The router therefore explores downward
+    depth-first, probing each tree-1 edge {e together with} its tree-2
+    mirror and descending only when both are open. Each edge pair
+    survives with probability [p²]; for [p > 1/√2] this is a
+    supercritical Galton–Watson exploration and reaches the leaves after
+    an expected [O(n)] probes — an exponential improvement over any local
+    router (Theorem 7). *)
+
+val router : n:int -> Router.t
+(** [router ~n] routes on [Topology.Double_tree.graph n] from one root
+    to the other (in either direction). *)

@@ -1,0 +1,1 @@
+lib/experiments/catalog.mli: Prng Report

@@ -1,0 +1,1 @@
+lib/experiments/e01_hypercube_phase.ml: List Printf Prng Report Routing Stats Topology Trial

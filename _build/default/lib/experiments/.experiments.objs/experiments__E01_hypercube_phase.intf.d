@@ -1,0 +1,1 @@
+lib/experiments/e01_hypercube_phase.mli: Prng Report

@@ -1,0 +1,1 @@
+lib/experiments/e02_hypercube_poly.ml: List Printf Prng Report Routing Stats Topology Trial

@@ -1,0 +1,1 @@
+lib/experiments/e02_hypercube_poly.mli: Prng Report

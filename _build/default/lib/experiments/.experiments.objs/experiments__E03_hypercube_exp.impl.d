@@ -1,0 +1,1 @@
+lib/experiments/e03_hypercube_exp.ml: List Printf Prng Report Routing Stats Topology Trial

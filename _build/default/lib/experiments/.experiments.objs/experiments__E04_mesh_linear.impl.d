@@ -1,0 +1,1 @@
+lib/experiments/e04_mesh_linear.ml: List Printf Prng Report Routing Stats Topology Trial

@@ -1,0 +1,1 @@
+lib/experiments/e04_mesh_linear.mli: Prng Report

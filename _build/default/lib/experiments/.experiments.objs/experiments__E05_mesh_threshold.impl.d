@@ -1,0 +1,1 @@
+lib/experiments/e05_mesh_threshold.ml: Format List Printf Prng Report Routing Stats Topology Trial

@@ -1,0 +1,1 @@
+lib/experiments/e05_mesh_threshold.mli: Prng Report

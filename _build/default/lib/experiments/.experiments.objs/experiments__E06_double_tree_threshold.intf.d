@@ -1,0 +1,1 @@
+lib/experiments/e06_double_tree_threshold.mli: Prng Report

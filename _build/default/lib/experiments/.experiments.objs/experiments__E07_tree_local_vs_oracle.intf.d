@@ -1,0 +1,1 @@
+lib/experiments/e07_tree_local_vs_oracle.mli: Prng Report

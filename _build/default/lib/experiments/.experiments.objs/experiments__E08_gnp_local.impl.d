@@ -1,0 +1,1 @@
+lib/experiments/e08_gnp_local.ml: List Printf Prng Report Routing Stats Topology Trial

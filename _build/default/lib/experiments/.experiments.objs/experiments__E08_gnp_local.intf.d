@@ -1,0 +1,1 @@
+lib/experiments/e08_gnp_local.mli: Prng Report

@@ -1,0 +1,1 @@
+lib/experiments/e09_gnp_oracle.ml: E08_gnp_local List Printf Prng Report Routing Stats Topology Trial

@@ -1,0 +1,1 @@
+lib/experiments/e09_gnp_oracle.mli: Prng Report

@@ -1,0 +1,1 @@
+lib/experiments/e10_theta_lower_bound.mli: Prng Report

@@ -1,0 +1,1 @@
+lib/experiments/e12_expanders.ml: Format List Printf Prng Report Routing Stats Topology Trial

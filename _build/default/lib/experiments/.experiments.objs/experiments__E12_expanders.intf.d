@@ -1,0 +1,1 @@
+lib/experiments/e12_expanders.mli: Prng Report

@@ -1,0 +1,1 @@
+lib/experiments/e13_chemical_stretch.ml: List Percolation Printf Prng Report Stats Topology

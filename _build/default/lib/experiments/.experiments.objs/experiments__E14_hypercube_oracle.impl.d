@@ -1,0 +1,1 @@
+lib/experiments/e14_hypercube_oracle.ml: List Printf Prng Report Routing Stats Topology Trial

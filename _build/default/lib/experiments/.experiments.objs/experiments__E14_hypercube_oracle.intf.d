@@ -1,0 +1,1 @@
+lib/experiments/e14_hypercube_oracle.mli: Prng Report

@@ -1,0 +1,1 @@
+lib/experiments/e15_ablations.ml: Array List Printf Prng Report Routing Stats Topology Trial

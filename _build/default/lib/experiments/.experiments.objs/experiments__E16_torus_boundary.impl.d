@@ -1,0 +1,1 @@
+lib/experiments/e16_torus_boundary.ml: List Printf Prng Report Routing Stats Topology Trial

@@ -1,0 +1,1 @@
+lib/experiments/e16_torus_boundary.mli: Prng Report

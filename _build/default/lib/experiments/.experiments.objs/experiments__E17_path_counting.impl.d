@@ -1,0 +1,1 @@
+lib/experiments/e17_path_counting.ml: Printf Prng Report Routing Stats Topology

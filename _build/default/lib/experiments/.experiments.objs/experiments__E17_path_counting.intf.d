@@ -1,0 +1,1 @@
+lib/experiments/e17_path_counting.mli: Prng Report

@@ -1,0 +1,1 @@
+lib/experiments/e18_distributed_lookup.ml: List Netsim Percolation Printf Prng Report Stats Topology

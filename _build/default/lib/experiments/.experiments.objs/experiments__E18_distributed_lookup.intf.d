@@ -1,0 +1,1 @@
+lib/experiments/e18_distributed_lookup.mli: Prng Report

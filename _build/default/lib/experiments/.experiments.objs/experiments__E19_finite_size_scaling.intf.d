@@ -1,0 +1,1 @@
+lib/experiments/e19_finite_size_scaling.mli: Prng Report

@@ -1,0 +1,1 @@
+lib/experiments/e20_good_vertices.ml: Array List Percolation Printf Prng Report Routing Stats Topology

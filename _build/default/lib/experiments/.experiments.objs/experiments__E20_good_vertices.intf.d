@@ -1,0 +1,1 @@
+lib/experiments/e20_good_vertices.mli: Prng Report

@@ -1,0 +1,1 @@
+lib/experiments/e21_small_world.ml: List Percolation Printf Prng Report Routing Stats Topology

@@ -1,0 +1,1 @@
+lib/experiments/e21_small_world.mli: Prng Report

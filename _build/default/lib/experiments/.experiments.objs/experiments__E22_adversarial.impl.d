@@ -1,0 +1,1 @@
+lib/experiments/e22_adversarial.ml: List Percolation Printf Prng Report Routing Stats Topology

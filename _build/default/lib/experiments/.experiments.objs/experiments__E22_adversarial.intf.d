@@ -1,0 +1,1 @@
+lib/experiments/e22_adversarial.mli: Prng Report

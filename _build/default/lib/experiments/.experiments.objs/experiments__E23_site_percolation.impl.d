@@ -1,0 +1,1 @@
+lib/experiments/e23_site_percolation.ml: Array List Percolation Printf Prng Report Routing Stats String Topology

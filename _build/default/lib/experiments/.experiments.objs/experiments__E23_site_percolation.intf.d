@@ -1,0 +1,1 @@
+lib/experiments/e23_site_percolation.mli: Prng Report

@@ -1,0 +1,1 @@
+lib/experiments/e24_butterfly_permutation.ml: List Netsim Percolation Printf Prng Report Stats Topology

@@ -1,0 +1,1 @@
+lib/experiments/e24_butterfly_permutation.mli: Prng Report

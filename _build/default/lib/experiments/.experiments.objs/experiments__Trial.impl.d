@@ -1,0 +1,1 @@
+lib/experiments/trial.ml: List Option Percolation Prng Routing Stats Topology

@@ -1,0 +1,1 @@
+lib/experiments/trial.mli: Prng Routing Stats Topology

@@ -1,0 +1,41 @@
+type experiment = {
+  id : string;
+  title : string;
+  run : ?quick:bool -> Prng.Stream.t -> Report.t;
+}
+
+let all =
+  [
+    { id = E01_hypercube_phase.id; title = E01_hypercube_phase.title; run = E01_hypercube_phase.run };
+    { id = E02_hypercube_poly.id; title = E02_hypercube_poly.title; run = E02_hypercube_poly.run };
+    { id = E03_hypercube_exp.id; title = E03_hypercube_exp.title; run = E03_hypercube_exp.run };
+    { id = E04_mesh_linear.id; title = E04_mesh_linear.title; run = E04_mesh_linear.run };
+    { id = E05_mesh_threshold.id; title = E05_mesh_threshold.title; run = E05_mesh_threshold.run };
+    { id = E06_double_tree_threshold.id; title = E06_double_tree_threshold.title; run = E06_double_tree_threshold.run };
+    { id = E07_tree_local_vs_oracle.id; title = E07_tree_local_vs_oracle.title; run = E07_tree_local_vs_oracle.run };
+    { id = E08_gnp_local.id; title = E08_gnp_local.title; run = E08_gnp_local.run };
+    { id = E09_gnp_oracle.id; title = E09_gnp_oracle.title; run = E09_gnp_oracle.run };
+    { id = E10_theta_lower_bound.id; title = E10_theta_lower_bound.title; run = E10_theta_lower_bound.run };
+    { id = E11_hypercube_giant.id; title = E11_hypercube_giant.title; run = E11_hypercube_giant.run };
+    { id = E12_expanders.id; title = E12_expanders.title; run = E12_expanders.run };
+    { id = E13_chemical_stretch.id; title = E13_chemical_stretch.title; run = E13_chemical_stretch.run };
+    { id = E14_hypercube_oracle.id; title = E14_hypercube_oracle.title; run = E14_hypercube_oracle.run };
+    { id = E15_ablations.id; title = E15_ablations.title; run = E15_ablations.run };
+    { id = E16_torus_boundary.id; title = E16_torus_boundary.title; run = E16_torus_boundary.run };
+    { id = E17_path_counting.id; title = E17_path_counting.title; run = E17_path_counting.run };
+    { id = E18_distributed_lookup.id; title = E18_distributed_lookup.title; run = E18_distributed_lookup.run };
+    { id = E19_finite_size_scaling.id; title = E19_finite_size_scaling.title; run = E19_finite_size_scaling.run };
+    { id = E20_good_vertices.id; title = E20_good_vertices.title; run = E20_good_vertices.run };
+    { id = E21_small_world.id; title = E21_small_world.title; run = E21_small_world.run };
+    { id = E22_adversarial.id; title = E22_adversarial.title; run = E22_adversarial.run };
+    { id = E23_site_percolation.id; title = E23_site_percolation.title; run = E23_site_percolation.run };
+    { id = E24_butterfly_permutation.id; title = E24_butterfly_permutation.title; run = E24_butterfly_permutation.run };
+  ]
+
+let find id =
+  let wanted = String.lowercase_ascii id in
+  List.find_opt (fun e -> String.lowercase_ascii e.id = wanted) all
+
+let run_all ?quick ~seed () =
+  let stream = Prng.Stream.create seed in
+  List.mapi (fun index e -> e.run ?quick (Prng.Stream.split stream index)) all

@@ -1,0 +1,17 @@
+(** The experiment registry: every theorem-reproduction in one place. *)
+
+type experiment = {
+  id : string;  (** "E1" … "E13" *)
+  title : string;
+  run : ?quick:bool -> Prng.Stream.t -> Report.t;
+      (** [quick] shrinks sizes/trials for smoke tests and benches. *)
+}
+
+val all : experiment list
+(** In id order. *)
+
+val find : string -> experiment option
+(** Case-insensitive lookup by id. *)
+
+val run_all : ?quick:bool -> seed:int64 -> unit -> Report.t list
+(** Runs every experiment, each on a stream split from [seed]. *)

@@ -1,0 +1,64 @@
+(* E2 — Theorem 3(ii): for fixed alpha < 1/2 the segment router's
+   complexity is polynomial in n. Sweep n, fit a power law to the median
+   probe count; the exponent should be modest and grow as alpha
+   approaches 1/2. *)
+
+let id = "E2"
+let title = "Hypercube sub-threshold scaling (Theorem 3(ii))"
+
+let claim =
+  "For alpha < 1/2 there is k = k(alpha) with comp(A) < n^k w.h.p.; the measured \
+   growth of the segment router should fit a power law in n with a small exponent."
+
+let run ?(quick = false) stream =
+  let alphas = if quick then [ 0.30 ] else [ 0.30; 0.40 ] in
+  let sizes = if quick then [ 8; 10 ] else [ 8; 10; 12; 14; 16 ] in
+  let trials = if quick then 5 else 20 in
+  let table = ref (Stats.Table.create ~headers:[ "alpha"; "n"; "p"; "median probes"; "mean probes"; "P[u~v]" ]) in
+  let notes = ref [] in
+  List.iteri
+    (fun alpha_index alpha ->
+      let points = ref [] in
+      List.iteri
+        (fun size_index n ->
+          let p = float_of_int n ** -.alpha in
+          let graph = Topology.Hypercube.graph n in
+          let source = 0 in
+          let target = Topology.Hypercube.antipode ~n source in
+          let substream = Prng.Stream.split stream ((alpha_index * 100) + size_index) in
+          let result =
+            Trial.run substream ~trials
+              (Trial.spec ~graph ~p ~source ~target (fun ~source ~target ->
+                   Routing.Path_follow.hypercube ~n ~source ~target))
+          in
+          let median =
+            match Trial.median_observation result with
+            | Some (Stats.Censored.Exact m) | Some (Stats.Censored.At_least m) -> m
+            | None -> nan
+          in
+          let mean = Trial.mean_probes_lower_bound result in
+          if median > 0.0 then points := (float_of_int n, median) :: !points;
+          table :=
+            Stats.Table.add_row !table
+              [
+                Printf.sprintf "%.2f" alpha;
+                string_of_int n;
+                Printf.sprintf "%.4f" p;
+                Printf.sprintf "%.0f" median;
+                Printf.sprintf "%.0f" mean;
+                Printf.sprintf "%.2f" (Stats.Proportion.estimate result.Trial.connection);
+              ])
+        sizes;
+      if List.length !points >= 2 then begin
+        let fit = Stats.Regression.power_law (List.rev !points) in
+        notes :=
+          Printf.sprintf
+            "alpha = %.2f: fitted exponent k = %.2f (R^2 = %.3f) — probes ~ n^%.2f."
+            alpha fit.Stats.Regression.slope fit.Stats.Regression.r_squared
+            fit.Stats.Regression.slope
+          :: !notes
+      end)
+    alphas;
+  Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream)
+    ~notes:(List.rev !notes)
+    [ ("segment-router complexity vs n (no budget: exact counts)", !table) ]

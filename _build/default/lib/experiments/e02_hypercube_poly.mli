@@ -1,0 +1,15 @@
+(** Experiment EE2 — see the module implementation header and
+    DESIGN.md's experiment index for the claim being reproduced. *)
+
+val id : string
+(** Catalog id, e.g. "E1". *)
+
+val title : string
+(** One-line title shown by the CLI and catalog. *)
+
+val claim : string
+(** The paper statement this experiment measures. *)
+
+val run : ?quick:bool -> Prng.Stream.t -> Report.t
+(** [run stream] executes the experiment at paper scale; [~quick:true]
+    shrinks sizes and trial counts for smoke tests and benches. *)

@@ -1,0 +1,64 @@
+(* E5 — The flip side of Theorem 4: below p_c the routing question
+   dissolves because P[u ~ v] -> 0, and just above p_c routing still
+   works but its constant blows up. Sweep p across p_c = 1/2 (d = 2) at
+   fixed distance. *)
+
+let id = "E5"
+let title = "Mesh connectivity collapse at p_c (Theorem 4's hypothesis)"
+
+let claim =
+  "For p <= p_c, Pr[u ~ v] = o(1) (no giant component), so the conditioning of \
+   Definition 2 is vacuous; for p > p_c routing costs O(n) with a constant that \
+   diverges as p -> p_c."
+
+let run ?(quick = false) stream =
+  let ps =
+    if quick then [ 0.45; 0.60 ]
+    else [ 0.40; 0.45; 0.48; 0.50; 0.52; 0.55; 0.60; 0.70 ]
+  in
+  let n = if quick then 12 else 20 in
+  let trials = if quick then 5 else 20 in
+  let d = 2 in
+  let margin = 10 in
+  let m = n + (2 * margin) in
+  let graph = Topology.Mesh.graph ~d ~m in
+  let row = m / 2 in
+  let source = Topology.Mesh.index ~m [| margin; row |] in
+  let target = Topology.Mesh.index ~m [| margin + n; row |] in
+  let table =
+    ref
+      (Stats.Table.create
+         ~headers:[ "p"; "P[u~v] (Wilson 95%)"; "trials"; "mean probes"; "probes/n" ])
+  in
+  List.iteri
+    (fun p_index p ->
+      let substream = Prng.Stream.split stream p_index in
+      let result =
+        Trial.run substream ~trials ~max_attempts:(trials * 50)
+          (Trial.spec ~graph ~p ~source ~target (fun ~source ~target ->
+               Routing.Path_follow.mesh ~d ~m ~source ~target))
+      in
+      let sample_size = Stats.Censored.count result.Trial.observations in
+      let mean = Trial.mean_probes_lower_bound result in
+      table :=
+        Stats.Table.add_row !table
+          [
+            Printf.sprintf "%.2f" p;
+            Format.asprintf "%a" Stats.Proportion.pp result.Trial.connection;
+            string_of_int sample_size;
+            (if sample_size = 0 then "-" else Printf.sprintf "%.0f" mean);
+            (if sample_size = 0 then "-"
+             else Printf.sprintf "%.1f" (mean /. float_of_int n));
+          ])
+    ps;
+  let notes =
+    [
+      Printf.sprintf
+        "d = 2, distance n = %d in an m = %d cube; p_c = 1/2 exactly (Kesten). \
+         Expect P[u~v] to collapse below 0.5 and probes/n to fall towards a small \
+         constant as p grows past it."
+        n m;
+    ]
+  in
+  Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes
+    [ ("connectivity and conditioned complexity across p_c", !table) ]

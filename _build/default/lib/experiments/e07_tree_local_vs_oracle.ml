@@ -1,0 +1,82 @@
+(* E7 — Theorem 7 vs Theorem 9: on TT_n with fixed p in (1/sqrt 2, 1),
+   every local router pays exponentially many probes (>= a p^-n) while
+   the paired-DFS oracle router pays O(n). Sweep the depth and fit both
+   growth laws; this is the paper's headline local/oracle separation. *)
+
+let id = "E7"
+let title = "Double tree: exponential local vs linear oracle routing (Thms 7 & 9)"
+
+let claim =
+  "Any local router between the roots of TT_n makes >= a * p^-n queries w.h.p. \
+   (Theorem 7); the paired-edge oracle router has average complexity c(p) * n \
+   (Theorem 9) — an exponential separation."
+
+let run ?(quick = false) stream =
+  let p = 0.80 in
+  let depths = if quick then [ 4; 6 ] else [ 4; 6; 8; 10; 12; 14 ] in
+  let trials = if quick then 8 else 25 in
+  let table =
+    ref
+      (Stats.Table.create
+         ~headers:
+           [ "n"; "local mean"; "local median"; "oracle mean"; "oracle median"; "P[x~y]" ])
+  in
+  let local_points = ref [] and oracle_points = ref [] in
+  List.iteri
+    (fun n_index n ->
+      let graph = Topology.Double_tree.graph n in
+      let source = Topology.Double_tree.root1 in
+      let target = Topology.Double_tree.root2 ~n in
+      let substream = Prng.Stream.split stream n_index in
+      let run_router label router =
+        Trial.run (Prng.Stream.split substream label) ~trials
+          (Trial.spec ~graph ~p ~source ~target router)
+      in
+      let local = run_router 1 (fun ~source:_ ~target:_ -> Routing.Local_bfs.router) in
+      let oracle = run_router 2 (fun ~source:_ ~target:_ -> Routing.Tree_pair_dfs.router ~n) in
+      let median result =
+        match Trial.median_observation result with
+        | Some (Stats.Censored.Exact m) | Some (Stats.Censored.At_least m) -> m
+        | None -> nan
+      in
+      let local_mean = Trial.mean_probes_lower_bound local in
+      let oracle_mean = Trial.mean_probes_lower_bound oracle in
+      local_points := (float_of_int n, local_mean) :: !local_points;
+      oracle_points := (float_of_int n, oracle_mean) :: !oracle_points;
+      table :=
+        Stats.Table.add_row !table
+          [
+            string_of_int n;
+            Printf.sprintf "%.0f" local_mean;
+            Printf.sprintf "%.0f" (median local);
+            Printf.sprintf "%.0f" oracle_mean;
+            Printf.sprintf "%.0f" (median oracle);
+            Printf.sprintf "%.2f" (Stats.Proportion.estimate local.Trial.connection);
+          ])
+    depths;
+  let notes =
+    let base = [ Printf.sprintf "p = %.2f fixed; Theorem 7 predicts local growth rate at least 1/p = %.3f per depth step." p (1.0 /. p) ] in
+    let fit_notes =
+      if List.length !local_points >= 3 then begin
+        let local_fit = Stats.Regression.exponential (List.rev !local_points) in
+        let oracle_fit = Stats.Regression.linear (List.rev !oracle_points) in
+        [
+          Printf.sprintf
+            "Local BFS: probes ~ exp(%.3f n) i.e. growth %.3f per step (R^2 = %.3f) — \
+             compare 1/p = %.3f."
+            local_fit.Stats.Regression.slope
+            (exp local_fit.Stats.Regression.slope)
+            local_fit.Stats.Regression.r_squared (1.0 /. p);
+          Printf.sprintf
+            "Oracle paired-DFS: probes ~ %.1f n + %.1f (R^2 = %.3f) — linear, as \
+             Theorem 9 predicts."
+            oracle_fit.Stats.Regression.slope oracle_fit.Stats.Regression.intercept
+            oracle_fit.Stats.Regression.r_squared;
+        ]
+      end
+      else []
+    in
+    base @ fit_notes
+  in
+  Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes
+    [ ("TT_n root-to-root: local BFS vs paired-DFS oracle", !table) ]

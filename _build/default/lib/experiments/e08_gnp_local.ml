@@ -1,0 +1,63 @@
+(* E8 — Theorem 10: local routing on G_{n,p} with p = c/n (c > 1) costs
+   Omega(n^2) probes. Percolating the complete graph K_n with retention
+   c/n is exactly G_{n,c/n}; sweep n and fit the power law. *)
+
+let id = "E8"
+let title = "G(n,p) local routing is quadratic (Theorem 10)"
+
+let claim =
+  "Any local routing algorithm on G_{n,c/n} (c > 1) has expected complexity \
+   Omega(n^2): local routers cannot do much better than probing all edges."
+
+let c = 3.0
+
+let sizes ~quick = if quick then [ 100; 200 ] else [ 100; 200; 400; 800; 1600 ]
+
+let run ?(quick = false) stream =
+  let trials = if quick then 4 else 12 in
+  let table =
+    ref
+      (Stats.Table.create
+         ~headers:[ "n"; "p=c/n"; "mean probes"; "probes/n^2"; "P[u~v]"; "path len" ])
+  in
+  let points = ref [] in
+  List.iteri
+    (fun index n ->
+      let p = c /. float_of_int n in
+      let graph = Topology.Complete.graph n in
+      let substream = Prng.Stream.split stream index in
+      let result =
+        Trial.run substream ~trials
+          (Trial.spec ~graph ~p ~source:0 ~target:(n - 1) (fun ~source:_ ~target:_ ->
+               Routing.Local_bfs.router))
+      in
+      let mean = Trial.mean_probes_lower_bound result in
+      let n2 = float_of_int n ** 2.0 in
+      points := (float_of_int n, mean) :: !points;
+      table :=
+        Stats.Table.add_row !table
+          [
+            string_of_int n;
+            Printf.sprintf "%.4f" p;
+            Printf.sprintf "%.0f" mean;
+            Printf.sprintf "%.3f" (mean /. n2);
+            Printf.sprintf "%.2f" (Stats.Proportion.estimate result.Trial.connection);
+            Printf.sprintf "%.1f" (Stats.Summary.mean result.Trial.path_lengths);
+          ])
+    (sizes ~quick);
+  let notes =
+    let base =
+      [ Printf.sprintf "c = %.1f; pairs (0, n-1); %d conditioned trials per size." c trials ]
+    in
+    if List.length !points >= 3 then begin
+      let fit = Stats.Regression.power_law (List.rev !points) in
+      Printf.sprintf
+        "Fitted exponent %.2f (R^2 = %.3f) — Theorem 10 predicts 2; probes/n^2 \
+         should level off at a constant."
+        fit.Stats.Regression.slope fit.Stats.Regression.r_squared
+      :: base
+    end
+    else base
+  in
+  Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes
+    [ ("local BFS on G(n, c/n)", !table) ]

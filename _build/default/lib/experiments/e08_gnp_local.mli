@@ -1,0 +1,15 @@
+(** Experiment E8 — G(n,p) local routing is quadratic (Theorem 10). *)
+
+val id : string
+val title : string
+val claim : string
+
+val c : float
+(** The mean-degree constant [c] of [p = c/n]; shared with E9 so the
+    local/oracle ratio column compares like for like. *)
+
+val sizes : quick:bool -> int list
+(** The sweep of graph sizes, shared with E9. *)
+
+val run : ?quick:bool -> Prng.Stream.t -> Report.t
+(** [run stream] executes the experiment; [~quick:true] shrinks it. *)

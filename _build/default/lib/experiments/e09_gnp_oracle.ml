@@ -1,0 +1,84 @@
+(* E9 — Theorem 11: oracle routing on G_{n,p} costs Theta(n^{3/2}) — a
+   sqrt(n) improvement over the local bound of Theorem 10. Same sweep as
+   E8 with the bidirectional oracle router; the report contrasts the two
+   fitted exponents. *)
+
+let id = "E9"
+let title = "G(n,p) oracle routing is Theta(n^1.5) (Theorem 11)"
+
+let claim =
+  "The bidirectional oracle router on G_{n,c/n} has average complexity O(n^{3/2}), \
+   and no algorithm beats a*n^{3/2} except with probability O(a^{2/3}); oracle \
+   routing beats local routing by exactly sqrt(n)."
+
+let run ?(quick = false) stream =
+  let trials = if quick then 4 else 12 in
+  let table =
+    ref
+      (Stats.Table.create
+         ~headers:
+           [ "n"; "p=c/n"; "oracle mean"; "probes/n^1.5"; "local/oracle ratio"; "P[u~v]" ])
+  in
+  let oracle_points = ref [] in
+  let ratios = ref [] in
+  List.iteri
+    (fun index n ->
+      let p = E08_gnp_local.c /. float_of_int n in
+      let graph = Topology.Complete.graph n in
+      let substream = Prng.Stream.split stream index in
+      let oracle_result =
+        Trial.run
+          (Prng.Stream.split substream 1)
+          ~trials
+          (Trial.spec ~graph ~p ~source:0 ~target:(n - 1) (fun ~source:_ ~target:_ ->
+               Routing.Bidirectional.router))
+      in
+      let local_result =
+        Trial.run
+          (Prng.Stream.split substream 2)
+          ~trials
+          (Trial.spec ~graph ~p ~source:0 ~target:(n - 1) (fun ~source:_ ~target:_ ->
+               Routing.Local_bfs.router))
+      in
+      let oracle_mean = Trial.mean_probes_lower_bound oracle_result in
+      let local_mean = Trial.mean_probes_lower_bound local_result in
+      let n15 = float_of_int n ** 1.5 in
+      oracle_points := (float_of_int n, oracle_mean) :: !oracle_points;
+      ratios := (float_of_int n, local_mean /. oracle_mean) :: !ratios;
+      table :=
+        Stats.Table.add_row !table
+          [
+            string_of_int n;
+            Printf.sprintf "%.4f" p;
+            Printf.sprintf "%.0f" oracle_mean;
+            Printf.sprintf "%.3f" (oracle_mean /. n15);
+            Printf.sprintf "%.1f" (local_mean /. oracle_mean);
+            Printf.sprintf "%.2f"
+              (Stats.Proportion.estimate oracle_result.Trial.connection);
+          ])
+    (E08_gnp_local.sizes ~quick);
+  let notes =
+    let base =
+      [
+        Printf.sprintf "c = %.1f; same pairs and sizes as E8 for the ratio column."
+          E08_gnp_local.c;
+      ]
+    in
+    if List.length !oracle_points >= 3 then begin
+      let oracle_fit = Stats.Regression.power_law (List.rev !oracle_points) in
+      let ratio_fit = Stats.Regression.power_law (List.rev !ratios) in
+      [
+        Printf.sprintf
+          "Oracle exponent %.2f (R^2 = %.3f) — Theorem 11 predicts 1.5."
+          oracle_fit.Stats.Regression.slope oracle_fit.Stats.Regression.r_squared;
+        Printf.sprintf
+          "local/oracle ratio grows as n^%.2f — Theorems 10+11 predict sqrt(n), \
+           exponent 0.5."
+          ratio_fit.Stats.Regression.slope;
+      ]
+      @ base
+    end
+    else base
+  in
+  Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes
+    [ ("bidirectional oracle router on G(n, c/n)", !table) ]

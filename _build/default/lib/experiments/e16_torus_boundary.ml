@@ -1,0 +1,75 @@
+(* E16 — Boundary effects: the paper works in a cube of the infinite
+   mesh, while finite simulations have boundaries that thin out the
+   giant cluster near the walls. Comparing the mesh against its
+   boundary-free twin (the torus) at equal p and distance quantifies the
+   finite-size error Theorem 4's measurements carry. *)
+
+let id = "E16"
+let title = "Torus vs mesh: quantifying boundary effects in Theorem 4's setup"
+
+let claim =
+  "Theorem 4 concerns a cube of the infinite mesh; finite simulations have \
+   boundaries. Comparing the mesh against its boundary-free twin (the torus) at \
+   equal p and distance quantifies two competing finite-size effects: wraparound \
+   adds detour routes, but it also keeps harder worlds connected — worlds the \
+   mesh's conditioning would have rejected."
+
+let run ?(quick = false) stream =
+  let d = 2 in
+  let ps = if quick then [ 0.70 ] else [ 0.55; 0.60; 0.70; 0.85 ] in
+  let n = if quick then 12 else 20 in
+  let trials = if quick then 6 else 25 in
+  let m = n + 20 in
+  let mesh = Topology.Mesh.graph ~d ~m in
+  let torus = Topology.Torus.graph ~d ~m in
+  let row = m / 2 in
+  let source = Topology.Mesh.index ~m [| 10; row |] in
+  let target = Topology.Mesh.index ~m [| 10 + n; row |] in
+  let table =
+    ref
+      (Stats.Table.create
+         ~headers:
+           [ "p"; "mesh probes/n"; "torus probes/n"; "mesh P[u~v]"; "torus P[u~v]" ])
+  in
+  List.iteri
+    (fun index p ->
+      let substream = Prng.Stream.split stream index in
+      let run_on label graph router =
+        Trial.run (Prng.Stream.split substream label) ~trials
+          ~max_attempts:(trials * 200)
+          (Trial.spec ~graph ~p ~source ~target router)
+      in
+      let mesh_result =
+        run_on 1 mesh (fun ~source ~target -> Routing.Path_follow.mesh ~d ~m ~source ~target)
+      in
+      let torus_result =
+        run_on 2 torus (fun ~source ~target ->
+            Routing.Path_follow.torus ~d ~m ~source ~target)
+      in
+      let per_hop result =
+        Trial.mean_probes_lower_bound result /. float_of_int n
+      in
+      table :=
+        Stats.Table.add_row !table
+          [
+            Printf.sprintf "%.2f" p;
+            Printf.sprintf "%.1f" (per_hop mesh_result);
+            Printf.sprintf "%.1f" (per_hop torus_result);
+            Printf.sprintf "%.2f" (Stats.Proportion.estimate mesh_result.Trial.connection);
+            Printf.sprintf "%.2f" (Stats.Proportion.estimate torus_result.Trial.connection);
+          ])
+    ps;
+  let notes =
+    [
+      Printf.sprintf
+        "d = 2, distance n = %d in an m = %d cube/torus, same horizontal pair in \
+         both; %d conditioned trials per cell."
+        n m trials;
+      "Near p_c the torus is typically *more* expensive per hop despite having \
+       more routes: its higher P[u~v] keeps hard worlds in the conditioned sample \
+       that the mesh rejects, and its detours can wrap the long way round. Away \
+       from p_c both effects fade and the columns converge.";
+    ]
+  in
+  Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes
+    [ ("path-follow cost per hop, mesh vs torus", !table) ]

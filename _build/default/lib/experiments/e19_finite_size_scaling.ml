@@ -1,0 +1,95 @@
+(* E19 — pinning p_c by finite-size scaling.
+
+   E5 reads the 2-d mesh threshold off a single connectivity curve; the
+   sharper instrument is the Binder-style crossing: giant-fraction
+   curves for growing sides steepen around p_c and cross near it.
+   Kesten's theorem says p_c = 1/2 exactly for d = 2; for d = 3 the
+   literature value is ~ 0.2488 (bond percolation on Z^3). Both are
+   facts the paper leans on through Theorem 4's "for any p > p_c". *)
+
+let id = "E19"
+let title = "Finite-size scaling estimate of the mesh p_c"
+
+let claim =
+  "p_c = 1/2 exactly for the 2-d mesh (Kesten); ~0.2488 for the 3-d mesh. \
+   Crossings of successive-size giant-fraction curves estimate both."
+
+let run ?(quick = false) stream =
+  let trials = if quick then 8 else 30 in
+  let cases =
+    if quick then
+      [ ("mesh d=2", 2, [ 12; 24 ], [ 0.40; 0.45; 0.50; 0.55; 0.60 ], 0.5) ]
+    else
+      [
+        ( "mesh d=2",
+          2,
+          [ 12; 24; 48 ],
+          [ 0.40; 0.44; 0.47; 0.50; 0.53; 0.56; 0.60 ],
+          0.5 );
+        ( "mesh d=3",
+          3,
+          [ 6; 10; 14 ],
+          [ 0.18; 0.21; 0.23; 0.25; 0.27; 0.30; 0.34 ],
+          0.2488 );
+      ]
+  in
+  let table =
+    ref
+      (Stats.Table.create
+         ~headers:[ "family"; "sizes"; "crossings"; "p_c estimate"; "literature" ])
+  in
+  let curve_table =
+    ref (Stats.Table.create ~headers:[ "family"; "m"; "p"; "giant fraction" ])
+  in
+  List.iteri
+    (fun case_index (name, d, sizes, ps, literature) ->
+      let substream = Prng.Stream.split stream case_index in
+      let curves =
+        List.map
+          (fun m ->
+            Percolation.Scaling.measure_giant_curve substream
+              ~graph_of_size:(fun m -> Topology.Mesh.graph ~d ~m)
+              ~size:m ~ps ~trials)
+          sizes
+      in
+      List.iter
+        (fun curve ->
+          List.iter
+            (fun (p, fraction) ->
+              curve_table :=
+                Stats.Table.add_row !curve_table
+                  [
+                    name;
+                    string_of_int curve.Percolation.Scaling.size;
+                    Printf.sprintf "%.2f" p;
+                    Printf.sprintf "%.3f" fraction;
+                  ])
+            curve.Percolation.Scaling.points)
+        curves;
+      let crossings = Percolation.Scaling.crossings curves in
+      let estimate = Percolation.Scaling.estimate_threshold curves in
+      table :=
+        Stats.Table.add_row !table
+          [
+            name;
+            String.concat "," (List.map string_of_int sizes);
+            String.concat ", " (List.map (Printf.sprintf "%.3f") crossings);
+            (match estimate with Some e -> Printf.sprintf "%.3f" e | None -> "-");
+            Printf.sprintf "%.4f" literature;
+          ])
+    cases;
+  let notes =
+    [
+      Printf.sprintf "%d worlds per (size, p) cell; crossings located by bisection \
+                      on piecewise-linear interpolants." trials;
+      "Giant fraction is size-biased below p_c (small clusters still hold a few \
+       percent of a small grid), which pushes raw curve midpoints up; crossings \
+       cancel most of that bias — expect estimates within a few percent of the \
+       literature values.";
+    ]
+  in
+  Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes
+    [
+      ("finite-size-scaling estimates", !table);
+      ("underlying giant-fraction curves", !curve_table);
+    ]

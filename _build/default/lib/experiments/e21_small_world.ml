@@ -1,0 +1,90 @@
+(* E21 — the introduction's motivating phenomenon (Kleinberg, STOC
+   2000): in a small-world lattice short paths always exist for r <= 2,
+   but a decentralised greedy router finds short routes only at the
+   inverse-square exponent r = 2. Existence and findability part ways —
+   exactly the distinction the paper studies under percolation. The
+   routers and probe accounting are ours; the topology carries the
+   structural randomness. *)
+
+let id = "E21"
+let title = "Small-world lattices: existence vs findability (Kleinberg)"
+
+let claim =
+  "On the m x m grid with one d^-r long-range contact per node, greedy routing \
+   is polylog(m) iff r = 2; for other r the greedy time is polynomial although \
+   the true distances stay small for all r <= 2."
+
+let run ?(quick = false) stream =
+  let rs = if quick then [ 0.0; 2.0; 4.0 ] else [ 0.0; 1.0; 2.0; 3.0; 4.0 ] in
+  let sides = if quick then [ 12 ] else [ 16; 32; 48 ] in
+  let graphs_per_cell = if quick then 2 else 3 in
+  let pairs_per_graph = if quick then 5 else 10 in
+  let table =
+    ref
+      (Stats.Table.create
+         ~headers:[ "r"; "m"; "greedy hops"; "true distance"; "stretch" ])
+  in
+  List.iteri
+    (fun r_index r ->
+      List.iteri
+        (fun m_index m ->
+          let substream = Prng.Stream.split stream ((r_index * 100) + m_index) in
+          let greedy_hops = ref Stats.Summary.empty in
+          let true_distance = ref Stats.Summary.empty in
+          for g = 1 to graphs_per_cell do
+            let graph =
+              Topology.Small_world.graph (Prng.Stream.split substream g) ~m ~r
+            in
+            (* Fault-free world: this experiment isolates findability. *)
+            let world = Percolation.World.create graph ~p:1.0 ~seed:1L in
+            let pair_stream = Prng.Stream.split substream (100 + g) in
+            for _ = 1 to pairs_per_graph do
+              let source, target =
+                Prng.Sample.distinct_pair pair_stream graph.Topology.Graph.vertex_count
+              in
+              (match
+                 Routing.Router.run Routing.Greedy.router world ~source ~target
+               with
+              | Routing.Outcome.Found { path; _ } ->
+                  greedy_hops :=
+                    Stats.Summary.add !greedy_hops (float_of_int (List.length path - 1))
+              | Routing.Outcome.No_path _ | Routing.Outcome.Budget_exceeded _ -> ());
+              match Topology.Graph.bfs_distance graph source target with
+              | Some d -> true_distance := Stats.Summary.add !true_distance (float_of_int d)
+              | None -> ()
+            done
+          done;
+          let hops = Stats.Summary.mean !greedy_hops in
+          let dist = Stats.Summary.mean !true_distance in
+          table :=
+            Stats.Table.add_row !table
+              [
+                Printf.sprintf "%.1f" r;
+                string_of_int m;
+                Printf.sprintf "%.1f" hops;
+                Printf.sprintf "%.1f" dist;
+                Printf.sprintf "%.1f" (hops /. dist);
+              ])
+        sides)
+    rs;
+  let notes =
+    [
+      Printf.sprintf
+        "%d random graphs and %d random pairs per cell; fault-free (p = 1) — the \
+         randomness is structural. Greedy = our distance-directed router, which on \
+         a fault-free augmented grid is exactly Kleinberg's decentralised \
+         algorithm."
+        graphs_per_cell pairs_per_graph;
+      "Readable signatures at these lattice sizes: the true-distance column stays \
+       logarithmic for r <= 2 and grows towards the grid metric for r > 2, while \
+       the stretch column (greedy/true) is largest at small r — short paths exist \
+       but greedy cannot aim the undirected long links — and falls to ~1 at large \
+       r where greedy is optimal on an essentially plain grid. Kleinberg's full \
+       r = 2 minimum of the greedy column itself emerges only at lattice sizes \
+       (m ~ 10^4) beyond this harness; at m <= 48 the r <= 2 greedy times are \
+       statistically tied, exactly as his asymptotics predict (m^{2/3} vs log^2 m \
+       cross near m ~ 10^2).";
+    ]
+  in
+  Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes
+    [ ("greedy routing vs true distances on small-world lattices", !table) ]

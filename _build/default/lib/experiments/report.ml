@@ -1,0 +1,30 @@
+type t = {
+  id : string;
+  title : string;
+  claim : string;
+  tables : (string * Stats.Table.t) list;
+  notes : string list;
+  seed : int64;
+}
+
+let make ~id ~title ~claim ~seed ?(notes = []) tables =
+  { id; title; claim; tables; notes; seed }
+
+let render t =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer (Printf.sprintf "=== %s: %s ===\n" t.id t.title);
+  Buffer.add_string buffer (Printf.sprintf "Claim: %s\n" t.claim);
+  Buffer.add_string buffer (Printf.sprintf "Seed: %Ld\n" t.seed);
+  List.iter
+    (fun (caption, table) ->
+      Buffer.add_string buffer (Printf.sprintf "\n-- %s --\n" caption);
+      Buffer.add_string buffer (Stats.Table.render table))
+    t.tables;
+  if t.notes <> [] then begin
+    Buffer.add_string buffer "\nNotes:\n";
+    List.iter (fun note -> Buffer.add_string buffer (Printf.sprintf "  * %s\n" note)) t.notes
+  end;
+  Buffer.contents buffer
+
+let render_csv t = List.map (fun (caption, table) -> (caption, Stats.Table.to_csv table)) t.tables
+let print t = print_string (render t)

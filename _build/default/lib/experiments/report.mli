@@ -1,0 +1,33 @@
+(** Structured experiment reports.
+
+    Each experiment produces one report: the paper's claim, the measured
+    table(s) (the reproduction's "figure"), derived fits and a verdict
+    note. Reports render to plain text for the CLI and bench harness and
+    to CSV for downstream plotting. *)
+
+type t = {
+  id : string;  (** "E1" … *)
+  title : string;
+  claim : string;  (** The theorem/lemma being reproduced. *)
+  tables : (string * Stats.Table.t) list;  (** Caption, table. *)
+  notes : string list;  (** Fits, verdicts, caveats. *)
+  seed : int64;  (** Root seed — reruns reproduce exactly. *)
+}
+
+val make :
+  id:string ->
+  title:string ->
+  claim:string ->
+  seed:int64 ->
+  ?notes:string list ->
+  (string * Stats.Table.t) list ->
+  t
+
+val render : t -> string
+(** Multi-line human-readable rendering. *)
+
+val render_csv : t -> (string * string) list
+(** One (caption, csv) pair per table. *)
+
+val print : t -> unit
+(** [render] to stdout. *)

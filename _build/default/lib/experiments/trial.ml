@@ -1,0 +1,68 @@
+type spec = {
+  graph : Topology.Graph.t;
+  p : float;
+  source : int;
+  target : int;
+  router : source:int -> target:int -> Routing.Router.t;
+  budget : int option;
+  reveal_limit : int option;
+}
+
+let spec ?budget ?reveal_limit ~graph ~p ~source ~target router =
+  { graph; p; source; target; router; budget; reveal_limit }
+
+type result = {
+  observations : Stats.Censored.t;
+  connection : Stats.Proportion.t;
+  path_lengths : Stats.Summary.t;
+  chemical_distances : Stats.Summary.t;
+  failures : int;
+}
+
+let run stream ~trials ?max_attempts spec =
+  if trials <= 0 then invalid_arg "Trial.run: trials must be positive";
+  let max_attempts = Option.value max_attempts ~default:(100 * trials) in
+  let root_seed = Prng.Stream.seed stream in
+  let observations = ref Stats.Censored.empty in
+  let path_lengths = ref Stats.Summary.empty in
+  let chemical = ref Stats.Summary.empty in
+  let connected_worlds = ref 0 in
+  let attempts = ref 0 in
+  let completed = ref 0 in
+  let failures = ref 0 in
+  while !completed < trials && !attempts < max_attempts do
+    incr attempts;
+    let seed = Prng.Coin.derive root_seed !attempts in
+    let world = Percolation.World.create spec.graph ~p:spec.p ~seed in
+    match
+      Percolation.Reveal.connected ?limit:spec.reveal_limit world spec.source
+        spec.target
+    with
+    | Percolation.Reveal.Disconnected | Percolation.Reveal.Unknown -> ()
+    | Percolation.Reveal.Connected distance ->
+        incr connected_worlds;
+        incr completed;
+        chemical := Stats.Summary.add !chemical (float_of_int distance);
+        let router = spec.router ~source:spec.source ~target:spec.target in
+        let outcome =
+          Routing.Router.run ?budget:spec.budget router world ~source:spec.source
+            ~target:spec.target
+        in
+        observations := Stats.Censored.add !observations (Routing.Outcome.to_observation outcome);
+        (match outcome with
+        | Routing.Outcome.Found { path; _ } ->
+            path_lengths :=
+              Stats.Summary.add !path_lengths (float_of_int (List.length path - 1))
+        | Routing.Outcome.No_path _ -> incr failures
+        | Routing.Outcome.Budget_exceeded _ -> ())
+  done;
+  {
+    observations = !observations;
+    connection = Stats.Proportion.make ~successes:!connected_worlds ~trials:!attempts;
+    path_lengths = !path_lengths;
+    chemical_distances = !chemical;
+    failures = !failures;
+  }
+
+let median_observation result = Stats.Censored.median result.observations
+let mean_probes_lower_bound result = Stats.Censored.mean_lower_bound result.observations

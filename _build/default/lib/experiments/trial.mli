@@ -1,0 +1,58 @@
+(** Conditioned routing trials.
+
+    The paper's routing complexity (Definition 2) is conditioned on
+    [{u ~ v}]. A trial therefore draws fresh percolation worlds until the
+    chosen pair is connected (checked through the uncounted ground-truth
+    {!Percolation.Reveal}), then lets the router attempt the routing and
+    records the probe count — censored at the budget when one is set.
+
+    The rejection-sampling attempts double as an estimate of
+    [Pr\[u ~ v\]], reported alongside. *)
+
+type spec = {
+  graph : Topology.Graph.t;
+  p : float;
+  source : int;
+  target : int;
+  router : source:int -> target:int -> Routing.Router.t;
+      (** Built per pair: backbone routers depend on the endpoints. *)
+  budget : int option;  (** Probe cap; [None] = unlimited. *)
+  reveal_limit : int option;
+      (** Cap on ground-truth exploration; verdict [Unknown] counts as
+          not connected. [None] = explore fully. *)
+}
+
+val spec :
+  ?budget:int ->
+  ?reveal_limit:int ->
+  graph:Topology.Graph.t ->
+  p:float ->
+  source:int ->
+  target:int ->
+  (source:int -> target:int -> Routing.Router.t) ->
+  spec
+
+type result = {
+  observations : Stats.Censored.t;
+      (** One per conditioned trial: distinct probes, censored at budget. *)
+  connection : Stats.Proportion.t;
+      (** Connected worlds over all attempted worlds. *)
+  path_lengths : Stats.Summary.t;  (** Lengths of found paths. *)
+  chemical_distances : Stats.Summary.t;
+      (** Ground-truth percolation distances of the conditioned pairs. *)
+  failures : int;
+      (** Routings that returned [No_path] despite ground-truth saying
+          connected — must be 0 unless a reveal limit truncated. *)
+}
+
+val run : Prng.Stream.t -> trials:int -> ?max_attempts:int -> spec -> result
+(** [run stream ~trials spec] performs up to [trials] conditioned
+    measurements, drawing at most [max_attempts] (default
+    [100 × trials]) worlds in total.
+    @raise Invalid_argument if [trials <= 0]. *)
+
+val median_observation : result -> Stats.Censored.observation option
+(** Median probe count of the conditioned trials. *)
+
+val mean_probes_lower_bound : result -> float
+(** Mean probe count, substituting budget for censored trials. *)

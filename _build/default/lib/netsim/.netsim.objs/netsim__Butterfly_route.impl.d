@@ -1,0 +1,1 @@
+lib/netsim/butterfly_route.ml: Api Array Engine List Prng Protocol Topology

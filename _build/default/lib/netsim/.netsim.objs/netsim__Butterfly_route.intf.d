@@ -1,0 +1,1 @@
+lib/netsim/butterfly_route.mli: Engine Prng Protocol

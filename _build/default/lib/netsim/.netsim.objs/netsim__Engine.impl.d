@@ -1,0 +1,1 @@
+lib/netsim/engine.ml: Api Array Hashtbl List Metrics Option Percolation Prng Protocol Queue Topology

@@ -1,0 +1,1 @@
+lib/netsim/flood.ml: Api Array Engine Protocol

@@ -1,0 +1,1 @@
+lib/netsim/flood.mli: Engine Protocol

@@ -1,0 +1,1 @@
+lib/netsim/gossip.ml: Api Array Engine Protocol

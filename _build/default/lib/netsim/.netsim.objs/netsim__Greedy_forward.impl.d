@@ -1,0 +1,1 @@
+lib/netsim/greedy_forward.ml: Api Array Engine Option Protocol

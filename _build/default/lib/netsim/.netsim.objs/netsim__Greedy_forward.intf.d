@@ -1,0 +1,1 @@
+lib/netsim/greedy_forward.mli: Engine Protocol

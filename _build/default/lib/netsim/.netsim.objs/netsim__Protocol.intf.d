@@ -1,0 +1,1 @@
+lib/netsim/protocol.mli: Api

@@ -1,0 +1,1 @@
+lib/netsim/random_walk.ml: Api Array Engine Protocol

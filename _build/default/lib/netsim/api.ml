@@ -1,0 +1,8 @@
+type 'message t = {
+  node : int;
+  round : int;
+  neighbors : int array;
+  probe : int -> bool;
+  send : int -> 'message -> unit;
+  random_int : int -> int;
+}

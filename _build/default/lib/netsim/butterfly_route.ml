@@ -1,0 +1,64 @@
+type state = { arrivals : int; arrival_rounds : int list; dropped : int }
+type message = Packet of { target_row : int; passes_left : int }
+
+let protocol ~n =
+  let init ~node:_ = { arrivals = 0; arrival_rounds = []; dropped = 0 } in
+  let step api state inbox =
+    let level = Topology.Butterfly.level_of ~n api.Api.node in
+    let row = Topology.Butterfly.row_of ~n api.Api.node in
+    let up = (level + 1) mod n in
+    let forward state (Packet { target_row; passes_left }) =
+      if level = 0 && row = target_row then
+        {
+          state with
+          arrivals = state.arrivals + 1;
+          arrival_rounds = api.Api.round :: state.arrival_rounds;
+        }
+      else begin
+        (* A packet back at level 0 with the wrong row starts a new pass. *)
+        let passes_left = if level = 0 then passes_left - 1 else passes_left in
+        if passes_left < 0 then { state with dropped = state.dropped + 1 }
+        else begin
+          let bit_matches = (row lxor target_row) land (1 lsl level) = 0 in
+          let straight = Topology.Butterfly.vertex ~n ~level:up ~row in
+          let cross =
+            Topology.Butterfly.vertex ~n ~level:up ~row:(row lxor (1 lsl level))
+          in
+          let preferred, alternate =
+            if bit_matches then (straight, cross) else (cross, straight)
+          in
+          if api.Api.probe preferred then begin
+            api.Api.send preferred (Packet { target_row; passes_left });
+            state
+          end
+          else if api.Api.probe alternate then begin
+            (* Detour: the bit stays wrong; a later pass can fix it. *)
+            api.Api.send alternate (Packet { target_row; passes_left });
+            state
+          end
+          else { state with dropped = state.dropped + 1 }
+        end
+      end
+    in
+    List.fold_left (fun state (_, packet) -> forward state packet) state inbox
+  in
+  { Protocol.name = "butterfly-bit-fixing"; init; step; idle = (fun _ -> true) }
+
+let inject_permutation stream engine ~n ~passes =
+  let rows = 1 lsl n in
+  let permutation = Array.init rows (fun i -> i) in
+  Prng.Stream.shuffle_in_place stream permutation;
+  for row = 0 to rows - 1 do
+    let node = Topology.Butterfly.vertex ~n ~level:0 ~row in
+    Engine.inject engine ~node ~sender:node
+      (Packet { target_row = permutation.(row); passes_left = passes })
+  done
+
+let delivered engine =
+  Engine.fold_states engine ~init:0 ~f:(fun acc _ state -> acc + state.arrivals)
+
+let dropped engine =
+  Engine.fold_states engine ~init:0 ~f:(fun acc _ state -> acc + state.dropped)
+
+let latencies engine =
+  Engine.fold_states engine ~init:[] ~f:(fun acc _ state -> state.arrival_rounds @ acc)

@@ -1,0 +1,38 @@
+(** Bit-fixing permutation routing on the wrapped butterfly — the
+    setting of Cole–Maggs–Sitaraman's fault-tolerance results cited in
+    the paper's related work.
+
+    Every row injects one packet at its level-0 node, addressed to a
+    (permuted) destination row. A packet at level [l] wants the up-link
+    that sets bit [l] of its row to the target's bit: {e straight} if
+    the bit already matches, {e cross} otherwise. Faults force a simple
+    detour: if the wanted up-link is dead, the packet takes the other
+    one, leaving the bit wrong and fixing it on a later pass around the
+    wrapped butterfly (up to a pass budget). Combined with a link
+    capacity on the engine this exercises congestion, faults and
+    multi-pass correction together. *)
+
+type state = {
+  arrivals : int;  (** Packets that terminated at this node. *)
+  arrival_rounds : int list;  (** Round of each arrival, newest first. *)
+  dropped : int;  (** Packets dropped here (dead links or passes spent). *)
+}
+
+type message
+
+val protocol : n:int -> (state, message) Protocol.t
+(** [protocol ~n] routes on [Topology.Butterfly.graph n]. *)
+
+val inject_permutation :
+  Prng.Stream.t -> (state, message) Engine.t -> n:int -> passes:int -> unit
+(** Draw a uniform permutation of the [2^n] rows and inject one packet
+    per row at its level-0 node; each packet may circle the wrapped
+    butterfly at most [passes] times before it is dropped. *)
+
+val delivered : (state, message) Engine.t -> int
+(** Total packets that reached their destinations. *)
+
+val dropped : (state, message) Engine.t -> int
+
+val latencies : (state, message) Engine.t -> int list
+(** Arrival rounds of all delivered packets. *)

@@ -1,0 +1,166 @@
+type ('state, 'message) t = {
+  world : Percolation.World.t;
+  protocol : ('state, 'message) Protocol.t;
+  states : 'state array;
+  link_capacity : int option;
+      (* max deliveries per directed link per round; None = unbounded *)
+  mutable pending : (int, (int * 'message) list) Hashtbl.t;
+      (* node -> inbox for the next round, newest first *)
+  mutable pending_count : int;
+  queued : (int * int, 'message Queue.t) Hashtbl.t;
+      (* directed link (u,v) -> store-and-forward backlog, used only
+         when link_capacity is set *)
+  mutable queued_count : int;
+  probed : (int, unit) Hashtbl.t; (* distinct probed edge ids *)
+  node_streams : (int, Prng.Stream.t) Hashtbl.t;
+  stream_seed : int64;
+  metrics : Metrics.t;
+  mutable round : int;
+}
+
+let create ?seed ?link_capacity world protocol =
+  (match link_capacity with
+  | Some c when c < 1 -> invalid_arg "Engine.create: link capacity must be >= 1"
+  | Some _ | None -> ());
+  let graph = Percolation.World.graph world in
+  let n = graph.Topology.Graph.vertex_count in
+  let stream_seed =
+    match seed with
+    | Some s -> s
+    | None -> Prng.Coin.derive (Percolation.World.seed world) 0x51
+  in
+  {
+    world;
+    protocol;
+    states = Array.init n (fun node -> protocol.Protocol.init ~node);
+    link_capacity;
+    pending = Hashtbl.create 64;
+    pending_count = 0;
+    queued = Hashtbl.create 64;
+    queued_count = 0;
+    probed = Hashtbl.create 256;
+    node_streams = Hashtbl.create 64;
+    stream_seed;
+    metrics = Metrics.create ();
+    round = 0;
+  }
+
+let world t = t.world
+let protocol_name t = t.protocol.Protocol.name
+let round t = t.round
+let metrics t = t.metrics
+let state t node = t.states.(node)
+let in_flight t = t.pending_count + t.queued_count
+
+let queue_delivery t ~node ~sender message =
+  let inbox = Option.value (Hashtbl.find_opt t.pending node) ~default:[] in
+  Hashtbl.replace t.pending node ((sender, message) :: inbox);
+  t.pending_count <- t.pending_count + 1
+
+let inject t ~node ~sender message = queue_delivery t ~node ~sender message
+
+let node_stream t node =
+  match Hashtbl.find_opt t.node_streams node with
+  | Some stream -> stream
+  | None ->
+      let stream = Prng.Stream.create (Prng.Coin.derive t.stream_seed node) in
+      Hashtbl.replace t.node_streams node stream;
+      stream
+
+(* Under a capacity limit, a send enters the directed link's backlog;
+   the drain phase below moves up to [capacity] messages per link per
+   round into the next round's inboxes. *)
+let enqueue_on_link t ~sender ~receiver message =
+  let key = (sender, receiver) in
+  let backlog =
+    match Hashtbl.find_opt t.queued key with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Hashtbl.replace t.queued key q;
+        q
+  in
+  Queue.push message backlog;
+  t.queued_count <- t.queued_count + 1
+
+let drain_links t capacity =
+  Hashtbl.iter
+    (fun (sender, receiver) backlog ->
+      let moved = ref 0 in
+      while !moved < capacity && not (Queue.is_empty backlog) do
+        let message = Queue.pop backlog in
+        t.queued_count <- t.queued_count - 1;
+        t.metrics.Metrics.messages_delivered <- t.metrics.Metrics.messages_delivered + 1;
+        queue_delivery t ~node:receiver ~sender message;
+        incr moved
+      done)
+    t.queued
+
+let run_round t =
+  let graph = Percolation.World.graph t.world in
+  let inboxes = t.pending in
+  t.pending <- Hashtbl.create 64;
+  t.pending_count <- 0;
+  t.round <- t.round + 1;
+  t.metrics.Metrics.rounds <- t.round;
+  for node = 0 to Array.length t.states - 1 do
+    let probe v =
+      let id = graph.Topology.Graph.edge_id node v in
+      t.metrics.Metrics.raw_probes <- t.metrics.Metrics.raw_probes + 1;
+      if not (Hashtbl.mem t.probed id) then begin
+        Hashtbl.replace t.probed id ();
+        t.metrics.Metrics.distinct_probes <- t.metrics.Metrics.distinct_probes + 1
+      end;
+      Percolation.World.is_open t.world node v
+    in
+    let send v message =
+      (* Validates adjacency; delivery depends on the percolated state
+         but the sender learns nothing from the call. *)
+      ignore (graph.Topology.Graph.edge_id node v : int);
+      t.metrics.Metrics.messages_sent <- t.metrics.Metrics.messages_sent + 1;
+      if Percolation.World.is_open t.world node v then begin
+        match t.link_capacity with
+        | None ->
+            t.metrics.Metrics.messages_delivered <-
+              t.metrics.Metrics.messages_delivered + 1;
+            queue_delivery t ~node:v ~sender:node message
+        | Some _ -> enqueue_on_link t ~sender:node ~receiver:v message
+      end
+    in
+    let api =
+      {
+        Api.node;
+        round = t.round;
+        neighbors = graph.Topology.Graph.neighbors node;
+        probe;
+        send;
+        random_int = (fun bound -> Prng.Stream.int_in (node_stream t node) bound);
+      }
+    in
+    let inbox = Option.value (Hashtbl.find_opt inboxes node) ~default:[] in
+    t.states.(node) <- t.protocol.Protocol.step api t.states.(node) (List.rev inbox)
+  done;
+  match t.link_capacity with
+  | Some capacity -> drain_links t capacity
+  | None -> ()
+
+let quiescent t =
+  in_flight t = 0 && Array.for_all t.protocol.Protocol.idle t.states
+
+let run ?(max_rounds = 10_000) ~until t =
+  let rec loop () =
+    if until t then `Stopped t.round
+    else if t.round >= max_rounds then `Out_of_rounds
+    else begin
+      run_round t;
+      if until t then `Stopped t.round
+      else if quiescent t then `Quiescent t.round
+      else loop ()
+    end
+  in
+  loop ()
+
+let fold_states t ~init ~f =
+  let acc = ref init in
+  Array.iteri (fun node state -> acc := f !acc node state) t.states;
+  !acc

@@ -1,0 +1,65 @@
+(** The synchronous simulation engine.
+
+    Rounds proceed in lockstep: at round [r] every node receives the
+    messages that were sent to it over open links during round [r-1],
+    runs its protocol step, and queues its own sends for round [r+1].
+    Link liveness comes from the percolation world; nodes learn it only
+    through probes and deliveries, so the engine is a distributed
+    realization of the paper's probe model (messages double as free
+    one-sided evidence that a link is open — exactly like a successful
+    probe). *)
+
+type ('state, 'message) t
+
+val create :
+  ?seed:int64 ->
+  ?link_capacity:int ->
+  Percolation.World.t ->
+  ('state, 'message) Protocol.t ->
+  ('state, 'message) t
+(** [create world protocol] initialises every node's state. [seed]
+    (default derived from the world seed) drives the per-node
+    [random_int] streams only — link states belong to the world.
+
+    [link_capacity] switches the network from unbounded bandwidth (the
+    default: every sent message on an open link arrives next round) to
+    store-and-forward: each {e directed} open link delivers at most
+    that many messages per round, with the excess waiting in the
+    link's queue — the congestion model permutation-routing experiments
+    need. @raise Invalid_argument if it is [< 1]. *)
+
+val world : ('state, 'message) t -> Percolation.World.t
+val protocol_name : ('state, 'message) t -> string
+val round : ('state, 'message) t -> int
+val metrics : ('state, 'message) t -> Metrics.t
+
+val state : ('state, 'message) t -> int -> 'state
+(** Current state of a node. *)
+
+val inject : ('state, 'message) t -> node:int -> sender:int -> 'message -> unit
+(** [inject t ~node ~sender m] delivers [m] to [node] at the start of
+    the next round, bypassing any link (used to start protocols:
+    conventionally [sender] is the node itself). Not counted as a sent
+    message. *)
+
+val in_flight : ('state, 'message) t -> int
+(** Messages queued for delivery next round, plus any backlog sitting in
+    capacity-limited link queues. *)
+
+val run_round : ('state, 'message) t -> unit
+(** Execute one synchronous round. *)
+
+val run :
+  ?max_rounds:int ->
+  until:(('state, 'message) t -> bool) ->
+  ('state, 'message) t ->
+  [ `Stopped of int | `Quiescent of int | `Out_of_rounds ]
+(** [run ~until t] executes rounds until [until t] holds ([`Stopped]
+    with the round count), the network goes quiescent — no messages in
+    flight after a round ([`Quiescent]; protocols that spontaneously
+    send, like gossip, never go quiescent) — or [max_rounds] (default
+    10,000) elapse. *)
+
+val fold_states :
+  ('state, 'message) t -> init:'acc -> f:('acc -> int -> 'state -> 'acc) -> 'acc
+(** Fold over all node states (for aggregate queries). *)

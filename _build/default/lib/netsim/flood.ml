@@ -1,0 +1,25 @@
+type state = { informed_at : int option }
+type message = Rumor
+
+let protocol =
+  let init ~node:_ = { informed_at = None } in
+  let step api state inbox =
+    match (state.informed_at, inbox) with
+    | Some _, _ | None, [] -> state
+    | None, _ :: _ ->
+        Array.iter (fun v -> api.Api.send v Rumor) api.Api.neighbors;
+        { informed_at = Some api.Api.round }
+  in
+  { Protocol.name = "flood"; init; step; idle = (fun _ -> true) }
+
+let start engine ~source = Engine.inject engine ~node:source ~sender:source Rumor
+let informed_at engine node = (Engine.state engine node).informed_at
+
+let latency engine ~source ~target =
+  match (informed_at engine source, informed_at engine target) with
+  | Some s, Some t -> Some (t - s)
+  | None, _ | _, None -> None
+
+let informed_count engine =
+  Engine.fold_states engine ~init:0 ~f:(fun acc _ state ->
+      match state.informed_at with Some _ -> acc + 1 | None -> acc)

@@ -1,0 +1,24 @@
+(** Flooding: on first contact with the rumor, forward it once over
+    every incident link.
+
+    The latency (round at which a node is first informed, minus the
+    source's) equals the percolation distance exactly — flooding is a
+    distributed breadth-first search of the open subgraph. The price is
+    message volume ~ the number of open edges of the informed region:
+    this is the Section 1.3 trade-off made measurable. *)
+
+type state = { informed_at : int option }
+type message = Rumor
+
+val protocol : (state, message) Protocol.t
+
+val start : (state, message) Engine.t -> source:int -> unit
+(** Inject the rumor at the source (informed in the next round). *)
+
+val informed_at : (state, message) Engine.t -> int -> int option
+(** Round at which a node was informed, if it was. *)
+
+val latency : (state, message) Engine.t -> source:int -> target:int -> int option
+(** [informed_at target - informed_at source], if both were informed. *)
+
+val informed_count : (state, message) Engine.t -> int

@@ -1,0 +1,26 @@
+type state = { informed_at : int option }
+type message = Rumor
+
+let protocol =
+  let init ~node:_ = { informed_at = None } in
+  let step api state inbox =
+    let state =
+      match (state.informed_at, inbox) with
+      | None, _ :: _ -> { informed_at = Some api.Api.round }
+      | Some _, _ | None, [] -> state
+    in
+    (match state.informed_at with
+    | Some _ when Array.length api.Api.neighbors > 0 ->
+        let pick = api.Api.random_int (Array.length api.Api.neighbors) in
+        api.Api.send api.Api.neighbors.(pick) Rumor
+    | Some _ | None -> ());
+    state
+  in
+  { Protocol.name = "gossip-push"; init; step; idle = (fun s -> s.informed_at = None) }
+
+let start engine ~source = Engine.inject engine ~node:source ~sender:source Rumor
+let informed_at engine node = (Engine.state engine node).informed_at
+
+let informed_count engine =
+  Engine.fold_states engine ~init:0 ~f:(fun acc _ state ->
+      match state.informed_at with Some _ -> acc + 1 | None -> acc)

@@ -1,0 +1,15 @@
+(** Push gossip: every informed node pushes the rumor to one uniformly
+    random incident link per round (open or not — dead links waste the
+    push, modelling the fault-obliviousness of epidemic protocols).
+
+    Spread is slower than flooding by roughly a log factor on expanders
+    but the per-round message cost is one per informed node. *)
+
+type state = { informed_at : int option }
+type message = Rumor
+
+val protocol : (state, message) Protocol.t
+
+val start : (state, message) Engine.t -> source:int -> unit
+val informed_at : (state, message) Engine.t -> int -> int option
+val informed_count : (state, message) Engine.t -> int

@@ -1,0 +1,42 @@
+type state = { arrived_at : int option; dropped_at : int option }
+type message = Token
+
+let protocol ~target ~metric =
+  let init ~node:_ = { arrived_at = None; dropped_at = None } in
+  let step api state inbox =
+    match inbox with
+    | [] -> state
+    | _ :: _ when api.Api.node = target -> { state with arrived_at = Some api.Api.round }
+    | _ :: _ ->
+        let here = metric api.Api.node target in
+        let candidates = Array.copy api.Api.neighbors in
+        Array.sort (fun a b -> compare (metric a target) (metric b target)) candidates;
+        let rec forward i =
+          if i >= Array.length candidates then { state with dropped_at = Some api.Api.round }
+          else begin
+            let v = candidates.(i) in
+            if metric v target < here && api.Api.probe v then begin
+              api.Api.send v Token;
+              state
+            end
+            else if metric v target >= here then
+              (* Sorted order: nothing further improves. *)
+              { state with dropped_at = Some api.Api.round }
+            else forward (i + 1)
+          end
+        in
+        forward 0
+  in
+  { Protocol.name = "greedy-forward"; init; step; idle = (fun _ -> true) }
+
+let start engine ~source = Engine.inject engine ~node:source ~sender:source Token
+let arrived engine ~target = (Engine.state engine target).arrived_at
+
+let dropped engine =
+  Engine.fold_states engine ~init:None ~f:(fun acc node state ->
+      match state.dropped_at with Some _ -> Some node | None -> acc)
+
+let hops engine ~target =
+  (* The token is injected at round 1 at the source and arrives at the
+     target at round 1 + hops. *)
+  Option.map (fun r -> r - 1) (arrived engine ~target)

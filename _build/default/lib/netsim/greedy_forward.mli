@@ -1,0 +1,31 @@
+(** Greedy token forwarding — a DHT-style lookup hop.
+
+    The token holder probes its incident links in order of the far
+    endpoint's fault-free distance to the target and forwards the token
+    over the first open link that strictly decreases the distance. If no
+    open link improves, the token is dropped and the lookup fails (the
+    network goes quiescent) — precisely the failure mode routing-based
+    exact search suffers under heavy faults (Section 1.3). *)
+
+type state = {
+  arrived_at : int option;  (** Set on the target when the token lands. *)
+  dropped_at : int option;  (** Set on the node that had to drop it. *)
+}
+
+type message = Token
+
+val protocol :
+  target:int -> metric:(int -> int -> int) -> (state, message) Protocol.t
+(** [protocol ~target ~metric] forwards towards [target] under the
+    fault-free [metric]. *)
+
+val start : (state, message) Engine.t -> source:int -> unit
+
+val arrived : (state, message) Engine.t -> target:int -> int option
+(** Round at which the token reached the target, if it did. *)
+
+val dropped : (state, message) Engine.t -> int option
+(** The node that dropped the token, if any. *)
+
+val hops : (state, message) Engine.t -> target:int -> int option
+(** Rounds from injection to arrival = number of forwarding hops. *)

@@ -1,0 +1,18 @@
+type t = {
+  mutable rounds : int;
+  mutable messages_sent : int;
+  mutable messages_delivered : int;
+  mutable raw_probes : int;
+  mutable distinct_probes : int;
+}
+
+let create () =
+  { rounds = 0; messages_sent = 0; messages_delivered = 0; raw_probes = 0; distinct_probes = 0 }
+
+let delivery_rate t =
+  if t.messages_sent = 0 then nan
+  else float_of_int t.messages_delivered /. float_of_int t.messages_sent
+
+let pp ppf t =
+  Format.fprintf ppf "rounds=%d sent=%d delivered=%d probes=%d (%d raw)" t.rounds
+    t.messages_sent t.messages_delivered t.distinct_probes t.raw_probes

@@ -1,0 +1,16 @@
+(** Global cost accounting of a simulation run. *)
+
+type t = {
+  mutable rounds : int;  (** Rounds executed so far. *)
+  mutable messages_sent : int;  (** All [send] calls. *)
+  mutable messages_delivered : int;  (** Sends whose link was open. *)
+  mutable raw_probes : int;  (** All [probe] calls. *)
+  mutable distinct_probes : int;  (** Distinct edges probed. *)
+}
+
+val create : unit -> t
+
+val delivery_rate : t -> float
+(** [messages_delivered / messages_sent]; [nan] when nothing was sent. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,6 @@
+type ('state, 'message) t = {
+  name : string;
+  init : node:int -> 'state;
+  step : 'message Api.t -> 'state -> (int * 'message) list -> 'state;
+  idle : 'state -> bool;
+}

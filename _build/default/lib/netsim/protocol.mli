@@ -1,0 +1,24 @@
+(** Protocols as values: a name, a per-node initial state, a synchronous
+    round handler, and an idleness predicate.
+
+    Using a record (rather than a functor) keeps protocols first-class:
+    constructors like [Greedy_forward.protocol ~target] are plain
+    functions, and the engine stays polymorphic in both state and
+    message types. *)
+
+type ('state, 'message) t = {
+  name : string;
+  init : node:int -> 'state;
+      (** Called once per node when the engine is created. *)
+  step : 'message Api.t -> 'state -> (int * 'message) list -> 'state;
+      (** [step api state inbox] runs one round at one node. [inbox]
+          lists [(sender, message)] pairs delivered this round (possibly
+          empty — every node steps every round). The returned state
+          replaces the old one. *)
+  idle : 'state -> bool;
+      (** Whether a node in this state can still act spontaneously
+          (without receiving a message). The engine declares the network
+          quiescent only when no messages are in flight {e and} every
+          node is idle — e.g. a random-walk holder retrying a dead link
+          is not idle even though nothing is in flight. *)
+}

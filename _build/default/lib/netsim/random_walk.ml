@@ -1,0 +1,35 @@
+type state = { holding : bool; arrived_at : int option; visits : int }
+type message = Token
+
+let protocol ~target =
+  let init ~node:_ = { holding = false; arrived_at = None; visits = 0 } in
+  let step api state inbox =
+    let state =
+      match inbox with
+      | [] -> state
+      | _ :: _ ->
+          if api.Api.node = target then
+            { state with arrived_at = Some api.Api.round; visits = state.visits + 1 }
+          else { state with holding = true; visits = state.visits + 1 }
+    in
+    if state.holding then begin
+      let degree = Array.length api.Api.neighbors in
+      if degree = 0 then state
+      else begin
+        let v = api.Api.neighbors.(api.Api.random_int degree) in
+        if api.Api.probe v then begin
+          api.Api.send v Token;
+          { state with holding = false }
+        end
+        else state (* closed link: hold and retry next round *)
+      end
+    end
+    else state
+  in
+  { Protocol.name = "random-walk"; init; step; idle = (fun s -> not s.holding) }
+
+let start engine ~source = Engine.inject engine ~node:source ~sender:source Token
+let arrived engine ~target = (Engine.state engine target).arrived_at
+
+let total_visits engine =
+  Engine.fold_states engine ~init:0 ~f:(fun acc _ state -> acc + state.visits)

@@ -1,0 +1,21 @@
+(** Random-walk token: the holder probes a uniformly random incident
+    link each round and forwards over it if open (otherwise the token
+    waits in place and retries next round).
+
+    A zero-knowledge baseline between flooding (all links) and greedy
+    (best link): never fails on a connected component, but its hitting
+    time is polynomial in the component size rather than the distance. *)
+
+type state = {
+  holding : bool;
+  arrived_at : int option;
+  visits : int;  (** Times this node has held the token. *)
+}
+
+type message = Token
+
+val protocol : target:int -> (state, message) Protocol.t
+
+val start : (state, message) Engine.t -> source:int -> unit
+val arrived : (state, message) Engine.t -> target:int -> int option
+val total_visits : (state, message) Engine.t -> int

@@ -1,0 +1,1 @@
+lib/percolation/adversary.ml: Array Hashtbl List Prng Queue Topology World

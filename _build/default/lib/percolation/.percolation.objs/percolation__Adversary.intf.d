@@ -1,0 +1,1 @@
+lib/percolation/adversary.mli: Prng Topology World

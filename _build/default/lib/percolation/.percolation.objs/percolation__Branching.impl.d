@@ -1,0 +1,1 @@
+lib/percolation/branching.ml: Prng

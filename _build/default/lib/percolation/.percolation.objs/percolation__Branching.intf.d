@@ -1,0 +1,1 @@
+lib/percolation/branching.mli: Prng

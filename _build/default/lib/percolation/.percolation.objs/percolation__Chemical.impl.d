@@ -1,0 +1,1 @@
+lib/percolation/chemical.ml: Prng Reveal Topology World

@@ -1,0 +1,1 @@
+lib/percolation/chemical.mli: Prng World

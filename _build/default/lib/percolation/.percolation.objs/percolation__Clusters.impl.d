@@ -1,0 +1,1 @@
+lib/percolation/clusters.ml: Array Hashtbl Topology Union_find World

@@ -1,0 +1,1 @@
+lib/percolation/clusters.mli: Union_find World

@@ -1,0 +1,1 @@
+lib/percolation/oracle.ml: Hashtbl Topology World

@@ -1,0 +1,1 @@
+lib/percolation/oracle.mli: World

@@ -1,0 +1,1 @@
+lib/percolation/reveal.ml: Array Hashtbl List Queue Topology World

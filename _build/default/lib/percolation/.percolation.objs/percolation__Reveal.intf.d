@@ -1,0 +1,1 @@
+lib/percolation/reveal.mli: Hashtbl World

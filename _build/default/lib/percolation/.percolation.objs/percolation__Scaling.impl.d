@@ -1,0 +1,1 @@
+lib/percolation/scaling.ml: Array Clusters List Prng World

@@ -1,0 +1,1 @@
+lib/percolation/scaling.mli: Prng Topology

@@ -1,0 +1,1 @@
+lib/percolation/threshold.ml: List Prng

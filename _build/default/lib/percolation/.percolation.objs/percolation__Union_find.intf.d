@@ -1,0 +1,1 @@
+lib/percolation/union_find.mli:

@@ -1,0 +1,1 @@
+lib/percolation/world.ml: Array Hashtbl List Prng Topology

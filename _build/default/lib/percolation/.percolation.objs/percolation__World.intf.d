@@ -1,0 +1,1 @@
+lib/percolation/world.mli: Hashtbl Topology

@@ -1,0 +1,89 @@
+type strategy = Random | Min_cut | Around_source
+
+let random_edges stream graph ~budget =
+  let all = Topology.Graph.edge_list graph in
+  let arr = Array.of_list all in
+  Prng.Stream.shuffle_in_place stream arr;
+  Array.to_list (Array.sub arr 0 (min budget (Array.length arr)))
+
+(* Repeatedly take a minimum cut of what remains, removing its edges,
+   until the budget is spent or the pair is disconnected. *)
+let min_cut_edges graph ~source ~target ~budget =
+  let removed = Hashtbl.create 64 in
+  let masked =
+    {
+      graph with
+      Topology.Graph.neighbors =
+        (fun u ->
+          graph.Topology.Graph.neighbors u
+          |> Array.to_list
+          |> List.filter (fun v ->
+                 not (Hashtbl.mem removed (graph.Topology.Graph.edge_id u v)))
+          |> Array.of_list);
+    }
+  in
+  let chosen = ref [] in
+  let remaining = ref budget in
+  let rec rounds () =
+    if !remaining > 0 then begin
+      match Topology.Mincut.min_cut masked ~source ~sink:target with
+      | [] -> () (* already disconnected *)
+      | cut ->
+          let take = min !remaining (List.length cut) in
+          List.iteri
+            (fun i (u, v) ->
+              if i < take then begin
+                Hashtbl.replace removed (graph.Topology.Graph.edge_id u v) ();
+                chosen := (u, v) :: !chosen;
+                decr remaining
+              end)
+            cut;
+          if take = List.length cut then rounds ()
+    end
+  in
+  rounds ();
+  List.rev !chosen
+
+let around_source_edges graph ~source ~budget =
+  (* Breadth-first over vertices from the source, harvesting incident
+     edges until the budget is filled. *)
+  let seen_vertices = Hashtbl.create 64 in
+  Hashtbl.replace seen_vertices source ();
+  let seen_edges = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Queue.push source queue;
+  let chosen = ref [] in
+  let count = ref 0 in
+  (try
+     while not (Queue.is_empty queue) do
+       let u = Queue.pop queue in
+       Array.iter
+         (fun v ->
+           let id = graph.Topology.Graph.edge_id u v in
+           if not (Hashtbl.mem seen_edges id) then begin
+             Hashtbl.replace seen_edges id ();
+             chosen := (u, v) :: !chosen;
+             incr count;
+             if !count >= budget then raise Exit
+           end;
+           if not (Hashtbl.mem seen_vertices v) then begin
+             Hashtbl.replace seen_vertices v ();
+             Queue.push v queue
+           end)
+         (graph.Topology.Graph.neighbors u)
+     done
+   with Exit -> ());
+  List.rev !chosen
+
+let pick_edges stream graph strategy ~source ~target ~budget =
+  if budget < 0 then invalid_arg "Adversary.pick_edges: negative budget";
+  match strategy with
+  | Random -> random_edges stream graph ~budget
+  | Min_cut -> min_cut_edges graph ~source ~target ~budget
+  | Around_source -> around_source_edges graph ~source ~budget
+
+let attack stream world strategy ~source ~target ~budget =
+  let edges =
+    pick_edges stream (World.graph world) strategy ~source ~target ~budget
+  in
+  World.remove_edges world edges

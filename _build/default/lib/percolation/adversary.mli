@@ -1,0 +1,40 @@
+(** Worst-case fault strategies — the paper's other fault model.
+
+    Given a budget of [k] edge deletions, an adversary targeting the
+    pair [(source, target)] picks which links to kill. Contrasting the
+    resulting worlds with i.i.d. random faults of equal count quantifies
+    how much the random model's guarantees owe to the adversary's
+    blindness (cf. Leighton–Maggs–Sitaraman on worst-case tolerance). *)
+
+type strategy =
+  | Random  (** [k] distinct edges uniformly at random. *)
+  | Min_cut
+      (** Edges of a minimum [source]–[target] cut, then (if budget
+          remains) of the recomputed next cut, and so on — the optimal
+          disconnection attack. *)
+  | Around_source
+      (** Edges incident to [source], then to its neighbours, breadth
+          first — an attacker that only sees the victim's vicinity. *)
+
+val pick_edges :
+  Prng.Stream.t ->
+  Topology.Graph.t ->
+  strategy ->
+  source:int ->
+  target:int ->
+  budget:int ->
+  (int * int) list
+(** The (at most [budget]) edges the strategy deletes. The stream is
+    used by [Random] (and to break ties); deterministic given its seed. *)
+
+val attack :
+  Prng.Stream.t ->
+  World.t ->
+  strategy ->
+  source:int ->
+  target:int ->
+  budget:int ->
+  World.t
+(** [attack stream world strategy ~source ~target ~budget] overlays the
+    strategy's deletions on [world] (removal applies on top of the
+    random faults already in the world). *)

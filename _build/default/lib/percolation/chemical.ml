@@ -1,0 +1,28 @@
+let distance ?limit world u v =
+  match Reveal.connected ?limit world u v with
+  | Reveal.Connected d -> Some d
+  | Reveal.Disconnected | Reveal.Unknown -> None
+
+let stretch ?limit world u v =
+  match (World.graph world).Topology.Graph.distance with
+  | None -> None
+  | Some metric -> (
+      let base = metric u v in
+      if base = 0 then None
+      else
+        match distance ?limit world u v with
+        | None -> None
+        | Some chemical -> Some (float_of_int chemical /. float_of_int base))
+
+let eccentricity_sample stream ?(pairs = 100) world =
+  let n = (World.graph world).Topology.Graph.vertex_count in
+  let rec loop remaining acc =
+    if remaining = 0 then acc
+    else begin
+      let u, v = Prng.Sample.distinct_pair stream n in
+      match distance world u v with
+      | Some d -> loop (remaining - 1) (d :: acc)
+      | None -> loop (remaining - 1) acc
+    end
+  in
+  loop pairs []

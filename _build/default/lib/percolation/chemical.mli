@@ -1,0 +1,21 @@
+(** Chemical (percolation) distance — the metric [D(·,·)] of the paper.
+
+    The distance between two vertices inside the open subgraph, as used
+    by Lemma 8 (Antal–Pisztora): for [p > p_c] the chemical distance in
+    the mesh is at most a constant multiple of the L1 distance, up to
+    exponentially rare exceptions. *)
+
+val distance : ?limit:int -> World.t -> int -> int -> int option
+(** [distance w u v] is the open-path distance, [None] if disconnected
+    or if the [limit] on visited vertices was reached. *)
+
+val stretch : ?limit:int -> World.t -> int -> int -> float option
+(** [stretch w u v] is [D(u,v) / d(u,v)] where [d] is the base-graph
+    metric. [None] if disconnected, if the limit was hit, or if the
+    topology exposes no metric; [d(u,v) = 0] yields [None] too. *)
+
+val eccentricity_sample :
+  Prng.Stream.t -> ?pairs:int -> World.t -> int list
+(** [eccentricity_sample stream w] samples chemical distances between
+    random connected pairs (default 100 attempts); used to estimate the
+    diameter scaling of the giant component. *)

@@ -1,0 +1,58 @@
+type census = {
+  component_count : int;
+  sizes : int array;
+  largest : int;
+  second_largest : int;
+  vertex_count : int;
+  open_edge_count : int;
+}
+
+let components world =
+  let g = World.graph world in
+  let uf = Union_find.create g.Topology.Graph.vertex_count in
+  Topology.Graph.iter_edges g (fun u v ->
+      if World.is_open world u v then ignore (Union_find.union uf u v));
+  uf
+
+let census world =
+  let g = World.graph world in
+  let n = g.Topology.Graph.vertex_count in
+  let uf = Union_find.create n in
+  let open_edges = ref 0 in
+  Topology.Graph.iter_edges g (fun u v ->
+      if World.is_open world u v then begin
+        incr open_edges;
+        ignore (Union_find.union uf u v)
+      end);
+  let size_of_root = Hashtbl.create 256 in
+  for v = 0 to n - 1 do
+    let root = Union_find.find uf v in
+    if not (Hashtbl.mem size_of_root root) then
+      Hashtbl.replace size_of_root root (Union_find.size uf root)
+  done;
+  let sizes = Hashtbl.fold (fun _ s acc -> s :: acc) size_of_root [] |> Array.of_list in
+  Array.sort (fun a b -> compare b a) sizes;
+  {
+    component_count = Array.length sizes;
+    sizes;
+    largest = (if Array.length sizes > 0 then sizes.(0) else 0);
+    second_largest = (if Array.length sizes > 1 then sizes.(1) else 0);
+    vertex_count = n;
+    open_edge_count = !open_edges;
+  }
+
+let giant_fraction c =
+  if c.vertex_count = 0 then 0.0
+  else float_of_int c.largest /. float_of_int c.vertex_count
+
+let has_giant ?(threshold = 0.01) c =
+  giant_fraction c >= threshold && c.largest >= 2 * c.second_largest
+
+let in_largest world v =
+  let uf = components world in
+  let n = Union_find.element_count uf in
+  let best = ref 0 in
+  for u = 0 to n - 1 do
+    best := max !best (Union_find.size uf u)
+  done;
+  Union_find.size uf v = !best

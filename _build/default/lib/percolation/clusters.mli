@@ -1,0 +1,33 @@
+(** Exact cluster census of a percolated graph by union-find.
+
+    Enumerates every edge of the base graph, so only for graphs small
+    enough to materialise (meshes, hypercubes up to [n ≈ 20]). Provides
+    the giant-component facts the paper's theorems are conditioned on:
+    does a giant component exist, how large is it, who belongs to it. *)
+
+type census = {
+  component_count : int;
+  sizes : int array;  (** Component sizes in decreasing order. *)
+  largest : int;
+  second_largest : int;  (** 0 when there is a single component. *)
+  vertex_count : int;
+  open_edge_count : int;
+}
+
+val census : World.t -> census
+
+val giant_fraction : census -> float
+(** [largest / vertex_count]. *)
+
+val has_giant : ?threshold:float -> census -> bool
+(** Whether the largest component holds at least [threshold] (default
+    0.01) of all vertices {e and} is at least twice the second largest —
+    a standard finite-size proxy for "a giant component exists". *)
+
+val components : World.t -> Union_find.t
+(** The underlying union-find structure, for membership queries
+    ([Union_find.same] answers [u ~ v] for all pairs at once). *)
+
+val in_largest : World.t -> int -> bool
+(** Whether a vertex lies in (one of) the largest component(s).
+    Recomputes the census; for repeated queries use {!components}. *)

@@ -1,0 +1,93 @@
+type policy = Local | Unrestricted
+
+exception Locality_violation of int * int
+exception Budget_exhausted
+
+type t = {
+  world : World.t;
+  policy : policy;
+  budget : int option;
+  source : int;
+  probed : (int, bool) Hashtbl.t; (* edge id -> state *)
+  predecessor : (int, int) Hashtbl.t; (* reached vertex -> previous hop *)
+  mutable distinct : int;
+  mutable raw : int;
+}
+
+let create ?(policy = Local) ?budget world ~source =
+  (match budget with
+  | Some b when b <= 0 -> invalid_arg "Oracle.create: budget must be positive"
+  | Some _ | None -> ());
+  Topology.Graph.check_vertex (World.graph world) source;
+  let predecessor = Hashtbl.create 64 in
+  Hashtbl.replace predecessor source source;
+  {
+    world;
+    policy;
+    budget;
+    source;
+    probed = Hashtbl.create 256;
+    predecessor;
+    distinct = 0;
+    raw = 0;
+  }
+
+let world t = t.world
+let policy t = t.policy
+let source t = t.source
+let reached t v = Hashtbl.mem t.predecessor v
+let reached_count t = Hashtbl.length t.predecessor
+let reached_vertices t = Hashtbl.fold (fun v _ acc -> v :: acc) t.predecessor []
+let distinct_probes t = t.distinct
+let raw_probes t = t.raw
+
+let budget_remaining t =
+  match t.budget with None -> None | Some b -> Some (b - t.distinct)
+
+let probe_known t u v =
+  match (World.graph t.world).Topology.Graph.edge_id u v with
+  | id -> Hashtbl.find_opt t.probed id
+  | exception Topology.Graph.Not_an_edge _ -> None
+
+let extend_reached t u v state =
+  if state then begin
+    match (reached t u, reached t v) with
+    | true, false -> Hashtbl.replace t.predecessor v u
+    | false, true -> Hashtbl.replace t.predecessor u v
+    | true, true | false, false -> ()
+  end
+
+let probe t u v =
+  let id = (World.graph t.world).Topology.Graph.edge_id u v in
+  (match t.policy with
+  | Unrestricted -> ()
+  | Local ->
+      if not (reached t u || reached t v) then raise (Locality_violation (u, v)));
+  t.raw <- t.raw + 1;
+  match Hashtbl.find_opt t.probed id with
+  | Some state ->
+      (* A previously probed open edge may become usable for extension
+         later, once one endpoint is reached by another route. *)
+      extend_reached t u v state;
+      state
+  | None ->
+      (match t.budget with
+      | Some b when t.distinct >= b ->
+          t.raw <- t.raw - 1;
+          raise Budget_exhausted
+      | Some _ | None -> ());
+      let state = World.is_open t.world u v in
+      Hashtbl.replace t.probed id state;
+      t.distinct <- t.distinct + 1;
+      extend_reached t u v state;
+      state
+
+let path_to t target =
+  if not (reached t target) then None
+  else begin
+    let rec walk v acc =
+      let prev = Hashtbl.find t.predecessor v in
+      if prev = v then v :: acc else walk prev (v :: acc)
+    in
+    Some (walk target [])
+  end

@@ -1,0 +1,74 @@
+(** The counting probe oracle — the cost model of the paper.
+
+    A routing algorithm interacts with the percolated graph only through
+    [probe], which reveals whether one edge is open. The oracle counts
+    {e distinct} probed edges (re-probing a known edge is free: an
+    algorithm could cache the answer) and enforces the paper's access
+    policies:
+
+    - [Local] (Definition 1): an edge may be probed only if one of its
+      endpoints already carries an established open path from the source.
+      Violations raise — lower-bound experiments cannot be accidentally
+      invalidated by a cheating router.
+    - [Unrestricted]: any edge may be probed ("oracle routing",
+      Section 5).
+
+    Under [Local] the oracle also maintains predecessor links, so the
+    open path to any reached vertex can be reconstructed and is correct
+    by construction. *)
+
+type policy = Local | Unrestricted
+
+exception Locality_violation of int * int
+(** Probed edge had no reached endpoint under the [Local] policy. *)
+
+exception Budget_exhausted
+(** Raised by [probe] when the distinct-probe budget would be exceeded.
+    The probe that raised does not count. *)
+
+type t
+
+val create : ?policy:policy -> ?budget:int -> World.t -> source:int -> t
+(** [create world ~source] is a fresh oracle. Default [policy] is
+    [Local]; [budget] (if given) caps distinct probes.
+    @raise Invalid_argument if [budget <= 0] or the source is out of
+    range. *)
+
+val world : t -> World.t
+val policy : t -> policy
+val source : t -> int
+
+val probe : t -> int -> int -> bool
+(** [probe t u v] reveals the state of edge [{u,v}].
+    @raise Topology.Graph.Not_an_edge on a non-edge.
+    @raise Locality_violation under [Local] if neither endpoint is
+    reached.
+    @raise Budget_exhausted if the budget is spent and this edge was not
+    probed before. *)
+
+val probe_known : t -> int -> int -> bool option
+(** The cached result of a previous probe of this edge, if any. Free. *)
+
+val distinct_probes : t -> int
+(** Number of distinct edges probed so far — the routing complexity. *)
+
+val raw_probes : t -> int
+(** Total [probe] calls including repeats. *)
+
+val budget_remaining : t -> int option
+(** [None] if unlimited. *)
+
+val reached : t -> int -> bool
+(** Under [Local]: whether an open path from the source to this vertex
+    has been established. Under [Unrestricted] only the source is ever
+    reached. *)
+
+val reached_count : t -> int
+(** Number of reached vertices (including the source). *)
+
+val reached_vertices : t -> int list
+(** All reached vertices, unordered. *)
+
+val path_to : t -> int -> int list option
+(** Under [Local], the established open path from the source to a
+    reached vertex (source first). [None] if the vertex is not reached. *)

@@ -1,0 +1,87 @@
+type verdict = Connected of int | Disconnected | Unknown
+
+(* Shared BFS engine over open edges. Stops when [stop] returns true for a
+   newly discovered vertex, when the cluster is exhausted, or when [limit]
+   vertices have been visited. *)
+let bfs ?limit world start ~stop ~visit =
+  let dist = Hashtbl.create 256 in
+  Hashtbl.replace dist start 0;
+  visit start 0;
+  if stop start then `Stopped 0
+  else begin
+    let queue = Queue.create () in
+    Queue.push start queue;
+    let truncated = ref false in
+    let result = ref `Exhausted in
+    (try
+       while not (Queue.is_empty queue) do
+         let u = Queue.pop queue in
+         let du = Hashtbl.find dist u in
+         let extend v =
+           if not (Hashtbl.mem dist v) then begin
+             match limit with
+             | Some l when Hashtbl.length dist >= l ->
+                 truncated := true;
+                 raise Exit
+             | Some _ | None ->
+                 Hashtbl.replace dist v (du + 1);
+                 visit v (du + 1);
+                 if stop v then begin
+                   result := `Stopped (du + 1);
+                   raise Exit
+                 end;
+                 Queue.push v queue
+           end
+         in
+         Array.iter extend (World.open_neighbors world u)
+       done
+     with Exit -> ());
+    match !result with
+    | `Stopped d -> `Stopped d
+    | `Exhausted -> if !truncated then `Truncated dist else `Exhausted_full dist
+  end
+
+let connected ?limit world u v =
+  Topology.Graph.check_vertex (World.graph world) u;
+  Topology.Graph.check_vertex (World.graph world) v;
+  if u = v then Connected 0
+  else
+    match bfs ?limit world u ~stop:(fun x -> x = v) ~visit:(fun _ _ -> ()) with
+    | `Stopped d -> Connected d
+    | `Truncated _ -> Unknown
+    | `Exhausted_full _ -> Disconnected
+
+let cluster_of ?limit world v =
+  Topology.Graph.check_vertex (World.graph world) v;
+  let members = ref [] in
+  match
+    bfs ?limit world v ~stop:(fun _ -> false) ~visit:(fun x _ -> members := x :: !members)
+  with
+  | `Stopped _ -> assert false
+  | `Truncated _ -> (!members, true)
+  | `Exhausted_full _ -> (!members, false)
+
+let cluster_size ?limit world v =
+  let members, truncated = cluster_of ?limit world v in
+  (List.length members, truncated)
+
+let ball world v ~radius =
+  Topology.Graph.check_vertex (World.graph world) v;
+  if radius < 0 then invalid_arg "Reveal.ball: negative radius";
+  let dist = Hashtbl.create 256 in
+  Hashtbl.replace dist v 0;
+  let queue = Queue.create () in
+  Queue.push v queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    let du = Hashtbl.find dist u in
+    if du < radius then
+      Array.iter
+        (fun w ->
+          if not (Hashtbl.mem dist w) then begin
+            Hashtbl.replace dist w (du + 1);
+            Queue.push w queue
+          end)
+        (World.open_neighbors world u)
+  done;
+  dist

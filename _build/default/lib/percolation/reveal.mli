@@ -1,0 +1,29 @@
+(** Ground-truth exploration of a percolation world.
+
+    Experiments must condition on [u ~ v] (Definition 2) and distinguish
+    "the router gave up" from "no path exists". This module answers such
+    questions by reading edge states directly — {e without} going through
+    a counting oracle, so the measured routing complexity is unaffected.
+
+    Exploration cost is proportional to the open cluster explored, so a
+    [limit] on visited vertices is available for huge graphs. *)
+
+type verdict = Connected of int | Disconnected | Unknown
+(** [Connected d]: an open path exists and the percolation distance is
+    [d]. [Unknown]: the exploration limit was hit first. *)
+
+val connected : ?limit:int -> World.t -> int -> int -> verdict
+(** [connected w u v] explores the open cluster of [u] breadth-first
+    until [v] is found, the cluster is exhausted, or [limit] vertices
+    have been visited. *)
+
+val cluster_of : ?limit:int -> World.t -> int -> int list * bool
+(** [cluster_of w v] is the open cluster containing [v] (unordered) and
+    a flag that is [true] when exploration was truncated by [limit]. *)
+
+val cluster_size : ?limit:int -> World.t -> int -> int * bool
+(** Size variant of {!cluster_of}. *)
+
+val ball : World.t -> int -> radius:int -> (int, int) Hashtbl.t
+(** [ball w v ~radius] maps every vertex within percolation distance
+    [radius] of [v] to its distance. *)

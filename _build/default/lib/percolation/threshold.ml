@@ -1,0 +1,34 @@
+let success_rate stream ~trials ~event =
+  if trials <= 0 then invalid_arg "Threshold.success_rate: trials must be positive";
+  let successes = ref 0 in
+  for trial = 1 to trials do
+    let seed = Prng.Coin.derive (Prng.Stream.seed stream) trial in
+    if event ~seed then incr successes
+  done;
+  float_of_int !successes /. float_of_int trials
+
+let bisect ?(trials_per_pivot = 40) ?(iterations = 12) stream ~event ~lo ~hi =
+  if lo >= hi then invalid_arg "Threshold.bisect: need lo < hi";
+  let rec loop lo hi round =
+    if round = 0 then (lo +. hi) /. 2.0
+    else begin
+      let pivot = (lo +. hi) /. 2.0 in
+      let substream = Prng.Stream.split stream round in
+      let rate =
+        success_rate substream ~trials:trials_per_pivot ~event:(fun ~seed ->
+            event ~p:pivot ~seed)
+      in
+      if rate >= 0.5 then loop lo pivot (round - 1) else loop pivot hi (round - 1)
+    end
+  in
+  loop lo hi iterations
+
+let sweep stream ~trials ~event ~ps =
+  List.mapi
+    (fun index p ->
+      let substream = Prng.Stream.split stream index in
+      let rate =
+        success_rate substream ~trials ~event:(fun ~seed -> event ~p ~seed)
+      in
+      (p, rate))
+    ps

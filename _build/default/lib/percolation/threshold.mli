@@ -1,0 +1,35 @@
+(** Monte-Carlo estimation of critical probabilities.
+
+    Estimates the percolation parameter at which a monotone event (giant
+    component exists, two marked vertices connect) starts holding, by a
+    robust bisection over [p] with repeated sampling at each pivot.
+    Validates the background facts the paper leans on: [p_c = 1/2] for
+    the 2-d mesh, [1/n] for the giant of [H_n], [1/√2] for [TT_n]. *)
+
+val success_rate :
+  Prng.Stream.t -> trials:int -> event:(seed:int64 -> bool) -> float
+(** [success_rate stream ~trials ~event] runs [event] on [trials]
+    independently derived world seeds and returns the success fraction. *)
+
+val bisect :
+  ?trials_per_pivot:int ->
+  ?iterations:int ->
+  Prng.Stream.t ->
+  event:(p:float -> seed:int64 -> bool) ->
+  lo:float ->
+  hi:float ->
+  float
+(** [bisect stream ~event ~lo ~hi] assumes the probability of [event]
+    increases in [p] from near 0 at [lo] to near 1 at [hi], and returns
+    an estimate of the [p] at which the success rate crosses 1/2.
+    Defaults: 40 trials per pivot, 12 bisection iterations.
+    @raise Invalid_argument if [lo >= hi]. *)
+
+val sweep :
+  Prng.Stream.t ->
+  trials:int ->
+  event:(p:float -> seed:int64 -> bool) ->
+  ps:float list ->
+  (float * float) list
+(** [sweep stream ~trials ~event ~ps] evaluates the success rate at each
+    listed [p] — the raw data for threshold plots. *)

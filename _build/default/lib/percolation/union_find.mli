@@ -1,0 +1,29 @@
+(** Disjoint-set forest with union by rank and path compression.
+
+    Used for exact cluster censuses of percolated graphs small enough to
+    enumerate. Near-constant amortised time per operation. *)
+
+type t
+
+val create : int -> t
+(** [create n] has elements [0 .. n-1], each its own singleton set.
+    @raise Invalid_argument if [n < 0]. *)
+
+val find : t -> int -> int
+(** Canonical representative of the element's set. *)
+
+val union : t -> int -> int -> bool
+(** [union t a b] merges the sets of [a] and [b]; returns [false] if they
+    were already the same set. *)
+
+val same : t -> int -> int -> bool
+(** Whether two elements share a set. *)
+
+val size : t -> int -> int
+(** Number of elements in the element's set. *)
+
+val set_count : t -> int
+(** Current number of disjoint sets. *)
+
+val element_count : t -> int
+(** Total number of elements ([n] at creation). *)

@@ -1,0 +1,65 @@
+type t = {
+  graph : Topology.Graph.t;
+  p : float;
+  seed : int64;
+  removed : (int, unit) Hashtbl.t option;
+  site_p : float option;
+}
+
+(* Distinct seed namespace for vertex coins, so site and bond states are
+   independent even though vertex and edge ids overlap. *)
+let site_seed seed = Prng.Coin.derive seed 0x5173
+
+let create ?site_p graph ~p ~seed =
+  if not (p >= 0.0 && p <= 1.0) then invalid_arg "World.create: p outside [0,1]";
+  (match site_p with
+  | Some sp when not (sp >= 0.0 && sp <= 1.0) ->
+      invalid_arg "World.create: site_p outside [0,1]"
+  | Some _ | None -> ());
+  { graph; p; seed; removed = None; site_p }
+
+let graph t = t.graph
+let p t = t.p
+let seed t = t.seed
+let site_p t = t.site_p
+
+let remove_edges t edges =
+  let removed =
+    match t.removed with
+    | None -> Hashtbl.create (2 * List.length edges)
+    | Some existing -> Hashtbl.copy existing
+  in
+  List.iter
+    (fun (u, v) -> Hashtbl.replace removed (t.graph.Topology.Graph.edge_id u v) ())
+    edges;
+  { t with removed = Some removed }
+
+let removed_count t =
+  match t.removed with None -> 0 | Some removed -> Hashtbl.length removed
+
+let vertex_alive t v =
+  Topology.Graph.check_vertex t.graph v;
+  match t.site_p with
+  | None -> true
+  | Some sp -> Prng.Coin.bernoulli ~seed:(site_seed t.seed) ~p:sp v
+
+let is_open t u v =
+  let id = t.graph.Topology.Graph.edge_id u v in
+  (match t.removed with
+  | Some removed -> not (Hashtbl.mem removed id)
+  | None -> true)
+  && vertex_alive t u && vertex_alive t v
+  && Prng.Coin.bernoulli ~seed:t.seed ~p:t.p id
+
+let open_neighbors t v =
+  t.graph.Topology.Graph.neighbors v
+  |> Array.to_list
+  |> List.filter (fun w -> is_open t v w)
+  |> Array.of_list
+
+let open_degree t v = Array.length (open_neighbors t v)
+
+let count_open_edges t =
+  let count = ref 0 in
+  Topology.Graph.iter_edges t.graph (fun u v -> if is_open t u v then incr count);
+  !count

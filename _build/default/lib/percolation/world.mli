@@ -1,0 +1,65 @@
+(** A percolation world: a topology together with a retention probability
+    and a seed that jointly determine the open/closed state of every edge.
+
+    The state of an edge is a pure function of [(seed, edge id)]
+    ({!Prng.Coin}), so a world needs O(1) memory regardless of graph
+    size, every observer of the same world sees the same states, and
+    worlds built with the same seed but larger [p] contain each other
+    monotonically (a standard coupling, handy for threshold scans).
+
+    For the {e worst-case} fault model of the paper's introduction a
+    world can additionally carry a set of adversarially removed edges
+    ({!remove_edges}): those are closed regardless of their coins, and
+    everything downstream — oracles, routers, reveals, censuses —
+    behaves identically over the overlaid world. *)
+
+type t = private {
+  graph : Topology.Graph.t;
+  p : float;
+  seed : int64;
+  removed : (int, unit) Hashtbl.t option;  (** Adversarial deletions. *)
+  site_p : float option;  (** Vertex survival probability, if sites fail. *)
+}
+
+val create : ?site_p:float -> Topology.Graph.t -> p:float -> seed:int64 -> t
+(** [create graph ~p ~seed] is a bond-percolation world. With
+    [?site_p:q], vertices additionally fail independently (survive with
+    probability [q], the {e site} model of Hastad–Leighton–Newman's node
+    faults): an edge is open iff both endpoints are alive {e and} its
+    own coin succeeds. Pure site percolation is [~p:1.0 ?site_p].
+    Vertex coins live in a separate seed namespace, independent of the
+    edge coins.
+    @raise Invalid_argument if [p] or [site_p] is outside [\[0, 1\]]. *)
+
+val graph : t -> Topology.Graph.t
+val p : t -> float
+val seed : t -> int64
+
+val remove_edges : t -> (int * int) list -> t
+(** [remove_edges w edges] is [w] with the listed edges forced closed
+    (cumulative with any earlier removals; [w] itself is unchanged).
+    @raise Topology.Graph.Not_an_edge if a pair is not an edge. *)
+
+val removed_count : t -> int
+(** Number of adversarially removed edges. *)
+
+val site_p : t -> float option
+(** The vertex survival probability, when sites fail. *)
+
+val vertex_alive : t -> int -> bool
+(** Whether a vertex survived site percolation (always [true] in a
+    bond-only world). A dead vertex has every incident edge closed.
+    @raise Invalid_argument if the vertex is out of range. *)
+
+val is_open : t -> int -> int -> bool
+(** [is_open w u v] is the state of edge [{u,v}].
+    @raise Topology.Graph.Not_an_edge if they are not adjacent. *)
+
+val open_neighbors : t -> int -> int array
+(** Adjacent vertices reachable through open edges — adjacency in the
+    percolated graph [G_p]. *)
+
+val open_degree : t -> int -> int
+
+val count_open_edges : t -> int
+(** Number of open edges, by enumeration (small graphs only). *)

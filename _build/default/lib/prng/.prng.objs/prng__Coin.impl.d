@@ -1,0 +1,1 @@
+lib/prng/coin.ml: Int64 Splitmix64

@@ -1,0 +1,12 @@
+let hash64 ~seed id =
+  let z = Int64.add seed (Int64.mul Splitmix64.golden_gamma (Int64.of_int id)) in
+  Splitmix64.mix (Splitmix64.mix z)
+
+let uniform ~seed id =
+  let bits = Int64.shift_right_logical (hash64 ~seed id) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let bernoulli ~seed ~p id = uniform ~seed id < p
+
+let derive seed label =
+  Splitmix64.mix (Int64.logxor (Splitmix64.mix seed) (Int64.mul 0xD1342543DE82EF95L (Int64.of_int label)))

@@ -1,0 +1,36 @@
+(** SplitMix64 pseudo-random generator (Steele, Lea & Flood 2014).
+
+    A tiny, fast, well-distributed 64-bit generator. It serves two roles in
+    this project: seeding larger-state generators ({!Xoshiro256}) and, via
+    its finalizer {!mix}, hashing structured identifiers (edge ids) into
+    independent-looking 64-bit values for lazy percolation coins. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] initialises a generator from an arbitrary 64-bit seed.
+    Distinct seeds yield independent-looking streams. *)
+
+val copy : t -> t
+(** [copy t] is a generator with the same state that evolves separately. *)
+
+val next : t -> int64
+(** [next t] advances the state and returns the next 64-bit output. *)
+
+val next_int_in : t -> int -> int
+(** [next_int_in t bound] is a uniform integer in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val next_float : t -> float
+(** [next_float t] is a uniform float in [\[0, 1)] with 53 bits of
+    precision. *)
+
+val mix : int64 -> int64
+(** [mix z] is the stateless SplitMix64 finalizer: a bijective avalanche
+    mixing of [z]. Used to derive per-edge coins from [(seed, edge_id)]
+    pairs without storing any state. *)
+
+val golden_gamma : int64
+(** The odd constant [0x9E3779B97F4A7C15] (2{^64} / golden ratio) used as
+    the SplitMix64 stream increment. *)

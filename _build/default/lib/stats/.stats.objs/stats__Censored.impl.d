@@ -1,0 +1,1 @@
+lib/stats/censored.ml: Array Format List Stdlib

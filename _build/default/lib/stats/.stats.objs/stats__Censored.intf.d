@@ -1,0 +1,1 @@
+lib/stats/censored.mli: Format

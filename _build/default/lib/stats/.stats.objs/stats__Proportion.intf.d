@@ -1,0 +1,1 @@
+lib/stats/proportion.mli: Format

@@ -1,0 +1,25 @@
+let ci stream ?(replicates = 1000) ?(confidence = 0.95) ~statistic xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Bootstrap.ci: empty sample";
+  if replicates < 1 then invalid_arg "Bootstrap.ci: replicates must be >= 1";
+  if not (confidence > 0.0 && confidence < 1.0) then
+    invalid_arg "Bootstrap.ci: confidence outside (0,1)";
+  let resample = Array.make n 0.0 in
+  let estimates =
+    Array.init replicates (fun _ ->
+        for i = 0 to n - 1 do
+          resample.(i) <- xs.(Prng.Stream.int_in stream n)
+        done;
+        statistic resample)
+  in
+  let alpha = (1.0 -. confidence) /. 2.0 in
+  Array.sort compare estimates;
+  (Quantile.of_sorted estimates alpha, Quantile.of_sorted estimates (1.0 -. alpha))
+
+let mean_of xs = Summary.mean (Summary.of_array xs)
+
+let mean_ci stream ?replicates ?confidence xs =
+  ci stream ?replicates ?confidence ~statistic:mean_of xs
+
+let median_ci stream ?replicates ?confidence xs =
+  ci stream ?replicates ?confidence ~statistic:Quantile.median xs

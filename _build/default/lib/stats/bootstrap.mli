@@ -1,0 +1,26 @@
+(** Non-parametric bootstrap confidence intervals.
+
+    Heavy-tailed routing-complexity samples (the hypercube near its
+    transition) make normal-theory intervals unreliable; the percentile
+    bootstrap makes no distributional assumption. *)
+
+val ci :
+  Prng.Stream.t ->
+  ?replicates:int ->
+  ?confidence:float ->
+  statistic:(float array -> float) ->
+  float array ->
+  float * float
+(** [ci stream ~statistic xs] is a percentile-bootstrap confidence
+    interval (default [confidence = 0.95], [replicates = 1000]) for
+    [statistic] of the distribution underlying the sample [xs].
+    @raise Invalid_argument if [xs] is empty, [replicates < 1] or
+    [confidence] outside (0,1). *)
+
+val mean_ci :
+  Prng.Stream.t -> ?replicates:int -> ?confidence:float -> float array -> float * float
+(** Bootstrap interval for the mean. *)
+
+val median_ci :
+  Prng.Stream.t -> ?replicates:int -> ?confidence:float -> float array -> float * float
+(** Bootstrap interval for the median. *)

@@ -1,0 +1,71 @@
+type observation = Exact of float | At_least of float
+
+type t = { observations : observation list; size : int; censored : int }
+
+let empty = { observations = []; size = 0; censored = 0 }
+
+let add t obs =
+  {
+    observations = obs :: t.observations;
+    size = t.size + 1;
+    censored = (t.censored + match obs with Exact _ -> 0 | At_least _ -> 1);
+  }
+
+let of_list observations = List.fold_left add empty observations
+
+let count t = t.size
+let censored_count t = t.censored
+
+let censored_fraction t =
+  if t.size = 0 then nan else float_of_int t.censored /. float_of_int t.size
+
+let value_of = function Exact x -> x | At_least x -> x
+
+(* Sort by substituted value, breaking ties so that exact observations come
+   before censored ones at the same value (a censored value is >= bound). *)
+let sorted t =
+  let arr = Array.of_list t.observations in
+  Array.sort
+    (fun a b ->
+      match compare (value_of a) (value_of b) with
+      | 0 -> ( match (a, b) with
+          | Exact _, At_least _ -> -1
+          | At_least _, Exact _ -> 1
+          | Exact _, Exact _ | At_least _, At_least _ -> 0)
+      | c -> c)
+    arr;
+  arr
+
+let quantile t q =
+  if t.size = 0 || not (q >= 0.0 && q <= 1.0) then None
+  else begin
+    let arr = sorted t in
+    let index =
+      Stdlib.min (t.size - 1) (int_of_float (floor (q *. float_of_int t.size)))
+    in
+    (* If any censored observation sits at or below the quantile position,
+       the reported value is only a lower bound. *)
+    let rec censored_before i =
+      if i > index then false
+      else match arr.(i) with At_least _ -> true | Exact _ -> censored_before (i + 1)
+    in
+    let v = value_of arr.(index) in
+    if censored_before 0 then Some (At_least v) else Some (Exact v)
+  end
+
+let median t = quantile t 0.5
+
+let mean_lower_bound t =
+  if t.size = 0 then nan
+  else
+    List.fold_left (fun acc obs -> acc +. value_of obs) 0.0 t.observations
+    /. float_of_int t.size
+
+let exact_values t =
+  t.observations
+  |> List.filter_map (function Exact x -> Some x | At_least _ -> None)
+  |> Array.of_list
+
+let pp_observation ppf = function
+  | Exact x -> Format.fprintf ppf "%.4g" x
+  | At_least x -> Format.fprintf ppf "\xe2\x89\xa5%.4g" x

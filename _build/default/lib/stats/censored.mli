@@ -1,0 +1,45 @@
+(** Right-censored samples.
+
+    Exponential-regime routing experiments cap each trial at a probe
+    budget; a trial that exhausts the budget only tells us the true
+    complexity is [>= budget]. This module keeps exact and censored
+    observations together and computes the statistics that remain valid
+    under censoring. *)
+
+type observation = Exact of float | At_least of float
+
+type t
+(** An accumulated censored sample. *)
+
+val empty : t
+val add : t -> observation -> t
+val of_list : observation list -> t
+
+val count : t -> int
+(** Total number of observations. *)
+
+val censored_count : t -> int
+(** Number of [At_least] observations. *)
+
+val censored_fraction : t -> float
+(** [censored_count / count]; [nan] when empty. *)
+
+val median : t -> observation option
+(** The sample median treating each [At_least b] as the value [b] (every
+    censored value is in truth [>= b], so a censored median is a valid
+    lower bound). Returns [None] when empty; returns [At_least m] when the
+    median position lands on or beyond censored mass, i.e. when more than
+    half the sample is censored or the midpoint itself is censored. *)
+
+val quantile : t -> float -> observation option
+(** Generalisation of {!median} to any quantile in [\[0,1\]]. *)
+
+val mean_lower_bound : t -> float
+(** Mean obtained by substituting each censored observation with its
+    bound — a valid lower bound on the true mean. [nan] when empty. *)
+
+val exact_values : t -> float array
+(** The uncensored observations only. *)
+
+val pp_observation : Format.formatter -> observation -> unit
+(** Prints ["x"] or ["≥x"]. *)

@@ -1,0 +1,68 @@
+type scale = Linear of { lo : float; width : float } | Log2 of { lo : float }
+
+type t = {
+  scale : scale;
+  counts : int array;
+  mutable underflow : int;
+  mutable overflow : int;
+}
+
+let bucket_index t x =
+  match t.scale with
+  | Linear { lo; width } ->
+      if x < lo then -1 else int_of_float (floor ((x -. lo) /. width))
+  | Log2 { lo } -> if x < lo then -1 else int_of_float (floor (log (x /. lo) /. log 2.0))
+
+let insert t x =
+  let i = bucket_index t x in
+  if i < 0 then t.underflow <- t.underflow + 1
+  else if i >= Array.length t.counts then t.overflow <- t.overflow + 1
+  else t.counts.(i) <- t.counts.(i) + 1
+
+let populate t xs =
+  Array.iter (insert t) xs;
+  t
+
+let linear ~lo ~hi ~bins xs =
+  if bins < 1 then invalid_arg "Histogram.linear: bins must be >= 1";
+  if hi <= lo then invalid_arg "Histogram.linear: need hi > lo";
+  let width = (hi -. lo) /. float_of_int bins in
+  populate
+    { scale = Linear { lo; width }; counts = Array.make bins 0; underflow = 0; overflow = 0 }
+    xs
+
+let log2 ~lo ~buckets xs =
+  if lo <= 0.0 then invalid_arg "Histogram.log2: lo must be positive";
+  if buckets < 1 then invalid_arg "Histogram.log2: buckets must be >= 1";
+  populate
+    { scale = Log2 { lo }; counts = Array.make buckets 0; underflow = 0; overflow = 0 }
+    xs
+
+let counts t = Array.copy t.counts
+let underflow t = t.underflow
+let overflow t = t.overflow
+
+let bucket_bounds t i =
+  match t.scale with
+  | Linear { lo; width } ->
+      (lo +. (float_of_int i *. width), lo +. (float_of_int (i + 1) *. width))
+  | Log2 { lo } -> (lo *. (2.0 ** float_of_int i), lo *. (2.0 ** float_of_int (i + 1)))
+
+let total t = Array.fold_left ( + ) (t.underflow + t.overflow) t.counts
+
+let render ?(width = 50) t =
+  let peak = Array.fold_left Stdlib.max 1 t.counts in
+  let buffer = Buffer.create 256 in
+  if t.underflow > 0 then
+    Buffer.add_string buffer (Printf.sprintf "%16s | %d\n" "(underflow)" t.underflow);
+  Array.iteri
+    (fun i count ->
+      let lo, hi = bucket_bounds t i in
+      let bar_len = count * width / peak in
+      Buffer.add_string buffer
+        (Printf.sprintf "[%7.4g, %7.4g) | %-*s %d\n" lo hi width (String.make bar_len '#')
+           count))
+    t.counts;
+  if t.overflow > 0 then
+    Buffer.add_string buffer (Printf.sprintf "%16s | %d\n" "(overflow)" t.overflow);
+  Buffer.contents buffer

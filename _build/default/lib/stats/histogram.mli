@@ -1,0 +1,32 @@
+(** Histograms with linear or logarithmic binning, plus ASCII rendering
+    for experiment reports. *)
+
+type t
+(** A populated histogram. *)
+
+val linear : lo:float -> hi:float -> bins:int -> float array -> t
+(** [linear ~lo ~hi ~bins xs] bins [xs] into [bins] equal-width buckets on
+    [\[lo, hi)]; observations outside the range are counted in underflow /
+    overflow buckets.
+    @raise Invalid_argument if [bins < 1] or [hi <= lo]. *)
+
+val log2 : lo:float -> buckets:int -> float array -> t
+(** [log2 ~lo ~buckets xs] bins positive values into doubling buckets
+    [\[lo·2^i, lo·2^(i+1))]. Suited to routing-complexity samples spanning
+    orders of magnitude.
+    @raise Invalid_argument if [lo <= 0.0] or [buckets < 1]. *)
+
+val counts : t -> int array
+(** Per-bucket counts (excluding under/overflow). *)
+
+val underflow : t -> int
+val overflow : t -> int
+
+val bucket_bounds : t -> int -> float * float
+(** [bucket_bounds t i] is the half-open interval covered by bucket [i]. *)
+
+val total : t -> int
+(** All observations, including under/overflow. *)
+
+val render : ?width:int -> t -> string
+(** [render t] is a multi-line ASCII bar chart, one row per bucket. *)

@@ -1,0 +1,32 @@
+type t = { successes : int; trials : int }
+
+let make ~successes ~trials =
+  if trials < 0 then invalid_arg "Proportion.make: trials must be non-negative";
+  if successes < 0 || successes > trials then
+    invalid_arg "Proportion.make: successes outside [0, trials]";
+  { successes; trials }
+
+let estimate t =
+  if t.trials = 0 then nan else float_of_int t.successes /. float_of_int t.trials
+
+let wilson_ci ?(z = 1.96) t =
+  if t.trials = 0 then (0.0, 1.0)
+  else begin
+    let n = float_of_int t.trials in
+    let phat = estimate t in
+    let z2 = z *. z in
+    let denom = 1.0 +. (z2 /. n) in
+    let centre = (phat +. (z2 /. (2.0 *. n))) /. denom in
+    let half =
+      z *. sqrt ((phat *. (1.0 -. phat) /. n) +. (z2 /. (4.0 *. n *. n))) /. denom
+    in
+    (Float.max 0.0 (centre -. half), Float.min 1.0 (centre +. half))
+  end
+
+let within t ~lo ~hi =
+  let ci_lo, ci_hi = wilson_ci t in
+  ci_lo <= hi && ci_hi >= lo
+
+let pp ppf t =
+  let lo, hi = wilson_ci t in
+  Format.fprintf ppf "%d/%d = %.3f [%.3f, %.3f]" t.successes t.trials (estimate t) lo hi

@@ -1,0 +1,25 @@
+(** Estimation of binomial proportions.
+
+    Used for connectivity probabilities ([P\[u ~ v\]], giant-component
+    presence) where the experiment observes [successes] out of [trials]. *)
+
+type t = { successes : int; trials : int }
+
+val make : successes:int -> trials:int -> t
+(** @raise Invalid_argument if [trials < 0] or [successes] outside
+    [\[0, trials\]]. *)
+
+val estimate : t -> float
+(** Point estimate [successes / trials]; [nan] when [trials = 0]. *)
+
+val wilson_ci : ?z:float -> t -> float * float
+(** [wilson_ci t] is the Wilson score interval for the underlying
+    probability, default [z = 1.96] (95%). Well-behaved at 0 and 1, unlike
+    the normal approximation. *)
+
+val within : t -> lo:float -> hi:float -> bool
+(** [within t ~lo ~hi] tests whether the Wilson 95% interval intersects
+    [\[lo, hi\]] — a tolerant statistical assertion for tests. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints ["k/n = est [lo, hi]"]. *)

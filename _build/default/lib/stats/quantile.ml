@@ -1,0 +1,29 @@
+let of_sorted xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Quantile.of_sorted: empty array";
+  if not (q >= 0.0 && q <= 1.0) then invalid_arg "Quantile.of_sorted: q outside [0,1]";
+  if n = 1 then xs.(0)
+  else begin
+    let position = q *. float_of_int (n - 1) in
+    let below = int_of_float (floor position) in
+    let above = Stdlib.min (below + 1) (n - 1) in
+    let frac = position -. float_of_int below in
+    xs.(below) +. (frac *. (xs.(above) -. xs.(below)))
+  end
+
+let sorted_copy xs =
+  let copy = Array.copy xs in
+  Array.sort compare copy;
+  copy
+
+let quantile xs q = of_sorted (sorted_copy xs) q
+let median xs = quantile xs 0.5
+
+let quantiles xs qs =
+  let sorted = sorted_copy xs in
+  List.map (of_sorted sorted) qs
+
+let iqr xs =
+  match quantiles xs [ 0.25; 0.75 ] with
+  | [ low; high ] -> high -. low
+  | _ -> assert false

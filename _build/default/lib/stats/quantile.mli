@@ -1,0 +1,19 @@
+(** Empirical quantiles with linear interpolation (Hyndman–Fan type 7,
+    the R and NumPy default). *)
+
+val of_sorted : float array -> float -> float
+(** [of_sorted xs q] is the [q]-quantile of the already-sorted array [xs],
+    [0.0 <= q <= 1.0], interpolating linearly between order statistics.
+    @raise Invalid_argument if [xs] is empty or [q] outside [\[0,1\]]. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs q] sorts a copy of [xs] and applies {!of_sorted}. *)
+
+val median : float array -> float
+(** [median xs] is [quantile xs 0.5]. *)
+
+val quantiles : float array -> float list -> float list
+(** [quantiles xs qs] computes several quantiles with a single sort. *)
+
+val iqr : float array -> float
+(** Interquartile range, [quantile 0.75 - quantile 0.25]. *)

@@ -1,0 +1,53 @@
+type fit = { slope : float; intercept : float; r_squared : float; n : int }
+
+let linear points =
+  let n = List.length points in
+  if n < 2 then invalid_arg "Regression.linear: need at least two points";
+  let fn = float_of_int n in
+  let sum_x = List.fold_left (fun acc (x, _) -> acc +. x) 0.0 points in
+  let sum_y = List.fold_left (fun acc (_, y) -> acc +. y) 0.0 points in
+  let mean_x = sum_x /. fn and mean_y = sum_y /. fn in
+  let sxx = List.fold_left (fun acc (x, _) -> acc +. ((x -. mean_x) ** 2.0)) 0.0 points in
+  let sxy =
+    List.fold_left (fun acc (x, y) -> acc +. ((x -. mean_x) *. (y -. mean_y))) 0.0 points
+  in
+  let syy = List.fold_left (fun acc (_, y) -> acc +. ((y -. mean_y) ** 2.0)) 0.0 points in
+  if sxx = 0.0 then invalid_arg "Regression.linear: zero variance in x";
+  let slope = sxy /. sxx in
+  let intercept = mean_y -. (slope *. mean_x) in
+  let ss_res =
+    List.fold_left
+      (fun acc (x, y) ->
+        let err = y -. ((slope *. x) +. intercept) in
+        acc +. (err *. err))
+      0.0 points
+  in
+  let r_squared = if syy = 0.0 then 1.0 else 1.0 -. (ss_res /. syy) in
+  { slope; intercept; r_squared; n }
+
+let power_law points =
+  let transformed =
+    List.map
+      (fun (x, y) ->
+        if x <= 0.0 || y <= 0.0 then
+          invalid_arg "Regression.power_law: coordinates must be positive";
+        (log x, log y))
+      points
+  in
+  linear transformed
+
+let exponential points =
+  let transformed =
+    List.map
+      (fun (x, y) ->
+        if y <= 0.0 then invalid_arg "Regression.exponential: y must be positive";
+        (x, log y))
+      points
+  in
+  linear transformed
+
+let predict fit x = (fit.slope *. x) +. fit.intercept
+
+let pp ppf fit =
+  Format.fprintf ppf "slope=%.4f intercept=%.4f R\xc2\xb2=%.4f (n=%d)" fit.slope
+    fit.intercept fit.r_squared fit.n

@@ -1,0 +1,37 @@
+(** Ordinary least-squares fits.
+
+    The experiments validate asymptotic claims by fitting scaling laws:
+    a power law [y = C·x^b] becomes the linear fit [log y = log C + b·log x],
+    and an exponential law [y = C·r^x] becomes [log y = log C + x·log r].
+    The fitted slope is the measured exponent / rate compared against the
+    paper's claim. *)
+
+type fit = {
+  slope : float;
+  intercept : float;
+  r_squared : float;  (** Coefficient of determination of the fit. *)
+  n : int;  (** Number of points used. *)
+}
+
+val linear : (float * float) list -> fit
+(** [linear points] is the least-squares line through [points].
+    @raise Invalid_argument on fewer than two points or zero x-variance. *)
+
+val power_law : (float * float) list -> fit
+(** [power_law points] fits [y = C·x^slope] by linear regression in
+    log–log space; [intercept] is [log C]. Points with non-positive
+    coordinates are rejected.
+    @raise Invalid_argument if any coordinate is non-positive. *)
+
+val exponential : (float * float) list -> fit
+(** [exponential points] fits [y = C·exp(slope·x)] by regression of
+    [log y] on [x].
+    @raise Invalid_argument if any [y] is non-positive. *)
+
+val predict : fit -> float -> float
+(** [predict fit x] evaluates the fitted {e linear} model
+    [slope·x + intercept]. For power-law and exponential fits apply it in
+    the transformed space. *)
+
+val pp : Format.formatter -> fit -> unit
+(** Prints ["slope=… intercept=… R²=… (n=…)"]. *)

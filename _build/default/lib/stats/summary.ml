@@ -1,0 +1,51 @@
+type t = {
+  count : int;
+  mean : float;
+  m2 : float; (* sum of squared deviations from the running mean *)
+  min : float;
+  max : float;
+}
+
+let empty = { count = 0; mean = 0.0; m2 = 0.0; min = nan; max = nan }
+
+let add t x =
+  let count = t.count + 1 in
+  let delta = x -. t.mean in
+  let mean = t.mean +. (delta /. float_of_int count) in
+  let m2 = t.m2 +. (delta *. (x -. mean)) in
+  let min = if t.count = 0 then x else Float.min t.min x in
+  let max = if t.count = 0 then x else Float.max t.max x in
+  { count; mean; m2; min; max }
+
+let merge a b =
+  if a.count = 0 then b
+  else if b.count = 0 then a
+  else begin
+    let count = a.count + b.count in
+    let delta = b.mean -. a.mean in
+    let fa = float_of_int a.count and fb = float_of_int b.count in
+    let mean = a.mean +. (delta *. fb /. float_of_int count) in
+    let m2 = a.m2 +. b.m2 +. (delta *. delta *. fa *. fb /. float_of_int count) in
+    { count; mean; m2; min = Float.min a.min b.min; max = Float.max a.max b.max }
+  end
+
+let of_array xs = Array.fold_left add empty xs
+let count t = t.count
+let mean t = if t.count = 0 then nan else t.mean
+let variance t = if t.count < 2 then nan else t.m2 /. float_of_int (t.count - 1)
+let stddev t = sqrt (variance t)
+
+let std_error t =
+  if t.count < 2 then nan else stddev t /. sqrt (float_of_int t.count)
+
+let min t = t.min
+let max t = t.max
+let total t = t.mean *. float_of_int t.count
+
+let mean_ci95 t =
+  let se = std_error t in
+  (mean t -. (1.96 *. se), mean t +. (1.96 *. se))
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g" t.count (mean t)
+    (stddev t) t.min t.max

@@ -1,0 +1,1 @@
+lib/topology/binary_tree.ml: Array Graph Printf

@@ -1,0 +1,1 @@
+lib/topology/binary_tree.mli: Graph

@@ -1,0 +1,1 @@
+lib/topology/cycle_matching.ml: Array Graph List Printf Prng

@@ -1,0 +1,1 @@
+lib/topology/cycle_matching.mli: Graph Prng

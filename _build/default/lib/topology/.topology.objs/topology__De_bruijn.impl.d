@@ -1,0 +1,1 @@
+lib/topology/de_bruijn.ml: Array Graph List Printf

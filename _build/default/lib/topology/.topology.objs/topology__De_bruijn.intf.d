@@ -1,0 +1,1 @@
+lib/topology/de_bruijn.mli: Graph

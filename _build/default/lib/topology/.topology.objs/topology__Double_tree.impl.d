@@ -1,0 +1,1 @@
+lib/topology/double_tree.ml: Array Binary_tree Graph Printf

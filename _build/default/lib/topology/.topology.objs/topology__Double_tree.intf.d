@@ -1,0 +1,1 @@
+lib/topology/double_tree.mli: Graph

@@ -1,0 +1,1 @@
+lib/topology/mincut.ml: Array Graph Hashtbl Queue

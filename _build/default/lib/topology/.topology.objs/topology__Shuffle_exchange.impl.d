@@ -1,0 +1,1 @@
+lib/topology/shuffle_exchange.ml: Array Graph List Printf

@@ -1,0 +1,1 @@
+lib/topology/small_world.ml: Array Graph List Mesh Printf Prng

@@ -1,0 +1,1 @@
+lib/topology/small_world.mli: Graph Prng

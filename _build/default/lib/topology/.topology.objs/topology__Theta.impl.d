@@ -1,0 +1,1 @@
+lib/topology/theta.ml: Array Graph Printf

@@ -1,0 +1,1 @@
+lib/topology/theta.mli: Graph

@@ -1,0 +1,1 @@
+lib/topology/torus.ml: Array Graph List Mesh Printf

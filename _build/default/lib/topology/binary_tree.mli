@@ -1,0 +1,30 @@
+(** The complete binary tree of depth [n].
+
+    Vertices use heap numbering shifted to zero: vertex [v] corresponds to
+    heap index [v + 1]; the root is vertex 0 and the leaves are the
+    [2^n] vertices of depth [n]. A building block for {!Double_tree} and
+    a simple substrate for Galton–Watson-style percolation tests (the
+    critical probability of edge percolation on the binary tree is 1/2). *)
+
+val graph : int -> Graph.t
+(** [graph n] is the depth-[n] complete binary tree with [2^(n+1) - 1]
+    vertices. @raise Invalid_argument unless [1 <= n <= 28]. *)
+
+val root : int
+(** The root vertex (0). *)
+
+val depth_of : int -> int
+(** [depth_of v] is the depth of vertex [v] (root has depth 0). *)
+
+val parent : int -> int option
+(** [parent v] is [None] for the root. *)
+
+val children : n:int -> int -> (int * int) option
+(** [children ~n v] is [Some (left, right)] unless [v] is a leaf of the
+    depth-[n] tree. *)
+
+val is_leaf : n:int -> int -> bool
+(** Whether [v] has depth [n]. *)
+
+val leaves : n:int -> int array
+(** The [2^n] leaves in left-to-right order. *)

@@ -1,0 +1,20 @@
+(** The wrapped butterfly network [BF(n)].
+
+    Vertices are pairs (level, row) with [level ∈ \[0,n)] and
+    [row ∈ \[0, 2^n)]; vertex ids are [level·2^n + row]. Each vertex has
+    a {e straight} edge to [(level+1 mod n, row)] and a {e cross} edge to
+    [(level+1 mod n, row xor 2^level)]; degree is 4. The butterfly's
+    fault tolerance is studied by Karlin–Nelson–Tamaki and
+    Cole–Maggs–Sitaraman (paper's related work); it is also a Section 6
+    candidate family. *)
+
+val graph : int -> Graph.t
+(** [graph n] is [BF(n)] with [n·2^n] vertices.
+    @raise Invalid_argument unless [3 <= n <= 24] (n < 3 creates
+    parallel edges in the wrapped construction). *)
+
+val vertex : n:int -> level:int -> row:int -> int
+(** Packs (level, row) into a vertex id. *)
+
+val level_of : n:int -> int -> int
+val row_of : n:int -> int -> int

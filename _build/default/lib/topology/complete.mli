@@ -1,0 +1,14 @@
+(** The complete graph [K_n].
+
+    Percolating [K_n] with retention probability [p] yields exactly the
+    Erdős–Rényi random graph [G_{n,p}] — the "faulty complete graph" of
+    Section 5, where local routing costs [Ω(n²)] probes (Theorem 10) and
+    oracle routing [Θ(n^{3/2})] (Theorem 11). *)
+
+val graph : int -> Graph.t
+(** [graph n] is [K_n].
+    @raise Invalid_argument unless [2 <= n] and [n(n-1)/2] fits an int. *)
+
+val edge_id_of_pair : int -> int -> int
+(** [edge_id_of_pair u v] for [u <> v] is the triangular-number id
+    [max(max-1)/2 + min] — the same ids the graph uses. *)

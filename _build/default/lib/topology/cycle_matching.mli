@@ -1,0 +1,22 @@
+(** A cycle plus a uniformly random perfect matching.
+
+    Bollobás–Chung (1988): the [n]-cycle augmented with a random perfect
+    matching has diameter [Θ(log n)], yet (Kleinberg 2000) no local
+    algorithm can find such short paths — the phenomenon that motivates
+    the paper's distinction between path {e existence} and path
+    {e findability}. Included as a structurally-random companion
+    topology for the exploratory experiments of Section 6.
+
+    Unlike the other topologies the randomness here is structural (which
+    matching), not percolation; the matching is drawn once at
+    construction time from the supplied stream. *)
+
+val create : Prng.Stream.t -> int -> Graph.t * (int -> int)
+(** [create stream n] is the [n]-cycle plus a random perfect matching,
+    together with the matching itself as a fixed-point-free involution.
+    When the matching happens to pair cycle-adjacent vertices the chord
+    is dropped so the graph stays simple (those vertices have degree 2).
+    @raise Invalid_argument unless [n] is even and [n >= 4]. *)
+
+val graph : Prng.Stream.t -> int -> Graph.t
+(** [graph stream n] is [fst (create stream n)]. *)

@@ -1,0 +1,16 @@
+(** The undirected binary De Bruijn graph [B(2, n)].
+
+    Vertices are [n]-bit words; [x] is joined to its shifts
+    [(2x + b) mod 2^n]. One of the constant-degree, logarithmic-diameter
+    families named in Section 6's open problem about coinciding
+    percolation and routing thresholds. Self-loops (at [0] and at the
+    all-ones word) are removed, and coinciding shift edges are merged,
+    so the graph is simple with degree at most 4. *)
+
+val graph : int -> Graph.t
+(** [graph n] is [B(2, n)] on [2^n] vertices.
+    @raise Invalid_argument unless [2 <= n <= 28]. *)
+
+val shift : n:int -> int -> int -> int
+(** [shift ~n x b] is [((x lsl 1) lor b) mod 2^n], the out-shift of [x]
+    with incoming bit [b]. *)

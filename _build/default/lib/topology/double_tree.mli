@@ -1,0 +1,39 @@
+(** The double binary tree [TT_n] (paper, Section 2.1).
+
+    Two complete binary trees of depth [n] with their leaves identified
+    pairwise. Root-to-root connectivity under edge percolation has
+    threshold [p = 1/√2] (Lemma 6); any local router between the roots
+    needs [≈ p^{-n}] probes (Theorem 7) while an oracle router that
+    probes mirror edge pairs needs only [O(n)] (Theorem 9).
+
+    Vertex layout: tree-1 internal vertices first ([2^n - 1] of them,
+    root first in heap order), then the [2^n] shared leaves, then the
+    tree-2 internal vertices ([2^n - 1], root first). *)
+
+type role = Internal1 | Leaf | Internal2
+
+val graph : int -> Graph.t
+(** [graph n] is [TT_n] with [3·2^n - 2] vertices.
+    @raise Invalid_argument unless [1 <= n <= 27]. *)
+
+val root1 : int
+(** The root of the first tree (vertex 0). *)
+
+val root2 : n:int -> int
+(** The root of the second tree. *)
+
+val role_of : n:int -> int -> role
+(** Which of the three vertex classes a vertex belongs to. *)
+
+val leaf : n:int -> int -> int
+(** [leaf ~n j] is the [j]-th shared leaf, [0 <= j < 2^n]. *)
+
+val mirror_edge : n:int -> int -> int -> int * int
+(** [mirror_edge ~n u v] is the corresponding edge in the {e other} tree:
+    the tree-2 copy of a tree-1 edge and vice versa. Together with the
+    edge itself it forms the "edge pair" probed by the Theorem 9 oracle
+    router. @raise Graph.Not_an_edge if [(u,v)] is not an edge. *)
+
+val depth_of : n:int -> int -> int
+(** Distance from the nearer root: internal vertices of either tree have
+    their in-tree depth; leaves have depth [n]. *)

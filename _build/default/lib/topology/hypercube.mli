@@ -1,0 +1,36 @@
+(** The [n]-dimensional hypercube [H_n].
+
+    Vertices are the bit strings [0 .. 2^n - 1]; [x] and [y] are adjacent
+    iff they differ in exactly one bit. Distance is the Hamming distance.
+    This is the graph of Theorem 3: local routing on [H_{n,p}] with
+    [p = n^{-α}] undergoes a complexity phase transition at [α = 1/2]. *)
+
+val graph : int -> Graph.t
+(** [graph n] is [H_n].
+    @raise Invalid_argument unless [1 <= n <= 30]. *)
+
+val dimension : Graph.t -> int
+(** Recovers [n] from a hypercube built by {!graph}. *)
+
+val hamming : int -> int -> int
+(** [hamming x y] is the number of differing bits. *)
+
+val flip : int -> int -> int
+(** [flip x i] toggles bit [i]. *)
+
+val antipode : n:int -> int -> int
+(** [antipode ~n x] is the vertex differing from [x] in all [n] bits. *)
+
+val fixed_path : n:int -> int -> int -> int list
+(** [fixed_path ~n u v] is the canonical shortest path from [u] to [v]
+    that corrects differing coordinates in increasing bit order —
+    the deterministic backbone used by the Theorem 3(ii) segment router.
+    Includes both endpoints; length [hamming u v + 1]. *)
+
+val fixed_path_desc : n:int -> int -> int -> int list
+(** Like {!fixed_path} but correcting coordinates in decreasing bit
+    order. An ablation backbone: the segment router's complexity should
+    be insensitive to the (arbitrary) choice of shortest path. *)
+
+val popcount : int -> int
+(** Number of set bits of a non-negative integer. *)

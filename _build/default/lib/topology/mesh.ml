@@ -1,0 +1,105 @@
+let checked_power ~d ~m =
+  let rec loop i acc =
+    if i = d then acc
+    else if acc > max_int / m then invalid_arg "Mesh.graph: m^d overflows"
+    else loop (i + 1) (acc * m)
+  in
+  loop 0 1
+
+let coords ~d ~m v =
+  let c = Array.make d 0 in
+  let rest = ref v in
+  for axis = 0 to d - 1 do
+    c.(axis) <- !rest mod m;
+    rest := !rest / m
+  done;
+  c
+
+let index ~m c =
+  Array.fold_right (fun coordinate acc -> (acc * m) + coordinate) c 0
+
+let l1_distance ~d ~m u v =
+  let cu = coords ~d ~m u and cv = coords ~d ~m v in
+  let total = ref 0 in
+  for axis = 0 to d - 1 do
+    total := !total + abs (cu.(axis) - cv.(axis))
+  done;
+  !total
+
+let fixed_path ~d ~m u v =
+  let cu = coords ~d ~m u and cv = coords ~d ~m v in
+  let current = Array.copy cu in
+  let acc = ref [ u ] in
+  for axis = 0 to d - 1 do
+    let step = if cv.(axis) > cu.(axis) then 1 else -1 in
+    while current.(axis) <> cv.(axis) do
+      current.(axis) <- current.(axis) + step;
+      acc := index ~m current :: !acc
+    done
+  done;
+  List.rev !acc
+
+let graph ~d ~m =
+  if d < 1 then invalid_arg "Mesh.graph: d must be >= 1";
+  if m < 2 then invalid_arg "Mesh.graph: m must be >= 2";
+  let size = checked_power ~d ~m in
+  let stride axis =
+    let rec loop i acc = if i = axis then acc else loop (i + 1) (acc * m) in
+    loop 0 1
+  in
+  let strides = Array.init d stride in
+  let neighbors v =
+    let c = coords ~d ~m v in
+    let out = ref [] in
+    for axis = d - 1 downto 0 do
+      if c.(axis) > 0 then out := (v - strides.(axis)) :: !out;
+      if c.(axis) < m - 1 then out := (v + strides.(axis)) :: !out
+    done;
+    Array.of_list !out
+  in
+  let degree v =
+    let c = coords ~d ~m v in
+    let deg = ref 0 in
+    for axis = 0 to d - 1 do
+      if c.(axis) > 0 then incr deg;
+      if c.(axis) < m - 1 then incr deg
+    done;
+    !deg
+  in
+  (* Edge along [axis] between v and v + stride(axis): id = v*d + axis
+     where v is the endpoint with the smaller coordinate. *)
+  let edge_id u v =
+    if u < 0 || v < 0 || u >= size || v >= size then raise (Graph.Not_an_edge (u, v));
+    let lo = min u v and hi = max u v in
+    let diff = hi - lo in
+    let rec find_axis axis =
+      if axis = d then raise (Graph.Not_an_edge (u, v))
+      else if diff = strides.(axis) then axis
+      else find_axis (axis + 1)
+    in
+    let axis = find_axis 0 in
+    (* Reject wraparound-looking pairs: the lower endpoint must not be on
+       the upper face of that axis boundary, i.e. coordinates must be
+       consistent (lo's coordinate on [axis] is < m-1 and hi = lo + 1). *)
+    let c = coords ~d ~m lo in
+    if c.(axis) >= m - 1 then raise (Graph.Not_an_edge (u, v));
+    (lo * d) + axis
+  in
+  {
+    Graph.name = Printf.sprintf "mesh(d=%d,m=%d)" d m;
+    vertex_count = size;
+    degree;
+    neighbors;
+    edge_id;
+    edge_id_bound = size * d;
+    distance = Some (l1_distance ~d ~m);
+  }
+
+let side g ~d =
+  let rec root candidate =
+    if checked_power ~d ~m:candidate >= g.Graph.vertex_count then candidate
+    else root (candidate + 1)
+  in
+  root 2
+
+let centre ~d ~m = index ~m (Array.make d (m / 2))

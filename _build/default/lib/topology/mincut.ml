@@ -1,0 +1,98 @@
+(* Residual representation for unit-capacity undirected graphs: each
+   undirected edge may carry one unit of flow in one direction. We store
+   the flow direction (if any) per canonical edge id. An arc u->v is
+   usable iff the edge currently carries no flow, or carries flow v->u
+   (cancelling). *)
+
+type residual = {
+  graph : Graph.t;
+  flow : (int, int) Hashtbl.t; (* edge id -> vertex the flow points AT *)
+}
+
+let arc_usable r u v =
+  let id = r.graph.Graph.edge_id u v in
+  match Hashtbl.find_opt r.flow id with
+  | None -> true
+  | Some toward -> toward = u (* cancelling an opposite unit *)
+
+let push_arc r u v =
+  let id = r.graph.Graph.edge_id u v in
+  match Hashtbl.find_opt r.flow id with
+  | None -> Hashtbl.replace r.flow id v
+  | Some toward ->
+      if toward = u then Hashtbl.remove r.flow id
+      else invalid_arg "Mincut.push_arc: arc saturated"
+
+(* BFS for an augmenting path in the residual graph. *)
+let augmenting_path r ~source ~sink =
+  let predecessor = Hashtbl.create 64 in
+  Hashtbl.replace predecessor source source;
+  let queue = Queue.create () in
+  Queue.push source queue;
+  let found = ref false in
+  while (not !found) && not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun v ->
+        if (not (Hashtbl.mem predecessor v)) && arc_usable r u v then begin
+          Hashtbl.replace predecessor v u;
+          if v = sink then found := true else Queue.push v queue
+        end)
+      (r.graph.Graph.neighbors u)
+  done;
+  if not !found then None
+  else begin
+    let rec walk v acc =
+      let prev = Hashtbl.find predecessor v in
+      if prev = v then v :: acc else walk prev (v :: acc)
+    in
+    Some (walk sink [])
+  end
+
+let solve g ~source ~sink =
+  Graph.check_vertex g source;
+  Graph.check_vertex g sink;
+  if source = sink then invalid_arg "Mincut: source = sink";
+  let r = { graph = g; flow = Hashtbl.create 256 } in
+  let value = ref 0 in
+  let rec augment () =
+    match augmenting_path r ~source ~sink with
+    | None -> ()
+    | Some path ->
+        let rec push = function
+          | u :: (v :: _ as rest) ->
+              push_arc r u v;
+              push rest
+          | [ _ ] | [] -> ()
+        in
+        push path;
+        incr value;
+        augment ()
+  in
+  augment ();
+  (r, !value)
+
+let max_flow g ~source ~sink = snd (solve g ~source ~sink)
+
+let min_cut g ~source ~sink =
+  let r, _ = solve g ~source ~sink in
+  (* Source side = vertices reachable in the final residual graph. *)
+  let side = Hashtbl.create 64 in
+  Hashtbl.replace side source ();
+  let queue = Queue.create () in
+  Queue.push source queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun v ->
+        if (not (Hashtbl.mem side v)) && arc_usable r u v then begin
+          Hashtbl.replace side v ();
+          Queue.push v queue
+        end)
+      (g.Graph.neighbors u)
+  done;
+  Graph.fold_edges g ~init:[] ~f:(fun acc u v ->
+      let u_in = Hashtbl.mem side u and v_in = Hashtbl.mem side v in
+      if u_in && not v_in then (u, v) :: acc
+      else if v_in && not u_in then (v, u) :: acc
+      else acc)

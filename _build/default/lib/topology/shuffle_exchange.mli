@@ -1,0 +1,17 @@
+(** The binary shuffle-exchange graph [SE(n)].
+
+    Vertices are [n]-bit words. {e Exchange} edges join [x] to
+    [x xor 1]; {e shuffle} edges join [x] to its left rotation. Another
+    of Section 6's constant-degree candidates. Self-loop shuffles (at
+    constant words) are removed; coinciding shuffle/exchange edges are
+    merged, so the graph is simple with degree at most 3. *)
+
+val graph : int -> Graph.t
+(** [graph n] is [SE(n)] on [2^n] vertices.
+    @raise Invalid_argument unless [2 <= n <= 28]. *)
+
+val rotate_left : n:int -> int -> int
+(** [rotate_left ~n x] rotates the [n]-bit word left by one. *)
+
+val rotate_right : n:int -> int -> int
+(** Inverse rotation. *)

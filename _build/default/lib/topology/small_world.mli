@@ -1,0 +1,26 @@
+(** Kleinberg's small-world lattice (STOC 2000), cited in the paper's
+    introduction as {e the} model separating the existence of short
+    paths from the ability to find them.
+
+    An [m × m] grid in which every node additionally owns one long-range
+    contact, drawn with probability proportional to
+    [d(u,v)^{-r}] (grid L1 distance). Kleinberg: decentralised greedy
+    routing takes [O(log² m)] steps iff [r = 2]; every other exponent
+    forces polynomial time even though short paths exist for all
+    [r ≤ 2]. The structural randomness (which contacts) comes from the
+    supplied stream — independent of any later percolation. *)
+
+val create : Prng.Stream.t -> m:int -> r:float -> Graph.t * (int -> int)
+(** [create stream ~m ~r] is the augmented grid and the contact map
+    (the long-range contact each node drew).
+
+    Deliberate deviation from {!Graph.t}'s [distance] convention: the
+    exposed metric is the {e lattice} L1 distance, not the true graph
+    distance — Kleinberg's model gives nodes exactly that knowledge, and
+    it is what decentralised greedy routing must steer by. True
+    distances can be shorter through the long links (use
+    {!Graph.bfs_distance} for those).
+    @raise Invalid_argument if [m < 3] or [r < 0]. *)
+
+val graph : Prng.Stream.t -> m:int -> r:float -> Graph.t
+(** [fst (create ...)]. *)

@@ -1,0 +1,25 @@
+(** The theta graph: [d] edge-disjoint parallel paths of length 2.
+
+    The illustrative example of Section 2 (the "birthday paradox" graph):
+    vertices [u = 0] and [v = 1] joined by [d] internally-disjoint
+    two-edge paths through middle vertices. With [p = 1/√d] both
+    endpoints see about [√d] open edges, so an open path exists with
+    probability bounded away from 0, yet by Lemma 5 a local router must
+    probe [Ω(d)] cut edges before finding one. *)
+
+val graph : int -> Graph.t
+(** [graph d] is the theta graph with [d + 2] vertices and [2d] edges.
+    @raise Invalid_argument if [d < 1]. *)
+
+val endpoint_u : int
+(** Vertex [u] (0). *)
+
+val endpoint_v : int
+(** Vertex [v] (1). *)
+
+val middle : int -> int
+(** [middle i] is the internal vertex of path [i], [0 <= i < d]. *)
+
+val connection_probability : d:int -> p:float -> float
+(** Exact probability that [u ~ v] in the percolated theta graph:
+    [1 - (1 - p²)^d]. Used as ground truth in tests. *)

@@ -1,0 +1,76 @@
+let axis_delta ~m a b =
+  (* Signed step (+1/-1 direction choice) and length of the shorter way
+     around the cycle from a to b. *)
+  let forward = (b - a + m) mod m in
+  let backward = m - forward in
+  if forward <= backward then (1, forward) else (-1, backward)
+
+let l1_distance ~d ~m u v =
+  let cu = Mesh.coords ~d ~m u and cv = Mesh.coords ~d ~m v in
+  let total = ref 0 in
+  for axis = 0 to d - 1 do
+    let _, len = axis_delta ~m cu.(axis) cv.(axis) in
+    total := !total + len
+  done;
+  !total
+
+let fixed_path ~d ~m u v =
+  let cu = Mesh.coords ~d ~m u and cv = Mesh.coords ~d ~m v in
+  let current = Array.copy cu in
+  let acc = ref [ u ] in
+  for axis = 0 to d - 1 do
+    let step, len = axis_delta ~m cu.(axis) cv.(axis) in
+    for _ = 1 to len do
+      current.(axis) <- (current.(axis) + step + m) mod m;
+      acc := Mesh.index ~m current :: !acc
+    done
+  done;
+  List.rev !acc
+
+let graph ~d ~m =
+  if d < 1 then invalid_arg "Torus.graph: d must be >= 1";
+  if m < 3 then invalid_arg "Torus.graph: m must be >= 3 (simple graph)";
+  let mesh = Mesh.graph ~d ~m in
+  let size = mesh.Graph.vertex_count in
+  let strides =
+    Array.init d (fun axis ->
+        let rec loop i acc = if i = axis then acc else loop (i + 1) (acc * m) in
+        loop 0 1)
+  in
+  let neighbors v =
+    let c = Mesh.coords ~d ~m v in
+    Array.init (2 * d) (fun slot ->
+        let axis = slot / 2 in
+        let step = if slot land 1 = 0 then 1 else m - 1 in
+        let shifted = (c.(axis) + step) mod m in
+        v + ((shifted - c.(axis)) * strides.(axis)))
+  in
+  (* Edge along [axis] from coordinate k to k+1 (mod m): canonical source
+     is the endpoint with coordinate k; id = source*d + axis. *)
+  let edge_id u v =
+    if u < 0 || v < 0 || u >= size || v >= size then raise (Graph.Not_an_edge (u, v));
+    if u = v then raise (Graph.Not_an_edge (u, v));
+    let cu = Mesh.coords ~d ~m u and cv = Mesh.coords ~d ~m v in
+    let found = ref None in
+    for axis = 0 to d - 1 do
+      if cu.(axis) <> cv.(axis) then
+        match !found with
+        | Some _ -> found := Some (-1, -1) (* differ on two axes: not an edge *)
+        | None ->
+            if (cu.(axis) + 1) mod m = cv.(axis) then found := Some (axis, u)
+            else if (cv.(axis) + 1) mod m = cu.(axis) then found := Some (axis, v)
+            else found := Some (-1, -1)
+    done;
+    match !found with
+    | Some (axis, source) when axis >= 0 -> (source * d) + axis
+    | Some _ | None -> raise (Graph.Not_an_edge (u, v))
+  in
+  {
+    Graph.name = Printf.sprintf "torus(d=%d,m=%d)" d m;
+    vertex_count = size;
+    degree = (fun _ -> 2 * d);
+    neighbors;
+    edge_id;
+    edge_id_bound = size * d;
+    distance = Some (l1_distance ~d ~m);
+  }

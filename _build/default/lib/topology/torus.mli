@@ -1,0 +1,17 @@
+(** The [d]-dimensional torus: the mesh with wraparound edges.
+
+    Used as a boundary-free variant of [M^d] in mesh experiments (the
+    paper works in a cube of the infinite mesh; the torus removes
+    boundary effects at small sizes). Requires side [m >= 3] so the
+    graph stays simple. *)
+
+val graph : d:int -> m:int -> Graph.t
+(** [graph ~d ~m] is the torus with [m^d] vertices and degree [2d].
+    @raise Invalid_argument if [d < 1], [m < 3] or [m^d] overflows. *)
+
+val l1_distance : d:int -> m:int -> int -> int -> int
+(** Toroidal L1 distance (per-axis wraparound minimum). *)
+
+val fixed_path : d:int -> m:int -> int -> int -> int list
+(** Canonical monotone shortest path correcting axes in order, taking the
+    shorter wraparound direction on each axis. Includes both endpoints. *)

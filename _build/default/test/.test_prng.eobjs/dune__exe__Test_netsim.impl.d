@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Int64 List Netsim Percolation Printf Prng QCheck QCheck_alcotest Test Topology

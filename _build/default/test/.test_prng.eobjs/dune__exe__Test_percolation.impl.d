@@ -1,0 +1,1 @@
+test/test_percolation.ml: Alcotest Array Experiments Float Hashtbl List Option Percolation Printf Prng QCheck QCheck_alcotest Stats Test Topology

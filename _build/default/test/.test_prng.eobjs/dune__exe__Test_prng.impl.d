@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Float Hashtbl Int64 List Printf Prng QCheck QCheck_alcotest Test

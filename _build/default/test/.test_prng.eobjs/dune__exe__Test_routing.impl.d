@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Array Format Gen Hashtbl List Percolation Printf Prng QCheck QCheck_alcotest Routing Stats String Test Topology

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Hashtbl List Percolation Printf Prng Topology

@@ -1,0 +1,233 @@
+(* Tests for the experiments library: the conditioned trial runner, the
+   report type, the catalog, and statistical sanity of selected
+   experiments against exactly-known quantities. *)
+
+module P = Percolation
+module R = Routing
+
+(* ------------------------------------------------------------------ *)
+(* Trial                                                               *)
+
+let cube = Topology.Hypercube.graph 5
+
+let bfs_spec ?budget ~p () =
+  Experiments.Trial.spec ?budget ~graph:cube ~p ~source:0 ~target:31
+    (fun ~source:_ ~target:_ -> R.Local_bfs.router)
+
+let test_trial_counts () =
+  let stream = Prng.Stream.create 11L in
+  let result = Experiments.Trial.run stream ~trials:10 (bfs_spec ~p:0.7 ()) in
+  Alcotest.(check int) "ten conditioned trials" 10
+    (Stats.Censored.count result.Experiments.Trial.observations);
+  Alcotest.(check int) "no failures" 0 result.Experiments.Trial.failures;
+  Alcotest.(check bool) "connection proportion sane" true
+    (Stats.Proportion.estimate result.Experiments.Trial.connection > 0.0)
+
+let test_trial_deterministic () =
+  let run () =
+    Experiments.Trial.run (Prng.Stream.create 11L) ~trials:5 (bfs_spec ~p:0.6 ())
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same medians" true
+    (Experiments.Trial.median_observation a = Experiments.Trial.median_observation b);
+  Alcotest.(check (float 1e-9)) "same means"
+    (Experiments.Trial.mean_probes_lower_bound a)
+    (Experiments.Trial.mean_probes_lower_bound b)
+
+let test_trial_budget_censors () =
+  let stream = Prng.Stream.create 12L in
+  let result = Experiments.Trial.run stream ~trials:5 (bfs_spec ~budget:3 ~p:0.9 ()) in
+  (* BFS to the antipode at p=0.9 needs far more than 3 probes. *)
+  Alcotest.(check int) "all censored" 5
+    (Stats.Censored.censored_count result.Experiments.Trial.observations)
+
+let test_trial_impossible_conditioning () =
+  (* p = 0: no world is ever connected; the runner must stop at
+     max_attempts with zero observations. *)
+  let stream = Prng.Stream.create 13L in
+  let result =
+    Experiments.Trial.run stream ~trials:3 ~max_attempts:20 (bfs_spec ~p:0.0 ())
+  in
+  Alcotest.(check int) "no observations" 0
+    (Stats.Censored.count result.Experiments.Trial.observations);
+  Alcotest.(check int) "attempts exhausted" 20
+    result.Experiments.Trial.connection.Stats.Proportion.trials;
+  Alcotest.(check (float 1e-9)) "zero connectivity" 0.0
+    (Stats.Proportion.estimate result.Experiments.Trial.connection)
+
+let test_trial_chemical_distances_recorded () =
+  let stream = Prng.Stream.create 14L in
+  let result = Experiments.Trial.run stream ~trials:8 (bfs_spec ~p:0.9 ()) in
+  Alcotest.(check int) "one distance per trial" 8
+    (Stats.Summary.count result.Experiments.Trial.chemical_distances);
+  (* Antipodal distance in H_5 is at least 5. *)
+  Alcotest.(check bool) "distances >= 5" true
+    (Stats.Summary.min result.Experiments.Trial.chemical_distances >= 5.0)
+
+let test_trial_connectivity_estimate_matches_exact () =
+  (* Theta graph: P[u ~ v] = 1 - (1-p^2)^d exactly; the rejection
+     sampler's estimate must cover it. *)
+  let d = 12 in
+  let p = 0.4 in
+  let graph = Topology.Theta.graph d in
+  let spec =
+    Experiments.Trial.spec ~graph ~p ~source:Topology.Theta.endpoint_u
+      ~target:Topology.Theta.endpoint_v (fun ~source:_ ~target:_ -> R.Local_bfs.router)
+  in
+  let stream = Prng.Stream.create 15L in
+  let result = Experiments.Trial.run stream ~trials:100 ~max_attempts:600 spec in
+  let exact = Topology.Theta.connection_probability ~d ~p in
+  Alcotest.(check bool)
+    (Printf.sprintf "Wilson interval covers %.3f" exact)
+    true
+    (Stats.Proportion.within result.Experiments.Trial.connection ~lo:exact ~hi:exact)
+
+let test_trial_invalid () =
+  let stream = Prng.Stream.create 16L in
+  Alcotest.check_raises "trials" (Invalid_argument "Trial.run: trials must be positive")
+    (fun () -> ignore (Experiments.Trial.run stream ~trials:0 (bfs_spec ~p:0.5 ())))
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+
+let sample_report () =
+  let table =
+    Stats.Table.create ~headers:[ "x"; "y" ] |> fun t -> Stats.Table.add_row t [ "1"; "2" ]
+  in
+  Experiments.Report.make ~id:"T1" ~title:"test" ~claim:"claimed" ~seed:7L
+    ~notes:[ "a note" ]
+    [ ("caption", table) ]
+
+let contains haystack needle =
+  let h = String.length haystack and n = String.length needle in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  n = 0 || scan 0
+
+let test_report_render () =
+  let rendered = Experiments.Report.render (sample_report ()) in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool)
+        (Printf.sprintf "mentions %s" fragment)
+        true
+        (contains rendered fragment))
+    [ "T1"; "test"; "claimed"; "caption"; "a note"; "Seed: 7" ]
+
+let test_report_csv () =
+  match Experiments.Report.render_csv (sample_report ()) with
+  | [ (caption, csv) ] ->
+      Alcotest.(check string) "caption" "caption" caption;
+      Alcotest.(check string) "csv" "x,y\n1,2\n" csv
+  | _ -> Alcotest.fail "one table expected"
+
+(* ------------------------------------------------------------------ *)
+(* Catalog                                                             *)
+
+let test_catalog_complete () =
+  Alcotest.(check int) "twenty-four experiments" 24 (List.length Experiments.Catalog.all);
+  List.iteri
+    (fun index e ->
+      Alcotest.(check string)
+        (Printf.sprintf "id %d" index)
+        (Printf.sprintf "E%d" (index + 1))
+        e.Experiments.Catalog.id)
+    Experiments.Catalog.all
+
+let test_catalog_find () =
+  (match Experiments.Catalog.find "e7" with
+  | Some e -> Alcotest.(check string) "case-insensitive" "E7" e.Experiments.Catalog.id
+  | None -> Alcotest.fail "E7 missing");
+  Alcotest.(check bool) "unknown" true (Experiments.Catalog.find "E99" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Selected experiments, statistically checked                         *)
+
+let test_e6_matches_recursion () =
+  (* The measured TT_n connectivity must track the exact Galton–Watson
+     recursion; run a tighter private version of E6's cell. *)
+  let n = 7 in
+  let p = 0.78 in
+  let graph = Topology.Double_tree.graph n in
+  let x = Topology.Double_tree.root1 and y = Topology.Double_tree.root2 ~n in
+  let stream = Prng.Stream.create 17L in
+  let trials = 400 in
+  let successes = ref 0 in
+  for trial = 1 to trials do
+    let seed = Prng.Coin.derive (Prng.Stream.seed stream) trial in
+    let world = P.World.create graph ~p ~seed in
+    match P.Reveal.connected world x y with
+    | P.Reveal.Connected _ -> incr successes
+    | P.Reveal.Disconnected | P.Reveal.Unknown -> ()
+  done;
+  let measured = Stats.Proportion.make ~successes:!successes ~trials in
+  let exact = Experiments.E06_double_tree_threshold.exact_connection ~n ~p in
+  Alcotest.(check bool)
+    (Printf.sprintf "measured %.3f covers exact %.3f"
+       (Stats.Proportion.estimate measured)
+       exact)
+    true
+    (Stats.Proportion.within measured ~lo:exact ~hi:exact)
+
+let test_exact_connection_recursion_properties () =
+  let module E6 = Experiments.E06_double_tree_threshold in
+  (* Monotone in p, decreasing in n below threshold, q_0 = 1. *)
+  Alcotest.(check (float 1e-12)) "depth 0" 1.0 (E6.exact_connection ~n:0 ~p:0.3);
+  Alcotest.(check bool) "monotone in p" true
+    (E6.exact_connection ~n:8 ~p:0.6 < E6.exact_connection ~n:8 ~p:0.9);
+  Alcotest.(check bool) "decreasing in n below threshold" true
+    (E6.exact_connection ~n:12 ~p:0.65 < E6.exact_connection ~n:6 ~p:0.65);
+  (* At p = 1 connectivity is certain at any depth. *)
+  Alcotest.(check (float 1e-12)) "p=1" 1.0 (E6.exact_connection ~n:10 ~p:1.0)
+
+let run_quick id =
+  match Experiments.Catalog.find id with
+  | Some e -> e.Experiments.Catalog.run ~quick:true (Prng.Stream.create 23L)
+  | None -> Alcotest.failf "experiment %s missing" id
+
+let test_quick_experiments_produce_tables () =
+  (* Smoke: each quick experiment renders a non-empty report with at
+     least one populated table. The heavyweight ones are exercised by
+     the bench harness; here we take the cheap half. *)
+  List.iter
+    (fun id ->
+      let report = run_quick id in
+      Alcotest.(check bool) (id ^ " has tables") true (report.Experiments.Report.tables <> []);
+      let rendered = Experiments.Report.render report in
+      Alcotest.(check bool) (id ^ " renders") true (String.length rendered > 100))
+    [ "E5"; "E6"; "E10"; "E11"; "E13"; "E17"; "E19"; "E22"; "E23"; "E24" ]
+
+let test_e10_connectivity_close_to_exact () =
+  let report = run_quick "E10" in
+  (* Structural check only: the table has one row per d value. *)
+  match report.Experiments.Report.tables with
+  | [ (_, table) ] ->
+      let csv = Stats.Table.to_csv table in
+      let rows = String.split_on_char '\n' csv |> List.filter (fun l -> l <> "") in
+      Alcotest.(check int) "header + 2 rows" 3 (List.length rows)
+  | _ -> Alcotest.fail "one table expected"
+
+let () =
+  let case name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "experiments"
+    [
+      ( "trial",
+        [
+          case "counts" test_trial_counts;
+          case "deterministic" test_trial_deterministic;
+          case "budget censors" test_trial_budget_censors;
+          case "impossible conditioning" test_trial_impossible_conditioning;
+          case "chemical distances" test_trial_chemical_distances_recorded;
+          case "connectivity matches exact" test_trial_connectivity_estimate_matches_exact;
+          case "invalid" test_trial_invalid;
+        ] );
+      ("report", [ case "render" test_report_render; case "csv" test_report_csv ]);
+      ( "catalog",
+        [ case "complete" test_catalog_complete; case "find" test_catalog_find ] );
+      ( "science",
+        [
+          case "E6 matches GW recursion" test_e6_matches_recursion;
+          case "recursion properties" test_exact_connection_recursion_properties;
+          case "quick experiments render" test_quick_experiments_produce_tables;
+          case "E10 table shape" test_e10_connectivity_close_to_exact;
+        ] );
+    ]

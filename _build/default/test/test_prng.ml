@@ -1,0 +1,406 @@
+(* Tests for the prng library: generators, coins, streams, samplers. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Splitmix64                                                          *)
+
+let test_splitmix_deterministic () =
+  let a = Prng.Splitmix64.create 42L and b = Prng.Splitmix64.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.Splitmix64.next a) (Prng.Splitmix64.next b)
+  done
+
+let test_splitmix_seed_sensitivity () =
+  let a = Prng.Splitmix64.create 1L and b = Prng.Splitmix64.create 2L in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.Splitmix64.next a <> Prng.Splitmix64.next b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_splitmix_copy_independent () =
+  let a = Prng.Splitmix64.create 7L in
+  let _ = Prng.Splitmix64.next a in
+  let b = Prng.Splitmix64.copy a in
+  Alcotest.(check int64) "copy replays" (Prng.Splitmix64.next a) (Prng.Splitmix64.next b)
+
+let test_splitmix_known_values () =
+  (* Reference outputs of SplitMix64 with seed 0 (from the public domain
+     reference implementation). *)
+  let g = Prng.Splitmix64.create 0L in
+  Alcotest.(check int64) "first" 0xE220A8397B1DCDAFL (Prng.Splitmix64.next g);
+  Alcotest.(check int64) "second" 0x6E789E6AA1B965F4L (Prng.Splitmix64.next g);
+  Alcotest.(check int64) "third" 0x06C45D188009454FL (Prng.Splitmix64.next g)
+
+let test_splitmix_int_in_bounds () =
+  let g = Prng.Splitmix64.create 9L in
+  for bound = 1 to 50 do
+    for _ = 1 to 20 do
+      let x = Prng.Splitmix64.next_int_in g bound in
+      Alcotest.(check bool) "in range" true (x >= 0 && x < bound)
+    done
+  done
+
+let test_splitmix_int_in_invalid () =
+  let g = Prng.Splitmix64.create 9L in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Splitmix64.next_int_in: bound must be positive")
+    (fun () -> ignore (Prng.Splitmix64.next_int_in g 0))
+
+let test_splitmix_float_range () =
+  let g = Prng.Splitmix64.create 11L in
+  for _ = 1 to 1000 do
+    let x = Prng.Splitmix64.next_float g in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_mix_avalanche () =
+  (* Flipping one input bit should flip roughly half the output bits. *)
+  let flips = ref 0 in
+  let pairs = 64 in
+  for bit = 0 to pairs - 1 do
+    let a = Prng.Splitmix64.mix 0x12345678L in
+    let b = Prng.Splitmix64.mix (Int64.logxor 0x12345678L (Int64.shift_left 1L bit)) in
+    let diff = Int64.logxor a b in
+    let rec popcount x acc =
+      if x = 0L then acc else popcount (Int64.logand x (Int64.sub x 1L)) (acc + 1)
+    in
+    flips := !flips + popcount diff 0
+  done;
+  let mean = float_of_int !flips /. float_of_int pairs in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean flipped bits %.1f in [24,40]" mean)
+    true
+    (mean > 24.0 && mean < 40.0)
+
+(* ------------------------------------------------------------------ *)
+(* Xoshiro256                                                          *)
+
+let test_xoshiro_deterministic () =
+  let a = Prng.Xoshiro256.create 5L and b = Prng.Xoshiro256.create 5L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.Xoshiro256.next a) (Prng.Xoshiro256.next b)
+  done
+
+let test_xoshiro_known_values () =
+  (* xoshiro256** with state (1,2,3,4): first outputs from the reference
+     implementation. *)
+  let g = Prng.Xoshiro256.of_state (1L, 2L, 3L, 4L) in
+  Alcotest.(check int64) "first" 11520L (Prng.Xoshiro256.next g);
+  Alcotest.(check int64) "second" 0L (Prng.Xoshiro256.next g);
+  Alcotest.(check int64) "third" 1509978240L (Prng.Xoshiro256.next g)
+
+let test_xoshiro_zero_state_rejected () =
+  Alcotest.check_raises "all-zero"
+    (Invalid_argument "Xoshiro256.of_state: all-zero state") (fun () ->
+      ignore (Prng.Xoshiro256.of_state (0L, 0L, 0L, 0L)))
+
+let test_xoshiro_jump_changes_stream () =
+  let a = Prng.Xoshiro256.create 5L in
+  let b = Prng.Xoshiro256.copy a in
+  Prng.Xoshiro256.jump b;
+  let collisions = ref 0 in
+  for _ = 1 to 100 do
+    if Prng.Xoshiro256.next a = Prng.Xoshiro256.next b then incr collisions
+  done;
+  Alcotest.(check int) "no collisions" 0 !collisions
+
+let test_xoshiro_uniformity () =
+  (* Rough chi-square on 16 buckets: with 16000 draws the statistic has
+     mean 15; reject only wild deviations. *)
+  let g = Prng.Xoshiro256.create 123L in
+  let buckets = Array.make 16 0 in
+  let draws = 16000 in
+  for _ = 1 to draws do
+    let b = Prng.Xoshiro256.next_int_in g 16 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  let expected = float_of_int draws /. 16.0 in
+  let chi2 =
+    Array.fold_left
+      (fun acc count ->
+        let diff = float_of_int count -. expected in
+        acc +. (diff *. diff /. expected))
+      0.0 buckets
+  in
+  Alcotest.(check bool) (Printf.sprintf "chi2 %.1f < 50" chi2) true (chi2 < 50.0)
+
+let test_xoshiro_bool_balance () =
+  let g = Prng.Xoshiro256.create 77L in
+  let trues = ref 0 in
+  for _ = 1 to 10000 do
+    if Prng.Xoshiro256.next_bool g then incr trues
+  done;
+  Alcotest.(check bool) "balanced" true (!trues > 4700 && !trues < 5300)
+
+(* ------------------------------------------------------------------ *)
+(* Coin                                                                *)
+
+let test_coin_deterministic () =
+  for id = 0 to 100 do
+    check_float "same coin" (Prng.Coin.uniform ~seed:9L id) (Prng.Coin.uniform ~seed:9L id)
+  done
+
+let test_coin_monotone_in_p () =
+  (* If a coin is open at p it must be open at p' >= p. *)
+  for id = 0 to 500 do
+    let open_at p = Prng.Coin.bernoulli ~seed:33L ~p id in
+    if open_at 0.3 then Alcotest.(check bool) "monotone" true (open_at 0.5);
+    if open_at 0.5 then Alcotest.(check bool) "monotone" true (open_at 0.9)
+  done
+
+let test_coin_rate () =
+  let opens = ref 0 in
+  let trials = 20000 in
+  for id = 0 to trials - 1 do
+    if Prng.Coin.bernoulli ~seed:17L ~p:0.25 id then incr opens
+  done;
+  let rate = float_of_int !opens /. float_of_int trials in
+  Alcotest.(check bool) (Printf.sprintf "rate %.3f near 0.25" rate) true
+    (rate > 0.23 && rate < 0.27)
+
+let test_coin_seed_independence () =
+  let agree = ref 0 in
+  let trials = 10000 in
+  for id = 0 to trials - 1 do
+    let a = Prng.Coin.bernoulli ~seed:1L ~p:0.5 id in
+    let b = Prng.Coin.bernoulli ~seed:2L ~p:0.5 id in
+    if a = b then incr agree
+  done;
+  let rate = float_of_int !agree /. float_of_int trials in
+  Alcotest.(check bool) "independent seeds agree ~half the time" true
+    (rate > 0.47 && rate < 0.53)
+
+let test_derive_distinct () =
+  let seen = Hashtbl.create 64 in
+  for label = 0 to 1000 do
+    let derived = Prng.Coin.derive 99L label in
+    Alcotest.(check bool) "fresh" false (Hashtbl.mem seen derived);
+    Hashtbl.replace seen derived ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Stream                                                              *)
+
+let test_stream_split_stable () =
+  let root = Prng.Stream.create 4L in
+  let a = Prng.Stream.split root 7 and b = Prng.Stream.split root 7 in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "same child" (Prng.Stream.int64 a) (Prng.Stream.int64 b)
+  done
+
+let test_stream_split_label_sensitivity () =
+  let root = Prng.Stream.create 4L in
+  let a = Prng.Stream.split root 1 and b = Prng.Stream.split root 2 in
+  Alcotest.(check bool) "children differ" true
+    (Prng.Stream.int64 a <> Prng.Stream.int64 b)
+
+let test_stream_shuffle_permutation () =
+  let t = Prng.Stream.create 8L in
+  let a = Array.init 100 (fun i -> i) in
+  Prng.Stream.shuffle_in_place t a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 100 (fun i -> i)) sorted
+
+let test_stream_pick_member () =
+  let t = Prng.Stream.create 8L in
+  let a = [| 10; 20; 30 |] in
+  for _ = 1 to 50 do
+    let x = Prng.Stream.pick t a in
+    Alcotest.(check bool) "member" true (Array.mem x a)
+  done
+
+let test_stream_pick_empty () =
+  let t = Prng.Stream.create 8L in
+  Alcotest.check_raises "empty" (Invalid_argument "Stream.pick: empty array") (fun () ->
+      ignore (Prng.Stream.pick t [||]))
+
+(* ------------------------------------------------------------------ *)
+(* Sample                                                              *)
+
+let mean_of samples = Array.fold_left ( +. ) 0.0 samples /. float_of_int (Array.length samples)
+
+let test_geometric_mean () =
+  let t = Prng.Stream.create 21L in
+  let p = 0.2 in
+  let samples = Array.init 20000 (fun _ -> float_of_int (Prng.Sample.geometric t ~p)) in
+  let mean = mean_of samples in
+  Alcotest.(check bool) (Printf.sprintf "mean %.2f near 5" mean) true
+    (mean > 4.7 && mean < 5.3)
+
+let test_geometric_support () =
+  let t = Prng.Stream.create 21L in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) ">= 1" true (Prng.Sample.geometric t ~p:0.9 >= 1)
+  done
+
+let test_geometric_p_one () =
+  let t = Prng.Stream.create 21L in
+  Alcotest.(check int) "always 1" 1 (Prng.Sample.geometric t ~p:1.0)
+
+let test_binomial_mean () =
+  let t = Prng.Stream.create 22L in
+  let samples = Array.init 5000 (fun _ -> float_of_int (Prng.Sample.binomial t ~n:100 ~p:0.3)) in
+  let mean = mean_of samples in
+  Alcotest.(check bool) (Printf.sprintf "mean %.2f near 30" mean) true
+    (mean > 29.0 && mean < 31.0)
+
+let test_binomial_extremes () =
+  let t = Prng.Stream.create 22L in
+  Alcotest.(check int) "p=0" 0 (Prng.Sample.binomial t ~n:50 ~p:0.0);
+  Alcotest.(check int) "p=1" 50 (Prng.Sample.binomial t ~n:50 ~p:1.0);
+  Alcotest.(check int) "n=0" 0 (Prng.Sample.binomial t ~n:0 ~p:0.5)
+
+let test_binomial_high_p () =
+  let t = Prng.Stream.create 23L in
+  let samples = Array.init 5000 (fun _ -> float_of_int (Prng.Sample.binomial t ~n:40 ~p:0.9)) in
+  let mean = mean_of samples in
+  Alcotest.(check bool) (Printf.sprintf "mean %.2f near 36" mean) true
+    (mean > 35.3 && mean < 36.7)
+
+let test_exponential_mean () =
+  let t = Prng.Stream.create 24L in
+  let samples = Array.init 20000 (fun _ -> Prng.Sample.exponential t ~rate:2.0) in
+  let mean = mean_of samples in
+  Alcotest.(check bool) (Printf.sprintf "mean %.3f near 0.5" mean) true
+    (mean > 0.48 && mean < 0.52)
+
+let test_poisson_mean_small () =
+  let t = Prng.Stream.create 25L in
+  let samples = Array.init 20000 (fun _ -> float_of_int (Prng.Sample.poisson t ~mean:3.0)) in
+  let mean = mean_of samples in
+  Alcotest.(check bool) (Printf.sprintf "mean %.2f near 3" mean) true
+    (mean > 2.9 && mean < 3.1)
+
+let test_poisson_mean_large () =
+  let t = Prng.Stream.create 26L in
+  let samples = Array.init 5000 (fun _ -> float_of_int (Prng.Sample.poisson t ~mean:100.0)) in
+  let mean = mean_of samples in
+  Alcotest.(check bool) (Printf.sprintf "mean %.1f near 100" mean) true
+    (mean > 98.0 && mean < 102.0)
+
+let test_distinct_pair () =
+  let t = Prng.Stream.create 27L in
+  for _ = 1 to 1000 do
+    let a, b = Prng.Sample.distinct_pair t 10 in
+    Alcotest.(check bool) "distinct in range" true
+      (a <> b && a >= 0 && a < 10 && b >= 0 && b < 10)
+  done
+
+let test_subset_indices () =
+  let t = Prng.Stream.create 28L in
+  for _ = 1 to 200 do
+    let s = Prng.Sample.subset_indices t ~n:30 ~k:10 in
+    Alcotest.(check int) "size" 10 (Array.length s);
+    let sorted = Array.copy s in
+    Array.sort compare sorted;
+    Alcotest.(check (array int)) "sorted" sorted s;
+    Array.iter (fun x -> Alcotest.(check bool) "range" true (x >= 0 && x < 30)) s;
+    let distinct = Hashtbl.create 16 in
+    Array.iter (fun x -> Hashtbl.replace distinct x ()) s;
+    Alcotest.(check int) "distinct" 10 (Hashtbl.length distinct)
+  done
+
+let test_subset_extremes () =
+  let t = Prng.Stream.create 28L in
+  Alcotest.(check int) "k=0" 0 (Array.length (Prng.Sample.subset_indices t ~n:5 ~k:0));
+  Alcotest.(check (array int)) "k=n" (Array.init 5 (fun i -> i))
+    (Prng.Sample.subset_indices t ~n:5 ~k:5)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck properties                                                   *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"coin uniform in [0,1)" ~count:500
+      (pair int64 small_nat)
+      (fun (seed, id) ->
+        let u = Prng.Coin.uniform ~seed id in
+        u >= 0.0 && u < 1.0);
+    Test.make ~name:"coin monotone in p" ~count:500
+      (triple int64 small_nat (pair (float_bound_inclusive 1.0) (float_bound_inclusive 1.0)))
+      (fun (seed, id, (p1, p2)) ->
+        let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+        (not (Prng.Coin.bernoulli ~seed ~p:lo id)) || Prng.Coin.bernoulli ~seed ~p:hi id);
+    Test.make ~name:"int_in stays in bounds" ~count:500
+      (pair int64 (int_range 1 1_000_000))
+      (fun (seed, bound) ->
+        let g = Prng.Xoshiro256.create seed in
+        let x = Prng.Xoshiro256.next_int_in g bound in
+        x >= 0 && x < bound);
+    Test.make ~name:"shuffle preserves multiset" ~count:200
+      (pair int64 (list small_nat))
+      (fun (seed, xs) ->
+        let t = Prng.Stream.create seed in
+        let a = Array.of_list xs in
+        Prng.Stream.shuffle_in_place t a;
+        List.sort compare (Array.to_list a) = List.sort compare xs);
+    Test.make ~name:"split is a pure function of (seed, label)" ~count:200
+      (pair int64 small_nat)
+      (fun (seed, label) ->
+        let r1 = Prng.Stream.create seed and r2 = Prng.Stream.create seed in
+        (* Advancing r1 must not change what split returns. *)
+        ignore (Prng.Stream.int64 r1);
+        let a = Prng.Stream.split r1 label and b = Prng.Stream.split r2 label in
+        Prng.Stream.int64 a = Prng.Stream.int64 b);
+  ]
+
+let () =
+  let case name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "prng"
+    [
+      ( "splitmix64",
+        [
+          case "deterministic" test_splitmix_deterministic;
+          case "seed sensitivity" test_splitmix_seed_sensitivity;
+          case "copy" test_splitmix_copy_independent;
+          case "known values" test_splitmix_known_values;
+          case "int_in bounds" test_splitmix_int_in_bounds;
+          case "int_in invalid" test_splitmix_int_in_invalid;
+          case "float range" test_splitmix_float_range;
+          case "mix avalanche" test_mix_avalanche;
+        ] );
+      ( "xoshiro256",
+        [
+          case "deterministic" test_xoshiro_deterministic;
+          case "known values" test_xoshiro_known_values;
+          case "zero state rejected" test_xoshiro_zero_state_rejected;
+          case "jump" test_xoshiro_jump_changes_stream;
+          case "uniformity" test_xoshiro_uniformity;
+          case "bool balance" test_xoshiro_bool_balance;
+        ] );
+      ( "coin",
+        [
+          case "deterministic" test_coin_deterministic;
+          case "monotone in p" test_coin_monotone_in_p;
+          case "rate" test_coin_rate;
+          case "seed independence" test_coin_seed_independence;
+          case "derive distinct" test_derive_distinct;
+        ] );
+      ( "stream",
+        [
+          case "split stable" test_stream_split_stable;
+          case "split labels" test_stream_split_label_sensitivity;
+          case "shuffle permutation" test_stream_shuffle_permutation;
+          case "pick member" test_stream_pick_member;
+          case "pick empty" test_stream_pick_empty;
+        ] );
+      ( "sample",
+        [
+          case "geometric mean" test_geometric_mean;
+          case "geometric support" test_geometric_support;
+          case "geometric p=1" test_geometric_p_one;
+          case "binomial mean" test_binomial_mean;
+          case "binomial extremes" test_binomial_extremes;
+          case "binomial high p" test_binomial_high_p;
+          case "exponential mean" test_exponential_mean;
+          case "poisson small" test_poisson_mean_small;
+          case "poisson large" test_poisson_mean_large;
+          case "distinct pair" test_distinct_pair;
+          case "subset indices" test_subset_indices;
+          case "subset extremes" test_subset_extremes;
+        ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests);
+    ]
