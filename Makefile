@@ -1,0 +1,22 @@
+.PHONY: all build test bench smoke ci clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# The quick catalog on two domains — exercises the parallel engine end
+# to end; output must match a --jobs 1 run byte for byte.
+smoke:
+	dune exec bin/faultroute.exe -- all --quick --jobs 2 > /dev/null
+
+ci: build test smoke
+
+clean:
+	dune clean

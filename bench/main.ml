@@ -17,6 +17,16 @@ open Toolkit
 
 let seed = 0xBE7CAL
 
+(* All fixed topologies go through the registry, like the CLI and the
+   examples; only parametrised families outside it (small-world) are
+   built directly. *)
+let topo name ~size =
+  match Topology.Registry.of_spec name with
+  | Ok spec ->
+      (Topology.Registry.build spec ~default_size:size (Prng.Stream.create seed))
+        .Topology.Registry.graph
+  | Error message -> failwith message
+
 (* ------------------------------------------------------------------ *)
 (* Kernels: one per experiment, small enough to run repeatedly.        *)
 
@@ -39,42 +49,42 @@ let conditioned_route graph ~p ~source ~target router_of =
 
 let bench_e1 () =
   let n = 10 in
-  let graph = Topology.Hypercube.graph n in
+  let graph = topo "hypercube" ~size:n in
   let target = Topology.Hypercube.antipode ~n 0 in
   conditioned_route graph ~p:(float_of_int n ** -0.3) ~source:0 ~target (fun () ->
       Routing.Path_follow.hypercube ~n ~source:0 ~target)
 
 let bench_e2 () =
   let n = 12 in
-  let graph = Topology.Hypercube.graph n in
+  let graph = topo "hypercube" ~size:n in
   let target = Topology.Hypercube.antipode ~n 0 in
   conditioned_route graph ~p:(float_of_int n ** -0.4) ~source:0 ~target (fun () ->
       Routing.Path_follow.hypercube ~n ~source:0 ~target)
 
 let bench_e3 () =
   let n = 10 in
-  let graph = Topology.Hypercube.graph n in
+  let graph = topo "hypercube" ~size:n in
   let target = Topology.Hypercube.antipode ~n 0 in
   conditioned_route graph ~p:(float_of_int n ** -0.7) ~source:0 ~target (fun () ->
       Routing.Local_bfs.router)
 
 let bench_e4 () =
   let d = 2 and m = 40 in
-  let graph = Topology.Mesh.graph ~d ~m in
+  let graph = topo "mesh2" ~size:m in
   let source = Topology.Mesh.index ~m [| 10; 20 |] in
   let target = Topology.Mesh.index ~m [| 30; 20 |] in
   conditioned_route graph ~p:0.7 ~source ~target (fun () ->
       Routing.Path_follow.mesh ~d ~m ~source ~target)
 
 let bench_e5 () =
-  let d = 2 and m = 30 in
-  let graph = Topology.Mesh.graph ~d ~m in
+  let m = 30 in
+  let graph = topo "mesh2" ~size:m in
   let world = Percolation.World.create graph ~p:0.5 ~seed in
   (Percolation.Clusters.census world).Percolation.Clusters.largest
 
 let bench_e6 () =
   let n = 10 in
-  let graph = Topology.Double_tree.graph n in
+  let graph = topo "double-tree" ~size:n in
   let world = Percolation.World.create graph ~p:0.75 ~seed in
   match
     Percolation.Reveal.connected world Topology.Double_tree.root1
@@ -85,26 +95,26 @@ let bench_e6 () =
 
 let bench_e7 () =
   let n = 10 in
-  let graph = Topology.Double_tree.graph n in
+  let graph = topo "double-tree" ~size:n in
   let target = Topology.Double_tree.root2 ~n in
   conditioned_route graph ~p:0.8 ~source:Topology.Double_tree.root1 ~target (fun () ->
       Routing.Tree_pair_dfs.router ~n)
 
 let bench_e8 () =
   let n = 300 in
-  let graph = Topology.Complete.graph n in
+  let graph = topo "complete" ~size:n in
   conditioned_route graph ~p:(3.0 /. float_of_int n) ~source:0 ~target:(n - 1)
     (fun () -> Routing.Local_bfs.router)
 
 let bench_e9 () =
   let n = 300 in
-  let graph = Topology.Complete.graph n in
+  let graph = topo "complete" ~size:n in
   conditioned_route graph ~p:(3.0 /. float_of_int n) ~source:0 ~target:(n - 1)
     (fun () -> Routing.Bidirectional.router)
 
 let bench_e10 () =
   let d = 256 in
-  let graph = Topology.Theta.graph d in
+  let graph = topo "theta" ~size:d in
   conditioned_route graph
     ~p:(1.0 /. sqrt (float_of_int d))
     ~source:Topology.Theta.endpoint_u ~target:Topology.Theta.endpoint_v (fun () ->
@@ -112,18 +122,18 @@ let bench_e10 () =
 
 let bench_e11 () =
   let n = 12 in
-  let graph = Topology.Hypercube.graph n in
+  let graph = topo "hypercube" ~size:n in
   let world = Percolation.World.create graph ~p:(1.5 /. float_of_int n) ~seed in
   (Percolation.Clusters.census world).Percolation.Clusters.largest
 
 let bench_e12 () =
-  let graph = Topology.De_bruijn.graph 10 in
+  let graph = topo "de-bruijn" ~size:10 in
   conditioned_route graph ~p:0.6 ~source:1
     ~target:(graph.Topology.Graph.vertex_count - 2) (fun () -> Routing.Local_bfs.router)
 
 let bench_e13 () =
-  let d = 2 and m = 40 in
-  let graph = Topology.Mesh.graph ~d ~m in
+  let m = 40 in
+  let graph = topo "mesh2" ~size:m in
   let world = Percolation.World.create graph ~p:0.7 ~seed in
   let source = Topology.Mesh.index ~m [| 10; 20 |] in
   let target = Topology.Mesh.index ~m [| 30; 20 |] in
@@ -133,14 +143,14 @@ let bench_e13 () =
 
 let bench_e14 () =
   let n = 10 in
-  let graph = Topology.Hypercube.graph n in
+  let graph = topo "hypercube" ~size:n in
   let target = Topology.Hypercube.antipode ~n 0 in
   conditioned_route graph ~p:(float_of_int n ** -0.7) ~source:0 ~target (fun () ->
       Routing.Bidirectional.router)
 
 let bench_e15 () =
   let n = 10 in
-  let graph = Topology.Hypercube.graph n in
+  let graph = topo "hypercube" ~size:n in
   let target = (1 lsl (n / 2)) - 1 in
   conditioned_route graph ~p:(float_of_int n ** -0.35) ~source:0 ~target (fun () ->
       let backbone =
@@ -150,7 +160,7 @@ let bench_e15 () =
 
 let bench_e16 () =
   let d = 2 and m = 30 in
-  let graph = Topology.Torus.graph ~d ~m in
+  let graph = topo "torus2" ~size:m in
   let source = 0 in
   let target = Topology.Mesh.index ~m [| 15; 0 |] in
   conditioned_route graph ~p:0.7 ~source ~target (fun () ->
@@ -164,7 +174,7 @@ let bench_e17 () =
 
 let bench_e18 () =
   let n = 8 in
-  let graph = Topology.Hypercube.graph n in
+  let graph = topo "hypercube" ~size:n in
   let world = Percolation.World.create graph ~p:0.6 ~seed in
   let engine = Netsim.Engine.create world Netsim.Flood.protocol in
   Netsim.Flood.start engine ~source:0;
@@ -180,7 +190,7 @@ let bench_e19 () =
   let stream = Prng.Stream.create seed in
   let curve =
     Percolation.Scaling.measure_giant_curve stream
-      ~graph_of_size:(fun m -> Topology.Mesh.graph ~d:2 ~m)
+      ~graph_of_size:(fun m -> topo "mesh2" ~size:m)
       ~size:16
       ~ps:[ 0.45; 0.5; 0.55 ]
       ~trials:3
@@ -189,7 +199,7 @@ let bench_e19 () =
 
 let bench_e20 () =
   let n = 10 in
-  let graph = Topology.Hypercube.graph n in
+  let graph = topo "hypercube" ~size:n in
   let world = Percolation.World.create graph ~p:(float_of_int n ** -0.3) ~seed in
   if Routing.Good_vertex.is_good world 0 then 1 else 0
 
@@ -202,17 +212,17 @@ let bench_e21 () =
   | Routing.Outcome.No_path { probes } | Routing.Outcome.Budget_exceeded { probes } -> probes
 
 let bench_e22 () =
-  let graph = Topology.Hypercube.graph 8 in
+  let graph = topo "hypercube" ~size:8 in
   Topology.Mincut.max_flow graph ~source:0 ~sink:255
 
 let bench_e23 () =
-  let graph = Topology.Mesh.graph ~d:2 ~m:30 in
+  let graph = topo "mesh2" ~size:30 in
   let world = Percolation.World.create ~site_p:0.7 graph ~p:1.0 ~seed in
   (Percolation.Clusters.census world).Percolation.Clusters.largest
 
 let bench_e24 () =
   let n = 5 in
-  let graph = Topology.Butterfly.graph n in
+  let graph = topo "butterfly" ~size:n in
   let world = Percolation.World.create graph ~p:0.95 ~seed in
   let engine =
     Netsim.Engine.create ~link_capacity:1 world (Netsim.Butterfly_route.protocol ~n)
@@ -280,6 +290,32 @@ let report_benchmarks results =
   in
   Notty_unix.eol image |> Notty_unix.output_image
 
+(* ------------------------------------------------------------------ *)
+(* Parallel engine: wall-clock of the full quick catalog at jobs = 1
+   versus jobs = N, plus a byte-identity check on the rendered reports.
+   Speedup is bounded by the machine's core count — on a single-core
+   host the two times coincide.                                        *)
+
+let timed_run_all ~jobs =
+  Engine_par.Pool.set_default_jobs jobs;
+  Fun.protect
+    ~finally:(fun () -> Engine_par.Pool.set_default_jobs 1)
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let reports = Experiments.Catalog.run_all ~quick:true ~jobs ~seed:0x5EEDL () in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      (elapsed, String.concat "\n" (List.map Experiments.Report.render reports)))
+
+let report_parallel_speedup () =
+  let jobs = Stdlib.max 2 (Engine_par.Pool.recommended_jobs ()) in
+  Printf.printf "== parallel trial engine (quick catalog, %d cores recommended) ==\n"
+    (Engine_par.Pool.recommended_jobs ());
+  let sequential, reference = timed_run_all ~jobs:1 in
+  let parallel, rendered = timed_run_all ~jobs in
+  Printf.printf "jobs=1: %6.2f s\njobs=%d: %6.2f s\nspeedup: %.2fx\n" sequential jobs
+    parallel (sequential /. parallel);
+  Printf.printf "reports byte-identical across job counts: %b\n\n" (rendered = reference)
+
 let () =
   let full = Array.exists (fun a -> a = "--full") Sys.argv in
   let skip_micro = Array.exists (fun a -> a = "--tables-only") Sys.argv in
@@ -288,6 +324,7 @@ let () =
     report_benchmarks (benchmark ());
     print_newline ()
   end;
+  if not skip_micro then report_parallel_speedup ();
   Printf.printf "== experiment tables (%s mode) ==\n\n" (if full then "full" else "quick");
   let reports = Experiments.Catalog.run_all ~quick:(not full) ~seed:0x5EEDL () in
   List.iter

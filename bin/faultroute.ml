@@ -1,80 +1,59 @@
 (* faultroute — command-line front end.
 
    Subcommands:
-     list                      enumerate experiments
+     list                      enumerate experiments, topologies, routers
      exp <id> [--quick]        run one experiment, print its report
      all [--quick]             run every experiment
      route <topology> ...      one routing attempt with a chosen router
      census <topology> ...     component census of one percolated world
-     threshold <topology> ...  bisect a critical probability *)
+     threshold <topology> ...  bisect a critical probability
+
+   Topologies and routers are resolved through their registries
+   ([Topology.Registry], [Routing.Registry]); this file contains no
+   name-matching of its own. A topology spec is NAME or NAME:SIZE. *)
 
 let default_seed = 0x5EEDL
 
-(* ------------------------------------------------------------------ *)
-(* Topology construction from command-line descriptions.               *)
-
-let build_topology name size stream =
-  match String.lowercase_ascii name with
-  | "hypercube" -> Ok (Topology.Hypercube.graph size)
-  | "mesh2" -> Ok (Topology.Mesh.graph ~d:2 ~m:size)
-  | "mesh3" -> Ok (Topology.Mesh.graph ~d:3 ~m:size)
-  | "torus2" -> Ok (Topology.Torus.graph ~d:2 ~m:size)
-  | "tree" -> Ok (Topology.Binary_tree.graph size)
-  | "double-tree" -> Ok (Topology.Double_tree.graph size)
-  | "complete" -> Ok (Topology.Complete.graph size)
-  | "theta" -> Ok (Topology.Theta.graph size)
-  | "de-bruijn" -> Ok (Topology.De_bruijn.graph size)
-  | "shuffle-exchange" -> Ok (Topology.Shuffle_exchange.graph size)
-  | "butterfly" -> Ok (Topology.Butterfly.graph size)
-  | "cycle-matching" -> Ok (Topology.Cycle_matching.graph stream size)
-  | other ->
-      Error
-        (Printf.sprintf
-           "unknown topology %S (try hypercube, mesh2, mesh3, torus2, tree, \
-            double-tree, complete, theta, de-bruijn, shuffle-exchange, butterfly, \
-            cycle-matching)"
-           other)
-
-let build_router name graph ~size ~source ~target stream =
-  match String.lowercase_ascii name with
-  | "bfs" -> Ok Routing.Local_bfs.router
-  | "bfs-random" -> Ok (Routing.Local_bfs.router_randomized stream)
-  | "greedy" -> Ok Routing.Greedy.router
-  | "bidirectional" -> Ok Routing.Bidirectional.router
-  | "segment" -> (
-      match graph.Topology.Graph.name with
-      | name when String.length name >= 9 && String.sub name 0 9 = "hypercube" ->
-          Ok (Routing.Path_follow.hypercube ~n:size ~source ~target)
-      | _ -> Error "segment router applies to the hypercube topology only")
-  | "path-follow" -> (
-      match String.split_on_char '(' graph.Topology.Graph.name with
-      | "mesh" :: _ ->
-          let d = 2 in
-          Ok (Routing.Path_follow.mesh ~d ~m:size ~source ~target)
-      | _ -> Error "path-follow router applies to mesh topologies only")
-  | "tree-pair" -> Ok (Routing.Tree_pair_dfs.router ~n:size)
-  | other ->
-      Error
-        (Printf.sprintf
-           "unknown router %S (try bfs, bfs-random, greedy, segment, path-follow, \
-            bidirectional, tree-pair)"
-           other)
+let with_instance spec_string ~size stream k =
+  match Topology.Registry.of_spec spec_string with
+  | Error message ->
+      prerr_endline message;
+      1
+  | Ok spec -> (
+      match Topology.Registry.build spec ~default_size:size stream with
+      | instance -> k instance
+      | exception Invalid_argument message ->
+          prerr_endline message;
+          1)
 
 (* ------------------------------------------------------------------ *)
 (* Subcommand implementations.                                         *)
 
 let cmd_list () =
+  print_endline "experiments:";
   List.iter
-    (fun e -> Printf.printf "%-4s %s\n" e.Experiments.Catalog.id e.Experiments.Catalog.title)
+    (fun e ->
+      Printf.printf "  %-4s %s\n" e.Experiments.Catalog.id e.Experiments.Catalog.title)
     Experiments.Catalog.all;
+  print_endline "topologies (spec: NAME or NAME:SIZE):";
+  List.iter
+    (fun e ->
+      Printf.printf "  %-17s %s\n" e.Topology.Registry.name e.Topology.Registry.doc)
+    Topology.Registry.entries;
+  print_endline "routers:";
+  List.iter
+    (fun e ->
+      Printf.printf "  %-17s %s\n" e.Routing.Registry.name e.Routing.Registry.doc)
+    Routing.Registry.entries;
   0
 
-let cmd_exp id quick seed csv =
+let cmd_exp id quick seed jobs csv =
   match Experiments.Catalog.find id with
   | None ->
       Printf.eprintf "no experiment %S; see `faultroute list`\n" id;
       1
   | Some e ->
+      Engine_par.Pool.set_default_jobs jobs;
       let stream = Prng.Stream.create seed in
       let report = e.Experiments.Catalog.run ~quick stream in
       if csv then
@@ -84,8 +63,9 @@ let cmd_exp id quick seed csv =
       else Experiments.Report.print report;
       0
 
-let cmd_all quick seed =
-  let reports = Experiments.Catalog.run_all ~quick ~seed () in
+let cmd_all quick seed jobs =
+  Engine_par.Pool.set_default_jobs jobs;
+  let reports = Experiments.Catalog.run_all ~quick ~jobs ~seed () in
   List.iter
     (fun r ->
       Experiments.Report.print r;
@@ -95,163 +75,149 @@ let cmd_all quick seed =
 
 let cmd_route topology size p seed source target router_name budget =
   let stream = Prng.Stream.create seed in
-  match build_topology topology size (Prng.Stream.split stream 0) with
+  with_instance topology ~size (Prng.Stream.split stream 0) @@ fun instance ->
+  let graph = instance.Topology.Registry.graph in
+  let source = Option.value source ~default:0 in
+  let target = Option.value target ~default:(graph.Topology.Graph.vertex_count - 1) in
+  let router =
+    Result.bind (Routing.Registry.of_spec router_name) (fun entry ->
+        entry.Routing.Registry.build ~instance ~source ~target
+          (Prng.Stream.split stream 1))
+  in
+  match router with
   | Error message ->
       prerr_endline message;
       1
-  | Ok graph -> (
-      let source = Option.value source ~default:0 in
-      let target = Option.value target ~default:(graph.Topology.Graph.vertex_count - 1) in
-      match
-        build_router router_name graph ~size ~source ~target (Prng.Stream.split stream 1)
-      with
-      | Error message ->
-          prerr_endline message;
-          1
-      | Ok router ->
-          let world = Percolation.World.create graph ~p ~seed in
-          let ground_truth = Percolation.Reveal.connected world source target in
-          let outcome = Routing.Router.run ?budget router world ~source ~target in
-          Printf.printf "world: %s, p = %.4f, seed = %Ld\n" graph.Topology.Graph.name p
-            seed;
-          Printf.printf "pair: %d -> %d\n" source target;
-          (match ground_truth with
-          | Percolation.Reveal.Connected d ->
-              Printf.printf "ground truth: connected, percolation distance %d\n" d
-          | Percolation.Reveal.Disconnected -> print_endline "ground truth: disconnected"
-          | Percolation.Reveal.Unknown -> print_endline "ground truth: unknown (limit)");
-          Printf.printf "router %s: %s\n" router.Routing.Router.name
-            (Format.asprintf "%a" Routing.Outcome.pp outcome);
-          0)
+  | Ok router ->
+      let world = Percolation.World.create graph ~p ~seed in
+      let ground_truth = Percolation.Reveal.connected world source target in
+      let outcome = Routing.Router.run ?budget router world ~source ~target in
+      Printf.printf "world: %s, p = %.4f, seed = %Ld\n" graph.Topology.Graph.name p seed;
+      Printf.printf "pair: %d -> %d\n" source target;
+      (match ground_truth with
+      | Percolation.Reveal.Connected d ->
+          Printf.printf "ground truth: connected, percolation distance %d\n" d
+      | Percolation.Reveal.Disconnected -> print_endline "ground truth: disconnected"
+      | Percolation.Reveal.Unknown -> print_endline "ground truth: unknown (limit)");
+      Printf.printf "router %s: %s\n" router.Routing.Router.name
+        (Format.asprintf "%a" Routing.Outcome.pp outcome);
+      0
 
 let cmd_census topology size p seed =
   let stream = Prng.Stream.create seed in
-  match build_topology topology size stream with
-  | Error message ->
-      prerr_endline message;
-      1
-  | Ok graph ->
-      let world = Percolation.World.create graph ~p ~seed in
-      let census = Percolation.Clusters.census world in
-      Printf.printf "world: %s, p = %.4f, seed = %Ld\n" graph.Topology.Graph.name p seed;
-      Printf.printf "vertices: %d, open edges: %d\n"
-        census.Percolation.Clusters.vertex_count
-        census.Percolation.Clusters.open_edge_count;
-      Printf.printf "components: %d, largest: %d (%.2f%%), second: %d\n"
-        census.Percolation.Clusters.component_count census.Percolation.Clusters.largest
-        (100.0 *. Percolation.Clusters.giant_fraction census)
-        census.Percolation.Clusters.second_largest;
-      Printf.printf "giant present: %b\n" (Percolation.Clusters.has_giant census);
-      0
+  with_instance topology ~size stream @@ fun instance ->
+  let graph = instance.Topology.Registry.graph in
+  let world = Percolation.World.create graph ~p ~seed in
+  let census = Percolation.Clusters.census world in
+  Printf.printf "world: %s, p = %.4f, seed = %Ld\n" graph.Topology.Graph.name p seed;
+  Printf.printf "vertices: %d, open edges: %d\n" census.Percolation.Clusters.vertex_count
+    census.Percolation.Clusters.open_edge_count;
+  Printf.printf "components: %d, largest: %d (%.2f%%), second: %d\n"
+    census.Percolation.Clusters.component_count census.Percolation.Clusters.largest
+    (100.0 *. Percolation.Clusters.giant_fraction census)
+    census.Percolation.Clusters.second_largest;
+  Printf.printf "giant present: %b\n" (Percolation.Clusters.has_giant census);
+  0
 
-let cmd_threshold topology size seed trials =
+let cmd_threshold topology size seed jobs trials =
   let stream = Prng.Stream.create seed in
-  match build_topology topology size stream with
-  | Error message ->
-      prerr_endline message;
-      1
-  | Ok graph ->
-      let event ~p ~seed =
-        let world = Percolation.World.create graph ~p ~seed in
-        Percolation.Clusters.has_giant (Percolation.Clusters.census world)
-      in
-      let estimate =
-        Percolation.Threshold.bisect ~trials_per_pivot:trials stream ~event ~lo:0.0
-          ~hi:1.0
-      in
-      Printf.printf "%s: estimated giant-component threshold p_c ~= %.4f\n"
-        graph.Topology.Graph.name estimate;
-      0
+  with_instance topology ~size stream @@ fun instance ->
+  let graph = instance.Topology.Registry.graph in
+  let event ~p ~seed =
+    let world = Percolation.World.create graph ~p ~seed in
+    Percolation.Clusters.has_giant (Percolation.Clusters.census world)
+  in
+  let estimate =
+    Percolation.Threshold.bisect ~jobs ~trials_per_pivot:trials stream ~event ~lo:0.0
+      ~hi:1.0
+  in
+  Printf.printf "%s: estimated giant-component threshold p_c ~= %.4f\n"
+    graph.Topology.Graph.name estimate;
+  0
 
 let cmd_mincut topology size seed source target =
   let stream = Prng.Stream.create seed in
-  match build_topology topology size stream with
-  | Error message ->
-      prerr_endline message;
-      1
-  | Ok graph ->
-      let source = Option.value source ~default:0 in
-      let target = Option.value target ~default:(graph.Topology.Graph.vertex_count - 1) in
-      let flow = Topology.Mincut.max_flow graph ~source ~sink:target in
-      let cut = Topology.Mincut.min_cut graph ~source ~sink:target in
-      Printf.printf "%s: edge connectivity of (%d, %d) = %d\n" graph.Topology.Graph.name
-        source target flow;
-      Printf.printf "one minimum cut: %s\n"
-        (String.concat ", " (List.map (fun (u, v) -> Printf.sprintf "(%d,%d)" u v) cut));
-      0
+  with_instance topology ~size stream @@ fun instance ->
+  let graph = instance.Topology.Registry.graph in
+  let source = Option.value source ~default:0 in
+  let target = Option.value target ~default:(graph.Topology.Graph.vertex_count - 1) in
+  let flow = Topology.Mincut.max_flow graph ~source ~sink:target in
+  let cut = Topology.Mincut.min_cut graph ~source ~sink:target in
+  Printf.printf "%s: edge connectivity of (%d, %d) = %d\n" graph.Topology.Graph.name
+    source target flow;
+  Printf.printf "one minimum cut: %s\n"
+    (String.concat ", " (List.map (fun (u, v) -> Printf.sprintf "(%d,%d)" u v) cut));
+  0
 
 let cmd_simulate topology size p seed protocol_name source target max_rounds =
   let stream = Prng.Stream.create seed in
-  match build_topology topology size stream with
-  | Error message ->
-      prerr_endline message;
-      1
-  | Ok graph -> (
-      let world = Percolation.World.create graph ~p ~seed in
-      let source = Option.value source ~default:0 in
-      let target = Option.value target ~default:(graph.Topology.Graph.vertex_count - 1) in
-      Printf.printf "world: %s, p = %.4f, seed = %Ld; %s from %d to %d\n"
-        graph.Topology.Graph.name p seed protocol_name source target;
-      let describe metrics result =
-        (match result with
-        | `Stopped rounds -> Printf.printf "outcome: target reached at round %d\n" rounds
-        | `Quiescent rounds ->
-            Printf.printf "outcome: network quiescent at round %d (target not reached)\n"
-              rounds
-        | `Out_of_rounds -> print_endline "outcome: round limit hit");
-        Printf.printf "cost: %s\n" (Format.asprintf "%a" Netsim.Metrics.pp metrics);
-        0
+  with_instance topology ~size stream @@ fun instance ->
+  let graph = instance.Topology.Registry.graph in
+  let world = Percolation.World.create graph ~p ~seed in
+  let source = Option.value source ~default:0 in
+  let target = Option.value target ~default:(graph.Topology.Graph.vertex_count - 1) in
+  Printf.printf "world: %s, p = %.4f, seed = %Ld; %s from %d to %d\n"
+    graph.Topology.Graph.name p seed protocol_name source target;
+  let describe metrics result =
+    (match result with
+    | `Stopped rounds -> Printf.printf "outcome: target reached at round %d\n" rounds
+    | `Quiescent rounds ->
+        Printf.printf "outcome: network quiescent at round %d (target not reached)\n"
+          rounds
+    | `Out_of_rounds -> print_endline "outcome: round limit hit");
+    Printf.printf "cost: %s\n" (Format.asprintf "%a" Netsim.Metrics.pp metrics);
+    0
+  in
+  match String.lowercase_ascii protocol_name with
+  | "flood" ->
+      let engine = Netsim.Engine.create world Netsim.Flood.protocol in
+      Netsim.Flood.start engine ~source;
+      let result =
+        Netsim.Engine.run ~max_rounds engine ~until:(fun e ->
+            Netsim.Flood.informed_at e target <> None)
       in
-      match String.lowercase_ascii protocol_name with
-      | "flood" ->
-          let engine = Netsim.Engine.create world Netsim.Flood.protocol in
-          Netsim.Flood.start engine ~source;
+      (match Netsim.Flood.latency engine ~source ~target with
+      | Some latency -> Printf.printf "flood latency: %d rounds\n" latency
+      | None -> ());
+      describe (Netsim.Engine.metrics engine) result
+  | "gossip" ->
+      let engine = Netsim.Engine.create world Netsim.Gossip.protocol in
+      Netsim.Gossip.start engine ~source;
+      let result =
+        Netsim.Engine.run ~max_rounds engine ~until:(fun e ->
+            Netsim.Gossip.informed_at e target <> None)
+      in
+      Printf.printf "informed nodes: %d\n" (Netsim.Gossip.informed_count engine);
+      describe (Netsim.Engine.metrics engine) result
+  | "greedy" -> (
+      match graph.Topology.Graph.distance with
+      | None ->
+          prerr_endline "greedy simulation needs a topology with a metric";
+          1
+      | Some metric ->
+          let engine =
+            Netsim.Engine.create world (Netsim.Greedy_forward.protocol ~target ~metric)
+          in
+          Netsim.Greedy_forward.start engine ~source;
           let result =
             Netsim.Engine.run ~max_rounds engine ~until:(fun e ->
-                Netsim.Flood.informed_at e target <> None)
+                Netsim.Greedy_forward.arrived e ~target <> None)
           in
-          (match Netsim.Flood.latency engine ~source ~target with
-          | Some latency -> Printf.printf "flood latency: %d rounds\n" latency
+          (match Netsim.Greedy_forward.dropped engine with
+          | Some node -> Printf.printf "token dropped at node %d\n" node
           | None -> ());
-          describe (Netsim.Engine.metrics engine) result
-      | "gossip" ->
-          let engine = Netsim.Engine.create world Netsim.Gossip.protocol in
-          Netsim.Gossip.start engine ~source;
-          let result =
-            Netsim.Engine.run ~max_rounds engine ~until:(fun e ->
-                Netsim.Gossip.informed_at e target <> None)
-          in
-          Printf.printf "informed nodes: %d\n" (Netsim.Gossip.informed_count engine);
-          describe (Netsim.Engine.metrics engine) result
-      | "greedy" -> (
-          match graph.Topology.Graph.distance with
-          | None ->
-              prerr_endline "greedy simulation needs a topology with a metric";
-              1
-          | Some metric ->
-              let engine =
-                Netsim.Engine.create world (Netsim.Greedy_forward.protocol ~target ~metric)
-              in
-              Netsim.Greedy_forward.start engine ~source;
-              let result =
-                Netsim.Engine.run ~max_rounds engine ~until:(fun e ->
-                    Netsim.Greedy_forward.arrived e ~target <> None)
-              in
-              (match Netsim.Greedy_forward.dropped engine with
-              | Some node -> Printf.printf "token dropped at node %d\n" node
-              | None -> ());
-              describe (Netsim.Engine.metrics engine) result)
-      | "walk" ->
-          let engine = Netsim.Engine.create world (Netsim.Random_walk.protocol ~target) in
-          Netsim.Random_walk.start engine ~source;
-          let result =
-            Netsim.Engine.run ~max_rounds engine ~until:(fun e ->
-                Netsim.Random_walk.arrived e ~target <> None)
-          in
-          describe (Netsim.Engine.metrics engine) result
-      | other ->
-          Printf.eprintf "unknown protocol %S (try flood, gossip, greedy, walk)\n" other;
-          1)
+          describe (Netsim.Engine.metrics engine) result)
+  | "walk" ->
+      let engine = Netsim.Engine.create world (Netsim.Random_walk.protocol ~target) in
+      Netsim.Random_walk.start engine ~source;
+      let result =
+        Netsim.Engine.run ~max_rounds engine ~until:(fun e ->
+            Netsim.Random_walk.arrived e ~target <> None)
+      in
+      describe (Netsim.Engine.metrics engine) result
+  | other ->
+      Printf.eprintf "unknown protocol %S (try flood, gossip, greedy, walk)\n" other;
+      1
 
 (* ------------------------------------------------------------------ *)
 (* Cmdliner wiring.                                                    *)
@@ -270,17 +236,39 @@ let csv_arg =
   let doc = "Emit tables as CSV instead of aligned text." in
   Arg.(value & flag & info [ "csv" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for trial running (default: the machine's recommended \
+     count). Output is bit-identical for every value."
+  in
+  let positive_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n > 0 -> Ok n
+      | Some _ -> Error (`Msg "must be positive")
+      | None -> Error (`Msg "not an integer")
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(
+    value
+    & opt positive_int (Engine_par.Pool.recommended_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let topology_arg =
   Arg.(
     required
     & pos 0 (some string) None
-    & info [] ~docv:"TOPOLOGY" ~doc:"Topology family name.")
+    & info [] ~docv:"TOPOLOGY"
+        ~doc:"Topology spec: NAME or NAME:SIZE (see `faultroute list`).")
 
 let size_arg =
   Arg.(
     value & opt int 10
     & info [ "size"; "n" ] ~docv:"N"
-        ~doc:"Topology size parameter (dimension, depth, side or vertex count).")
+        ~doc:
+          "Topology size parameter (dimension, depth, side or vertex count) when \
+           the spec carries none.")
 
 let p_arg =
   Arg.(
@@ -288,7 +276,9 @@ let p_arg =
     & info [ "p" ] ~docv:"P" ~doc:"Edge retention probability.")
 
 let list_cmd =
-  Cmd.v (Cmd.info "list" ~doc:"List the experiments.") Term.(const cmd_list $ const ())
+  Cmd.v
+    (Cmd.info "list" ~doc:"List experiments, topologies and routers.")
+    Term.(const cmd_list $ const ())
 
 let exp_cmd =
   let id_arg =
@@ -299,12 +289,12 @@ let exp_cmd =
   in
   Cmd.v
     (Cmd.info "exp" ~doc:"Run one experiment and print its report.")
-    Term.(const cmd_exp $ id_arg $ quick_arg $ seed_arg $ csv_arg)
+    Term.(const cmd_exp $ id_arg $ quick_arg $ seed_arg $ jobs_arg $ csv_arg)
 
 let all_cmd =
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment in the catalog.")
-    Term.(const cmd_all $ quick_arg $ seed_arg)
+    Term.(const cmd_all $ quick_arg $ seed_arg $ jobs_arg)
 
 let route_cmd =
   let source_arg =
@@ -322,7 +312,8 @@ let route_cmd =
   let router_arg =
     Arg.(
       value & opt string "bfs"
-      & info [ "router" ] ~docv:"ROUTER" ~doc:"Routing algorithm.")
+      & info [ "router" ] ~docv:"ROUTER"
+          ~doc:"Routing algorithm (see `faultroute list`).")
   in
   let budget_arg =
     Arg.(
@@ -349,7 +340,7 @@ let threshold_cmd =
   in
   Cmd.v
     (Cmd.info "threshold" ~doc:"Estimate a giant-component threshold by bisection.")
-    Term.(const cmd_threshold $ topology_arg $ size_arg $ seed_arg $ trials_arg)
+    Term.(const cmd_threshold $ topology_arg $ size_arg $ seed_arg $ jobs_arg $ trials_arg)
 
 let simulate_cmd =
   let protocol_arg =

@@ -23,7 +23,7 @@ let () =
       let p = float_of_int n ** -.alpha in
       let spec =
         Experiments.Trial.spec ~budget ~graph ~p ~source ~target
-          (fun ~source ~target -> Routing.Path_follow.hypercube ~n ~source ~target)
+          (fun _rand ~source ~target -> Routing.Path_follow.hypercube ~n ~source ~target)
       in
       let result =
         Experiments.Trial.run (Prng.Stream.split stream index) ~trials spec

@@ -22,7 +22,7 @@ let () =
   List.iteri
     (fun index p ->
       let spec =
-        Experiments.Trial.spec ~graph ~p ~source ~target (fun ~source ~target ->
+        Experiments.Trial.spec ~graph ~p ~source ~target (fun _rand ~source ~target ->
             Routing.Path_follow.mesh ~d ~m ~source ~target)
       in
       let result =

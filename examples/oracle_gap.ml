@@ -27,8 +27,10 @@ let () =
              (Prng.Stream.split stream ((index * 10) + label))
              ~trials spec)
       in
-      let local = measure 1 (fun ~source:_ ~target:_ -> Routing.Local_bfs.router) in
-      let oracle = measure 2 (fun ~source:_ ~target:_ -> Routing.Tree_pair_dfs.router ~n) in
+      let local = measure 1 (fun _rand ~source:_ ~target:_ -> Routing.Local_bfs.router) in
+      let oracle =
+        measure 2 (fun _rand ~source:_ ~target:_ -> Routing.Tree_pair_dfs.router ~n)
+      in
       Printf.printf "%5d %12d %14.0f %14.0f %9.1f\n" n graph.Topology.Graph.vertex_count
         local oracle (local /. oracle))
     [ 4; 6; 8; 10; 12; 14 ];

@@ -12,9 +12,16 @@
 
    Run with:  dune exec examples/p2p_lookup.exe *)
 
+let ok = function Ok v -> v | Error message -> failwith message
+
 let () =
   let n = 11 in
-  let graph = Topology.Hypercube.graph n in
+  let instance =
+    Topology.Registry.build
+      (ok (Topology.Registry.of_spec "hypercube"))
+      ~default_size:n (Prng.Stream.create 1L)
+  in
+  let graph = instance.Topology.Registry.graph in
   let source = 0 in
   let target = Topology.Hypercube.antipode ~n source in
   let trials = 10 in
@@ -28,12 +35,15 @@ let () =
   let line = String.make 96 '-' in
   print_endline line;
   let stream = Prng.Stream.create 0x9EE9L in
+  (* The three strategies, resolved by name; each entry checks the
+     topology's shape, so e.g. "segment" would refuse a mesh. *)
   let routers =
-    [
-      (fun ~source:_ ~target:_ -> Routing.Greedy.router);
-      (fun ~source ~target -> Routing.Path_follow.hypercube ~n ~source ~target);
-      (fun ~source:_ ~target:_ -> Routing.Local_bfs.router);
-    ]
+    List.map
+      (fun name ->
+        let entry = ok (Routing.Registry.of_spec name) in
+        fun rand ~source ~target ->
+          ok (entry.Routing.Registry.build ~instance ~source ~target rand))
+      [ "greedy"; "segment"; "bfs" ]
   in
   List.iteri
     (fun row q ->

@@ -3,11 +3,24 @@
 
    Run with:  dune exec examples/quickstart.exe *)
 
+let ok = function Ok v -> v | Error message -> failwith message
+
 let () =
   (* 1. A topology: the 12-dimensional hypercube (4096 vertices),
-        represented implicitly — no adjacency lists are materialised. *)
-  let n = 12 in
-  let graph = Topology.Hypercube.graph n in
+        resolved through the registry exactly as the CLI does — the
+        spec syntax is NAME or NAME:SIZE. The instance carries both the
+        implicit graph and its structured shape. *)
+  let instance =
+    Topology.Registry.build
+      (ok (Topology.Registry.of_spec "hypercube:12"))
+      ~default_size:12 (Prng.Stream.create 1L)
+  in
+  let graph = instance.Topology.Registry.graph in
+  let n =
+    match instance.Topology.Registry.shape with
+    | Topology.Registry.Hypercube { n } -> n
+    | _ -> assert false
+  in
   Printf.printf "topology: %s (%d vertices)\n" graph.Topology.Graph.name
     graph.Topology.Graph.vertex_count;
 
@@ -31,8 +44,12 @@ let () =
   (* 4. Route! A local router may only probe edges adjacent to vertices
         it has already reached (Definition 1 of the paper); the oracle
         counts every distinct probe — that count is the routing
-        complexity (Definition 2). *)
-  let router = Routing.Path_follow.hypercube ~n ~source ~target in
+        complexity (Definition 2). The router registry checks the
+        instance's shape: "segment" would refuse a mesh. *)
+  let router =
+    let entry = ok (Routing.Registry.of_spec "segment") in
+    ok (entry.Routing.Registry.build ~instance ~source ~target (Prng.Stream.create 2L))
+  in
   (match Routing.Router.run router world ~source ~target with
   | Routing.Outcome.Found { path; probes; raw_probes } ->
       Printf.printf "%s: found a path of %d hops using %d probes (%d raw)\n"

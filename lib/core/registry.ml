@@ -1,0 +1,99 @@
+type entry = {
+  name : string;
+  doc : string;
+  build :
+    instance:Topology.Registry.instance ->
+    source:int ->
+    target:int ->
+    Prng.Stream.t ->
+    (Router.t, string) result;
+}
+
+let inapplicable name (instance : Topology.Registry.instance) wanted =
+  Error
+    (Printf.sprintf "router %S needs %s, not %s" name wanted
+       instance.graph.Topology.Graph.name)
+
+let entries =
+  [
+    {
+      name = "bfs";
+      doc = "local BFS in topology order; any topology";
+      build = (fun ~instance:_ ~source:_ ~target:_ _stream -> Ok Local_bfs.router);
+    };
+    {
+      name = "bfs-random";
+      doc = "local BFS probing neighbours in a randomized order; any topology";
+      build =
+        (fun ~instance:_ ~source:_ ~target:_ stream ->
+          Ok (Local_bfs.router_randomized stream));
+    };
+    {
+      name = "greedy";
+      doc = "distance-greedy descent; topologies with a distance metric";
+      build =
+        (fun ~instance ~source:_ ~target:_ _stream ->
+          match instance.graph.Topology.Graph.distance with
+          | Some _ -> Ok Greedy.router
+          | None -> inapplicable "greedy" instance "a topology with a distance metric");
+    };
+    {
+      name = "bidirectional";
+      doc = "bidirectional BFS meeting in the middle; any topology";
+      build = (fun ~instance:_ ~source:_ ~target:_ _stream -> Ok Bidirectional.router);
+    };
+    {
+      name = "segment";
+      doc = "Theorem 3(ii) segment router along a bit-fixing backbone; hypercubes";
+      build =
+        (fun ~instance ~source ~target _stream ->
+          match instance.shape with
+          | Hypercube { n } -> Ok (Path_follow.hypercube ~n ~source ~target)
+          | _ -> inapplicable "segment" instance "a hypercube");
+    };
+    {
+      name = "path-follow";
+      doc = "path-following repair along an axis-order backbone; meshes and tori";
+      build =
+        (fun ~instance ~source ~target _stream ->
+          match instance.shape with
+          | Mesh { d; m } -> Ok (Path_follow.mesh ~d ~m ~source ~target)
+          | Torus { d; m } -> Ok (Path_follow.torus ~d ~m ~source ~target)
+          | _ -> inapplicable "path-follow" instance "a mesh or torus");
+    };
+    {
+      name = "tree-pair";
+      doc = "paired-edge DFS over the mirrored trees; double trees";
+      build =
+        (fun ~instance ~source ~target _stream ->
+          match instance.shape with
+          | Double_tree { depth } ->
+              let root1 = Topology.Double_tree.root1
+              and root2 = Topology.Double_tree.root2 ~n:depth in
+              if
+                (source = root1 && target = root2)
+                || (source = root2 && target = root1)
+              then Ok (Tree_pair_dfs.router ~n:depth)
+              else
+                Error
+                  (Printf.sprintf
+                     "router \"tree-pair\" routes only between the two roots (%d and \
+                      %d)"
+                     root1 root2)
+          | _ -> inapplicable "tree-pair" instance "a double tree");
+    };
+  ]
+
+let names () = List.map (fun e -> e.name) entries
+
+let find name =
+  let wanted = String.lowercase_ascii (String.trim name) in
+  List.find_opt (fun e -> e.name = wanted) entries
+
+let of_spec name =
+  match find name with
+  | Some entry -> Ok entry
+  | None ->
+      Error
+        (Printf.sprintf "unknown router %S (known: %s)" name
+           (String.concat ", " (names ())))

@@ -1,0 +1,35 @@
+(** First-class registry of the routing algorithms.
+
+    Each entry carries a name, a one-line doc string, and a builder
+    that constructs the router for a topology {!Topology.Registry.instance}.
+    Applicability is decided from the instance's structured shape —
+    the segment router demands a hypercube, the path follower a mesh
+    or torus (with the dimension taken from the shape, not guessed),
+    the paired-edge DFS a double tree — never from parsing graph
+    names. *)
+
+type entry = {
+  name : string;  (** Lower-case registry key, e.g. ["segment"]. *)
+  doc : string;  (** One line: strategy and applicability. *)
+  build :
+    instance:Topology.Registry.instance ->
+    source:int ->
+    target:int ->
+    Prng.Stream.t ->
+    (Router.t, string) result;
+      (** Builds the router for one routing pair. The stream feeds
+          randomized routers and is ignored by deterministic ones.
+          [Error] explains an inapplicable topology. *)
+}
+
+val entries : entry list
+(** All registered routers, in presentation order. *)
+
+val names : unit -> string list
+(** The registered names, in presentation order. *)
+
+val find : string -> entry option
+(** Case-insensitive lookup by name. *)
+
+val of_spec : string -> (entry, string) result
+(** Resolves a router name; the error case names the known routers. *)

@@ -1,0 +1,92 @@
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let default = Atomic.make 1
+
+let default_jobs () = Atomic.get default
+
+let set_default_jobs jobs =
+  if jobs <= 0 then invalid_arg "Pool.set_default_jobs: jobs must be positive";
+  Atomic.set default jobs
+
+let worker_flag = Domain.DLS.new_key (fun () -> false)
+let in_worker () = Domain.DLS.get worker_flag
+
+(* The worker body shared by every domain (including the caller, which
+   participates instead of idling). Indices come from [next]; a raised
+   exception is parked in [failure] (first one wins) and stops the
+   pool via [stop]. *)
+let worker_loop ~next ~stop ~failure ~limit ~until ~work ~results =
+  (try
+     let continue = ref true in
+     while !continue do
+       if Atomic.get stop then continue := false
+       else begin
+         let i = Atomic.fetch_and_add next 1 in
+         if i >= limit then continue := false
+         else begin
+           let r = work i in
+           results.(i) <- Some r;
+           if until r then Atomic.set stop true
+         end
+       end
+     done
+   with exn ->
+     let bt = Printexc.get_raw_backtrace () in
+     ignore (Atomic.compare_and_set failure None (Some (exn, bt)));
+     Atomic.set stop true)
+
+let sequential_prefix ~limit ~until work =
+  let acc = ref [] in
+  let stopped = ref false in
+  let i = ref 0 in
+  while (not !stopped) && !i < limit do
+    let r = work !i in
+    acc := r :: !acc;
+    if until r then stopped := true;
+    incr i
+  done;
+  Array.of_list (List.rev !acc)
+
+let parallel_prefix ~jobs ~limit ~until work =
+  let results = Array.make limit None in
+  let next = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let failure = Atomic.make None in
+  let body () =
+    worker_loop ~next ~stop ~failure ~limit ~until ~work ~results
+  in
+  let spawned = Stdlib.min jobs limit - 1 in
+  let domains =
+    List.init spawned (fun _ ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set worker_flag true;
+            body ()))
+  in
+  (* The caller works too; mark it so nested pool calls run inline. *)
+  Domain.DLS.set worker_flag true;
+  Fun.protect
+    ~finally:(fun () ->
+      Domain.DLS.set worker_flag false;
+      List.iter Domain.join domains)
+    body;
+  (match Atomic.get failure with
+  | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+  | None -> ());
+  (* Dispensed indices form a contiguous prefix and all of them have
+     completed by now; cut the array at the first unfilled slot. *)
+  let filled = ref 0 in
+  while !filled < limit && results.(!filled) <> None do incr filled done;
+  Array.init !filled (fun i ->
+      match results.(i) with Some r -> r | None -> assert false)
+
+let collect_prefix ?jobs ~limit ~until work =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs <= 0 then invalid_arg "Pool.collect_prefix: jobs must be positive";
+  if limit < 0 then invalid_arg "Pool.collect_prefix: limit must be non-negative";
+  if jobs = 1 || limit <= 1 || in_worker () then sequential_prefix ~limit ~until work
+  else parallel_prefix ~jobs ~limit ~until work
+
+let map ?jobs f xs =
+  collect_prefix ?jobs ~limit:(Array.length xs)
+    ~until:(fun _ -> false)
+    (fun i -> f xs.(i))

@@ -36,6 +36,14 @@ let find id =
   let wanted = String.lowercase_ascii id in
   List.find_opt (fun e -> String.lowercase_ascii e.id = wanted) all
 
-let run_all ?quick ~seed () =
+let run_all ?quick ?jobs ~seed () =
   let stream = Prng.Stream.create seed in
-  List.mapi (fun index e -> e.run ?quick (Prng.Stream.split stream index)) all
+  (* One task per experiment on the shared pool; each experiment's
+     stream depends only on its index, and a task that itself fans out
+     trials runs them inline on its worker, so reports are identical
+     for any job count. *)
+  let indexed = Array.of_list (List.mapi (fun index e -> (index, e)) all) in
+  Engine_par.Pool.map ?jobs
+    (fun (index, e) -> e.run ?quick (Prng.Stream.split stream index))
+    indexed
+  |> Array.to_list

@@ -13,5 +13,8 @@ val all : experiment list
 val find : string -> experiment option
 (** Case-insensitive lookup by id. *)
 
-val run_all : ?quick:bool -> seed:int64 -> unit -> Report.t list
-(** Runs every experiment, each on a stream split from [seed]. *)
+val run_all : ?quick:bool -> ?jobs:int -> seed:int64 -> unit -> Report.t list
+(** Runs every experiment, each on a stream split from [seed].
+    [jobs] (default {!Engine_par.Pool.default_jobs}) schedules the
+    experiments across a shared domain pool; the reports are identical
+    for any job count. *)

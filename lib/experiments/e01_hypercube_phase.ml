@@ -26,8 +26,10 @@ let run ?(quick = false) stream =
   let graph = Topology.Hypercube.graph n in
   let source = 0 in
   let target = Topology.Hypercube.antipode ~n source in
-  let segment_router ~source ~target = Routing.Path_follow.hypercube ~n ~source ~target in
-  let greedy_router ~source:_ ~target:_ = Routing.Greedy.router in
+  let segment_router _rand ~source ~target =
+    Routing.Path_follow.hypercube ~n ~source ~target
+  in
+  let greedy_router _rand ~source:_ ~target:_ = Routing.Greedy.router in
   let table =
     List.fold_left
       (fun (table, index) alpha ->

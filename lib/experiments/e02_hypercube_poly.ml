@@ -28,7 +28,7 @@ let run ?(quick = false) stream =
           let substream = Prng.Stream.split stream ((alpha_index * 100) + size_index) in
           let result =
             Trial.run substream ~trials
-              (Trial.spec ~graph ~p ~source ~target (fun ~source ~target ->
+              (Trial.spec ~graph ~p ~source ~target (fun _rand ~source ~target ->
                    Routing.Path_follow.hypercube ~n ~source ~target))
           in
           let median =

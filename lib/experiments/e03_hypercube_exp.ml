@@ -34,7 +34,7 @@ let run ?(quick = false) stream =
           let substream = Prng.Stream.split stream ((alpha_index * 100) + size_index) in
           let result =
             Trial.run substream ~trials
-              (Trial.spec ~graph ~p ~source ~target (fun ~source:_ ~target:_ ->
+              (Trial.spec ~graph ~p ~source ~target (fun _rand ~source:_ ~target:_ ->
                    Routing.Local_bfs.router))
           in
           let mean = Trial.mean_probes_lower_bound result in

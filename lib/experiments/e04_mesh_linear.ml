@@ -36,7 +36,7 @@ let run ?(quick = false) stream =
           let substream = Prng.Stream.split stream ((p_index * 100) + n_index) in
           let result =
             Trial.run substream ~trials ~max_attempts:(trials * 400)
-              (Trial.spec ~graph ~p ~source ~target (fun ~source ~target ->
+              (Trial.spec ~graph ~p ~source ~target (fun _rand ~source ~target ->
                    Routing.Path_follow.mesh ~d ~m ~source ~target))
           in
           let mean = Trial.mean_probes_lower_bound result in

@@ -35,7 +35,7 @@ let run ?(quick = false) stream =
       let substream = Prng.Stream.split stream p_index in
       let result =
         Trial.run substream ~trials ~max_attempts:(trials * 50)
-          (Trial.spec ~graph ~p ~source ~target (fun ~source ~target ->
+          (Trial.spec ~graph ~p ~source ~target (fun _rand ~source ~target ->
                Routing.Path_follow.mesh ~d ~m ~source ~target))
       in
       let sample_size = Stats.Censored.count result.Trial.observations in

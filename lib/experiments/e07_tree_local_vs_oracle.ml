@@ -32,8 +32,10 @@ let run ?(quick = false) stream =
         Trial.run (Prng.Stream.split substream label) ~trials
           (Trial.spec ~graph ~p ~source ~target router)
       in
-      let local = run_router 1 (fun ~source:_ ~target:_ -> Routing.Local_bfs.router) in
-      let oracle = run_router 2 (fun ~source:_ ~target:_ -> Routing.Tree_pair_dfs.router ~n) in
+      let local = run_router 1 (fun _rand ~source:_ ~target:_ -> Routing.Local_bfs.router) in
+      let oracle =
+        run_router 2 (fun _rand ~source:_ ~target:_ -> Routing.Tree_pair_dfs.router ~n)
+      in
       let median result =
         match Trial.median_observation result with
         | Some (Stats.Censored.Exact m) | Some (Stats.Censored.At_least m) -> m

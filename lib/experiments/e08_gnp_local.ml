@@ -28,8 +28,8 @@ let run ?(quick = false) stream =
       let substream = Prng.Stream.split stream index in
       let result =
         Trial.run substream ~trials
-          (Trial.spec ~graph ~p ~source:0 ~target:(n - 1) (fun ~source:_ ~target:_ ->
-               Routing.Local_bfs.router))
+          (Trial.spec ~graph ~p ~source:0 ~target:(n - 1)
+             (fun _rand ~source:_ ~target:_ -> Routing.Local_bfs.router))
       in
       let mean = Trial.mean_probes_lower_bound result in
       let n2 = float_of_int n ** 2.0 in

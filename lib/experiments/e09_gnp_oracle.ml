@@ -30,15 +30,15 @@ let run ?(quick = false) stream =
         Trial.run
           (Prng.Stream.split substream 1)
           ~trials
-          (Trial.spec ~graph ~p ~source:0 ~target:(n - 1) (fun ~source:_ ~target:_ ->
-               Routing.Bidirectional.router))
+          (Trial.spec ~graph ~p ~source:0 ~target:(n - 1)
+             (fun _rand ~source:_ ~target:_ -> Routing.Bidirectional.router))
       in
       let local_result =
         Trial.run
           (Prng.Stream.split substream 2)
           ~trials
-          (Trial.spec ~graph ~p ~source:0 ~target:(n - 1) (fun ~source:_ ~target:_ ->
-               Routing.Local_bfs.router))
+          (Trial.spec ~graph ~p ~source:0 ~target:(n - 1)
+             (fun _rand ~source:_ ~target:_ -> Routing.Local_bfs.router))
       in
       let oracle_mean = Trial.mean_probes_lower_bound oracle_result in
       let local_mean = Trial.mean_probes_lower_bound local_result in

@@ -30,7 +30,7 @@ let run ?(quick = false) stream =
       let result =
         Trial.run substream ~trials ~max_attempts:(trials * 20)
           (Trial.spec ~graph ~p ~source:Topology.Theta.endpoint_u
-             ~target:Topology.Theta.endpoint_v (fun ~source:_ ~target:_ ->
+             ~target:Topology.Theta.endpoint_v (fun _rand ~source:_ ~target:_ ->
                Routing.Local_bfs.router))
       in
       let mean = Trial.mean_probes_lower_bound result in

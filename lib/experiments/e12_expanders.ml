@@ -44,8 +44,8 @@ let run ?(quick = false) stream =
           let substream = Prng.Stream.split stream ((family_index * 100) + p_index) in
           let result =
             Trial.run substream ~trials ~max_attempts:(trials * 40)
-              (Trial.spec ~budget ~graph ~p ~source ~target (fun ~source:_ ~target:_ ->
-                   Routing.Local_bfs.router))
+              (Trial.spec ~budget ~graph ~p ~source ~target
+                 (fun _rand ~source:_ ~target:_ -> Routing.Local_bfs.router))
           in
           let sample_size = Stats.Censored.count result.Trial.observations in
           let median =

@@ -36,8 +36,10 @@ let run ?(quick = false) stream =
         Trial.run (Prng.Stream.split substream label) ~trials
           (Trial.spec ~graph ~p ~source ~target router)
       in
-      let local = measure 1 (fun ~source:_ ~target:_ -> Routing.Local_bfs.router) in
-      let oracle = measure 2 (fun ~source:_ ~target:_ -> Routing.Bidirectional.router) in
+      let local = measure 1 (fun _rand ~source:_ ~target:_ -> Routing.Local_bfs.router) in
+      let oracle =
+        measure 2 (fun _rand ~source:_ ~target:_ -> Routing.Bidirectional.router)
+      in
       let local_mean = Trial.mean_probes_lower_bound local in
       let oracle_mean = Trial.mean_probes_lower_bound oracle in
       local_points := (float_of_int n, local_mean) :: !local_points;

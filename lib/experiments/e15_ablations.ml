@@ -41,15 +41,16 @@ let run ?(quick = false) stream =
       let p = float_of_int n ** -.alpha in
       let variants =
         [
-          ("bfs/topology-order", fun ~source:_ ~target:_ -> Routing.Local_bfs.router);
+          ("bfs/topology-order", fun _rand ~source:_ ~target:_ -> Routing.Local_bfs.router);
           ( "bfs/random-order",
-            fun ~source:_ ~target:_ ->
-              Routing.Local_bfs.router_randomized
-                (Prng.Stream.split stream (900 + alpha_index)) );
+            fun rand ~source:_ ~target:_ ->
+              (* Shuffle order comes from the trial's private stream, so
+                 the variant stays deterministic under parallel runs. *)
+              Routing.Local_bfs.router_randomized rand );
           ( "segment/ascending",
-            fun ~source ~target -> Routing.Path_follow.hypercube ~n ~source ~target );
+            fun _rand ~source ~target -> Routing.Path_follow.hypercube ~n ~source ~target );
           ( "segment/descending",
-            fun ~source ~target ->
+            fun _rand ~source ~target ->
               let backbone =
                 Array.of_list (Topology.Hypercube.fixed_path_desc ~n source target)
               in

@@ -40,10 +40,11 @@ let run ?(quick = false) stream =
           (Trial.spec ~graph ~p ~source ~target router)
       in
       let mesh_result =
-        run_on 1 mesh (fun ~source ~target -> Routing.Path_follow.mesh ~d ~m ~source ~target)
+        run_on 1 mesh (fun _rand ~source ~target ->
+            Routing.Path_follow.mesh ~d ~m ~source ~target)
       in
       let torus_result =
-        run_on 2 torus (fun ~source ~target ->
+        run_on 2 torus (fun _rand ~source ~target ->
             Routing.Path_follow.torus ~d ~m ~source ~target)
       in
       let per_hop result =

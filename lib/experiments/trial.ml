@@ -3,7 +3,7 @@ type spec = {
   p : float;
   source : int;
   target : int;
-  router : source:int -> target:int -> Routing.Router.t;
+  router : Prng.Stream.t -> source:int -> target:int -> Routing.Router.t;
   budget : int option;
   reveal_limit : int option;
 }
@@ -19,50 +19,158 @@ type result = {
   failures : int;
 }
 
-let run stream ~trials ?max_attempts spec =
-  if trials <= 0 then invalid_arg "Trial.run: trials must be positive";
-  let max_attempts = Option.value max_attempts ~default:(100 * trials) in
-  let root_seed = Prng.Stream.seed stream in
-  let observations = ref Stats.Censored.empty in
-  let path_lengths = ref Stats.Summary.empty in
-  let chemical = ref Stats.Summary.empty in
-  let connected_worlds = ref 0 in
-  let attempts = ref 0 in
-  let completed = ref 0 in
-  let failures = ref 0 in
-  while !completed < trials && !attempts < max_attempts do
-    incr attempts;
-    let seed = Prng.Coin.derive root_seed !attempts in
-    let world = Percolation.World.create spec.graph ~p:spec.p ~seed in
-    match
-      Percolation.Reveal.connected ?limit:spec.reveal_limit world spec.source
-        spec.target
-    with
-    | Percolation.Reveal.Disconnected | Percolation.Reveal.Unknown -> ()
-    | Percolation.Reveal.Connected distance ->
-        incr connected_worlds;
-        incr completed;
-        chemical := Stats.Summary.add !chemical (float_of_int distance);
-        let router = spec.router ~source:spec.source ~target:spec.target in
-        let outcome =
-          Routing.Router.run ?budget:spec.budget router world ~source:spec.source
-            ~target:spec.target
-        in
-        observations := Stats.Censored.add !observations (Routing.Outcome.to_observation outcome);
-        (match outcome with
-        | Routing.Outcome.Found { path; _ } ->
-            path_lengths :=
-              Stats.Summary.add !path_lengths (float_of_int (List.length path - 1))
-        | Routing.Outcome.No_path _ -> incr failures
-        | Routing.Outcome.Budget_exceeded _ -> ())
-  done;
+(* ------------------------------------------------------------------ *)
+(* One attempt.
+
+   Everything random about attempt [i] — the percolation world, and any
+   random choices the router makes — derives from [Stream.split root i],
+   a pure function of the root seed. Attempts are therefore computable
+   in any order on any domain with identical results; the seed equals
+   [Coin.derive root i], the same world the historical sequential
+   runner drew. *)
+
+type attempt =
+  | Rejected  (** World not connected (or reveal limit hit): resampled. *)
+  | Accepted of { distance : int; outcome : Routing.Outcome.t }
+
+let run_attempt spec root_stream index =
+  let attempt_stream = Prng.Stream.split root_stream index in
+  let seed = Prng.Stream.seed attempt_stream in
+  let world = Percolation.World.create spec.graph ~p:spec.p ~seed in
+  match
+    Percolation.Reveal.connected ?limit:spec.reveal_limit world spec.source
+      spec.target
+  with
+  | Percolation.Reveal.Disconnected | Percolation.Reveal.Unknown -> Rejected
+  | Percolation.Reveal.Connected distance ->
+      let router =
+        spec.router attempt_stream ~source:spec.source ~target:spec.target
+      in
+      let outcome =
+        Routing.Router.run ?budget:spec.budget router world ~source:spec.source
+          ~target:spec.target
+      in
+      Accepted { distance; outcome }
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain accumulators.
+
+   Each worker folds the attempts of its chunk into a local [acc];
+   the caller merges chunk accumulators in chunk-index order, so the
+   merged value never depends on which domain computed what. *)
+
+type acc = {
+  observations : Stats.Censored.t;
+  path_lengths : Stats.Summary.t;
+  chemical : Stats.Summary.t;
+  accepted : int;
+  failures : int;
+}
+
+let acc_empty =
   {
-    observations = !observations;
-    connection = Stats.Proportion.make ~successes:!connected_worlds ~trials:!attempts;
-    path_lengths = !path_lengths;
-    chemical_distances = !chemical;
-    failures = !failures;
+    observations = Stats.Censored.empty;
+    path_lengths = Stats.Summary.empty;
+    chemical = Stats.Summary.empty;
+    accepted = 0;
+    failures = 0;
   }
 
-let median_observation result = Stats.Censored.median result.observations
-let mean_probes_lower_bound result = Stats.Censored.mean_lower_bound result.observations
+let acc_add acc = function
+  | Rejected -> acc
+  | Accepted { distance; outcome } ->
+      let observations =
+        Stats.Censored.add acc.observations (Routing.Outcome.to_observation outcome)
+      in
+      let chemical = Stats.Summary.add acc.chemical (float_of_int distance) in
+      let path_lengths, failures =
+        match outcome with
+        | Routing.Outcome.Found { path; _ } ->
+            ( Stats.Summary.add acc.path_lengths
+                (float_of_int (List.length path - 1)),
+              acc.failures )
+        | Routing.Outcome.No_path _ -> (acc.path_lengths, acc.failures + 1)
+        | Routing.Outcome.Budget_exceeded _ -> (acc.path_lengths, acc.failures)
+      in
+      { observations; path_lengths; chemical; accepted = acc.accepted + 1; failures }
+
+let acc_merge a b =
+  {
+    observations = Stats.Censored.merge a.observations b.observations;
+    path_lengths = Stats.Summary.merge a.path_lengths b.path_lengths;
+    chemical = Stats.Summary.merge a.chemical b.chemical;
+    accepted = a.accepted + b.accepted;
+    failures = a.failures + b.failures;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The engine.
+
+   The attempt index space 1..max_attempts is cut into fixed chunks of
+   [chunk_size] — a constant, never a function of the job count, so
+   the accumulator-merge tree is identical however many domains run.
+   Chunks are dispensed dynamically; once enough acceptances exist in
+   the completed prefix the pool stops dispensing, and a final ordered
+   scan truncates at the exact attempt of the [trials]-th acceptance,
+   replaying the boundary chunk attempt by attempt. *)
+
+let chunk_size = 4
+
+type chunk = { attempts : attempt array; acc : acc }
+
+let run_engine ?jobs stream ~trials ?max_attempts spec =
+  if trials <= 0 then invalid_arg "Trial.run: trials must be positive";
+  let max_attempts = Option.value max_attempts ~default:(100 * trials) in
+  let n_chunks = (max_attempts + chunk_size - 1) / chunk_size in
+  let accepted_so_far = Atomic.make 0 in
+  let work c =
+    let lo = (c * chunk_size) + 1 in
+    let hi = Stdlib.min max_attempts ((c + 1) * chunk_size) in
+    let attempts = Array.init (hi - lo + 1) (fun k -> run_attempt spec stream (lo + k)) in
+    { attempts; acc = Array.fold_left acc_add acc_empty attempts }
+  in
+  let until chunk =
+    Atomic.fetch_and_add accepted_so_far chunk.acc.accepted + chunk.acc.accepted
+    >= trials
+  in
+  let chunks = Engine_par.Pool.collect_prefix ?jobs ~limit:n_chunks ~until work in
+  (* Ordered truncation: merge whole chunks while they cannot contain
+     the [trials]-th acceptance, then replay the boundary chunk. *)
+  let final = ref acc_empty in
+  let attempts_used = ref 0 in
+  (try
+     Array.iter
+       (fun chunk ->
+         if !final.accepted + chunk.acc.accepted < trials then begin
+           final := acc_merge !final chunk.acc;
+           attempts_used := !attempts_used + Array.length chunk.attempts
+         end
+         else
+           Array.iter
+             (fun attempt ->
+               final := acc_add !final attempt;
+               incr attempts_used;
+               if !final.accepted >= trials then raise Exit)
+             chunk.attempts)
+       chunks
+   with Exit -> ());
+  let final = !final in
+  {
+    observations = final.observations;
+    connection =
+      Stats.Proportion.make ~successes:final.accepted ~trials:!attempts_used;
+    path_lengths = final.path_lengths;
+    chemical_distances = final.chemical;
+    failures = final.failures;
+  }
+
+let run_par ?jobs stream ~trials ?max_attempts spec =
+  run_engine ?jobs stream ~trials ?max_attempts spec
+
+let run stream ~trials ?max_attempts spec =
+  run_engine stream ~trials ?max_attempts spec
+
+let median_observation (result : result) = Stats.Censored.median result.observations
+
+let mean_probes_lower_bound (result : result) =
+  Stats.Censored.mean_lower_bound result.observations

@@ -1,4 +1,4 @@
-(** Conditioned routing trials.
+(** Conditioned routing trials — the deterministic multicore engine.
 
     The paper's routing complexity (Definition 2) is conditioned on
     [{u ~ v}]. A trial therefore draws fresh percolation worlds until the
@@ -7,15 +7,30 @@
     records the probe count — censored at the budget when one is set.
 
     The rejection-sampling attempts double as an estimate of
-    [Pr\[u ~ v\]], reported alongside. *)
+    [Pr\[u ~ v\]], reported alongside.
+
+    {2 Determinism}
+
+    Attempt [i] draws all of its randomness — the percolation world and
+    any random choices of the router — from [Prng.Stream.split root i],
+    a pure function of the root seed. Attempts can therefore be
+    evaluated on any number of domains in any order; the engine merges
+    per-domain accumulators over a fixed chunking of the attempt index
+    space, so {!run_par} returns {e bit-identical} results for every
+    [jobs] value (and [run_par ~jobs:1] is exactly the sequential
+    run). *)
 
 type spec = {
   graph : Topology.Graph.t;
   p : float;
   source : int;
   target : int;
-  router : source:int -> target:int -> Routing.Router.t;
-      (** Built per pair: backbone routers depend on the endpoints. *)
+  router : Prng.Stream.t -> source:int -> target:int -> Routing.Router.t;
+      (** Built per trial from that trial's private stream: backbone
+          routers depend on the endpoints; randomized routers must draw
+          from the given stream (never from shared state) so trials stay
+          independent of execution order. Deterministic routers ignore
+          the stream. *)
   budget : int option;  (** Probe cap; [None] = unlimited. *)
   reveal_limit : int option;
       (** Cap on ground-truth exploration; verdict [Unknown] counts as
@@ -29,7 +44,7 @@ val spec :
   p:float ->
   source:int ->
   target:int ->
-  (source:int -> target:int -> Routing.Router.t) ->
+  (Prng.Stream.t -> source:int -> target:int -> Routing.Router.t) ->
   spec
 
 type result = {
@@ -48,8 +63,15 @@ type result = {
 val run : Prng.Stream.t -> trials:int -> ?max_attempts:int -> spec -> result
 (** [run stream ~trials spec] performs up to [trials] conditioned
     measurements, drawing at most [max_attempts] (default
-    [100 × trials]) worlds in total.
+    [100 × trials]) worlds in total. Runs on
+    {!Engine_par.Pool.default_jobs} domains (1 unless raised, e.g. by
+    the CLI's [--jobs]); the result does not depend on the job count.
     @raise Invalid_argument if [trials <= 0]. *)
+
+val run_par :
+  ?jobs:int -> Prng.Stream.t -> trials:int -> ?max_attempts:int -> spec -> result
+(** [run_par ~jobs stream ~trials spec] is {!run} on [jobs] domains.
+    Bit-identical to [run_par ~jobs:1] for every [jobs]. *)
 
 val median_observation : result -> Stats.Censored.observation option
 (** Median probe count of the conditioned trials. *)

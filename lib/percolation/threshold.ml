@@ -1,13 +1,16 @@
-let success_rate stream ~trials ~event =
+let success_rate ?jobs stream ~trials ~event =
   if trials <= 0 then invalid_arg "Threshold.success_rate: trials must be positive";
-  let successes = ref 0 in
-  for trial = 1 to trials do
-    let seed = Prng.Coin.derive (Prng.Stream.seed stream) trial in
-    if event ~seed then incr successes
-  done;
-  float_of_int !successes /. float_of_int trials
+  let outcomes =
+    Engine_par.Pool.map ?jobs
+      (fun trial ->
+        let seed = Prng.Coin.derive (Prng.Stream.seed stream) trial in
+        event ~seed)
+      (Array.init trials (fun i -> i + 1))
+  in
+  let successes = Array.fold_left (fun n ok -> if ok then n + 1 else n) 0 outcomes in
+  float_of_int successes /. float_of_int trials
 
-let bisect ?(trials_per_pivot = 40) ?(iterations = 12) stream ~event ~lo ~hi =
+let bisect ?jobs ?(trials_per_pivot = 40) ?(iterations = 12) stream ~event ~lo ~hi =
   if lo >= hi then invalid_arg "Threshold.bisect: need lo < hi";
   let rec loop lo hi round =
     if round = 0 then (lo +. hi) /. 2.0
@@ -15,7 +18,7 @@ let bisect ?(trials_per_pivot = 40) ?(iterations = 12) stream ~event ~lo ~hi =
       let pivot = (lo +. hi) /. 2.0 in
       let substream = Prng.Stream.split stream round in
       let rate =
-        success_rate substream ~trials:trials_per_pivot ~event:(fun ~seed ->
+        success_rate ?jobs substream ~trials:trials_per_pivot ~event:(fun ~seed ->
             event ~p:pivot ~seed)
       in
       if rate >= 0.5 then loop lo pivot (round - 1) else loop pivot hi (round - 1)
@@ -23,12 +26,12 @@ let bisect ?(trials_per_pivot = 40) ?(iterations = 12) stream ~event ~lo ~hi =
   in
   loop lo hi iterations
 
-let sweep stream ~trials ~event ~ps =
+let sweep ?jobs stream ~trials ~event ~ps =
   List.mapi
     (fun index p ->
       let substream = Prng.Stream.split stream index in
       let rate =
-        success_rate substream ~trials ~event:(fun ~seed -> event ~p ~seed)
+        success_rate ?jobs substream ~trials ~event:(fun ~seed -> event ~p ~seed)
       in
       (p, rate))
     ps

@@ -4,14 +4,21 @@
     component exists, two marked vertices connect) starts holding, by a
     robust bisection over [p] with repeated sampling at each pivot.
     Validates the background facts the paper leans on: [p_c = 1/2] for
-    the 2-d mesh, [1/n] for the giant of [H_n], [1/√2] for [TT_n]. *)
+    the 2-d mesh, [1/n] for the giant of [H_n], [1/√2] for [TT_n].
+
+    Each sample runs on its own derived world seed, so the estimates are
+    identical for every [jobs] value — parallelism only changes wall
+    time. *)
 
 val success_rate :
-  Prng.Stream.t -> trials:int -> event:(seed:int64 -> bool) -> float
+  ?jobs:int -> Prng.Stream.t -> trials:int -> event:(seed:int64 -> bool) -> float
 (** [success_rate stream ~trials ~event] runs [event] on [trials]
-    independently derived world seeds and returns the success fraction. *)
+    independently derived world seeds and returns the success fraction.
+    [jobs] bounds the worker domains (default: the ambient
+    {!Engine_par.Pool.default_jobs}). *)
 
 val bisect :
+  ?jobs:int ->
   ?trials_per_pivot:int ->
   ?iterations:int ->
   Prng.Stream.t ->
@@ -26,6 +33,7 @@ val bisect :
     @raise Invalid_argument if [lo >= hi]. *)
 
 val sweep :
+  ?jobs:int ->
   Prng.Stream.t ->
   trials:int ->
   event:(p:float -> seed:int64 -> bool) ->

@@ -13,6 +13,18 @@ let add t obs =
 
 let of_list observations = List.fold_left add empty observations
 
+(* Observations are stored newest-first, so appending [b]'s list in
+   front of [a]'s is exactly "all of [a]'s observations, then all of
+   [b]'s" — merging is the same value [add]-ing b's stream after a's
+   would have produced, which is what the parallel trial engine needs
+   to be bit-compatible with a sequential fold. *)
+let merge a b =
+  {
+    observations = b.observations @ a.observations;
+    size = a.size + b.size;
+    censored = a.censored + b.censored;
+  }
+
 let count t = t.size
 let censored_count t = t.censored
 

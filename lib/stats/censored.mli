@@ -15,6 +15,12 @@ val empty : t
 val add : t -> observation -> t
 val of_list : observation list -> t
 
+val merge : t -> t -> t
+(** [merge a b] is the sample containing the observations of [a]
+    followed by those of [b] — exactly the value that [add]-ing [b]'s
+    observations after [a]'s would build, so per-domain accumulators
+    merged in a fixed order reproduce the sequential fold. *)
+
 val count : t -> int
 (** Total number of observations. *)
 

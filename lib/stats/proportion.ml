@@ -6,6 +6,9 @@ let make ~successes ~trials =
     invalid_arg "Proportion.make: successes outside [0, trials]";
   { successes; trials }
 
+let merge a b =
+  { successes = a.successes + b.successes; trials = a.trials + b.trials }
+
 let estimate t =
   if t.trials = 0 then nan else float_of_int t.successes /. float_of_int t.trials
 

@@ -9,6 +9,10 @@ val make : successes:int -> trials:int -> t
 (** @raise Invalid_argument if [trials < 0] or [successes] outside
     [\[0, trials\]]. *)
 
+val merge : t -> t -> t
+(** [merge a b] pools the two samples (successes and trials add) —
+    exact, order-independent merging for parallel accumulation. *)
+
 val estimate : t -> float
 (** Point estimate [successes / trials]; [nan] when [trials = 0]. *)
 

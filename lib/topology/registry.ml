@@ -1,0 +1,107 @@
+type shape =
+  | Hypercube of { n : int }
+  | Mesh of { d : int; m : int }
+  | Torus of { d : int; m : int }
+  | Binary_tree of { depth : int }
+  | Double_tree of { depth : int }
+  | Complete of { vertices : int }
+  | Theta of { paths : int }
+  | De_bruijn of { n : int }
+  | Shuffle_exchange of { n : int }
+  | Butterfly of { n : int }
+  | Cycle_matching of { vertices : int }
+
+type instance = { shape : shape; graph : Graph.t }
+
+type entry = {
+  name : string;
+  doc : string;
+  build : size:int -> Prng.Stream.t -> instance;
+}
+
+type spec = { entry : entry; size : int option }
+
+let pure name doc shape_of graph_of =
+  {
+    name;
+    doc;
+    build = (fun ~size _stream -> { shape = shape_of size; graph = graph_of size });
+  }
+
+let entries =
+  [
+    pure "hypercube" "n-dimensional hypercube H_n (size = dimension n)"
+      (fun n -> Hypercube { n })
+      Hypercube.graph;
+    pure "mesh2" "2-dimensional mesh of side m (size = m)"
+      (fun m -> Mesh { d = 2; m })
+      (fun m -> Mesh.graph ~d:2 ~m);
+    pure "mesh3" "3-dimensional mesh of side m (size = m)"
+      (fun m -> Mesh { d = 3; m })
+      (fun m -> Mesh.graph ~d:3 ~m);
+    pure "torus2" "2-dimensional torus of side m (size = m)"
+      (fun m -> Torus { d = 2; m })
+      (fun m -> Torus.graph ~d:2 ~m);
+    pure "tree" "complete binary tree (size = depth)"
+      (fun depth -> Binary_tree { depth })
+      Binary_tree.graph;
+    pure "double-tree" "double binary tree TT_n (size = depth n)"
+      (fun depth -> Double_tree { depth })
+      Double_tree.graph;
+    pure "complete" "complete graph K_n, percolating to G(n,p) (size = n)"
+      (fun vertices -> Complete { vertices })
+      Complete.graph;
+    pure "theta" "theta graph: d parallel length-2 paths (size = d)"
+      (fun paths -> Theta { paths })
+      Theta.graph;
+    pure "de-bruijn" "binary De Bruijn graph B(2,n) (size = word length n)"
+      (fun n -> De_bruijn { n })
+      De_bruijn.graph;
+    pure "shuffle-exchange" "binary shuffle-exchange graph SE(n) (size = word length n)"
+      (fun n -> Shuffle_exchange { n })
+      Shuffle_exchange.graph;
+    pure "butterfly" "wrapped butterfly BF(n) (size = dimension n)"
+      (fun n -> Butterfly { n })
+      Butterfly.graph;
+    {
+      name = "cycle-matching";
+      doc = "n-cycle plus a random perfect matching (size = n; uses the stream)";
+      build =
+        (fun ~size stream ->
+          { shape = Cycle_matching { vertices = size };
+            graph = Cycle_matching.graph stream size });
+    };
+  ]
+
+let names () = List.map (fun e -> e.name) entries
+
+let find name =
+  let wanted = String.lowercase_ascii (String.trim name) in
+  List.find_opt (fun e -> e.name = wanted) entries
+
+let unknown what =
+  Error
+    (Printf.sprintf "unknown topology %S (known: %s)" what
+       (String.concat ", " (names ())))
+
+let of_spec spec_string =
+  let resolve name size =
+    match find name with
+    | Some entry -> Ok { entry; size }
+    | None -> unknown name
+  in
+  match String.split_on_char ':' (String.trim spec_string) with
+  | [ name ] -> resolve name None
+  | [ name; size ] -> (
+      match int_of_string_opt size with
+      | Some size -> resolve name (Some size)
+      | None ->
+          Error
+            (Printf.sprintf "topology spec %S: size %S is not an integer"
+               spec_string size))
+  | _ ->
+      Error
+        (Printf.sprintf "topology spec %S: expected NAME or NAME:SIZE" spec_string)
+
+let build { entry; size } ~default_size stream =
+  entry.build ~size:(Option.value size ~default:default_size) stream

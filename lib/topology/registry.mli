@@ -1,0 +1,57 @@
+(** First-class registry of the topology families.
+
+    Replaces the stringly-typed matcher the CLI used to carry: each
+    entry owns its name, a one-line doc string, and a builder that
+    returns the graph {e together with} its structured shape (family +
+    parameters), so downstream consumers — router applicability
+    checks, mesh dimensions, backbones — read data instead of parsing
+    [Graph.t.name]. *)
+
+type shape =
+  | Hypercube of { n : int }
+  | Mesh of { d : int; m : int }
+  | Torus of { d : int; m : int }
+  | Binary_tree of { depth : int }
+  | Double_tree of { depth : int }
+  | Complete of { vertices : int }
+  | Theta of { paths : int }
+  | De_bruijn of { n : int }
+  | Shuffle_exchange of { n : int }
+  | Butterfly of { n : int }
+  | Cycle_matching of { vertices : int }
+      (** The family and parameters a graph was built from. *)
+
+type instance = { shape : shape; graph : Graph.t }
+(** A built topology carrying its own metadata. *)
+
+type entry = {
+  name : string;  (** Lower-case registry key, e.g. ["mesh2"]. *)
+  doc : string;  (** One line: family and meaning of [size]. *)
+  build : size:int -> Prng.Stream.t -> instance;
+      (** Builds the instance. The stream feeds structurally-random
+          families (cycle-matching) and is ignored by the rest.
+          @raise Invalid_argument when [size] is out of the family's
+          range. *)
+}
+
+type spec = { entry : entry; size : int option }
+(** A parsed topology spec: which entry, and the size when the spec
+    inlined one. *)
+
+val entries : entry list
+(** All registered families, in presentation order. *)
+
+val names : unit -> string list
+(** The registered names, in presentation order. *)
+
+val find : string -> entry option
+(** Case-insensitive lookup by name. *)
+
+val of_spec : string -> (spec, string) result
+(** Parses a topology spec: a registered name, optionally followed by
+    [:SIZE] (e.g. ["hypercube"], ["mesh2:40"]). The error case names
+    the known families. *)
+
+val build : spec -> default_size:int -> Prng.Stream.t -> instance
+(** Builds a parsed spec, falling back to [default_size] when the spec
+    carried no inline size. *)

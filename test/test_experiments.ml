@@ -12,7 +12,7 @@ let cube = Topology.Hypercube.graph 5
 
 let bfs_spec ?budget ~p () =
   Experiments.Trial.spec ?budget ~graph:cube ~p ~source:0 ~target:31
-    (fun ~source:_ ~target:_ -> R.Local_bfs.router)
+    (fun _rand ~source:_ ~target:_ -> R.Local_bfs.router)
 
 let test_trial_counts () =
   let stream = Prng.Stream.create 11L in
@@ -72,7 +72,8 @@ let test_trial_connectivity_estimate_matches_exact () =
   let graph = Topology.Theta.graph d in
   let spec =
     Experiments.Trial.spec ~graph ~p ~source:Topology.Theta.endpoint_u
-      ~target:Topology.Theta.endpoint_v (fun ~source:_ ~target:_ -> R.Local_bfs.router)
+      ~target:Topology.Theta.endpoint_v (fun _rand ~source:_ ~target:_ ->
+        R.Local_bfs.router)
   in
   let stream = Prng.Stream.create 15L in
   let result = Experiments.Trial.run stream ~trials:100 ~max_attempts:600 spec in

@@ -125,6 +125,18 @@ let test_proportion_invalid () =
     (Invalid_argument "Proportion.make: successes outside [0, trials]") (fun () ->
       ignore (Stats.Proportion.make ~successes:5 ~trials:3))
 
+let test_proportion_merge_pools () =
+  (* The parallel engine merges per-domain proportions; pooling must be
+     exact, not approximate. *)
+  let a = Stats.Proportion.make ~successes:3 ~trials:10 in
+  let b = Stats.Proportion.make ~successes:7 ~trials:12 in
+  let merged = Stats.Proportion.merge a b in
+  Alcotest.(check int) "successes" 10 merged.Stats.Proportion.successes;
+  Alcotest.(check int) "trials" 22 merged.Stats.Proportion.trials;
+  let empty = Stats.Proportion.make ~successes:0 ~trials:0 in
+  Alcotest.(check bool) "left identity" true (Stats.Proportion.merge empty a = a);
+  Alcotest.(check bool) "right identity" true (Stats.Proportion.merge a empty = a)
+
 (* ------------------------------------------------------------------ *)
 (* Regression                                                          *)
 
@@ -284,6 +296,26 @@ let test_censored_empty () =
   Alcotest.(check bool) "nan mean" true
     (Float.is_nan (Stats.Censored.mean_lower_bound Stats.Censored.empty))
 
+let test_censored_merge_equals_fold () =
+  (* [merge a b] must be structurally identical to adding b's
+     observations after a's — the parallel engine relies on this to
+     reproduce the sequential accumulator bit for bit. *)
+  let xs = [ exact 1.0; at_least 5.0; exact 2.0 ] in
+  let ys = [ at_least 9.0; exact 4.0 ] in
+  let a = Stats.Censored.of_list xs and b = Stats.Censored.of_list ys in
+  let merged = Stats.Censored.merge a b in
+  let folded = List.fold_left Stats.Censored.add a ys in
+  Alcotest.(check bool) "identical to sequential fold" true (merged = folded);
+  Alcotest.(check int) "count" 5 (Stats.Censored.count merged);
+  Alcotest.(check int) "censored" 2 (Stats.Censored.censored_count merged)
+
+let test_censored_merge_empty () =
+  let a = Stats.Censored.of_list [ exact 1.0; at_least 2.0 ] in
+  Alcotest.(check bool) "left identity" true
+    (Stats.Censored.merge Stats.Censored.empty a = a);
+  Alcotest.(check bool) "right identity" true
+    (Stats.Censored.merge a Stats.Censored.empty = a)
+
 (* ------------------------------------------------------------------ *)
 (* Table                                                               *)
 
@@ -387,6 +419,18 @@ let qcheck_tests =
           List.fold_left ( +. ) 0.0 truth /. float_of_int (List.length truth)
         in
         Stats.Censored.mean_lower_bound t <= true_mean +. 1e-9);
+    Test.make ~name:"censored merge = sequential fold" ~count:300
+      (pair
+         (list (pair bool (float_bound_inclusive 100.0)))
+         (list (pair bool (float_bound_inclusive 100.0))))
+      (fun (xs, ys) ->
+        let obs =
+          List.map (fun (censored, x) ->
+              if censored then Stats.Censored.At_least x else Stats.Censored.Exact x)
+        in
+        let a = Stats.Censored.of_list (obs xs) in
+        let merged = Stats.Censored.merge a (Stats.Censored.of_list (obs ys)) in
+        merged = List.fold_left Stats.Censored.add a (obs ys));
   ]
 
 let () =
@@ -420,6 +464,7 @@ let () =
           case "wilson known" test_proportion_wilson_known;
           case "within" test_proportion_within;
           case "invalid" test_proportion_invalid;
+          case "merge pools" test_proportion_merge_pools;
         ] );
       ( "regression",
         [
@@ -454,6 +499,8 @@ let () =
           case "mean lower bound" test_censored_mean_lower_bound;
           case "exact values" test_censored_exact_values;
           case "empty" test_censored_empty;
+          case "merge = fold" test_censored_merge_equals_fold;
+          case "merge empty" test_censored_merge_empty;
         ] );
       ( "table",
         [
