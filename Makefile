@@ -1,4 +1,4 @@
-.PHONY: all build test bench smoke ci clean
+.PHONY: all build test bench bench-smoke smoke ci clean
 
 all: build
 
@@ -10,6 +10,13 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Quick percolation hot-path bench (cached vs lazy worlds) plus a
+# schema check on the emitted JSON.
+bench-smoke:
+	dune exec bench/main.exe -- --percolation-only --quick --out BENCH_percolation.json
+	grep -q '"schema": "bench_percolation/v1"' BENCH_percolation.json
+	grep -q '"speedup"' BENCH_percolation.json
 
 # The quick catalog on two domains — exercises the parallel engine end
 # to end; output must match a --jobs 1 run byte for byte.

@@ -291,6 +291,210 @@ let report_benchmarks results =
   Notty_unix.eol image |> Notty_unix.output_image
 
 (* ------------------------------------------------------------------ *)
+(* Percolation hot path: cached vs lazy worlds.
+
+   Three kernels per size-gated topology, each run over both world
+   representations with the same seeds (identical coins, identical
+   work — only the machinery differs):
+
+   - reveal-BFS: full open-cluster exploration from a fixed source,
+     fresh world per iteration (arena BFS + memoised coins vs Hashtbl
+     frontier + rehash-per-query);
+   - oracle-probe: an unrestricted probe sweep over every edge followed
+     by a full re-probe pass (bitset probe memory vs Hashtbl), plus a
+     local-BFS routing attempt (the realistic mix of oracle bookkeeping
+     and world queries);
+   - trial-run: a whole [Trial.run] under the default (cached)
+     representation — the end-to-end number the catalog feels.
+
+   Results land in BENCH_percolation.json (schema
+   bench_percolation/v1) so the perf trajectory is tracked in-repo.    *)
+
+let perc_bench_seed = 0xB37CA5EL
+
+let time_median ~reps f =
+  ignore (Sys.opaque_identity (f ()));
+  (* warmup *)
+  let samples =
+    Array.init reps (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        ignore (Sys.opaque_identity (f ()));
+        Unix.gettimeofday () -. t0)
+  in
+  Array.sort compare samples;
+  samples.(Array.length samples / 2)
+
+type perc_case = {
+  case_name : string;
+  graph : Topology.Graph.t;
+  p : float;
+  source : int;
+  target : int;
+  edges : (int * int) array Lazy.t;
+}
+
+let edges_of graph =
+  lazy
+    (let out = ref [] in
+     Topology.Graph.iter_edges graph (fun u v -> out := (u, v) :: !out);
+     Array.of_list (List.rev !out))
+
+let perc_cases () =
+  let case name graph p source target =
+    { case_name = name; graph; p; source; target; edges = edges_of graph }
+  in
+  let hyper_n = 10 in
+  let mesh_m = 40 in
+  let gnp_n = 300 in
+  let hyper = topo "hypercube" ~size:hyper_n in
+  let mesh = topo "mesh2" ~size:mesh_m in
+  let gnp = topo "complete" ~size:gnp_n in
+  let db = topo "de-bruijn" ~size:10 in
+  [
+    case "hypercube(n=10)" hyper
+      (float_of_int hyper_n ** -0.3)
+      0
+      (Topology.Hypercube.antipode ~n:hyper_n 0);
+    case "mesh2(m=40)" mesh 0.7
+      (Topology.Mesh.index ~m:mesh_m [| 10; 20 |])
+      (Topology.Mesh.index ~m:mesh_m [| 30; 20 |]);
+    case "complete(n=300)" gnp (3.0 /. float_of_int gnp_n) 0 (gnp_n - 1);
+    case "de-bruijn(n=10)" db 0.6 1 (db.Topology.Graph.vertex_count - 2);
+  ]
+
+let world_of case ~cache k =
+  Percolation.World.create ~cache case.graph ~p:case.p
+    ~seed:(Prng.Coin.derive perc_bench_seed k)
+
+let reveal_kernel case ~worlds ~cache () =
+  (* Four BFS passes per world — the Trial.run pattern (conditioning
+     reveal, chemical distance, routing ground truth) revisits the same
+     world's coins repeatedly, which is what the cache amortises. *)
+  let acc = ref 0 in
+  for k = 1 to worlds do
+    let world = world_of case ~cache k in
+    for _pass = 1 to 4 do
+      let size, _ = Percolation.Reveal.cluster_size world case.source in
+      acc := !acc + size
+    done
+  done;
+  !acc
+
+let oracle_kernel case ~worlds ~cache () =
+  let acc = ref 0 in
+  for k = 1 to worlds do
+    let world = world_of case ~cache k in
+    (* Unrestricted sweep over a pre-collected edge array: every edge
+       probed once, then re-probed three more times (the memo path
+       routers lean on). The array keeps edge enumeration out of the
+       measurement. *)
+    let oracle =
+      Percolation.Oracle.create ~policy:Percolation.Oracle.Unrestricted world
+        ~source:case.source
+    in
+    let edges = Lazy.force case.edges in
+    for _pass = 1 to 4 do
+      Array.iter
+        (fun (u, v) -> ignore (Percolation.Oracle.probe oracle u v))
+        edges
+    done;
+    acc := !acc + Percolation.Oracle.distinct_probes oracle;
+    (* Realistic mix: a local-BFS routing attempt over the same world —
+       the Trial.run shape (conditioning reveal, then routing, one
+       world). *)
+    acc :=
+      !acc
+      + Routing.Outcome.probes
+          (Routing.Router.run Routing.Local_bfs.router world ~source:case.source
+             ~target:case.target)
+  done;
+  !acc
+
+let trial_kernel case ~trials () =
+  let stream = Prng.Stream.create perc_bench_seed in
+  let result =
+    Experiments.Trial.run stream ~trials
+      (Experiments.Trial.spec ~graph:case.graph ~p:case.p ~source:case.source
+         ~target:case.target (fun _rand ~source:_ ~target:_ ->
+           Routing.Local_bfs.router))
+  in
+  Stats.Censored.count result.Experiments.Trial.observations
+
+type perc_timing = { lazy_ns : float; cached_ns : float }
+
+let perc_speedup t = t.lazy_ns /. t.cached_ns
+
+let compare_paths ~reps kernel =
+  let lazy_s = time_median ~reps (fun () -> kernel ~cache:false ()) in
+  let cached_s = time_median ~reps (fun () -> kernel ~cache:true ()) in
+  { lazy_ns = lazy_s *. 1e9; cached_ns = cached_s *. 1e9 }
+
+let perc_json ~mode ~worlds results =
+  let buffer = Buffer.create 2048 in
+  let timing_fields t =
+    Printf.sprintf "{\"lazy_ns\": %.0f, \"cached_ns\": %.0f, \"speedup\": %.2f}"
+      t.lazy_ns t.cached_ns (perc_speedup t)
+  in
+  Buffer.add_string buffer "{\n";
+  Buffer.add_string buffer "  \"schema\": \"bench_percolation/v1\",\n";
+  Buffer.add_string buffer (Printf.sprintf "  \"mode\": \"%s\",\n" mode);
+  Buffer.add_string buffer (Printf.sprintf "  \"worlds_per_kernel\": %d,\n" worlds);
+  Buffer.add_string buffer "  \"topologies\": [\n";
+  List.iteri
+    (fun i (case, cached, reveal, oracle, trial_ns, trials) ->
+      Buffer.add_string buffer
+        (Printf.sprintf
+           "    {\"name\": %S, \"cached\": %b,\n\
+           \     \"reveal_bfs\": %s,\n\
+           \     \"oracle_probe\": %s,\n\
+           \     \"trial_run\": {\"ns\": %.0f, \"trials\": %d}}%s\n"
+           case.case_name cached (timing_fields reveal) (timing_fields oracle)
+           trial_ns trials
+           (if i = List.length results - 1 then "" else ",")))
+    results;
+  Buffer.add_string buffer "  ]\n}\n";
+  Buffer.contents buffer
+
+let report_percolation ~quick ~out =
+  let worlds = if quick then 10 else 50 in
+  let reps = if quick then 5 else 11 in
+  let trials = if quick then 5 else 20 in
+  Printf.printf "== percolation hot path (cached vs lazy worlds, %s mode) ==\n"
+    (if quick then "quick" else "full");
+  let results =
+    List.map
+      (fun case ->
+        let cached =
+          Percolation.World.cached
+            (Percolation.World.create case.graph ~p:case.p ~seed:1L)
+        in
+        let reveal = compare_paths ~reps (fun ~cache -> reveal_kernel case ~worlds ~cache) in
+        let oracle = compare_paths ~reps (fun ~cache -> oracle_kernel case ~worlds ~cache) in
+        let trial_ns = time_median ~reps:3 (trial_kernel case ~trials) *. 1e9 in
+        Printf.printf
+          "%-18s reveal-BFS %6.2fx   oracle-probe %6.2fx   trial %6.2f ms\n%!"
+          case.case_name (perc_speedup reveal) (perc_speedup oracle)
+          (trial_ns /. 1e6);
+        (case, cached, reveal, oracle, trial_ns, trials))
+      (perc_cases ())
+  in
+  let json = perc_json ~mode:(if quick then "quick" else "full") ~worlds results in
+  (* Self-validate before writing: every timing positive and finite. *)
+  List.iter
+    (fun (case, _, reveal, oracle, trial_ns, _) ->
+      let ok t =
+        Float.is_finite t.lazy_ns && Float.is_finite t.cached_ns && t.lazy_ns > 0.0
+        && t.cached_ns > 0.0
+      in
+      if not (ok reveal && ok oracle && Float.is_finite trial_ns && trial_ns > 0.0)
+      then failwith (Printf.sprintf "bench: bad timing for %s" case.case_name))
+    results;
+  let channel = open_out out in
+  output_string channel json;
+  close_out channel;
+  Printf.printf "wrote %s\n\n" out
+
+(* ------------------------------------------------------------------ *)
 (* Parallel engine: wall-clock of the full quick catalog at jobs = 1
    versus jobs = N, plus a byte-identity check on the rendered reports.
    Speedup is bounded by the machine's core count — on a single-core
@@ -316,15 +520,31 @@ let report_parallel_speedup () =
     parallel (sequential /. parallel);
   Printf.printf "reports byte-identical across job counts: %b\n\n" (rendered = reference)
 
+let arg_value name default =
+  let rec find i =
+    if i >= Array.length Sys.argv - 1 then default
+    else if Sys.argv.(i) = name then Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
 let () =
   let full = Array.exists (fun a -> a = "--full") Sys.argv in
   let skip_micro = Array.exists (fun a -> a = "--tables-only") Sys.argv in
+  let quick_flag = Array.exists (fun a -> a = "--quick") Sys.argv in
+  let perc_only = Array.exists (fun a -> a = "--percolation-only") Sys.argv in
+  let out = arg_value "--out" "BENCH_percolation.json" in
+  if perc_only then begin
+    report_percolation ~quick:quick_flag ~out;
+    exit 0
+  end;
   if not skip_micro then begin
     print_endline "== bechamel micro-benchmarks (one kernel per experiment) ==";
     report_benchmarks (benchmark ());
     print_newline ()
   end;
   if not skip_micro then report_parallel_speedup ();
+  if not skip_micro then report_percolation ~quick:(not full) ~out;
   Printf.printf "== experiment tables (%s mode) ==\n\n" (if full then "full" else "quick");
   let reports = Experiments.Catalog.run_all ~quick:(not full) ~seed:0x5EEDL () in
   List.iter

@@ -89,7 +89,13 @@ let cmd_route topology size p seed source target router_name budget =
       prerr_endline message;
       1
   | Ok router ->
-      let world = Percolation.World.create graph ~p ~seed in
+      (* The world's seed must come from its own split of the root
+         stream, not the raw CLI seed: splits 0 and 1 already feed
+         topology and router randomness, and reusing the root seed for
+         the edge coins would correlate router coin draws with edge
+         states (the same discipline as Trial.run_attempt). *)
+      let world_seed = Prng.Stream.seed (Prng.Stream.split stream 2) in
+      let world = Percolation.World.create graph ~p ~seed:world_seed in
       let ground_truth = Percolation.Reveal.connected world source target in
       let outcome = Routing.Router.run ?budget router world ~source ~target in
       Printf.printf "world: %s, p = %.4f, seed = %Ld\n" graph.Topology.Graph.name p seed;

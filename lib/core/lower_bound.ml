@@ -20,25 +20,27 @@ let connected_within world ~member x y =
   if not (member x && member y) then false
   else if x = y then true
   else begin
-    let seen = Hashtbl.create 64 in
-    Hashtbl.replace seen x ();
-    let queue = Queue.create () in
-    Queue.push x queue;
+    let n = (Percolation.World.graph world).Topology.Graph.vertex_count in
+    let seen = Bytes.make n '\000' in
+    let queue = Array.make n 0 in
+    Bytes.set seen x '\001';
+    queue.(0) <- x;
+    let head = ref 0 and tail = ref 1 in
     let found = ref false in
     (try
-       while not (Queue.is_empty queue) do
-         let u = Queue.pop queue in
-         Array.iter
-           (fun v ->
-             if member v && not (Hashtbl.mem seen v) then begin
-               Hashtbl.replace seen v ();
+       while !head < !tail do
+         let u = queue.(!head) in
+         incr head;
+         Percolation.World.iter_open_neighbors world u (fun v ->
+             if member v && Bytes.get seen v = '\000' then begin
+               Bytes.set seen v '\001';
                if v = y then begin
                  found := true;
                  raise Exit
                end;
-               Queue.push v queue
+               queue.(!tail) <- v;
+               incr tail
              end)
-           (Percolation.World.open_neighbors world u)
        done
      with Exit -> ());
     !found

@@ -30,9 +30,9 @@ let run ?(quick = false) stream =
     Routing.Path_follow.hypercube ~n ~source ~target
   in
   let greedy_router _rand ~source:_ ~target:_ = Routing.Greedy.router in
-  let table =
+  let table, shortfalls =
     List.fold_left
-      (fun (table, index) alpha ->
+      (fun (table, index, shortfalls) alpha ->
         let p = float_of_int n ** -.alpha in
         let substream = Prng.Stream.split stream index in
         let run_router router =
@@ -66,7 +66,17 @@ let run ?(quick = false) stream =
             Printf.sprintf "%.0f" (Stats.Summary.mean segment.Trial.chemical_distances);
           ]
         in
-        (Stats.Table.add_row table row, index + 1))
+        let shortfalls =
+          List.filter_map Fun.id
+            [
+              Trial.shortfall_note ~label:(Printf.sprintf "segment alpha=%.2f" alpha)
+                segment;
+              Trial.shortfall_note ~label:(Printf.sprintf "greedy alpha=%.2f" alpha)
+                greedy;
+            ]
+          @ shortfalls
+        in
+        (Stats.Table.add_row table row, index + 1, shortfalls))
       ( Stats.Table.create
           ~headers:
             [
@@ -79,9 +89,10 @@ let run ?(quick = false) stream =
               "P[u~v]";
               "D(u,v)";
             ],
-        0 )
+        0,
+        [] )
       (alphas ~quick)
-    |> fst
+    |> fun (table, _, shortfalls) -> (table, List.rev shortfalls)
   in
   let notes =
     [
@@ -93,6 +104,7 @@ let run ?(quick = false) stream =
        censored counts jump to ~100% once alpha > 1/2, while P[u~v] stays positive — \
        short paths exist but cannot be found locally.";
     ]
+    @ shortfalls
   in
   Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes
     [ (Printf.sprintf "H_%d antipodal routing vs alpha" n, table) ]

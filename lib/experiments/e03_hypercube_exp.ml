@@ -43,6 +43,13 @@ let run ?(quick = false) stream =
             | Some (Stats.Censored.Exact m) | Some (Stats.Censored.At_least m) -> m
             | None -> nan
           in
+          (match
+             Trial.shortfall_note
+               ~label:(Printf.sprintf "alpha=%.2f n=%d" alpha n)
+               result
+           with
+          | Some note -> notes := note :: !notes
+          | None -> ());
           if mean > 0.0 then points := (float_of_int n, mean) :: !points;
           table :=
             Stats.Table.add_row !table

@@ -30,6 +30,7 @@ let run ?(quick = false) stream =
       (Stats.Table.create
          ~headers:[ "p"; "P[u~v] (Wilson 95%)"; "trials"; "mean probes"; "probes/n" ])
   in
+  let shortfalls = ref [] in
   List.iteri
     (fun p_index p ->
       let substream = Prng.Stream.split stream p_index in
@@ -38,6 +39,9 @@ let run ?(quick = false) stream =
           (Trial.spec ~graph ~p ~source ~target (fun _rand ~source ~target ->
                Routing.Path_follow.mesh ~d ~m ~source ~target))
       in
+      (match Trial.shortfall_note ~label:(Printf.sprintf "p=%.2f" p) result with
+      | Some note -> shortfalls := note :: !shortfalls
+      | None -> ());
       let sample_size = Stats.Censored.count result.Trial.observations in
       let mean = Trial.mean_probes_lower_bound result in
       table :=
@@ -59,6 +63,7 @@ let run ?(quick = false) stream =
          constant as p grows past it."
         n m;
     ]
+    @ List.rev !shortfalls
   in
   Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes
     [ ("connectivity and conditioned complexity across p_c", !table) ]

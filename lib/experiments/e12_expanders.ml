@@ -34,6 +34,7 @@ let run ?(quick = false) stream =
          ~headers:
            [ "family"; "p"; "P[u~v]"; "median probes"; "censored"; "path len" ])
   in
+  let shortfalls = ref [] in
   List.iteri
     (fun family_index (name, graph) ->
       let size = graph.Topology.Graph.vertex_count in
@@ -47,6 +48,13 @@ let run ?(quick = false) stream =
               (Trial.spec ~budget ~graph ~p ~source ~target
                  (fun _rand ~source:_ ~target:_ -> Routing.Local_bfs.router))
           in
+          (match
+             Trial.shortfall_note
+               ~label:(Printf.sprintf "%s p=%.2f" name p)
+               result
+           with
+          | Some note -> shortfalls := note :: !shortfalls
+          | None -> ());
           let sample_size = Stats.Censored.count result.Trial.observations in
           let median =
             match Trial.median_observation result with
@@ -76,6 +84,7 @@ let run ?(quick = false) stream =
       "These families are the objects of the paper's open problem; no theorem is \
        asserted here.";
     ]
+    @ List.rev !shortfalls
   in
   Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes
     [ ("connectivity and local-BFS cost across p", !table) ]

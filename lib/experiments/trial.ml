@@ -17,7 +17,22 @@ type result = {
   path_lengths : Stats.Summary.t;
   chemical_distances : Stats.Summary.t;
   failures : int;
+  requested : int;
 }
+
+let shortfall result = result.requested - Stats.Censored.count result.observations
+
+let shortfall_note ~label result =
+  let missing = shortfall result in
+  if missing = 0 then None
+  else
+    Some
+      (Printf.sprintf
+         "%s: attempt cap exhausted — only %d of %d requested conditioned trials \
+          measured (shortfall %d); treat the statistics as under-sampled."
+         label
+         (Stats.Censored.count result.observations)
+         result.requested missing)
 
 (* ------------------------------------------------------------------ *)
 (* One attempt.
@@ -162,6 +177,7 @@ let run_engine ?jobs stream ~trials ?max_attempts spec =
     path_lengths = final.path_lengths;
     chemical_distances = final.chemical;
     failures = final.failures;
+    requested = trials;
   }
 
 let run_par ?jobs stream ~trials ?max_attempts spec =

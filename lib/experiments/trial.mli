@@ -58,7 +58,21 @@ type result = {
   failures : int;
       (** Routings that returned [No_path] despite ground-truth saying
           connected — must be 0 unless a reveal limit truncated. *)
+  requested : int;
+      (** The [trials] count that was asked for. When [max_attempts]
+          ran out of worlds first, fewer conditioned measurements were
+          taken: [Stats.Censored.count observations < requested]. *)
 }
+
+val shortfall : result -> int
+(** [requested] minus the conditioned measurements actually taken —
+    positive exactly when [max_attempts] was exhausted before [trials]
+    acceptances. Silent in no report only when 0. *)
+
+val shortfall_note : label:string -> result -> string option
+(** A ready-made report note flagging a shortfall, [None] when the
+    requested trial count was met. Experiments append these to their
+    report notes so attempt-cap exhaustion is never silent. *)
 
 val run : Prng.Stream.t -> trials:int -> ?max_attempts:int -> spec -> result
 (** [run stream ~trials spec] performs up to [trials] conditioned

@@ -24,13 +24,14 @@ let census world =
         incr open_edges;
         ignore (Union_find.union uf u v)
       end);
-  let size_of_root = Hashtbl.create 256 in
+  (* Each component is counted exactly once, at its canonical root —
+     no Hashtbl needed. *)
+  let size_list = ref [] in
   for v = 0 to n - 1 do
-    let root = Union_find.find uf v in
-    if not (Hashtbl.mem size_of_root root) then
-      Hashtbl.replace size_of_root root (Union_find.size uf root)
+    if Union_find.find uf v = v then
+      size_list := Union_find.size uf v :: !size_list
   done;
-  let sizes = Hashtbl.fold (fun _ s acc -> s :: acc) size_of_root [] |> Array.of_list in
+  let sizes = Array.of_list !size_list in
   Array.sort (fun a b -> compare b a) sizes;
   {
     component_count = Array.length sizes;

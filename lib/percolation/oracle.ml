@@ -3,57 +3,133 @@ type policy = Local | Unrestricted
 exception Locality_violation of int * int
 exception Budget_exhausted
 
+(* Probe memory and predecessor links come in two flavours, mirroring
+   {!World}'s representations:
+
+   - [Table]: Hashtbls, the reference path, used over lazy worlds
+     (implicit graphs too large to index).
+   - [Flat]: bitsets over edge ids for probe memory and an int array
+     over vertices for predecessor links, used over cached worlds (the
+     world's size gate guarantees both fit). [pred.(v) = -1] means
+     unreached; the source is its own predecessor, as in the Table
+     path. [reached_rev] keeps the reached set enumerable without
+     scanning the whole array.
+
+   Both flavours implement the same counting and locality semantics;
+   equivalence is property-tested. *)
+type store =
+  | Table of {
+      probed : (int, bool) Hashtbl.t; (* edge id -> state *)
+      predecessor : (int, int) Hashtbl.t; (* reached vertex -> previous hop *)
+    }
+  | Flat of {
+      probed : Bytes.t; (* bit per edge id: probed? *)
+      state : Bytes.t; (* bit per edge id: memoised state *)
+      pred : int array; (* vertex -> predecessor, -1 = unreached *)
+      mutable reached_rev : int list;
+      mutable reached_n : int;
+    }
+
 type t = {
   world : World.t;
   policy : policy;
   budget : int option;
   source : int;
-  probed : (int, bool) Hashtbl.t; (* edge id -> state *)
-  predecessor : (int, int) Hashtbl.t; (* reached vertex -> previous hop *)
+  store : store;
   mutable distinct : int;
   mutable raw : int;
 }
+
+let bit_get b i =
+  Char.code (Bytes.unsafe_get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let bit_set b i =
+  let j = i lsr 3 in
+  Bytes.unsafe_set b j
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get b j) lor (1 lsl (i land 7))))
 
 let create ?(policy = Local) ?budget world ~source =
   (match budget with
   | Some b when b <= 0 -> invalid_arg "Oracle.create: budget must be positive"
   | Some _ | None -> ());
   Topology.Graph.check_vertex (World.graph world) source;
-  let predecessor = Hashtbl.create 64 in
-  Hashtbl.replace predecessor source source;
-  {
-    world;
-    policy;
-    budget;
-    source;
-    probed = Hashtbl.create 256;
-    predecessor;
-    distinct = 0;
-    raw = 0;
-  }
+  let store =
+    if World.cached world then begin
+      let g = World.graph world in
+      let pred = Array.make g.Topology.Graph.vertex_count (-1) in
+      pred.(source) <- source;
+      Flat
+        {
+          probed = Bytes.make ((g.Topology.Graph.edge_id_bound + 7) / 8) '\000';
+          state = Bytes.make ((g.Topology.Graph.edge_id_bound + 7) / 8) '\000';
+          pred;
+          reached_rev = [ source ];
+          reached_n = 1;
+        }
+    end
+    else begin
+      let predecessor = Hashtbl.create 64 in
+      Hashtbl.replace predecessor source source;
+      Table { probed = Hashtbl.create 256; predecessor }
+    end
+  in
+  { world; policy; budget; source; store; distinct = 0; raw = 0 }
 
 let world t = t.world
 let policy t = t.policy
 let source t = t.source
-let reached t v = Hashtbl.mem t.predecessor v
-let reached_count t = Hashtbl.length t.predecessor
-let reached_vertices t = Hashtbl.fold (fun v _ acc -> v :: acc) t.predecessor []
+
+let reached t v =
+  match t.store with
+  | Table { predecessor; _ } -> Hashtbl.mem predecessor v
+  | Flat { pred; _ } -> pred.(v) >= 0
+
+let reached_count t =
+  match t.store with
+  | Table { predecessor; _ } -> Hashtbl.length predecessor
+  | Flat f -> f.reached_n
+
+let reached_vertices t =
+  match t.store with
+  | Table { predecessor; _ } -> Hashtbl.fold (fun v _ acc -> v :: acc) predecessor []
+  | Flat f -> f.reached_rev
+
 let distinct_probes t = t.distinct
 let raw_probes t = t.raw
 
 let budget_remaining t =
   match t.budget with None -> None | Some b -> Some (b - t.distinct)
 
+let probed_find_opt t id =
+  match t.store with
+  | Table { probed; _ } -> Hashtbl.find_opt probed id
+  | Flat f -> if bit_get f.probed id then Some (bit_get f.state id) else None
+
+let probed_add t id state =
+  match t.store with
+  | Table { probed; _ } -> Hashtbl.replace probed id state
+  | Flat f ->
+      bit_set f.probed id;
+      if state then bit_set f.state id
+
+let set_predecessor t v u =
+  match t.store with
+  | Table { predecessor; _ } -> Hashtbl.replace predecessor v u
+  | Flat f ->
+      f.pred.(v) <- u;
+      f.reached_rev <- v :: f.reached_rev;
+      f.reached_n <- f.reached_n + 1
+
 let probe_known t u v =
   match (World.graph t.world).Topology.Graph.edge_id u v with
-  | id -> Hashtbl.find_opt t.probed id
+  | id -> probed_find_opt t id
   | exception Topology.Graph.Not_an_edge _ -> None
 
 let extend_reached t u v state =
   if state then begin
     match (reached t u, reached t v) with
-    | true, false -> Hashtbl.replace t.predecessor v u
-    | false, true -> Hashtbl.replace t.predecessor u v
+    | true, false -> set_predecessor t v u
+    | false, true -> set_predecessor t u v
     | true, true | false, false -> ()
   end
 
@@ -64,7 +140,7 @@ let probe t u v =
   | Local ->
       if not (reached t u || reached t v) then raise (Locality_violation (u, v)));
   t.raw <- t.raw + 1;
-  match Hashtbl.find_opt t.probed id with
+  match probed_find_opt t id with
   | Some state ->
       (* A previously probed open edge may become usable for extension
          later, once one endpoint is reached by another route. *)
@@ -77,16 +153,21 @@ let probe t u v =
           raise Budget_exhausted
       | Some _ | None -> ());
       let state = World.is_open t.world u v in
-      Hashtbl.replace t.probed id state;
+      probed_add t id state;
       t.distinct <- t.distinct + 1;
       extend_reached t u v state;
       state
+
+let predecessor_of t v =
+  match t.store with
+  | Table { predecessor; _ } -> Hashtbl.find predecessor v
+  | Flat { pred; _ } -> pred.(v)
 
 let path_to t target =
   if not (reached t target) then None
   else begin
     let rec walk v acc =
-      let prev = Hashtbl.find t.predecessor v in
+      let prev = predecessor_of t v in
       if prev = v then v :: acc else walk prev (v :: acc)
     in
     Some (walk target [])

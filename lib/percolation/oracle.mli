@@ -15,7 +15,12 @@
 
     Under [Local] the oracle also maintains predecessor links, so the
     open path to any reached vertex can be reconstructed and is correct
-    by construction. *)
+    by construction.
+
+    Probe memory and predecessor links are stored in flat bitsets/int
+    arrays over cached worlds ({!World.cached}) and in Hashtbls over
+    lazy worlds; the two stores have identical counting, locality and
+    path semantics (property-tested). *)
 
 type policy = Local | Unrestricted
 

@@ -1,9 +1,20 @@
 type verdict = Connected of int | Disconnected | Unknown
 
-(* Shared BFS engine over open edges. Stops when [stop] returns true for a
-   newly discovered vertex, when the cluster is exhausted, or when [limit]
-   vertices have been visited. *)
-let bfs ?limit world start ~stop ~visit =
+(* Two BFS engines over open edges, selected by the world's
+   representation and observationally identical (property-tested):
+
+   - [bfs_table]: the historical Hashtbl-frontier engine, the reference
+     path, used for lazy worlds (implicit graphs too large to index by
+     vertex).
+   - [bfs_arena]: int-array distances and an int-array queue indexed by
+     vertex id, used for cached worlds (the size gate guarantees the
+     arrays fit). No hashing, no boxing.
+
+   Both stop when [stop] returns true for a newly discovered vertex,
+   when the cluster is exhausted, or when [limit] vertices have been
+   discovered. *)
+
+let bfs_table ?limit world start ~stop ~visit =
   let dist = Hashtbl.create 256 in
   Hashtbl.replace dist start 0;
   visit start 0;
@@ -38,8 +49,54 @@ let bfs ?limit world start ~stop ~visit =
      with Exit -> ());
     match !result with
     | `Stopped d -> `Stopped d
-    | `Exhausted -> if !truncated then `Truncated dist else `Exhausted_full dist
+    | `Exhausted -> if !truncated then `Truncated else `Exhausted_full
   end
+
+let bfs_arena ?limit world start ~stop ~visit =
+  let n = (World.graph world).Topology.Graph.vertex_count in
+  let dist = Array.make n (-1) in
+  dist.(start) <- 0;
+  visit start 0;
+  if stop start then `Stopped 0
+  else begin
+    let queue = Array.make n 0 in
+    queue.(0) <- start;
+    let head = ref 0 and tail = ref 1 in
+    let discovered = ref 1 in
+    let truncated = ref false in
+    let result = ref `Exhausted in
+    (try
+       while !head < !tail do
+         let u = Array.unsafe_get queue !head in
+         incr head;
+         let du = Array.unsafe_get dist u in
+         World.iter_open_neighbors world u (fun v ->
+             if Array.unsafe_get dist v < 0 then begin
+               match limit with
+               | Some l when !discovered >= l ->
+                   truncated := true;
+                   raise Exit
+               | Some _ | None ->
+                   Array.unsafe_set dist v (du + 1);
+                   incr discovered;
+                   visit v (du + 1);
+                   if stop v then begin
+                     result := `Stopped (du + 1);
+                     raise Exit
+                   end;
+                   Array.unsafe_set queue !tail v;
+                   incr tail
+             end)
+       done
+     with Exit -> ());
+    match !result with
+    | `Stopped d -> `Stopped d
+    | `Exhausted -> if !truncated then `Truncated else `Exhausted_full
+  end
+
+let bfs ?limit world start ~stop ~visit =
+  if World.cached world then bfs_arena ?limit world start ~stop ~visit
+  else bfs_table ?limit world start ~stop ~visit
 
 let connected ?limit world u v =
   Topology.Graph.check_vertex (World.graph world) u;
@@ -48,8 +105,8 @@ let connected ?limit world u v =
   else
     match bfs ?limit world u ~stop:(fun x -> x = v) ~visit:(fun _ _ -> ()) with
     | `Stopped d -> Connected d
-    | `Truncated _ -> Unknown
-    | `Exhausted_full _ -> Disconnected
+    | `Truncated -> Unknown
+    | `Exhausted_full -> Disconnected
 
 let cluster_of ?limit world v =
   Topology.Graph.check_vertex (World.graph world) v;
@@ -58,16 +115,14 @@ let cluster_of ?limit world v =
     bfs ?limit world v ~stop:(fun _ -> false) ~visit:(fun x _ -> members := x :: !members)
   with
   | `Stopped _ -> assert false
-  | `Truncated _ -> (!members, true)
-  | `Exhausted_full _ -> (!members, false)
+  | `Truncated -> (!members, true)
+  | `Exhausted_full -> (!members, false)
 
 let cluster_size ?limit world v =
   let members, truncated = cluster_of ?limit world v in
   (List.length members, truncated)
 
-let ball world v ~radius =
-  Topology.Graph.check_vertex (World.graph world) v;
-  if radius < 0 then invalid_arg "Reveal.ball: negative radius";
+let ball_table world v ~radius =
   let dist = Hashtbl.create 256 in
   Hashtbl.replace dist v 0;
   let queue = Queue.create () in
@@ -85,3 +140,36 @@ let ball world v ~radius =
         (World.open_neighbors world u)
   done;
   dist
+
+let ball_arena world v ~radius =
+  let n = (World.graph world).Topology.Graph.vertex_count in
+  let dist = Array.make n (-1) in
+  let queue = Array.make n 0 in
+  dist.(v) <- 0;
+  queue.(0) <- v;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let u = Array.unsafe_get queue !head in
+    incr head;
+    let du = Array.unsafe_get dist u in
+    if du < radius then
+      World.iter_open_neighbors world u (fun w ->
+          if Array.unsafe_get dist w < 0 then begin
+            Array.unsafe_set dist w (du + 1);
+            Array.unsafe_set queue !tail w;
+            incr tail
+          end)
+  done;
+  (* The queue prefix holds exactly the discovered vertices. *)
+  let table = Hashtbl.create (2 * !tail) in
+  for i = 0 to !tail - 1 do
+    let u = Array.unsafe_get queue i in
+    Hashtbl.replace table u dist.(u)
+  done;
+  table
+
+let ball world v ~radius =
+  Topology.Graph.check_vertex (World.graph world) v;
+  if radius < 0 then invalid_arg "Reveal.ball: negative radius";
+  if World.cached world then ball_arena world v ~radius
+  else ball_table world v ~radius

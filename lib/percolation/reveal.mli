@@ -6,7 +6,13 @@
     a counting oracle, so the measured routing complexity is unaffected.
 
     Exploration cost is proportional to the open cluster explored, so a
-    [limit] on visited vertices is available for huge graphs. *)
+    [limit] on visited vertices is available for huge graphs.
+
+    Cached worlds ({!World.cached}) are explored with int-array arena
+    BFS (distances and queue indexed by vertex id); lazy worlds use the
+    Hashtbl-frontier reference engine. The two are observationally
+    identical — same verdicts, same distances, same visit order —
+    which is property-tested. *)
 
 type verdict = Connected of int | Disconnected | Unknown
 (** [Connected d]: an open path exists and the percolation distance is

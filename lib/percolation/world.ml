@@ -1,28 +1,84 @@
+(* Flat bitsets, one bit per edge id (and per vertex id under site
+   percolation). [probed] records whether the coin has been flipped;
+   [state] holds the memoised result. Memoisation is invisible: both
+   paths evaluate the same pure coin function. *)
+type site_cache = { v_probed : Bytes.t; v_alive : Bytes.t }
+
+type cache = {
+  e_probed : Bytes.t;
+  e_open : Bytes.t;
+  adj : int array option array;
+      (* Per-vertex coin-open neighbor lists, filled lazily on first
+         [open_neighbors]/[iter_open_neighbors] query. Removal overlays
+         are applied on top at query time, so the lists stay valid for
+         every [remove_edges] derivative sharing this cache. *)
+  site : site_cache option;
+}
+
 type t = {
   graph : Topology.Graph.t;
   p : float;
   seed : int64;
   removed : (int, unit) Hashtbl.t option;
   site_p : float option;
+  cache : cache option;
 }
+
+let bit_get b i =
+  Char.code (Bytes.unsafe_get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let bit_set b i =
+  let j = i lsr 3 in
+  Bytes.unsafe_set b j
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get b j) lor (1 lsl (i land 7))))
+
+let bitset bits = Bytes.make ((bits + 7) / 8) '\000'
 
 (* Distinct seed namespace for vertex coins, so site and bond states are
    independent even though vertex and edge ids overlap. *)
 let site_seed seed = Prng.Coin.derive seed 0x5173
 
-let create ?site_p graph ~p ~seed =
+let cache_gate = 1 lsl 21
+
+let create ?site_p ?(cache = true) graph ~p ~seed =
   if not (p >= 0.0 && p <= 1.0) then invalid_arg "World.create: p outside [0,1]";
   (match site_p with
   | Some sp when not (sp >= 0.0 && sp <= 1.0) ->
       invalid_arg "World.create: site_p outside [0,1]"
   | Some _ | None -> ());
-  { graph; p; seed; removed = None; site_p }
+  let cache =
+    if
+      cache
+      && graph.Topology.Graph.edge_id_bound <= cache_gate
+      && graph.Topology.Graph.vertex_count <= cache_gate
+    then
+      Some
+        {
+          e_probed = bitset graph.Topology.Graph.edge_id_bound;
+          e_open = bitset graph.Topology.Graph.edge_id_bound;
+          adj = Array.make graph.Topology.Graph.vertex_count None;
+          site =
+            (match site_p with
+            | None -> None
+            | Some _ ->
+                Some
+                  {
+                    v_probed = bitset graph.Topology.Graph.vertex_count;
+                    v_alive = bitset graph.Topology.Graph.vertex_count;
+                  });
+        }
+    else None
+  in
+  { graph; p; seed; removed = None; site_p; cache }
 
+let cached t = t.cache <> None
 let graph t = t.graph
 let p t = t.p
 let seed t = t.seed
 let site_p t = t.site_p
 
+(* The coin cache is a pure function of the seed, so a removal overlay
+   keeps sharing it: [is_open] applies the overlay on top. *)
 let remove_edges t edges =
   let removed =
     match t.removed with
@@ -37,27 +93,132 @@ let remove_edges t edges =
 let removed_count t =
   match t.removed with None -> 0 | Some removed -> Hashtbl.length removed
 
-let vertex_alive t v =
-  Topology.Graph.check_vertex t.graph v;
+let vertex_alive_coin t v =
   match t.site_p with
   | None -> true
-  | Some sp -> Prng.Coin.bernoulli ~seed:(site_seed t.seed) ~p:sp v
+  | Some sp -> (
+      match t.cache with
+      | Some { site = Some sc; _ } ->
+          if bit_get sc.v_probed v then bit_get sc.v_alive v
+          else begin
+            let alive = Prng.Coin.bernoulli ~seed:(site_seed t.seed) ~p:sp v in
+            bit_set sc.v_probed v;
+            if alive then bit_set sc.v_alive v;
+            alive
+          end
+      | Some { site = None; _ } | None ->
+          Prng.Coin.bernoulli ~seed:(site_seed t.seed) ~p:sp v)
+
+let vertex_alive t v =
+  Topology.Graph.check_vertex t.graph v;
+  vertex_alive_coin t v
+
+(* Edge state ignoring adversarial removals: both endpoints alive and
+   the edge coin succeeds — a pure function of (seed, u, v, id), hence
+   memoisable by edge id. *)
+let coin_open t u v id =
+  match t.cache with
+  | Some c ->
+      if bit_get c.e_probed id then bit_get c.e_open id
+      else begin
+        let state =
+          vertex_alive t u && vertex_alive t v
+          && Prng.Coin.bernoulli ~seed:t.seed ~p:t.p id
+        in
+        bit_set c.e_probed id;
+        if state then bit_set c.e_open id;
+        state
+      end
+  | None ->
+      vertex_alive t u && vertex_alive t v
+      && Prng.Coin.bernoulli ~seed:t.seed ~p:t.p id
 
 let is_open t u v =
   let id = t.graph.Topology.Graph.edge_id u v in
   (match t.removed with
   | Some removed -> not (Hashtbl.mem removed id)
   | None -> true)
-  && vertex_alive t u && vertex_alive t v
-  && Prng.Coin.bernoulli ~seed:t.seed ~p:t.p id
+  && coin_open t u v id
 
+(* The coin-open neighbor list of [v] (no removal overlay applied),
+   memoised in the adjacency cache. Filling it flips — and therefore
+   memoises — every coin out of [v]. *)
+let coin_adj t c v =
+  match Array.unsafe_get c.adj v with
+  | Some a -> a
+  | None ->
+      let nbrs = t.graph.Topology.Graph.neighbors v in
+      let n = Array.length nbrs in
+      let k = ref 0 in
+      for i = 0 to n - 1 do
+        let w = Array.unsafe_get nbrs i in
+        if coin_open t v w (t.graph.Topology.Graph.edge_id v w) then begin
+          Array.unsafe_set nbrs !k w;
+          incr k
+        end
+      done;
+      let a = if !k = n then nbrs else Array.sub nbrs 0 !k in
+      c.adj.(v) <- Some a;
+      a
+
+let edge_removed t v w =
+  match t.removed with
+  | None -> false
+  | Some removed -> Hashtbl.mem removed (t.graph.Topology.Graph.edge_id v w)
+
+(* Filter a fresh, caller-owned array in place — no intermediate list on
+   either path. Cached worlds filter the memoised coin-open list (only
+   the removal overlay left to check); lazy worlds filter the raw
+   neighbor array through the coin. *)
 let open_neighbors t v =
-  t.graph.Topology.Graph.neighbors v
-  |> Array.to_list
-  |> List.filter (fun w -> is_open t v w)
-  |> Array.of_list
+  match t.cache with
+  | Some c ->
+      let adj = coin_adj t c v in
+      if t.removed = None then Array.copy adj
+      else begin
+        let n = Array.length adj in
+        let out = Array.make n 0 in
+        let k = ref 0 in
+        for i = 0 to n - 1 do
+          let w = Array.unsafe_get adj i in
+          if not (edge_removed t v w) then begin
+            Array.unsafe_set out !k w;
+            incr k
+          end
+        done;
+        if !k = n then out else Array.sub out 0 !k
+      end
+  | None ->
+      let nbrs = t.graph.Topology.Graph.neighbors v in
+      let n = Array.length nbrs in
+      let k = ref 0 in
+      for i = 0 to n - 1 do
+        let w = Array.unsafe_get nbrs i in
+        if is_open t v w then begin
+          Array.unsafe_set nbrs !k w;
+          incr k
+        end
+      done;
+      if !k = n then nbrs else Array.sub nbrs 0 !k
 
-let open_degree t v = Array.length (open_neighbors t v)
+let iter_open_neighbors t v f =
+  match t.cache with
+  | Some c ->
+      let adj = coin_adj t c v in
+      if t.removed = None then Array.iter f adj
+      else
+        Array.iter (fun w -> if not (edge_removed t v w) then f w) adj
+  | None ->
+      let nbrs = t.graph.Topology.Graph.neighbors v in
+      for i = 0 to Array.length nbrs - 1 do
+        let w = Array.unsafe_get nbrs i in
+        if is_open t v w then f w
+      done
+
+let open_degree t v =
+  let count = ref 0 in
+  iter_open_neighbors t v (fun _ -> incr count);
+  !count
 
 let count_open_edges t =
   let count = ref 0 in

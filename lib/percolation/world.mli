@@ -7,11 +7,42 @@
     worlds built with the same seed but larger [p] contain each other
     monotonically (a standard coupling, handy for threshold scans).
 
+    {2 Cached vs lazy representation}
+
+    Queries are served by one of two observationally identical paths:
+
+    - {e lazy} (the historical behaviour): every [is_open] call rehashes
+      [(seed, edge id)]. O(1) memory; the only choice for implicit
+      graphs whose [edge_id_bound] is astronomically large.
+    - {e cached}: the world carries flat bitsets over
+      [\[0, edge_id_bound)] (and over vertices, under site percolation)
+      that memoise each coin the first time it is flipped, plus a
+      per-vertex open-adjacency cache: the coin-open neighbor list of a
+      vertex is materialised on first [open_neighbors] /
+      [iter_open_neighbors] query and reused thereafter (removal
+      overlays are filtered on top at query time). Repeat queries — a
+      reveal BFS followed by a router probing the same edges, or
+      repeated traversals of one world — become bit tests and array
+      scans, with no rehashing and no neighbor re-enumeration. Both
+      paths evaluate the {e same} pure coin function, so results are
+      bit-identical; only the work differs.
+
+    [create] picks the cached path automatically whenever the graph is
+    small enough ({!cache_gate}); [~cache:false] forces the lazy path
+    (the reference for differential tests and benchmarks), [~cache:true]
+    requests the cache but is still subject to the size gate.
+
     For the {e worst-case} fault model of the paper's introduction a
     world can additionally carry a set of adversarially removed edges
     ({!remove_edges}): those are closed regardless of their coins, and
     everything downstream — oracles, routers, reveals, censuses —
-    behaves identically over the overlaid world. *)
+    behaves identically over the overlaid world. Removal overlays share
+    the coin cache of the world they derive from (coins are a pure
+    function of the seed; only the overlay differs). *)
+
+type cache
+(** Memoised coin bitsets and open-adjacency lists; never observable
+    except through speed. *)
 
 type t = private {
   graph : Topology.Graph.t;
@@ -19,9 +50,16 @@ type t = private {
   seed : int64;
   removed : (int, unit) Hashtbl.t option;  (** Adversarial deletions. *)
   site_p : float option;  (** Vertex survival probability, if sites fail. *)
+  cache : cache option;  (** Present iff this world runs the cached path. *)
 }
 
-val create : ?site_p:float -> Topology.Graph.t -> p:float -> seed:int64 -> t
+val cache_gate : int
+(** Worlds whose graph has [edge_id_bound] and [vertex_count] both at
+    most this bound are cached by default; larger graphs always use the
+    lazy path. *)
+
+val create :
+  ?site_p:float -> ?cache:bool -> Topology.Graph.t -> p:float -> seed:int64 -> t
 (** [create graph ~p ~seed] is a bond-percolation world. With
     [?site_p:q], vertices additionally fail independently (survive with
     probability [q], the {e site} model of Hastad–Leighton–Newman's node
@@ -29,7 +67,15 @@ val create : ?site_p:float -> Topology.Graph.t -> p:float -> seed:int64 -> t
     own coin succeeds. Pure site percolation is [~p:1.0 ?site_p].
     Vertex coins live in a separate seed namespace, independent of the
     edge coins.
+
+    [?cache] selects the representation: [true] (default) memoises coin
+    flips in flat bitsets when the graph fits under {!cache_gate};
+    [false] forces the lazy reference path. Either way the observable
+    edge states are identical.
     @raise Invalid_argument if [p] or [site_p] is outside [\[0, 1\]]. *)
+
+val cached : t -> bool
+(** Whether this world runs the cached fast path. *)
 
 val graph : t -> Topology.Graph.t
 val p : t -> float
@@ -38,6 +84,7 @@ val seed : t -> int64
 val remove_edges : t -> (int * int) list -> t
 (** [remove_edges w edges] is [w] with the listed edges forced closed
     (cumulative with any earlier removals; [w] itself is unchanged).
+    The derived world shares [w]'s coin cache.
     @raise Topology.Graph.Not_an_edge if a pair is not an edge. *)
 
 val removed_count : t -> int
@@ -57,7 +104,13 @@ val is_open : t -> int -> int -> bool
 
 val open_neighbors : t -> int -> int array
 (** Adjacent vertices reachable through open edges — adjacency in the
-    percolated graph [G_p]. *)
+    percolated graph [G_p]. The result is a fresh array; callers may
+    keep or mutate it. *)
+
+val iter_open_neighbors : t -> int -> (int -> unit) -> unit
+(** [iter_open_neighbors w v f] calls [f] on every open neighbor of [v]
+    in the same order as {!open_neighbors}, without building the result
+    array — the allocation-free primitive for BFS hot loops. *)
 
 val open_degree : t -> int -> int
 

@@ -38,7 +38,18 @@ val median : t -> observation option
     half the sample is censored or the midpoint itself is censored. *)
 
 val quantile : t -> float -> observation option
-(** Generalisation of {!median} to any quantile in [\[0,1\]]. *)
+(** Generalisation of {!median} to any quantile in [\[0,1\]].
+
+    {b Convention:} the value at index [min (n - 1) (floor (q * n))] of
+    the sample sorted by substituted value (exact observations before
+    censored ones on ties) — the {e lower empirical order statistic},
+    deliberately {e not} the interpolating convention of
+    {!Quantile.of_sorted}: interpolating between a censored lower bound
+    and a neighbouring value would fabricate information, whereas an
+    order statistic stays a valid (possibly censored) observation. On
+    fully exact samples the two conventions agree whenever the type-7
+    position [q * (n - 1)] lands exactly on an order statistic
+    (cross-checked by tests). *)
 
 val mean_lower_bound : t -> float
 (** Mean obtained by substituting each censored observation with its

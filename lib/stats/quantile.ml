@@ -13,7 +13,7 @@ let of_sorted xs q =
 
 let sorted_copy xs =
   let copy = Array.copy xs in
-  Array.sort compare copy;
+  Array.sort Float.compare copy;
   copy
 
 let quantile xs q = of_sorted (sorted_copy xs) q

@@ -1,5 +1,16 @@
 (** Empirical quantiles with linear interpolation (Hyndman–Fan type 7,
-    the R and NumPy default). *)
+    the R and NumPy default).
+
+    {2 Convention}
+
+    For a sorted sample [xs] of size [n], the [q]-quantile sits at
+    position [q * (n - 1)] and interpolates linearly between the two
+    surrounding order statistics. This is the convention for {e exact}
+    float samples; {!Censored.quantile} intentionally uses a different
+    one (the lower empirical order statistic at index [floor (q * n)]),
+    because interpolating between a censored bound and anything else
+    would fabricate information. The two agree whenever the position
+    lands exactly on an order statistic; cross-checked by tests. *)
 
 val of_sorted : float array -> float -> float
 (** [of_sorted xs q] is the [q]-quantile of the already-sorted array [xs],
@@ -17,3 +28,7 @@ val quantiles : float array -> float list -> float list
 
 val iqr : float array -> float
 (** Interquartile range, [quantile 0.75 - quantile 0.25]. *)
+
+val sorted_copy : float array -> float array
+(** A copy sorted with [Float.compare] (total order: nans sort first),
+    the order every function here uses internally. *)

@@ -46,6 +46,10 @@ let mean_ci95 t =
   let se = std_error t in
   (mean t -. (1.96 *. se), mean t +. (1.96 *. se))
 
+let mean_ci95_opt t = if t.count < 2 then None else Some (mean_ci95 t)
+
 let pp ppf t =
-  Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g" t.count (mean t)
-    (stddev t) t.min t.max
+  if t.count = 0 then Format.fprintf ppf "n=0 (empty)"
+  else
+    Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g" t.count (mean t)
+      (stddev t) t.min t.max

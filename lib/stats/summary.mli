@@ -46,7 +46,14 @@ val total : t -> float
 
 val mean_ci95 : t -> float * float
 (** [mean_ci95 t] is a normal-approximation 95% confidence interval for
-    the mean, [(mean - 1.96 se, mean + 1.96 se)]. *)
+    the mean, [(mean - 1.96 se, mean + 1.96 se)]. With fewer than two
+    observations both bounds are [nan] (documented, tested); use
+    {!mean_ci95_opt} to branch instead of testing for nan. *)
+
+val mean_ci95_opt : t -> (float * float) option
+(** {!mean_ci95} as an option: [None] with fewer than two
+    observations (no finite interval exists). *)
 
 val pp : Format.formatter -> t -> unit
-(** Prints ["n=… mean=… sd=… min=… max=…"]. *)
+(** Prints ["n=… mean=… sd=… min=… max=…"], or ["n=0 (empty)"] for the
+    empty summary — never a row of nans. *)

@@ -51,24 +51,29 @@ let bfs_distance g source target =
   check_vertex g target;
   if source = target then Some 0
   else begin
-    let dist = Hashtbl.create 64 in
-    Hashtbl.replace dist source 0;
-    let queue = Queue.create () in
-    Queue.push source queue;
+    (* Only called on graphs small enough to enumerate, so flat arrays
+       indexed by vertex id beat a Hashtbl frontier. *)
+    let dist = Array.make g.vertex_count (-1) in
+    let queue = Array.make g.vertex_count 0 in
+    dist.(source) <- 0;
+    queue.(0) <- source;
+    let head = ref 0 and tail = ref 1 in
     let result = ref None in
     (try
-       while not (Queue.is_empty queue) do
-         let u = Queue.pop queue in
-         let du = Hashtbl.find dist u in
+       while !head < !tail do
+         let u = queue.(!head) in
+         incr head;
+         let du = dist.(u) in
          Array.iter
            (fun v ->
-             if not (Hashtbl.mem dist v) then begin
-               Hashtbl.replace dist v (du + 1);
+             if dist.(v) < 0 then begin
+               dist.(v) <- du + 1;
                if v = target then begin
                  result := Some (du + 1);
                  raise Exit
                end;
-               Queue.push v queue
+               queue.(!tail) <- v;
+               incr tail
              end)
            (g.neighbors u)
        done

@@ -55,6 +55,32 @@ let test_trial_impossible_conditioning () =
   Alcotest.(check (float 1e-9)) "zero connectivity" 0.0
     (Stats.Proportion.estimate result.Experiments.Trial.connection)
 
+let test_trial_shortfall () =
+  (* Low p with a tight attempt cap: fewer conditioned measurements than
+     requested, and the shortfall is reported rather than silent. *)
+  let stream = Prng.Stream.create 13L in
+  let result =
+    Experiments.Trial.run stream ~trials:5 ~max_attempts:25 (bfs_spec ~p:0.25 ())
+  in
+  let measured = Stats.Censored.count result.Experiments.Trial.observations in
+  Alcotest.(check int) "requested recorded" 5 result.Experiments.Trial.requested;
+  Alcotest.(check bool) "under-sampled" true (measured < 5);
+  Alcotest.(check int) "shortfall" (5 - measured)
+    (Experiments.Trial.shortfall result);
+  (match Experiments.Trial.shortfall_note ~label:"p=0.25" result with
+  | Some note ->
+      Alcotest.(check bool) "note names label" true
+        (String.length note > 0
+        && String.sub note 0 6 = "p=0.25")
+  | None -> Alcotest.fail "expected a shortfall note");
+  (* A run that meets its request has zero shortfall and no note. *)
+  let full =
+    Experiments.Trial.run (Prng.Stream.create 11L) ~trials:4 (bfs_spec ~p:0.9 ())
+  in
+  Alcotest.(check int) "no shortfall" 0 (Experiments.Trial.shortfall full);
+  Alcotest.(check bool) "no note" true
+    (Experiments.Trial.shortfall_note ~label:"x" full = None)
+
 let test_trial_chemical_distances_recorded () =
   let stream = Prng.Stream.create 14L in
   let result = Experiments.Trial.run stream ~trials:8 (bfs_spec ~p:0.9 ()) in
@@ -217,6 +243,7 @@ let () =
           case "deterministic" test_trial_deterministic;
           case "budget censors" test_trial_budget_censors;
           case "impossible conditioning" test_trial_impossible_conditioning;
+          case "shortfall surfaced" test_trial_shortfall;
           case "chemical distances" test_trial_chemical_distances_recorded;
           case "connectivity matches exact" test_trial_connectivity_estimate_matches_exact;
           case "invalid" test_trial_invalid;

@@ -707,6 +707,208 @@ let test_branching_extinct_sizes () =
     (Float.abs (measured -. expected) < 0.2)
 
 (* ------------------------------------------------------------------ *)
+(* Cached vs lazy differential                                         *)
+
+(* The cached (bitset + adjacency memo) representation must be
+   observationally identical to the lazy reference on every query — the
+   memoisation is allowed to show up only as speed. Each test runs the
+   same queries against a cached and a lazy world built from the same
+   (graph, p, seed) and demands equal answers. *)
+
+let diff_graphs =
+  [
+    ("hypercube6", hypercube6);
+    ("mesh2-8", Topology.Mesh.graph ~d:2 ~m:8);
+    ("complete30", Topology.Complete.graph 30);
+  ]
+
+let world_pair ?site_p graph ~p ~seed =
+  let cached = P.World.create ?site_p graph ~p ~seed in
+  let lazy_ = P.World.create ?site_p ~cache:false graph ~p ~seed in
+  Alcotest.(check bool) "cached flag" true (P.World.cached cached);
+  Alcotest.(check bool) "lazy flag" false (P.World.cached lazy_);
+  (cached, lazy_)
+
+let test_diff_gate () =
+  (* Under the gate: cached by default, lazy on request. Over the gate
+     (implicit hypercube with 2^22 vertices): always lazy. *)
+  let small = P.World.create hypercube6 ~p:0.5 ~seed:1L in
+  Alcotest.(check bool) "small cached" true (P.World.cached small);
+  let forced = P.World.create ~cache:false hypercube6 ~p:0.5 ~seed:1L in
+  Alcotest.(check bool) "forced lazy" false (P.World.cached forced);
+  let huge = Topology.Hypercube.graph 22 in
+  Alcotest.(check bool) "over gate" true
+    (huge.G.vertex_count > P.World.cache_gate);
+  let big = P.World.create huge ~p:0.5 ~seed:1L in
+  Alcotest.(check bool) "gated to lazy" false (P.World.cached big)
+
+let test_diff_is_open () =
+  List.iter
+    (fun (name, graph) ->
+      List.iter
+        (fun p ->
+          let cached, lazy_ = world_pair graph ~p ~seed:101L in
+          G.iter_edges graph (fun u v ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s p=%.2f (%d,%d)" name p u v)
+                (P.World.is_open lazy_ u v)
+                (P.World.is_open cached u v)))
+        [ 0.0; 0.3; 0.7; 1.0 ])
+    diff_graphs
+
+let test_diff_open_neighbors () =
+  List.iter
+    (fun (name, graph) ->
+      let cached, lazy_ = world_pair graph ~p:0.5 ~seed:103L in
+      for v = 0 to graph.G.vertex_count - 1 do
+        Alcotest.(check (array int))
+          (Printf.sprintf "%s v=%d" name v)
+          (P.World.open_neighbors lazy_ v)
+          (P.World.open_neighbors cached v);
+        Alcotest.(check int) "degree" (P.World.open_degree lazy_ v)
+          (P.World.open_degree cached v);
+        (* Repeat query: the memoised answer must not drift. *)
+        Alcotest.(check (array int))
+          (Printf.sprintf "%s v=%d repeat" name v)
+          (P.World.open_neighbors lazy_ v)
+          (P.World.open_neighbors cached v)
+      done)
+    diff_graphs
+
+let test_diff_reveal () =
+  List.iter
+    (fun (name, graph) ->
+      let cached, lazy_ = world_pair graph ~p:0.5 ~seed:107L in
+      let stream = Prng.Stream.create 23L in
+      for _ = 1 to 50 do
+        let u, v = Prng.Sample.distinct_pair stream graph.G.vertex_count in
+        let show = function
+          | P.Reveal.Connected d -> Printf.sprintf "connected %d" d
+          | P.Reveal.Disconnected -> "disconnected"
+          | P.Reveal.Unknown -> "unknown"
+        in
+        Alcotest.(check string)
+          (Printf.sprintf "%s verdict (%d,%d)" name u v)
+          (show (P.Reveal.connected lazy_ u v))
+          (show (P.Reveal.connected cached u v));
+        (* Truncated reveals must agree too (same visit order). *)
+        Alcotest.(check string)
+          (Printf.sprintf "%s limited verdict (%d,%d)" name u v)
+          (show (P.Reveal.connected ~limit:7 lazy_ u v))
+          (show (P.Reveal.connected ~limit:7 cached u v))
+      done;
+      let sorted_cluster w v = List.sort compare (fst (P.Reveal.cluster_of w v)) in
+      for v = 0 to min 20 (graph.G.vertex_count - 1) do
+        Alcotest.(check (list int))
+          (Printf.sprintf "%s cluster of %d" name v)
+          (sorted_cluster lazy_ v) (sorted_cluster cached v)
+      done)
+    diff_graphs
+
+let test_diff_ball () =
+  List.iter
+    (fun (name, graph) ->
+      let cached, lazy_ = world_pair graph ~p:0.6 ~seed:109L in
+      let sorted_ball w v r =
+        let tbl = P.Reveal.ball w v ~radius:r in
+        Hashtbl.fold (fun vertex d acc -> (vertex, d) :: acc) tbl []
+        |> List.sort compare
+      in
+      for v = 0 to min 10 (graph.G.vertex_count - 1) do
+        List.iter
+          (fun r ->
+            Alcotest.(check (list (pair int int)))
+              (Printf.sprintf "%s ball(%d,%d)" name v r)
+              (sorted_ball lazy_ v r) (sorted_ball cached v r))
+          [ 0; 1; 2; 3 ]
+      done)
+    diff_graphs
+
+let test_diff_oracle () =
+  List.iter
+    (fun (name, graph) ->
+      let cached, lazy_ = world_pair graph ~p:0.5 ~seed:113L in
+      let oc = P.Oracle.create ~policy:P.Oracle.Unrestricted cached ~source:0 in
+      let ol = P.Oracle.create ~policy:P.Oracle.Unrestricted lazy_ ~source:0 in
+      (* Same probe sequence against both stores (edge sweep, twice, so
+         the memo path is exercised). *)
+      for _pass = 1 to 2 do
+        G.iter_edges graph (fun u v ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s probe (%d,%d)" name u v)
+              (P.Oracle.probe ol u v) (P.Oracle.probe oc u v))
+      done;
+      Alcotest.(check int) "distinct" (P.Oracle.distinct_probes ol)
+        (P.Oracle.distinct_probes oc);
+      Alcotest.(check int) "raw" (P.Oracle.raw_probes ol) (P.Oracle.raw_probes oc);
+      Alcotest.(check int) "reached count" (P.Oracle.reached_count ol)
+        (P.Oracle.reached_count oc);
+      Alcotest.(check (list int)) "reached set"
+        (List.sort compare (P.Oracle.reached_vertices ol))
+        (List.sort compare (P.Oracle.reached_vertices oc));
+      for v = 0 to graph.G.vertex_count - 1 do
+        Alcotest.(check (option (list int)))
+          (Printf.sprintf "%s path to %d" name v)
+          (P.Oracle.path_to ol v) (P.Oracle.path_to oc v)
+      done)
+    diff_graphs
+
+let test_diff_router_outcomes () =
+  (* End to end: a deterministic router must behave identically over the
+     two representations — same verdict, same probe count. *)
+  List.iter
+    (fun (name, graph) ->
+      List.iter
+        (fun seed ->
+          let cached, lazy_ = world_pair graph ~p:0.55 ~seed in
+          let target = graph.G.vertex_count - 1 in
+          let run w =
+            let outcome =
+              Routing.Router.run Routing.Local_bfs.router w ~source:0 ~target
+            in
+            (Routing.Outcome.probes outcome, Routing.Outcome.found outcome)
+          in
+          Alcotest.(check (pair int bool))
+            (Printf.sprintf "%s seed %Ld" name seed)
+            (run lazy_) (run cached))
+        [ 1L; 2L; 3L; 4L; 5L ])
+    diff_graphs
+
+let test_diff_site () =
+  let cached, lazy_ = world_pair ~site_p:0.6 hypercube6 ~p:0.8 ~seed:127L in
+  for v = 0 to 63 do
+    Alcotest.(check bool)
+      (Printf.sprintf "alive %d" v)
+      (P.World.vertex_alive lazy_ v)
+      (P.World.vertex_alive cached v)
+  done;
+  G.iter_edges hypercube6 (fun u v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "site is_open (%d,%d)" u v)
+        (P.World.is_open lazy_ u v) (P.World.is_open cached u v))
+
+let test_diff_removal_overlay () =
+  let cached, lazy_ = world_pair hypercube6 ~p:0.9 ~seed:131L in
+  let removals = [ (0, 1); (0, 2); (5, 7) ] in
+  let cached' = P.World.remove_edges cached removals in
+  let lazy' = P.World.remove_edges lazy_ removals in
+  (* The overlaid cached world still reports as cached (shared cache). *)
+  Alcotest.(check bool) "overlay keeps cache" true (P.World.cached cached');
+  G.iter_edges hypercube6 (fun u v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "overlay is_open (%d,%d)" u v)
+        (P.World.is_open lazy' u v) (P.World.is_open cached' u v));
+  for v = 0 to 63 do
+    Alcotest.(check (array int))
+      (Printf.sprintf "overlay neighbors %d" v)
+      (P.World.open_neighbors lazy' v)
+      (P.World.open_neighbors cached' v)
+  done;
+  (* Base worlds stay unaffected. *)
+  Alcotest.(check bool) "base intact" (P.World.is_open lazy_ 0 1)
+    (P.World.is_open cached 0 1)
+
+(* ------------------------------------------------------------------ *)
 (* QCheck properties                                                   *)
 
 let qcheck_tests =
@@ -738,6 +940,35 @@ let qcheck_tests =
             acc
             && P.World.is_open w u v
                = Prng.Coin.bernoulli ~seed ~p (g.G.edge_id u v)));
+    Test.make ~name:"cached world = lazy world (is_open, neighbors)" ~count:200
+      (pair int64 (float_bound_inclusive 1.0))
+      (fun (seed, p) ->
+        let g = Topology.Hypercube.graph 4 in
+        let cached = P.World.create g ~p ~seed in
+        let lazy_ = P.World.create ~cache:false g ~p ~seed in
+        P.World.cached cached
+        && (not (P.World.cached lazy_))
+        && G.fold_edges g ~init:true ~f:(fun acc u v ->
+               acc && P.World.is_open cached u v = P.World.is_open lazy_ u v)
+        &&
+        let ok = ref true in
+        for v = 0 to g.G.vertex_count - 1 do
+          if P.World.open_neighbors cached v <> P.World.open_neighbors lazy_ v then
+            ok := false
+        done;
+        !ok);
+    Test.make ~name:"cached reveal = lazy reveal" ~count:100
+      (pair int64 (float_bound_inclusive 1.0))
+      (fun (seed, p) ->
+        let g = Topology.Hypercube.graph 4 in
+        let cached = P.World.create g ~p ~seed in
+        let lazy_ = P.World.create ~cache:false g ~p ~seed in
+        let ok = ref true in
+        for v = 1 to 15 do
+          if P.Reveal.connected cached 0 v <> P.Reveal.connected lazy_ 0 v then
+            ok := false
+        done;
+        !ok);
     Test.make ~name:"oracle distinct <= raw" ~count:100
       (pair int64 (list (pair (int_bound 15) (int_bound 3))))
       (fun (seed, probes) ->
@@ -827,6 +1058,18 @@ let () =
           case "around source" test_adversary_around_source;
           case "random distinct" test_adversary_random_distinct;
           case "over budget capped" test_adversary_over_budget_capped;
+        ] );
+      ( "cached vs lazy",
+        [
+          case "size gate" test_diff_gate;
+          case "is_open" test_diff_is_open;
+          case "open_neighbors" test_diff_open_neighbors;
+          case "reveal" test_diff_reveal;
+          case "ball" test_diff_ball;
+          case "oracle" test_diff_oracle;
+          case "router outcomes" test_diff_router_outcomes;
+          case "site percolation" test_diff_site;
+          case "removal overlay" test_diff_removal_overlay;
         ] );
       ( "scaling",
         [

@@ -317,6 +317,89 @@ let test_censored_merge_empty () =
     (Stats.Censored.merge a Stats.Censored.empty = a)
 
 (* ------------------------------------------------------------------ *)
+(* Conventions across modules                                          *)
+
+let test_summary_empty_pp () =
+  (* The empty summary prints a clean marker, never a row of nans. *)
+  Alcotest.(check string) "empty pp" "n=0 (empty)"
+    (Format.asprintf "%a" Stats.Summary.pp Stats.Summary.empty);
+  let one = Stats.Summary.add Stats.Summary.empty 3.0 in
+  let printed = Format.asprintf "%a" Stats.Summary.pp one in
+  Alcotest.(check bool) "non-empty pp shows n" true
+    (String.length printed > 3 && String.sub printed 0 3 = "n=1")
+
+let test_summary_ci_degenerate () =
+  (* Documented: nan bounds below two observations; the option variant
+     makes the branch explicit. *)
+  let check_nan t =
+    let lo, hi = Stats.Summary.mean_ci95 t in
+    Alcotest.(check bool) "nan bounds" true (Float.is_nan lo && Float.is_nan hi);
+    Alcotest.(check bool) "opt none" true (Stats.Summary.mean_ci95_opt t = None)
+  in
+  check_nan Stats.Summary.empty;
+  check_nan (Stats.Summary.add Stats.Summary.empty 5.0);
+  let two = Stats.Summary.of_array [| 1.0; 3.0 |] in
+  match Stats.Summary.mean_ci95_opt two with
+  | Some (lo, hi) ->
+      let lo', hi' = Stats.Summary.mean_ci95 two in
+      feq "lo agrees" lo' lo;
+      feq "hi agrees" hi' hi;
+      Alcotest.(check bool) "finite" true (Float.is_finite lo && Float.is_finite hi)
+  | None -> Alcotest.fail "two observations have a CI"
+
+let test_quantile_sorted_copy () =
+  let xs = [| 3.0; nan; 1.0; 2.0 |] in
+  let sorted = Stats.Quantile.sorted_copy xs in
+  (* Total order: the nan sorts first, the rest ascending. *)
+  Alcotest.(check bool) "nan first" true (Float.is_nan sorted.(0));
+  Alcotest.(check (array (float 1e-9))) "rest ascending" [| 1.0; 2.0; 3.0 |]
+    (Array.sub sorted 1 3);
+  (* The input is untouched. *)
+  Alcotest.(check (float 1e-9)) "input intact" 3.0 xs.(0)
+
+let test_censored_quantile_order_statistic () =
+  (* On all-exact samples, Censored.quantile is the lower empirical
+     order statistic at index min (n-1) (floor (q * n)). *)
+  let values = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  let t = Stats.Censored.of_list (Array.to_list (Array.map exact values)) in
+  let n = Array.length values in
+  List.iter
+    (fun q ->
+      let expected = values.(Stdlib.min (n - 1) (int_of_float (q *. float_of_int n))) in
+      match Stats.Censored.quantile t q with
+      | Some (Stats.Censored.Exact v) ->
+          feq (Printf.sprintf "q=%.2f" q) expected v
+      | _ -> Alcotest.fail "expected exact order statistic")
+    [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 1.0 ]
+
+let test_quantile_conventions_agree_on_order_statistics () =
+  (* Where the type-7 position q*(n-1) lands exactly on an order
+     statistic, the interpolating and censored conventions coincide
+     (documented in both .mlis). n = 5: q in {0, .25, .5, .75, 1}. *)
+  let values = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  let t = Stats.Censored.of_list (Array.to_list (Array.map exact values)) in
+  List.iter
+    (fun q ->
+      let interpolated = Stats.Quantile.of_sorted values q in
+      match Stats.Censored.quantile t q with
+      | Some (Stats.Censored.Exact v) ->
+          feq (Printf.sprintf "agree at q=%.2f" q) interpolated v
+      | _ -> Alcotest.fail "expected exact")
+    [ 0.0; 0.25; 0.5; 0.75; 1.0 ];
+  (* Off the grid they deliberately differ: n = 4, q = 1/2 — type 7
+     interpolates to 2.5, the censored convention stays on the order
+     statistic 3. *)
+  let four = [| 1.0; 2.0; 3.0; 4.0 |] in
+  feq "type-7 interpolates" 2.5 (Stats.Quantile.of_sorted four 0.5);
+  match
+    Stats.Censored.quantile
+      (Stats.Censored.of_list (Array.to_list (Array.map exact four)))
+      0.5
+  with
+  | Some (Stats.Censored.Exact v) -> feq "censored stays on sample" 3.0 v
+  | _ -> Alcotest.fail "expected exact"
+
+(* ------------------------------------------------------------------ *)
 (* Table                                                               *)
 
 let test_table_render () =
@@ -501,6 +584,14 @@ let () =
           case "empty" test_censored_empty;
           case "merge = fold" test_censored_merge_equals_fold;
           case "merge empty" test_censored_merge_empty;
+        ] );
+      ( "conventions",
+        [
+          case "summary empty pp" test_summary_empty_pp;
+          case "summary degenerate ci" test_summary_ci_degenerate;
+          case "sorted_copy total order" test_quantile_sorted_copy;
+          case "censored quantile = order statistic" test_censored_quantile_order_statistic;
+          case "conventions agree on grid" test_quantile_conventions_agree_on_order_statistics;
         ] );
       ( "table",
         [
