@@ -12,11 +12,20 @@ bench:
 	dune exec bench/main.exe
 
 # Quick percolation hot-path bench (cached vs lazy worlds) plus a
-# schema check on the emitted JSON.
+# schema check on the emitted JSON, then the observability surface:
+# a traced quick experiment must produce valid trace/v1 + metrics/v1
+# documents whose probe accounting replays exactly, and an
+# instrumented run must leave the disabled-path cost unchanged.
 bench-smoke:
 	dune exec bench/main.exe -- --percolation-only --quick --out BENCH_percolation.json
 	grep -q '"schema": "bench_percolation/v1"' BENCH_percolation.json
 	grep -q '"speedup"' BENCH_percolation.json
+	dune exec bin/faultroute.exe -- exp E1 --quick --trace SMOKE_trace.jsonl --metrics-out SMOKE_metrics.json > /dev/null
+	head -1 SMOKE_trace.jsonl | grep -q '"schema": "trace/v1"'
+	grep -q '"schema": "metrics/v1"' SMOKE_metrics.json
+	grep -q '"trial.accepts"' SMOKE_metrics.json
+	dune exec bin/faultroute.exe -- trace SMOKE_trace.jsonl
+	dune exec bench/main.exe -- --obs-guard
 
 # The quick catalog on two domains — exercises the parallel engine end
 # to end; output must match a --jobs 1 run byte for byte.

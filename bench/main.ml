@@ -520,6 +520,83 @@ let report_parallel_speedup () =
     parallel (sequential /. parallel);
   Printf.printf "reports byte-identical across job counts: %b\n\n" (rendered = reference)
 
+(* ------------------------------------------------------------------ *)
+(* Observability: profiling spans and the zero-cost-when-off guard.    *)
+
+let report_profile () =
+  Obs.Timing.reset ();
+  Obs.Timing.enable ();
+  let t0 = Unix.gettimeofday () in
+  let reports = Experiments.Catalog.run_all ~quick:true ~seed:0x5EEDL () in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Obs.Timing.disable ();
+  Printf.printf
+    "== profiling spans (quick catalog, %d reports, %.2f s wall) ==\n"
+    (List.length reports) elapsed;
+  Printf.printf "%s\n"
+    (Format.asprintf "%a" Obs.Timing.pp_report (Obs.Timing.report ()))
+
+(* The zero-cost-when-off contract, checked empirically: the
+   oracle-probe kernel is timed with instrumentation disabled, then an
+   instrumented run (tracing into a null sink, metrics into a scratch
+   registry) exercises every hook, then the kernel is timed disabled
+   again. The two disabled timings must agree to within 5% — a leak of
+   instrumentation state (a ring left installed, a flag left set) shows
+   up as a persistent slowdown. A small absolute floor keeps the check
+   meaningful on noisy CI machines. *)
+let obs_guard () =
+  let case = List.hd (perc_cases ()) in
+  let worlds = 10 in
+  let kernel () = oracle_kernel case ~worlds ~cache:true () in
+  (* Best-of-N, not median: the guard compares two timings of the same
+     code, so any difference is pure noise — and the minimum is the
+     estimator least contaminated by scheduler interference. *)
+  let time_best f =
+    ignore (Sys.opaque_identity (f ()));
+    let best = ref infinity in
+    for _ = 1 to 15 do
+      let t0 = Unix.gettimeofday () in
+      ignore (Sys.opaque_identity (f ()));
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  Printf.printf "== obs guard (oracle-probe kernel, %s) ==\n" case.case_name;
+  let disabled_before = time_best kernel in
+  Obs.Trace.enable ~sink:(fun _ -> ());
+  Obs.Metrics.enable ();
+  let registry = Obs.Metrics.create () in
+  let (_ : int), (_ : Obs.Trace.record) =
+    Obs.Trace.capture ~index:1 (fun () ->
+        Obs.Metrics.with_ambient registry kernel)
+  in
+  Obs.Trace.disable ();
+  Obs.Metrics.disable ();
+  let probes = Obs.Metrics.counter (Obs.Metrics.snapshot registry) "oracle.probe.fresh" in
+  if probes = 0 then begin
+    print_endline "obs-guard: FAIL — instrumented run recorded no probes";
+    1
+  end
+  else begin
+    let disabled_after = time_best kernel in
+    let delta = abs_float (disabled_after -. disabled_before) in
+    let relative = delta /. disabled_before in
+    Printf.printf
+      "disabled before: %.3f ms   disabled after: %.3f ms   delta: %.1f%%\n"
+      (disabled_before *. 1e3) (disabled_after *. 1e3) (relative *. 100.0);
+    if relative < 0.05 || delta < 0.002 then begin
+      print_endline "obs-guard: OK — instrumentation leaves the disabled path alone";
+      0
+    end
+    else begin
+      print_endline
+        "obs-guard: FAIL — disabled-path cost shifted by more than 5% after an \
+         instrumented run";
+      1
+    end
+  end
+
 let arg_value name default =
   let rec find i =
     if i >= Array.length Sys.argv - 1 then default
@@ -529,6 +606,11 @@ let arg_value name default =
   find 1
 
 let () =
+  if Array.exists (fun a -> a = "--obs-guard") Sys.argv then exit (obs_guard ());
+  if Array.exists (fun a -> a = "--profile") Sys.argv then begin
+    report_profile ();
+    exit 0
+  end;
   let full = Array.exists (fun a -> a = "--full") Sys.argv in
   let skip_micro = Array.exists (fun a -> a = "--tables-only") Sys.argv in
   let quick_flag = Array.exists (fun a -> a = "--quick") Sys.argv in

@@ -7,6 +7,12 @@
      route <topology> ...      one routing attempt with a chosen router
      census <topology> ...     component census of one percolated world
      threshold <topology> ...  bisect a critical probability
+     trace <file>              replay a trace/v1 JSONL file and audit it
+
+   Observability: [--trace FILE] streams probe-level trace/v1 JSONL,
+   [--metrics-out FILE] writes the merged metrics/v1 counters, and
+   [--strict-shortfall] turns under-sampled reports into exit code 3.
+   All instrumentation is off (and free) unless a flag asks for it.
 
    Topologies and routers are resolved through their registries
    ([Topology.Registry], [Routing.Registry]); this file contains no
@@ -25,6 +31,50 @@ let with_instance spec_string ~size stream k =
       | exception Invalid_argument message ->
           prerr_endline message;
           1)
+
+(* ------------------------------------------------------------------ *)
+(* Observability plumbing: arm tracing/metrics around a subcommand
+   body, then flush the sinks whatever happens.                        *)
+
+let with_observability ~trace ~metrics_out k =
+  let trace_channel =
+    Option.map
+      (fun path ->
+        let oc = open_out path in
+        Obs.Trace.enable ~sink:(fun s -> output_string oc s);
+        oc)
+      trace
+  in
+  if Option.is_some metrics_out then begin
+    Obs.Metrics.reset_global ();
+    Obs.Metrics.enable ()
+  end;
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter
+        (fun oc ->
+          Obs.Trace.disable ();
+          close_out oc)
+        trace_channel;
+      Option.iter
+        (fun path ->
+          Obs.Metrics.disable ();
+          let oc = open_out path in
+          output_string oc (Obs.Metrics.to_json (Obs.Metrics.global_snapshot ()));
+          close_out oc)
+        metrics_out)
+    k
+
+let strict_shortfall_exit ~strict reports =
+  let short = List.filter Experiments.Report.has_shortfall reports in
+  if strict && short <> [] then begin
+    Printf.eprintf
+      "strict-shortfall: %d report(s) under-sampled (%s): %s\n"
+      (List.length short) Experiments.Report.shortfall_marker
+      (String.concat ", " (List.map (fun r -> r.Experiments.Report.id) short));
+    3
+  end
+  else 0
 
 (* ------------------------------------------------------------------ *)
 (* Subcommand implementations.                                         *)
@@ -47,13 +97,14 @@ let cmd_list () =
     Routing.Registry.entries;
   0
 
-let cmd_exp id quick seed jobs csv =
+let cmd_exp id quick seed jobs csv trace metrics_out strict =
   match Experiments.Catalog.find id with
   | None ->
       Printf.eprintf "no experiment %S; see `faultroute list`\n" id;
       1
   | Some e ->
       Engine_par.Pool.set_default_jobs jobs;
+      with_observability ~trace ~metrics_out @@ fun () ->
       let stream = Prng.Stream.create seed in
       let report = e.Experiments.Catalog.run ~quick stream in
       if csv then
@@ -61,19 +112,20 @@ let cmd_exp id quick seed jobs csv =
           (fun (caption, body) -> Printf.printf "# %s\n%s" caption body)
           (Experiments.Report.render_csv report)
       else Experiments.Report.print report;
-      0
+      strict_shortfall_exit ~strict [ report ]
 
-let cmd_all quick seed jobs =
+let cmd_all quick seed jobs trace metrics_out strict =
   Engine_par.Pool.set_default_jobs jobs;
+  with_observability ~trace ~metrics_out @@ fun () ->
   let reports = Experiments.Catalog.run_all ~quick ~jobs ~seed () in
   List.iter
     (fun r ->
       Experiments.Report.print r;
       print_newline ())
     reports;
-  0
+  strict_shortfall_exit ~strict reports
 
-let cmd_route topology size p seed source target router_name budget =
+let cmd_route topology size p seed source target router_name budget trace metrics_out =
   let stream = Prng.Stream.create seed in
   with_instance topology ~size (Prng.Stream.split stream 0) @@ fun instance ->
   let graph = instance.Topology.Registry.graph in
@@ -89,6 +141,7 @@ let cmd_route topology size p seed source target router_name budget =
       prerr_endline message;
       1
   | Ok router ->
+      with_observability ~trace ~metrics_out @@ fun () ->
       (* The world's seed must come from its own split of the root
          stream, not the raw CLI seed: splits 0 and 1 already feed
          topology and router randomness, and reusing the root seed for
@@ -96,8 +149,59 @@ let cmd_route topology size p seed source target router_name budget =
          states (the same discipline as Trial.run_attempt). *)
       let world_seed = Prng.Stream.seed (Prng.Stream.split stream 2) in
       let world = Percolation.World.create graph ~p ~seed:world_seed in
-      let ground_truth = Percolation.Reveal.connected world source target in
-      let outcome = Routing.Router.run ?budget router world ~source ~target in
+      let registry = if Obs.Metrics.on () then Some (Obs.Metrics.create ()) else None in
+      let compute () =
+        let traced = Obs.Trace.on () in
+        if traced then Obs.Trace.emit (Obs.Trace.Attempt_start { index = 1 });
+        let ground_truth = Percolation.Reveal.connected world source target in
+        let outcome = Routing.Router.run ?budget router world ~source ~target in
+        (if traced then
+           match ground_truth with
+           | Percolation.Reveal.Connected d ->
+               Obs.Trace.emit
+                 (Obs.Trace.Accept
+                    { distance = d; probes = Routing.Outcome.probes outcome })
+           | Percolation.Reveal.Disconnected ->
+               Obs.Trace.emit (Obs.Trace.Reject { reason = Obs.Trace.Disconnected })
+           | Percolation.Reveal.Unknown ->
+               Obs.Trace.emit (Obs.Trace.Reject { reason = Obs.Trace.Reveal_limit }));
+        (ground_truth, outcome)
+      in
+      let with_metrics f =
+        match registry with Some r -> Obs.Metrics.with_ambient r f | None -> f ()
+      in
+      let ground_truth, outcome =
+        if Obs.Trace.on () then begin
+          let result, record =
+            Obs.Trace.capture ~index:1 (fun () -> with_metrics compute)
+          in
+          let buffer = Buffer.create 1024 in
+          Buffer.add_string buffer
+            (Obs.Trace.header_line
+               [
+                 ("graph", Obs.Json.String graph.Topology.Graph.name);
+                 ("p", Obs.Json.Float p);
+                 ("source", Obs.Json.Int source);
+                 ("target", Obs.Json.Int target);
+                 ("router", Obs.Json.String router.Routing.Router.name);
+                 ( "budget",
+                   match budget with
+                   | Some b -> Obs.Json.Int b
+                   | None -> Obs.Json.Null );
+                 ("trials", Obs.Json.Int 1);
+                 ("max_attempts", Obs.Json.Int 1);
+               ]);
+          List.iter (Buffer.add_string buffer) (Obs.Trace.record_lines record);
+          let accepted =
+            match fst result with Percolation.Reveal.Connected _ -> 1 | _ -> 0
+          in
+          Buffer.add_string buffer (Obs.Trace.end_line ~attempts:1 ~accepted);
+          Obs.Trace.write_line (Buffer.contents buffer);
+          result
+        end
+        else with_metrics compute
+      in
+      Option.iter (fun r -> Obs.Metrics.absorb (Obs.Metrics.snapshot r)) registry;
       Printf.printf "world: %s, p = %.4f, seed = %Ld\n" graph.Topology.Graph.name p seed;
       Printf.printf "pair: %d -> %d\n" source target;
       (match ground_truth with
@@ -155,13 +259,14 @@ let cmd_mincut topology size seed source target =
     (String.concat ", " (List.map (fun (u, v) -> Printf.sprintf "(%d,%d)" u v) cut));
   0
 
-let cmd_simulate topology size p seed protocol_name source target max_rounds =
+let cmd_simulate topology size p seed protocol_name source target max_rounds metrics_out =
   let stream = Prng.Stream.create seed in
   with_instance topology ~size stream @@ fun instance ->
   let graph = instance.Topology.Registry.graph in
   let world = Percolation.World.create graph ~p ~seed in
   let source = Option.value source ~default:0 in
   let target = Option.value target ~default:(graph.Topology.Graph.vertex_count - 1) in
+  with_observability ~trace:None ~metrics_out @@ fun () ->
   Printf.printf "world: %s, p = %.4f, seed = %Ld; %s from %d to %d\n"
     graph.Topology.Graph.name p seed protocol_name source target;
   let describe metrics result =
@@ -172,6 +277,7 @@ let cmd_simulate topology size p seed protocol_name source target max_rounds =
           rounds
     | `Out_of_rounds -> print_endline "outcome: round limit hit");
     Printf.printf "cost: %s\n" (Format.asprintf "%a" Netsim.Metrics.pp metrics);
+    if Obs.Metrics.on () then Obs.Metrics.absorb (Netsim.Metrics.snapshot metrics);
     0
   in
   match String.lowercase_ascii protocol_name with
@@ -225,6 +331,50 @@ let cmd_simulate topology size p seed protocol_name source target max_rounds =
       Printf.eprintf "unknown protocol %S (try flood, gossip, greedy, walk)\n" other;
       1
 
+let cmd_trace file =
+  match
+    let ic = open_in file in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+        really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error message ->
+      prerr_endline message;
+      1
+  | contents -> (
+      let lines =
+        String.split_on_char '\n' contents
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      match Obs.Trace.Replay.parse lines with
+      | Error message ->
+          Printf.eprintf "trace parse error: %s\n" message;
+          1
+      | Ok runs ->
+          let v = Obs.Trace.Replay.check runs in
+          Printf.printf "runs: %d\nattempts: %d\naccepted: %d\nchecked: %d\n"
+            v.Obs.Trace.Replay.runs v.Obs.Trace.Replay.attempts
+            v.Obs.Trace.Replay.accepted v.Obs.Trace.Replay.checked;
+          if v.Obs.Trace.Replay.unverifiable > 0 then
+            Printf.printf "unverifiable (dropped events): %d\n"
+              v.Obs.Trace.Replay.unverifiable;
+          List.iter
+            (fun (attempt, derived, recorded) ->
+              Printf.printf
+                "MISMATCH attempt %d: replay derives %d distinct probes, accept \
+                 line recorded %d\n"
+                attempt derived recorded)
+            v.Obs.Trace.Replay.mismatches;
+          List.iter
+            (fun e -> Printf.printf "COUNT ERROR: %s\n" e)
+            v.Obs.Trace.Replay.count_errors;
+          if Obs.Trace.Replay.ok v then begin
+            print_endline
+              "probe accounting: OK — every accepted attempt's distinct-probe \
+               count re-derives exactly from its fresh probe events";
+            0
+          end
+          else 2)
+
 (* ------------------------------------------------------------------ *)
 (* Cmdliner wiring.                                                    *)
 
@@ -241,6 +391,24 @@ let quick_arg =
 let csv_arg =
   let doc = "Emit tables as CSV instead of aligned text." in
   Arg.(value & flag & info [ "csv" ] ~doc)
+
+let trace_arg =
+  let doc =
+    "Stream a probe-level $(b,trace/v1) JSONL trace to $(docv) (audit it with \
+     $(b,faultroute trace))."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc = "Write the run's merged $(b,metrics/v1) counters to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let strict_shortfall_arg =
+  let doc =
+    "Exit with status 3 when any report is under-sampled (its attempt cap ran \
+     out before the requested trial count)."
+  in
+  Arg.(value & flag & info [ "strict-shortfall" ] ~doc)
 
 let jobs_arg =
   let doc =
@@ -295,12 +463,16 @@ let exp_cmd =
   in
   Cmd.v
     (Cmd.info "exp" ~doc:"Run one experiment and print its report.")
-    Term.(const cmd_exp $ id_arg $ quick_arg $ seed_arg $ jobs_arg $ csv_arg)
+    Term.(
+      const cmd_exp $ id_arg $ quick_arg $ seed_arg $ jobs_arg $ csv_arg
+      $ trace_arg $ metrics_arg $ strict_shortfall_arg)
 
 let all_cmd =
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment in the catalog.")
-    Term.(const cmd_all $ quick_arg $ seed_arg $ jobs_arg)
+    Term.(
+      const cmd_all $ quick_arg $ seed_arg $ jobs_arg $ trace_arg $ metrics_arg
+      $ strict_shortfall_arg)
 
 let route_cmd =
   let source_arg =
@@ -331,7 +503,7 @@ let route_cmd =
     (Cmd.info "route" ~doc:"Run one routing attempt on one percolated world.")
     Term.(
       const cmd_route $ topology_arg $ size_arg $ p_arg $ seed_arg $ source_arg
-      $ target_arg $ router_arg $ budget_arg)
+      $ target_arg $ router_arg $ budget_arg $ trace_arg $ metrics_arg)
 
 let census_cmd =
   Cmd.v
@@ -375,7 +547,22 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run a message-passing protocol on one percolated world.")
     Term.(
       const cmd_simulate $ topology_arg $ size_arg $ p_arg $ seed_arg $ protocol_arg
-      $ source_arg $ target_arg $ rounds_arg)
+      $ source_arg $ target_arg $ rounds_arg $ metrics_arg)
+
+let trace_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"A trace/v1 JSONL file written by --trace.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Replay a trace/v1 JSONL file: re-derive each accepted attempt's \
+          distinct-probe count from its fresh probe events and check it against \
+          the recorded count.")
+    Term.(const cmd_trace $ file_arg)
 
 let mincut_cmd =
   let source_arg =
@@ -410,6 +597,7 @@ let () =
         threshold_cmd;
         simulate_cmd;
         mincut_cmd;
+        trace_cmd;
       ]
   in
   exit (Cmd.eval' group)

@@ -32,7 +32,7 @@ let () =
       let metrics = Netsim.Engine.metrics flood in
       Printf.printf "flood:       latency %d rounds, %d messages sent (%d delivered)\n"
         (Option.get (Netsim.Flood.latency flood ~source ~target))
-        metrics.Netsim.Metrics.messages_sent metrics.Netsim.Metrics.messages_delivered
+        (Netsim.Metrics.messages_sent metrics) (Netsim.Metrics.messages_delivered metrics)
   | `Quiescent _ | `Out_of_rounds -> print_endline "flood:       target not reached");
 
   (* Push gossip. *)
@@ -44,7 +44,7 @@ let () =
    with
   | `Stopped rounds ->
       Printf.printf "gossip:      reached target in %d rounds, %d messages\n" rounds
-        (Netsim.Engine.metrics gossip).Netsim.Metrics.messages_sent
+        (Netsim.Metrics.messages_sent (Netsim.Engine.metrics gossip))
   | `Quiescent _ | `Out_of_rounds -> print_endline "gossip:      target not reached");
 
   (* Greedy DHT-style token. *)
@@ -60,7 +60,7 @@ let () =
   | `Stopped _ ->
       Printf.printf "greedy:      delivered in %d hops with %d probes\n"
         (Option.get (Netsim.Greedy_forward.hops greedy ~target))
-        (Netsim.Engine.metrics greedy).Netsim.Metrics.distinct_probes
+        (Netsim.Metrics.distinct_probes (Netsim.Engine.metrics greedy))
   | `Quiescent _ ->
       Printf.printf "greedy:      token dropped at node %d — lookup failed\n"
         (Option.get (Netsim.Greedy_forward.dropped greedy))

@@ -83,8 +83,13 @@ let collect_prefix ?jobs ~limit ~until work =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   if jobs <= 0 then invalid_arg "Pool.collect_prefix: jobs must be positive";
   if limit < 0 then invalid_arg "Pool.collect_prefix: limit must be non-negative";
-  if jobs = 1 || limit <= 1 || in_worker () then sequential_prefix ~limit ~until work
-  else parallel_prefix ~jobs ~limit ~until work
+  let run () =
+    if jobs = 1 || limit <= 1 || in_worker () then sequential_prefix ~limit ~until work
+    else parallel_prefix ~jobs ~limit ~until work
+  in
+  (* Profiling only — the pool's wall time, including domain spawn and
+     join, attributed at the dispatch layer. *)
+  if Obs.Timing.on () then Obs.Timing.span "pool.collect_prefix" run else run ()
 
 let map ?jobs f xs =
   collect_prefix ?jobs ~limit:(Array.length xs)

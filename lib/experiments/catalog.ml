@@ -41,9 +41,33 @@ let run_all ?quick ?jobs ~seed () =
   (* One task per experiment on the shared pool; each experiment's
      stream depends only on its index, and a task that itself fans out
      trials runs them inline on its worker, so reports are identical
-     for any job count. *)
+     for any job count.
+
+     Tracing: experiments running concurrently would race for the trace
+     sink, and pool scheduling would dictate the order of their runs in
+     the file. So each task redirects its domain's trace output into a
+     private buffer (Obs.Trace.with_sink) and the buffers are flushed
+     to the real sink afterwards, in catalog order — the trace file is
+     byte-identical for every job count. *)
+  let tracing = Obs.Trace.on () in
   let indexed = Array.of_list (List.mapi (fun index e -> (index, e)) all) in
-  Engine_par.Pool.map ?jobs
-    (fun (index, e) -> e.run ?quick (Prng.Stream.split stream index))
-    indexed
-  |> Array.to_list
+  let outcomes =
+    Engine_par.Pool.map ?jobs
+      (fun (index, e) ->
+        let experiment_stream = Prng.Stream.split stream index in
+        if tracing then begin
+          let buffer = Buffer.create 4096 in
+          let report =
+            Obs.Trace.with_sink (Buffer.add_string buffer) (fun () ->
+                e.run ?quick experiment_stream)
+          in
+          (report, Buffer.contents buffer)
+        end
+        else (e.run ?quick experiment_stream, ""))
+      indexed
+  in
+  if tracing then
+    Array.iter
+      (fun (_, trace) -> if trace <> "" then Obs.Trace.write_line trace)
+      outcomes;
+  Array.to_list (Array.map fst outcomes)

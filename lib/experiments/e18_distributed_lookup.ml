@@ -77,7 +77,7 @@ let run ?(quick = false) stream =
             flood_messages :=
               Stats.Summary.add !flood_messages
                 (float_of_int
-                   (Netsim.Engine.metrics flood).Netsim.Metrics.messages_sent);
+                   (Netsim.Metrics.messages_sent (Netsim.Engine.metrics flood)));
             (* Gossip. *)
             let gossip = Netsim.Engine.create ~seed world Netsim.Gossip.protocol in
             Netsim.Gossip.start gossip ~source;

@@ -10,6 +10,19 @@ type t = {
 let make ~id ~title ~claim ~seed ?(notes = []) tables =
   { id; title; claim; tables; notes; seed }
 
+(* The marker [Trial.shortfall_note] embeds in the notes it produces;
+   [has_shortfall] keys on it so the CLI's [--strict-shortfall] and the
+   note writer cannot drift apart. *)
+let shortfall_marker = "attempt cap exhausted"
+
+let contains_substring haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec at i = i + nl <= hl && (String.sub haystack i nl = needle || at (i + 1)) in
+  nl = 0 || at 0
+
+let has_shortfall t =
+  List.exists (fun note -> contains_substring note shortfall_marker) t.notes
+
 let render t =
   let buffer = Buffer.create 1024 in
   Buffer.add_string buffer (Printf.sprintf "=== %s: %s ===\n" t.id t.title);

@@ -23,6 +23,15 @@ val make :
   (string * Stats.Table.t) list ->
   t
 
+val shortfall_marker : string
+(** Substring every {!Trial.shortfall_note} carries. *)
+
+val has_shortfall : t -> bool
+(** Whether any note flags an attempt-cap shortfall (carries
+    {!shortfall_marker}) — the statistics in this report are
+    under-sampled. The CLI's [--strict-shortfall] turns this into a
+    nonzero exit. *)
+
 val render : t -> string
 (** Multi-line human-readable rendering. *)
 

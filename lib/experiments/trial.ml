@@ -18,6 +18,7 @@ type result = {
   chemical_distances : Stats.Summary.t;
   failures : int;
   requested : int;
+  metrics : Obs.Metrics.snapshot;
 }
 
 let shortfall result = result.requested - Stats.Censored.count result.observations
@@ -28,9 +29,9 @@ let shortfall_note ~label result =
   else
     Some
       (Printf.sprintf
-         "%s: attempt cap exhausted — only %d of %d requested conditioned trials \
+         "%s: %s — only %d of %d requested conditioned trials \
           measured (shortfall %d); treat the statistics as under-sampled."
-         label
+         label Report.shortfall_marker
          (Stats.Censored.count result.observations)
          result.requested missing)
 
@@ -42,7 +43,12 @@ let shortfall_note ~label result =
    a pure function of the root seed. Attempts are therefore computable
    in any order on any domain with identical results; the seed equals
    [Coin.derive root i], the same world the historical sequential
-   runner drew. *)
+   runner drew.
+
+   Observability is strictly out-of-band: trace events and metric ticks
+   land in ambient per-attempt buffers installed around this function
+   (see [observed_attempt]); nothing here reads them back, so enabling
+   instrumentation cannot change any computed value. *)
 
 type attempt =
   | Rejected  (** World not connected (or reveal limit hit): resampled. *)
@@ -52,11 +58,28 @@ let run_attempt spec root_stream index =
   let attempt_stream = Prng.Stream.split root_stream index in
   let seed = Prng.Stream.seed attempt_stream in
   let world = Percolation.World.create spec.graph ~p:spec.p ~seed in
-  match
+  let traced = Obs.Trace.on () in
+  let metered = Obs.Metrics.on () in
+  if traced then Obs.Trace.emit (Obs.Trace.Attempt_start { index });
+  if metered then Obs.Metrics.tick "trial.attempts";
+  let reveal () =
     Percolation.Reveal.connected ?limit:spec.reveal_limit world spec.source
       spec.target
-  with
-  | Percolation.Reveal.Disconnected | Percolation.Reveal.Unknown -> Rejected
+  in
+  let verdict =
+    if Obs.Timing.on () then Obs.Timing.span "trial.reveal" reveal else reveal ()
+  in
+  match verdict with
+  | Percolation.Reveal.Disconnected ->
+      if traced then
+        Obs.Trace.emit (Obs.Trace.Reject { reason = Obs.Trace.Disconnected });
+      if metered then Obs.Metrics.tick "trial.rejects.disconnected";
+      Rejected
+  | Percolation.Reveal.Unknown ->
+      if traced then
+        Obs.Trace.emit (Obs.Trace.Reject { reason = Obs.Trace.Reveal_limit });
+      if metered then Obs.Metrics.tick "trial.rejects.reveal_limit";
+      Rejected
   | Percolation.Reveal.Connected distance ->
       let router =
         spec.router attempt_stream ~source:spec.source ~target:spec.target
@@ -65,14 +88,65 @@ let run_attempt spec root_stream index =
         Routing.Router.run ?budget:spec.budget router world ~source:spec.source
           ~target:spec.target
       in
+      if traced then
+        Obs.Trace.emit
+          (Obs.Trace.Accept { distance; probes = Routing.Outcome.probes outcome });
+      if metered then begin
+        Obs.Metrics.tick "trial.accepts";
+        Obs.Metrics.record "trial.probes" (Routing.Outcome.probes outcome);
+        Obs.Metrics.record "trial.chemical_distance" distance;
+        Obs.Metrics.tick
+          (match outcome with
+          | Routing.Outcome.Found _ -> "trial.outcome.found"
+          | Routing.Outcome.No_path _ -> "trial.outcome.no_path"
+          | Routing.Outcome.Budget_exceeded _ -> "trial.outcome.budget_exceeded")
+      end;
       Accepted { distance; outcome }
+
+(* A cell is an attempt plus whatever it emitted. When instrumentation
+   is off both extras are the shared constants [None] / [Metrics.empty]
+   and the wrapper costs two atomic reads per attempt. *)
+type cell = {
+  attempt : attempt;
+  trace : Obs.Trace.record option;
+  metrics : Obs.Metrics.snapshot;
+}
+
+let observed_attempt spec root_stream index =
+  let traced = Obs.Trace.on () in
+  let metered = Obs.Metrics.on () in
+  if not (traced || metered) then
+    { attempt = run_attempt spec root_stream index; trace = None; metrics = Obs.Metrics.empty }
+  else begin
+    let with_metrics () =
+      if metered then begin
+        let registry = Obs.Metrics.create () in
+        let attempt =
+          Obs.Metrics.with_ambient registry (fun () -> run_attempt spec root_stream index)
+        in
+        (attempt, Obs.Metrics.snapshot registry)
+      end
+      else (run_attempt spec root_stream index, Obs.Metrics.empty)
+    in
+    if traced then begin
+      let (attempt, metrics), record = Obs.Trace.capture ~index with_metrics in
+      { attempt; trace = Some record; metrics }
+    end
+    else begin
+      let attempt, metrics = with_metrics () in
+      { attempt; trace = None; metrics }
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Per-domain accumulators.
 
    Each worker folds the attempts of its chunk into a local [acc];
    the caller merges chunk accumulators in chunk-index order, so the
-   merged value never depends on which domain computed what. *)
+   merged value never depends on which domain computed what. Metric
+   snapshots ride the same fold: integer-only merges are commutative
+   anyway, but keeping them on the accumulator path means the merged
+   snapshot follows the exact chunk discipline of the statistics. *)
 
 type acc = {
   observations : Stats.Censored.t;
@@ -80,6 +154,7 @@ type acc = {
   chemical : Stats.Summary.t;
   accepted : int;
   failures : int;
+  metrics : Obs.Metrics.snapshot;
 }
 
 let acc_empty =
@@ -89,9 +164,12 @@ let acc_empty =
     chemical = Stats.Summary.empty;
     accepted = 0;
     failures = 0;
+    metrics = Obs.Metrics.empty;
   }
 
-let acc_add acc = function
+let acc_add acc (cell : cell) =
+  let acc = { acc with metrics = Obs.Metrics.merge acc.metrics cell.metrics } in
+  match cell.attempt with
   | Rejected -> acc
   | Accepted { distance; outcome } ->
       let observations =
@@ -107,7 +185,7 @@ let acc_add acc = function
         | Routing.Outcome.No_path _ -> (acc.path_lengths, acc.failures + 1)
         | Routing.Outcome.Budget_exceeded _ -> (acc.path_lengths, acc.failures)
       in
-      { observations; path_lengths; chemical; accepted = acc.accepted + 1; failures }
+      { acc with observations; path_lengths; chemical; accepted = acc.accepted + 1; failures }
 
 let acc_merge a b =
   {
@@ -116,6 +194,7 @@ let acc_merge a b =
     chemical = Stats.Summary.merge a.chemical b.chemical;
     accepted = a.accepted + b.accepted;
     failures = a.failures + b.failures;
+    metrics = Obs.Metrics.merge a.metrics b.metrics;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -127,11 +206,47 @@ let acc_merge a b =
    Chunks are dispensed dynamically; once enough acceptances exist in
    the completed prefix the pool stops dispensing, and a final ordered
    scan truncates at the exact attempt of the [trials]-th acceptance,
-   replaying the boundary chunk attempt by attempt. *)
+   replaying the boundary chunk attempt by attempt.
+
+   Tracing rides the same machinery: each attempt's events are captured
+   into its cell on whatever domain computed it, and the final ordered
+   scan — plain sequential code on the caller's domain — concatenates
+   exactly the used attempts' records into one [trace/v1] run, written
+   to the sink in a single call. The trace bytes therefore cannot
+   depend on the job count, and runs from concurrent Trial calls cannot
+   interleave. *)
 
 let chunk_size = 4
 
-type chunk = { attempts : attempt array; acc : acc }
+type chunk = { cells : cell array; acc : acc }
+
+let policy_string = function
+  | Percolation.Oracle.Local -> "local"
+  | Percolation.Oracle.Unrestricted -> "unrestricted"
+
+let trace_header spec stream ~trials ~max_attempts =
+  (* Split 0 is reserved: attempts use 1..max_attempts, so building a
+     throwaway router here cannot correlate with any attempt's coins. *)
+  let router =
+    spec.router (Prng.Stream.split stream 0) ~source:spec.source ~target:spec.target
+  in
+  Obs.Trace.header_line
+    [
+      ("graph", Obs.Json.String spec.graph.Topology.Graph.name);
+      ("p", Obs.Json.Float spec.p);
+      ("source", Obs.Json.Int spec.source);
+      ("target", Obs.Json.Int spec.target);
+      ("router", Obs.Json.String router.Routing.Router.name);
+      ("policy", Obs.Json.String (policy_string router.Routing.Router.policy));
+      ( "budget",
+        match spec.budget with Some b -> Obs.Json.Int b | None -> Obs.Json.Null );
+      ( "reveal_limit",
+        match spec.reveal_limit with
+        | Some l -> Obs.Json.Int l
+        | None -> Obs.Json.Null );
+      ("trials", Obs.Json.Int trials);
+      ("max_attempts", Obs.Json.Int max_attempts);
+    ]
 
 let run_engine ?jobs stream ~trials ?max_attempts spec =
   if trials <= 0 then invalid_arg "Trial.run: trials must be positive";
@@ -141,8 +256,10 @@ let run_engine ?jobs stream ~trials ?max_attempts spec =
   let work c =
     let lo = (c * chunk_size) + 1 in
     let hi = Stdlib.min max_attempts ((c + 1) * chunk_size) in
-    let attempts = Array.init (hi - lo + 1) (fun k -> run_attempt spec stream (lo + k)) in
-    { attempts; acc = Array.fold_left acc_add acc_empty attempts }
+    let cells =
+      Array.init (hi - lo + 1) (fun k -> observed_attempt spec stream (lo + k))
+    in
+    { cells; acc = Array.fold_left acc_add acc_empty cells }
   in
   let until chunk =
     Atomic.fetch_and_add accepted_so_far chunk.acc.accepted + chunk.acc.accepted
@@ -151,6 +268,11 @@ let run_engine ?jobs stream ~trials ?max_attempts spec =
   let chunks = Engine_par.Pool.collect_prefix ?jobs ~limit:n_chunks ~until work in
   (* Ordered truncation: merge whole chunks while they cannot contain
      the [trials]-th acceptance, then replay the boundary chunk. *)
+  let tracing = Obs.Trace.on () in
+  let traces = ref [] in
+  let push_trace cell =
+    match cell.trace with Some r -> traces := r :: !traces | None -> ()
+  in
   let final = ref acc_empty in
   let attempts_used = ref 0 in
   (try
@@ -158,18 +280,32 @@ let run_engine ?jobs stream ~trials ?max_attempts spec =
        (fun chunk ->
          if !final.accepted + chunk.acc.accepted < trials then begin
            final := acc_merge !final chunk.acc;
-           attempts_used := !attempts_used + Array.length chunk.attempts
+           attempts_used := !attempts_used + Array.length chunk.cells;
+           if tracing then Array.iter push_trace chunk.cells
          end
          else
            Array.iter
-             (fun attempt ->
-               final := acc_add !final attempt;
+             (fun cell ->
+               final := acc_add !final cell;
                incr attempts_used;
+               if tracing then push_trace cell;
                if !final.accepted >= trials then raise Exit)
-             chunk.attempts)
+             chunk.cells)
        chunks
    with Exit -> ());
   let final = !final in
+  if tracing then begin
+    let buffer = Buffer.create 4096 in
+    Buffer.add_string buffer (trace_header spec stream ~trials ~max_attempts);
+    List.iter
+      (fun record ->
+        List.iter (Buffer.add_string buffer) (Obs.Trace.record_lines record))
+      (List.rev !traces);
+    Buffer.add_string buffer
+      (Obs.Trace.end_line ~attempts:!attempts_used ~accepted:final.accepted);
+    Obs.Trace.write_line (Buffer.contents buffer)
+  end;
+  if Obs.Metrics.on () then Obs.Metrics.absorb final.metrics;
   {
     observations = final.observations;
     connection =
@@ -178,6 +314,7 @@ let run_engine ?jobs stream ~trials ?max_attempts spec =
     chemical_distances = final.chemical;
     failures = final.failures;
     requested = trials;
+    metrics = final.metrics;
   }
 
 let run_par ?jobs stream ~trials ?max_attempts spec =

@@ -18,7 +18,21 @@
     per-domain accumulators over a fixed chunking of the attempt index
     space, so {!run_par} returns {e bit-identical} results for every
     [jobs] value (and [run_par ~jobs:1] is exactly the sequential
-    run). *)
+    run).
+
+    {2 Observability}
+
+    With {!Obs.Trace} enabled, every attempt's probe-level events are
+    captured into per-attempt buffers on whatever domain computed them
+    and concatenated — during the same ordered truncation scan that
+    merges the statistics — into one [trace/v1] run, written to the
+    sink in a single call. The trace bytes are byte-identical for every
+    [jobs] value. With {!Obs.Metrics} enabled, per-attempt counter
+    snapshots ride the accumulator merge tree (integer-only, so the
+    merged snapshot is order-independent) and the run's totals are both
+    returned in {!result.metrics} and absorbed into the global
+    registry. With both off, the per-attempt overhead is two atomic
+    reads. *)
 
 type spec = {
   graph : Topology.Graph.t;
@@ -62,6 +76,10 @@ type result = {
       (** The [trials] count that was asked for. When [max_attempts]
           ran out of worlds first, fewer conditioned measurements were
           taken: [Stats.Censored.count observations < requested]. *)
+  metrics : Obs.Metrics.snapshot;
+      (** Counters/histograms emitted by the used attempts
+          ({!Obs.Metrics.empty} when metrics are disabled). Merged in
+          fixed chunk order — identical for every [jobs] value. *)
 }
 
 val shortfall : result -> int

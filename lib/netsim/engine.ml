@@ -90,7 +90,7 @@ let drain_links t capacity =
       while !moved < capacity && not (Queue.is_empty backlog) do
         let message = Queue.pop backlog in
         t.queued_count <- t.queued_count - 1;
-        t.metrics.Metrics.messages_delivered <- t.metrics.Metrics.messages_delivered + 1;
+        Metrics.tick_delivered t.metrics;
         queue_delivery t ~node:receiver ~sender message;
         incr moved
       done)
@@ -102,14 +102,14 @@ let run_round t =
   t.pending <- Hashtbl.create 64;
   t.pending_count <- 0;
   t.round <- t.round + 1;
-  t.metrics.Metrics.rounds <- t.round;
+  Metrics.tick_round t.metrics;
   for node = 0 to Array.length t.states - 1 do
     let probe v =
       let id = graph.Topology.Graph.edge_id node v in
-      t.metrics.Metrics.raw_probes <- t.metrics.Metrics.raw_probes + 1;
+      Metrics.tick_raw_probe t.metrics;
       if not (Hashtbl.mem t.probed id) then begin
         Hashtbl.replace t.probed id ();
-        t.metrics.Metrics.distinct_probes <- t.metrics.Metrics.distinct_probes + 1
+        Metrics.tick_distinct_probe t.metrics
       end;
       Percolation.World.is_open t.world node v
     in
@@ -117,12 +117,11 @@ let run_round t =
       (* Validates adjacency; delivery depends on the percolated state
          but the sender learns nothing from the call. *)
       ignore (graph.Topology.Graph.edge_id node v : int);
-      t.metrics.Metrics.messages_sent <- t.metrics.Metrics.messages_sent + 1;
+      Metrics.tick_sent t.metrics;
       if Percolation.World.is_open t.world node v then begin
         match t.link_capacity with
         | None ->
-            t.metrics.Metrics.messages_delivered <-
-              t.metrics.Metrics.messages_delivered + 1;
+            Metrics.tick_delivered t.metrics;
             queue_delivery t ~node:v ~sender:node message
         | Some _ -> enqueue_on_link t ~sender:node ~receiver:v message
       end

@@ -1,18 +1,35 @@
-type t = {
-  mutable rounds : int;
-  mutable messages_sent : int;
-  mutable messages_delivered : int;
-  mutable raw_probes : int;
-  mutable distinct_probes : int;
-}
+(* Cost accounting is an Obs.Metrics registry under [netsim.*] names;
+   the historical fields survive as thin counter views. *)
 
-let create () =
-  { rounds = 0; messages_sent = 0; messages_delivered = 0; raw_probes = 0; distinct_probes = 0 }
+type t = Obs.Metrics.t
+
+let k_rounds = "netsim.rounds"
+let k_sent = "netsim.messages_sent"
+let k_delivered = "netsim.messages_delivered"
+let k_raw = "netsim.raw_probes"
+let k_distinct = "netsim.distinct_probes"
+
+let create () = Obs.Metrics.create ()
+
+let tick_round t = Obs.Metrics.incr t k_rounds
+let tick_sent t = Obs.Metrics.incr t k_sent
+let tick_delivered t = Obs.Metrics.incr t k_delivered
+let tick_raw_probe t = Obs.Metrics.incr t k_raw
+let tick_distinct_probe t = Obs.Metrics.incr t k_distinct
+
+let rounds t = Obs.Metrics.peek t k_rounds
+let messages_sent t = Obs.Metrics.peek t k_sent
+let messages_delivered t = Obs.Metrics.peek t k_delivered
+let raw_probes t = Obs.Metrics.peek t k_raw
+let distinct_probes t = Obs.Metrics.peek t k_distinct
+
+let snapshot = Obs.Metrics.snapshot
 
 let delivery_rate t =
-  if t.messages_sent = 0 then nan
-  else float_of_int t.messages_delivered /. float_of_int t.messages_sent
+  let sent = messages_sent t in
+  if sent = 0 then nan else float_of_int (messages_delivered t) /. float_of_int sent
 
 let pp ppf t =
-  Format.fprintf ppf "rounds=%d sent=%d delivered=%d probes=%d (%d raw)" t.rounds
-    t.messages_sent t.messages_delivered t.distinct_probes t.raw_probes
+  Format.fprintf ppf "rounds=%d sent=%d delivered=%d probes=%d (%d raw)"
+    (rounds t) (messages_sent t) (messages_delivered t) (distinct_probes t)
+    (raw_probes t)

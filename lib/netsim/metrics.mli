@@ -1,14 +1,47 @@
-(** Global cost accounting of a simulation run. *)
+(** Global cost accounting of a simulation run.
 
-type t = {
-  mutable rounds : int;  (** Rounds executed so far. *)
-  mutable messages_sent : int;  (** All [send] calls. *)
-  mutable messages_delivered : int;  (** Sends whose link was open. *)
-  mutable raw_probes : int;  (** All [probe] calls. *)
-  mutable distinct_probes : int;  (** Distinct edges probed. *)
-}
+    Since the observability layer landed this is a thin view over an
+    {!Obs.Metrics} registry: every count lives in a counter named
+    [netsim.rounds], [netsim.messages_sent], [netsim.messages_delivered],
+    [netsim.raw_probes] or [netsim.distinct_probes], and {!snapshot}
+    exposes them in the same mergeable form the trial engine uses —
+    [faultroute simulate --metrics-out] writes them alongside
+    everything else. The accessors below are live reads of the
+    underlying counters. *)
+
+type t
 
 val create : unit -> t
+
+(** {2 Engine-side increments} *)
+
+val tick_round : t -> unit
+val tick_sent : t -> unit
+val tick_delivered : t -> unit
+val tick_raw_probe : t -> unit
+val tick_distinct_probe : t -> unit
+
+(** {2 Views} *)
+
+val rounds : t -> int
+(** Rounds executed so far. *)
+
+val messages_sent : t -> int
+(** All [send] calls. *)
+
+val messages_delivered : t -> int
+(** Sends whose link was open (or drained through a capacity-limited
+    link). *)
+
+val raw_probes : t -> int
+(** All [probe] calls. *)
+
+val distinct_probes : t -> int
+(** Distinct edges probed. *)
+
+val snapshot : t -> Obs.Metrics.snapshot
+(** The underlying counters as a pure mergeable snapshot (the
+    [netsim.*] namespace). *)
 
 val delivery_rate : t -> float
 (** [messages_delivered / messages_sent]; [nan] when nothing was sent. *)

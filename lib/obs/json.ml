@@ -1,0 +1,244 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Emitter.                                                            *)
+
+let escape buffer s =
+  Buffer.add_char buffer '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | '\r' -> Buffer.add_string buffer "\\r"
+      | '\t' -> Buffer.add_string buffer "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.add_char buffer '"'
+
+let rec emit buffer = function
+  | Null -> Buffer.add_string buffer "null"
+  | Bool b -> Buffer.add_string buffer (if b then "true" else "false")
+  | Int i -> Buffer.add_string buffer (string_of_int i)
+  | Float f ->
+      (* %.17g round-trips every double; strip needless width by trying
+         shorter forms first. *)
+      let s =
+        let short = Printf.sprintf "%.12g" f in
+        if float_of_string short = f then short else Printf.sprintf "%.17g" f
+      in
+      Buffer.add_string buffer
+        (if Float.is_integer f && Float.is_finite f && Float.abs f < 1e15 then
+           Printf.sprintf "%.1f" f
+         else s)
+  | String s -> escape buffer s
+  | List xs ->
+      Buffer.add_char buffer '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string buffer ", ";
+          emit buffer x)
+        xs;
+      Buffer.add_char buffer ']'
+  | Obj fields ->
+      Buffer.add_char buffer '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buffer ", ";
+          escape buffer k;
+          Buffer.add_string buffer ": ";
+          emit buffer v)
+        fields;
+      Buffer.add_char buffer '}'
+
+let to_string t =
+  let buffer = Buffer.create 128 in
+  emit buffer t;
+  Buffer.contents buffer
+
+(* ------------------------------------------------------------------ *)
+(* Parser: recursive descent over a string with an index cursor.       *)
+
+exception Parse_error of string
+
+let of_string input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let fail message = raise (Parse_error message) in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && match input.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C at offset %d" c !pos)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub input !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail (Printf.sprintf "bad literal at offset %d" !pos)
+  in
+  let parse_string () =
+    expect '"';
+    let buffer = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string"
+      else
+        let c = input.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents buffer
+        | '\\' -> (
+            if !pos >= n then fail "unterminated escape";
+            let e = input.[!pos] in
+            advance ();
+            match e with
+            | '"' | '\\' | '/' ->
+                Buffer.add_char buffer e;
+                loop ()
+            | 'n' ->
+                Buffer.add_char buffer '\n';
+                loop ()
+            | 't' ->
+                Buffer.add_char buffer '\t';
+                loop ()
+            | 'r' ->
+                Buffer.add_char buffer '\r';
+                loop ()
+            | 'b' ->
+                Buffer.add_char buffer '\b';
+                loop ()
+            | 'f' ->
+                Buffer.add_char buffer '\012';
+                loop ()
+            | 'u' ->
+                if !pos + 4 > n then fail "short \\u escape";
+                let code = int_of_string ("0x" ^ String.sub input !pos 4) in
+                pos := !pos + 4;
+                (* ASCII only in our own emitter; replace others. *)
+                if code < 0x80 then Buffer.add_char buffer (Char.chr code)
+                else Buffer.add_char buffer '?';
+                loop ()
+            | _ -> fail "bad escape")
+        | c ->
+            Buffer.add_char buffer c;
+            loop ()
+    in
+    loop ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char input.[!pos] do
+      advance ()
+    done;
+    let s = String.sub input start (!pos - start) in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> fail (Printf.sprintf "bad number %S" s)
+    else
+      match int_of_string_opt s with
+      | Some i -> Int i
+      | None -> fail (Printf.sprintf "bad number %S" s)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec fields_loop () =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let value = parse_value () in
+            fields := (key, value) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                fields_loop ()
+            | Some '}' -> advance ()
+            | _ -> fail (Printf.sprintf "expected ',' or '}' at offset %d" !pos)
+          in
+          fields_loop ();
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [] in
+          let rec items_loop () =
+            let value = parse_value () in
+            items := value :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items_loop ()
+            | Some ']' -> advance ()
+            | _ -> fail (Printf.sprintf "expected ',' or ']' at offset %d" !pos)
+          in
+          items_loop ();
+          List (List.rev !items)
+        end
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+  in
+  match
+    let value = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail (Printf.sprintf "trailing garbage at offset %d" !pos);
+    value
+  with
+  | value -> Ok value
+  | exception Parse_error message -> Error message
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+let to_str = function String s -> Some s | _ -> None

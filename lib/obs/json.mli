@@ -1,0 +1,33 @@
+(** A minimal JSON value type with an emitter and a parser.
+
+    Just enough machinery for the [trace/v1] and [metrics/v1] wire
+    formats: objects, arrays, strings, booleans, null, and numbers
+    (integers kept exact as [Int]). No external dependency — the repo
+    policy is hand-rolled JSON, see [bench/main.ml]'s
+    [bench_percolation/v1] emitter. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering (no trailing newline). Object fields
+    are emitted in the order given — emitters sort them where byte
+    determinism matters. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value; trailing whitespace allowed, anything else
+    after the value is an error. Numbers without [.], [e] or [E] parse
+    as [Int]. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on missing field or non-object. *)
+
+val to_int : t -> int option
+val to_bool : t -> bool option
+val to_str : t -> string option

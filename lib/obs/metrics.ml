@@ -1,0 +1,228 @@
+(* Histograms bucket by bit length: value [v >= 0] lands in bucket
+   [bits v], i.e. 0 -> 0, 1 -> 1, 2..3 -> 2, 4..7 -> 3, ... so bucket
+   [i >= 1] covers [2^(i-1), 2^i). Negative values clamp to bucket 0
+   (none of our instruments produce them). 64 buckets cover every
+   OCaml int. *)
+
+let bucket_count = 64
+
+let bucket_of v =
+  if v <= 0 then 0
+  else
+    let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+    bits 0 v
+
+let bucket_lower_bound i = if i <= 1 then i else 1 lsl (i - 1)
+
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+  buckets : int array;
+}
+
+type cell = Counter of int ref | Hist of hist
+
+type t = (string, cell) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let add t name n =
+  match Hashtbl.find_opt t name with
+  | Some (Counter r) -> r := !r + n
+  | Some (Hist _) -> invalid_arg ("Metrics.add: " ^ name ^ " is a histogram")
+  | None -> Hashtbl.replace t name (Counter (ref n))
+
+let incr t name = add t name 1
+
+let peek t name =
+  match Hashtbl.find_opt t name with
+  | Some (Counter r) -> !r
+  | Some (Hist _) -> invalid_arg ("Metrics.peek: " ^ name ^ " is a histogram")
+  | None -> 0
+
+let observe t name v =
+  match Hashtbl.find_opt t name with
+  | Some (Hist h) ->
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum + v;
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v;
+      let b = h.buckets in
+      b.(bucket_of v) <- b.(bucket_of v) + 1
+  | Some (Counter _) -> invalid_arg ("Metrics.observe: " ^ name ^ " is a counter")
+  | None ->
+      let h =
+        { h_count = 1; h_sum = v; h_min = v; h_max = v; buckets = Array.make bucket_count 0 }
+      in
+      h.buckets.(bucket_of v) <- 1;
+      Hashtbl.replace t name (Hist h)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots: immutable, name-sorted association lists. Small enough
+   (dozens of names) that list merges beat fancier structures.         *)
+
+type hist_snapshot = {
+  s_count : int;
+  s_sum : int;
+  s_min : int;
+  s_max : int;
+  s_buckets : int array;
+}
+
+type value = V_counter of int | V_hist of hist_snapshot
+
+type snapshot = (string * value) list
+
+let empty : snapshot = []
+let is_empty s = s = []
+
+let snapshot (t : t) : snapshot =
+  Hashtbl.fold
+    (fun name cell acc ->
+      let value =
+        match cell with
+        | Counter r -> V_counter !r
+        | Hist h ->
+            V_hist
+              {
+                s_count = h.h_count;
+                s_sum = h.h_sum;
+                s_min = h.h_min;
+                s_max = h.h_max;
+                s_buckets = Array.copy h.buckets;
+              }
+      in
+      (name, value) :: acc)
+    t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let merge_value name a b =
+  match (a, b) with
+  | V_counter x, V_counter y -> V_counter (x + y)
+  | V_hist x, V_hist y ->
+      V_hist
+        {
+          s_count = x.s_count + y.s_count;
+          s_sum = x.s_sum + y.s_sum;
+          s_min = Stdlib.min x.s_min y.s_min;
+          s_max = Stdlib.max x.s_max y.s_max;
+          s_buckets = Array.init bucket_count (fun i -> x.s_buckets.(i) + y.s_buckets.(i));
+        }
+  | V_counter _, V_hist _ | V_hist _, V_counter _ ->
+      invalid_arg ("Metrics.merge: " ^ name ^ " is a counter in one snapshot, a histogram in the other")
+
+let rec merge (a : snapshot) (b : snapshot) : snapshot =
+  match (a, b) with
+  | [], s | s, [] -> s
+  | (ka, va) :: resta, (kb, vb) :: restb ->
+      let c = String.compare ka kb in
+      if c < 0 then (ka, va) :: merge resta b
+      else if c > 0 then (kb, vb) :: merge a restb
+      else (ka, merge_value ka va vb) :: merge resta restb
+
+let counter s name =
+  match List.assoc_opt name s with Some (V_counter v) -> v | _ -> 0
+
+let counters s =
+  List.filter_map
+    (function name, V_counter v -> Some (name, v) | _, V_hist _ -> None)
+    s
+
+let histogram_count s name =
+  match List.assoc_opt name s with Some (V_hist h) -> h.s_count | _ -> 0
+
+let histogram_sum s name =
+  match List.assoc_opt name s with Some (V_hist h) -> h.s_sum | _ -> 0
+
+let to_json (s : snapshot) =
+  let counters =
+    List.filter_map
+      (function name, V_counter v -> Some (name, Json.Int v) | _ -> None)
+      s
+  in
+  let histograms =
+    List.filter_map
+      (function
+        | _, V_counter _ -> None
+        | name, V_hist h ->
+            let buckets =
+              List.filter_map
+                (fun i ->
+                  if h.s_buckets.(i) = 0 then None
+                  else
+                    Some
+                      (Json.List
+                         [ Json.Int (bucket_lower_bound i); Json.Int h.s_buckets.(i) ]))
+                (List.init bucket_count Fun.id)
+            in
+            Some
+              ( name,
+                Json.Obj
+                  [
+                    ("count", Json.Int h.s_count);
+                    ("sum", Json.Int h.s_sum);
+                    ("min", Json.Int h.s_min);
+                    ("max", Json.Int h.s_max);
+                    ("buckets", Json.List buckets);
+                  ] ))
+      s
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("schema", Json.String "metrics/v1");
+         ("counters", Json.Obj counters);
+         ("histograms", Json.Obj histograms);
+       ])
+  ^ "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Enable switch and the ambient (domain-local) registry.              *)
+
+let enabled = Atomic.make false
+
+let[@inline] on () = Atomic.get enabled
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
+
+let ambient : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let with_ambient t f =
+  let previous = Domain.DLS.get ambient in
+  Domain.DLS.set ambient (Some t);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient previous) f
+
+let tick name =
+  match Domain.DLS.get ambient with Some t -> incr t name | None -> ()
+
+let tick_n name n =
+  match Domain.DLS.get ambient with Some t -> add t name n | None -> ()
+
+let record name v =
+  match Domain.DLS.get ambient with Some t -> observe t name v | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Process-global accumulator.                                         *)
+
+let global_lock = Mutex.create ()
+let global : snapshot ref = ref empty
+
+let absorb s =
+  if s <> empty then begin
+    Mutex.lock global_lock;
+    global := merge !global s;
+    Mutex.unlock global_lock
+  end
+
+let global_snapshot () =
+  Mutex.lock global_lock;
+  let s = !global in
+  Mutex.unlock global_lock;
+  s
+
+let reset_global () =
+  Mutex.lock global_lock;
+  global := empty;
+  Mutex.unlock global_lock

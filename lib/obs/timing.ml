@@ -1,0 +1,86 @@
+let enabled = Atomic.make false
+
+let[@inline] on () = Atomic.get enabled
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
+
+(* Each domain accumulates into its own table; tables register
+   themselves in a global list on first use so [report] can fold them.
+   Entries are only written by their owning domain — [report] reads
+   them racily, which is fine for a profiling summary. *)
+
+type cell = { mutable count : int; mutable total_s : float }
+
+type table = (string, cell) Hashtbl.t
+
+let tables_lock = Mutex.create ()
+let tables : table list ref = ref []
+
+let domain_table : table Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let t : table = Hashtbl.create 16 in
+      Mutex.lock tables_lock;
+      tables := t :: !tables;
+      Mutex.unlock tables_lock;
+      t)
+
+let add name seconds =
+  if on () then begin
+    let table = Domain.DLS.get domain_table in
+    match Hashtbl.find_opt table name with
+    | Some cell ->
+        cell.count <- cell.count + 1;
+        cell.total_s <- cell.total_s +. seconds
+    | None -> Hashtbl.replace table name { count = 1; total_s = seconds }
+  end
+
+let span name f =
+  if not (on ()) then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Fun.protect ~finally:(fun () -> add name (Unix.gettimeofday () -. t0)) f
+  end
+
+type entry = { name : string; count : int; total_s : float }
+
+let report () =
+  Mutex.lock tables_lock;
+  let snapshot = !tables in
+  Mutex.unlock tables_lock;
+  let merged : (string, cell) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (table : table) ->
+      Hashtbl.iter
+        (fun name (cell : cell) ->
+          match Hashtbl.find_opt merged name with
+          | Some m ->
+              m.count <- m.count + cell.count;
+              m.total_s <- m.total_s +. cell.total_s
+          | None -> Hashtbl.replace merged name { count = cell.count; total_s = cell.total_s })
+        table)
+    snapshot;
+  Hashtbl.fold
+    (fun name (cell : cell) acc ->
+      { name; count = cell.count; total_s = cell.total_s } :: acc)
+    merged []
+  |> List.sort (fun a b ->
+         match Float.compare b.total_s a.total_s with
+         | 0 -> String.compare a.name b.name
+         | c -> c)
+
+let reset () =
+  Mutex.lock tables_lock;
+  List.iter Hashtbl.reset !tables;
+  Mutex.unlock tables_lock
+
+let pp_report ppf entries =
+  let width =
+    List.fold_left (fun acc e -> Stdlib.max acc (String.length e.name)) 10 entries
+  in
+  Format.fprintf ppf "%-*s %10s %12s %12s@." width "span" "calls" "total ms" "mean us";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%-*s %10d %12.2f %12.2f@." width e.name e.count
+        (e.total_s *. 1e3)
+        (if e.count = 0 then 0.0 else e.total_s /. float_of_int e.count *. 1e6))
+    entries

@@ -1,0 +1,37 @@
+(** Profiling spans — the non-deterministic half of the observability
+    layer, kept strictly at the reporting layer.
+
+    Wall-clock measurements can never be byte-reproducible, so they
+    live apart from {!Metrics}: spans accumulate into per-domain
+    tables (no cross-domain contention on the hot path) and
+    {!report} folds them together on demand. Enabling timing changes
+    {e no} computed result — only how long things take to compute
+    (two clock reads per span).
+
+    When disabled (the default) {!span} is the guarded thunk call and
+    nothing else. *)
+
+val on : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f], attributing its wall time to [name] when
+    timing is enabled. Exception-safe; nested spans both count their
+    own wall time (attribution is by name, not a stack). *)
+
+val add : string -> float -> unit
+(** Credit [seconds] to [name] directly (for call sites that already
+    hold their own timestamps, like the bench harness). No-op when
+    disabled. *)
+
+type entry = { name : string; count : int; total_s : float }
+
+val report : unit -> entry list
+(** All spans recorded since the last {!reset}, summed across domains,
+    sorted by descending total time. *)
+
+val reset : unit -> unit
+
+val pp_report : Format.formatter -> entry list -> unit
+(** Aligned table: name, call count, total, mean. *)

@@ -122,7 +122,16 @@ let set_predecessor t v u =
 
 let probe_known t u v =
   match (World.graph t.world).Topology.Graph.edge_id u v with
-  | id -> probed_find_opt t id
+  | id -> (
+      match probed_find_opt t id with
+      | Some state as known ->
+          (* A free memo hit: visible in traces as a [fresh = false]
+             probe event, but neither counter moves. *)
+          if Obs.Trace.on () then
+            Obs.Trace.emit (Obs.Trace.Probe { u; v; open_ = state; fresh = false });
+          if Obs.Metrics.on () then Obs.Metrics.tick "oracle.probe.known";
+          known
+      | None -> None)
   | exception Topology.Graph.Not_an_edge _ -> None
 
 let extend_reached t u v state =
@@ -145,18 +154,47 @@ let probe t u v =
       (* A previously probed open edge may become usable for extension
          later, once one endpoint is reached by another route. *)
       extend_reached t u v state;
+      if Obs.Trace.on () then
+        Obs.Trace.emit (Obs.Trace.Probe { u; v; open_ = state; fresh = false });
+      if Obs.Metrics.on () then Obs.Metrics.tick "oracle.probe.memo";
       state
   | None ->
       (match t.budget with
       | Some b when t.distinct >= b ->
           t.raw <- t.raw - 1;
+          if Obs.Trace.on () then
+            Obs.Trace.emit (Obs.Trace.Budget_hit { probes = t.distinct });
+          if Obs.Metrics.on () then Obs.Metrics.tick "oracle.budget_hits";
           raise Budget_exhausted
       | Some _ | None -> ());
-      let state = World.is_open t.world u v in
+      let state =
+        if Obs.Timing.on () then
+          Obs.Timing.span "oracle.world_query" (fun () -> World.is_open t.world u v)
+        else World.is_open t.world u v
+      in
       probed_add t id state;
       t.distinct <- t.distinct + 1;
       extend_reached t u v state;
+      if Obs.Trace.on () then
+        Obs.Trace.emit (Obs.Trace.Probe { u; v; open_ = state; fresh = true });
+      if Obs.Metrics.on () then Obs.Metrics.tick "oracle.probe.fresh";
       state
+
+(* Popcount over the probed bitset; 8-bit table kept tiny and obvious. *)
+let byte_popcount =
+  lazy
+    (Array.init 256 (fun b ->
+         let rec bits acc b = if b = 0 then acc else bits (acc + (b land 1)) (b lsr 1) in
+         bits 0 b))
+
+let recount_distinct t =
+  match t.store with
+  | Table { probed; _ } -> Hashtbl.length probed
+  | Flat f ->
+      let table = Lazy.force byte_popcount in
+      let count = ref 0 in
+      Bytes.iter (fun c -> count := !count + table.(Char.code c)) f.probed;
+      !count
 
 let predecessor_of t v =
   match t.store with

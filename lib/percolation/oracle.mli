@@ -52,13 +52,32 @@ val probe : t -> int -> int -> bool
     probed before. *)
 
 val probe_known : t -> int -> int -> bool option
-(** The cached result of a previous probe of this edge, if any. Free. *)
+(** The cached result of a previous probe of this edge, if any. Free:
+    neither {!distinct_probes} nor {!raw_probes} moves. When tracing is
+    enabled a hit appears in the trace as a [Probe] event with
+    [fresh = false] — exactly like a repeated [probe] — so a trace's
+    [fresh = true] events are in bijection with counted probes, while
+    its [fresh = false] events over-approximate [raw_probes - distinct_probes]
+    (they include these free hits). *)
 
 val distinct_probes : t -> int
-(** Number of distinct edges probed so far — the routing complexity. *)
+(** Number of distinct edges probed so far — the routing complexity
+    (paper Definition 2). In a [trace/v1] stream this equals the number
+    of [Probe] events with [fresh = true]
+    ({!Obs.Trace.distinct_probes_of_events}); the [trace] CLI
+    subcommand re-derives it from there as an independent audit. *)
 
 val raw_probes : t -> int
-(** Total [probe] calls including repeats. *)
+(** Total [probe] calls including repeats; {!probe_known} calls are
+    {e not} included. Always [>= distinct_probes]. Not derivable from a
+    trace — see {!probe_known}. *)
+
+val recount_distinct : t -> int
+(** Recount distinct probed edges directly from the probe-memory store
+    (Hashtbl size over lazy worlds, bitset popcount over cached ones)
+    rather than from the incremental counter. Always equals
+    {!distinct_probes}; exported so tests and the replay tooling can
+    assert the two accountings cannot drift apart. O(store size). *)
 
 val budget_remaining : t -> int option
 (** [None] if unlimited. *)

@@ -98,12 +98,38 @@ let bfs ?limit world start ~stop ~visit =
   if World.cached world then bfs_arena ?limit world start ~stop ~visit
   else bfs_table ?limit world start ~stop ~visit
 
+(* Observability shims: when tracing/metrics are on, the per-vertex
+   [visit] hook additionally emits [Reveal_step] events and counts
+   discoveries; when both are off the original closure is passed
+   unchanged and the BFS engines see zero extra work. Timing wraps the
+   whole exploration — reveal BFS is one of the three wall-time sinks
+   the profiling layer attributes. *)
+
+let observed_bfs ?limit world start ~stop ~visit =
+  let traced = Obs.Trace.on () in
+  let metered = Obs.Metrics.on () in
+  let visited = ref 0 in
+  let visit =
+    if traced || metered then (fun x d ->
+      if traced then Obs.Trace.emit (Obs.Trace.Reveal_step { v = x; dist = d });
+      incr visited;
+      visit x d)
+    else visit
+  in
+  let run () = bfs ?limit world start ~stop ~visit in
+  let result = if Obs.Timing.on () then Obs.Timing.span "reveal.bfs" run else run () in
+  if metered then begin
+    Obs.Metrics.tick "reveal.bfs_runs";
+    Obs.Metrics.tick_n "reveal.visited" !visited
+  end;
+  result
+
 let connected ?limit world u v =
   Topology.Graph.check_vertex (World.graph world) u;
   Topology.Graph.check_vertex (World.graph world) v;
   if u = v then Connected 0
   else
-    match bfs ?limit world u ~stop:(fun x -> x = v) ~visit:(fun _ _ -> ()) with
+    match observed_bfs ?limit world u ~stop:(fun x -> x = v) ~visit:(fun _ _ -> ()) with
     | `Stopped d -> Connected d
     | `Truncated -> Unknown
     | `Exhausted_full -> Disconnected
@@ -112,7 +138,8 @@ let cluster_of ?limit world v =
   Topology.Graph.check_vertex (World.graph world) v;
   let members = ref [] in
   match
-    bfs ?limit world v ~stop:(fun _ -> false) ~visit:(fun x _ -> members := x :: !members)
+    observed_bfs ?limit world v ~stop:(fun _ -> false)
+      ~visit:(fun x _ -> members := x :: !members)
   with
   | `Stopped _ -> assert false
   | `Truncated -> (!members, true)

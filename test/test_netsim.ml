@@ -32,7 +32,7 @@ let test_engine_round_counting () =
   Netsim.Engine.run_round engine;
   Netsim.Engine.run_round engine;
   Alcotest.(check int) "round 2" 2 (Netsim.Engine.round engine);
-  Alcotest.(check int) "metrics rounds" 2 (Netsim.Engine.metrics engine).Netsim.Metrics.rounds
+  Alcotest.(check int) "metrics rounds" 2 (Netsim.Metrics.rounds (Netsim.Engine.metrics engine))
 
 let test_engine_distinct_probe_accounting () =
   let engine = Netsim.Engine.create (world (cube 3)) probing_protocol in
@@ -41,8 +41,8 @@ let test_engine_distinct_probe_accounting () =
   let metrics = Netsim.Engine.metrics engine in
   (* 8 nodes probe their first link twice: raw 16; each undirected edge
      along bit 0 is probed from both sides but counted once: 4 distinct. *)
-  Alcotest.(check int) "raw" 16 metrics.Netsim.Metrics.raw_probes;
-  Alcotest.(check int) "distinct" 4 metrics.Netsim.Metrics.distinct_probes
+  Alcotest.(check int) "raw" 16 (Netsim.Metrics.raw_probes metrics);
+  Alcotest.(check int) "distinct" 4 (Netsim.Metrics.distinct_probes metrics)
 
 let test_engine_injection_and_delivery () =
   let engine = Netsim.Engine.create (world (cube 3)) probing_protocol in
@@ -61,8 +61,8 @@ let test_engine_message_loss_on_closed_links () =
   | `Stopped _ | `Out_of_rounds -> Alcotest.fail "expected quiescence");
   Alcotest.(check int) "only source informed" 1 (Netsim.Flood.informed_count engine);
   let metrics = Netsim.Engine.metrics engine in
-  Alcotest.(check int) "sent" 4 metrics.Netsim.Metrics.messages_sent;
-  Alcotest.(check int) "none delivered" 0 metrics.Netsim.Metrics.messages_delivered
+  Alcotest.(check int) "sent" 4 (Netsim.Metrics.messages_sent metrics);
+  Alcotest.(check int) "none delivered" 0 (Netsim.Metrics.messages_delivered metrics)
 
 let test_engine_determinism () =
   let run () =
@@ -71,7 +71,7 @@ let test_engine_determinism () =
     for _ = 1 to 30 do
       Netsim.Engine.run_round engine
     done;
-    (Netsim.Gossip.informed_count engine, (Netsim.Engine.metrics engine).Netsim.Metrics.messages_sent)
+    (Netsim.Gossip.informed_count engine, (Netsim.Metrics.messages_sent (Netsim.Engine.metrics engine)))
   in
   Alcotest.(check (pair int int)) "replayable" (run ()) (run ())
 
@@ -135,7 +135,7 @@ let test_flood_message_cost () =
   | `Quiescent _ -> ()
   | _ -> Alcotest.fail "expected quiescence");
   Alcotest.(check int) "messages = V * degree" ((1 lsl n) * n)
-    (Netsim.Engine.metrics engine).Netsim.Metrics.messages_sent
+    (Netsim.Metrics.messages_sent (Netsim.Engine.metrics engine))
 
 (* ------------------------------------------------------------------ *)
 (* Gossip                                                              *)
@@ -229,7 +229,7 @@ let test_greedy_probe_cost_bounded () =
   Netsim.Greedy_forward.start engine ~source:0;
   ignore (Netsim.Engine.run engine ~until:(fun e -> Netsim.Greedy_forward.arrived e ~target <> None));
   (* One probe per hop on the fault-free cube. *)
-  Alcotest.(check int) "probes" n (Netsim.Engine.metrics engine).Netsim.Metrics.distinct_probes
+  Alcotest.(check int) "probes" n (Netsim.Metrics.distinct_probes (Netsim.Engine.metrics engine))
 
 (* ------------------------------------------------------------------ *)
 (* Random walk                                                         *)

@@ -1,0 +1,400 @@
+(* Tests for the observability layer: metrics merge algebra, trace
+   capture/replay, the determinism contract (tracing on, jobs 1 vs N,
+   byte-identical), and the instrumentation invariants the oracle
+   documents (fresh probe events <-> counted probes). *)
+
+let jstr key json = Option.bind (Obs.Json.member key json) Obs.Json.to_str
+let jint key json = Option.bind (Obs.Json.member key json) Obs.Json.to_int
+
+let with_tracing sink f =
+  Obs.Trace.enable ~sink;
+  Fun.protect ~finally:Obs.Trace.disable f
+
+let with_metrics f =
+  Obs.Metrics.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.disable ();
+      Obs.Metrics.reset_global ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+
+let test_metrics_basics () =
+  let r = Obs.Metrics.create () in
+  Obs.Metrics.incr r "a";
+  Obs.Metrics.incr r "a";
+  Obs.Metrics.add r "b" 40;
+  Obs.Metrics.observe r "h" 3;
+  Obs.Metrics.observe r "h" 5;
+  Alcotest.(check int) "peek" 2 (Obs.Metrics.peek r "a");
+  Alcotest.(check int) "peek absent" 0 (Obs.Metrics.peek r "zzz");
+  let s = Obs.Metrics.snapshot r in
+  Alcotest.(check int) "counter" 2 (Obs.Metrics.counter s "a");
+  Alcotest.(check int) "counter b" 40 (Obs.Metrics.counter s "b");
+  Alcotest.(check (list (pair string int)))
+    "counters sorted" [ ("a", 2); ("b", 40) ] (Obs.Metrics.counters s);
+  Alcotest.(check int) "hist count" 2 (Obs.Metrics.histogram_count s "h");
+  Alcotest.(check int) "hist sum" 8 (Obs.Metrics.histogram_sum s "h")
+
+let test_metrics_merge_commutes () =
+  let build pairs values =
+    let r = Obs.Metrics.create () in
+    List.iter (fun (k, n) -> Obs.Metrics.add r k n) pairs;
+    List.iter (fun v -> Obs.Metrics.observe r "probes" v) values;
+    Obs.Metrics.snapshot r
+  in
+  let a = build [ ("x", 1); ("y", 2) ] [ 1; 100; 7 ] in
+  let b = build [ ("y", 5); ("z", 3) ] [ 2; 64 ] in
+  let ab = Obs.Metrics.merge a b and ba = Obs.Metrics.merge b a in
+  Alcotest.(check string)
+    "merge order invisible in bytes" (Obs.Metrics.to_json ab)
+    (Obs.Metrics.to_json ba);
+  Alcotest.(check int) "summed counter" 7 (Obs.Metrics.counter ab "y");
+  Alcotest.(check int) "hist count" 5 (Obs.Metrics.histogram_count ab "probes");
+  Alcotest.(check string)
+    "empty is identity" (Obs.Metrics.to_json a)
+    (Obs.Metrics.to_json (Obs.Metrics.merge a Obs.Metrics.empty))
+
+let test_metrics_json_schema () =
+  let r = Obs.Metrics.create () in
+  Obs.Metrics.incr r "n";
+  Obs.Metrics.observe r "h" 9;
+  let doc = Obs.Metrics.to_json (Obs.Metrics.snapshot r) in
+  Alcotest.(check bool) "ends in newline" true (String.length doc > 0 && doc.[String.length doc - 1] = '\n');
+  match Obs.Json.of_string (String.trim doc) with
+  | Error e -> Alcotest.failf "metrics json does not parse: %s" e
+  | Ok json ->
+      Alcotest.(check (option string))
+        "schema tag" (Some "metrics/v1") (jstr "schema" json);
+      Alcotest.(check (option int))
+        "counter round-trips" (Some 1)
+        (Option.bind (Obs.Json.member "counters" json) (jint "n"))
+
+(* ------------------------------------------------------------------ *)
+(* Trace rings                                                         *)
+
+let test_ring_drop () =
+  with_tracing ignore @@ fun () ->
+  Obs.Trace.set_ring_capacity 8;
+  Fun.protect
+    ~finally:(fun () -> Obs.Trace.set_ring_capacity Obs.Trace.default_ring_capacity)
+    (fun () ->
+      let (), record =
+        Obs.Trace.capture ~index:3 (fun () ->
+            for k = 1 to 20 do
+              Obs.Trace.emit
+                (Obs.Trace.Probe { u = k; v = k + 1; open_ = true; fresh = true })
+            done)
+      in
+      Alcotest.(check int) "index" 3 (Obs.Trace.record_index record);
+      Alcotest.(check int) "dropped" 12 (Obs.Trace.record_dropped record);
+      Alcotest.(check int)
+        "kept newest" 8
+        (List.length (Obs.Trace.record_events record));
+      let lines = Obs.Trace.record_lines record in
+      Alcotest.(check bool)
+        "dropped line present" true
+        (List.exists
+           (fun l ->
+             match Obs.Json.of_string (String.trim l) with
+             | Ok j -> jstr "ev" j = Some "dropped"
+             | Error _ -> false)
+           lines))
+
+(* ------------------------------------------------------------------ *)
+(* Trial tracing: jobs-invariance and replay                           *)
+
+let cube = Topology.Hypercube.graph 5
+
+let bfs_spec ?budget ~p () =
+  Experiments.Trial.spec ?budget ~graph:cube ~p ~source:0 ~target:31
+    (fun _rand ~source:_ ~target:_ -> Routing.Local_bfs.router)
+
+let bidi_spec ~p () =
+  Experiments.Trial.spec ~graph:cube ~p ~source:0 ~target:31
+    (fun _rand ~source:_ ~target:_ -> Routing.Bidirectional.router)
+
+let randomized_spec ~p () =
+  Experiments.Trial.spec ~graph:cube ~p ~source:0 ~target:31
+    (fun rand ~source:_ ~target:_ -> Routing.Local_bfs.router_randomized rand)
+
+let traced_run ?(jobs = 1) ~seed ~trials spec =
+  let buffer = Buffer.create 4096 in
+  let result =
+    with_tracing (Buffer.add_string buffer) @@ fun () ->
+    Experiments.Trial.run_par ~jobs (Prng.Stream.create seed) ~trials spec
+  in
+  (result, Buffer.contents buffer)
+
+let test_trace_jobs_invariant () =
+  List.iter
+    (fun (name, spec) ->
+      let _, reference = traced_run ~jobs:1 ~seed:77L ~trials:8 spec in
+      Alcotest.(check bool) "trace non-empty" true (reference <> "");
+      List.iter
+        (fun jobs ->
+          let _, trace = traced_run ~jobs ~seed:77L ~trials:8 spec in
+          Alcotest.(check string)
+            (Printf.sprintf "%s: jobs=%d trace = jobs=1" name jobs)
+            reference trace)
+        [ 2; 4 ])
+    [
+      ("local-bfs", bfs_spec ~p:0.6 ());
+      ("bidirectional", bidi_spec ~p:0.6 ());
+      ("randomized", randomized_spec ~p:0.6 ());
+      ("budgeted", bfs_spec ~budget:5 ~p:0.7 ());
+    ]
+
+let lines_of trace =
+  String.split_on_char '\n' trace |> List.filter (fun l -> String.trim l <> "")
+
+let test_trace_replay_rederives () =
+  (* Local and Unrestricted policies through the full trial engine: the
+     replayed fresh-probe counts must match every accept line, and the
+     number of accepted attempts must match the result's observation
+     count. *)
+  List.iter
+    (fun (name, spec) ->
+      let result, trace = traced_run ~jobs:3 ~seed:99L ~trials:10 spec in
+      match Obs.Trace.Replay.parse (lines_of trace) with
+      | Error e -> Alcotest.failf "%s: parse failed: %s" name e
+      | Ok runs ->
+          let v = Obs.Trace.Replay.check runs in
+          Alcotest.(check bool) (name ^ ": replay ok") true (Obs.Trace.Replay.ok v);
+          Alcotest.(check int) (name ^ ": runs") 1 v.Obs.Trace.Replay.runs;
+          Alcotest.(check int)
+            (name ^ ": accepted = observations")
+            (Stats.Censored.count result.Experiments.Trial.observations)
+            v.Obs.Trace.Replay.accepted;
+          Alcotest.(check int)
+            (name ^ ": every accepted attempt checked")
+            v.Obs.Trace.Replay.accepted v.Obs.Trace.Replay.checked)
+    [
+      ("local", bfs_spec ~p:0.6 ());
+      ("unrestricted", bidi_spec ~p:0.6 ());
+      ("censored", bfs_spec ~budget:4 ~p:0.7 ());
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Oracle invariants, on cached and lazy worlds                        *)
+
+let edges_of graph =
+  let out = ref [] in
+  Topology.Graph.iter_edges graph (fun u v -> out := (u, v) :: !out);
+  List.rev !out
+
+let test_oracle_fresh_bijection () =
+  (* A probe sweep with repeats and probe_known hits: the number of
+     fresh=true Probe events must equal distinct_probes (and
+     recount_distinct), on both world representations. *)
+  List.iter
+    (fun cache ->
+      with_tracing ignore @@ fun () ->
+      let world =
+        Percolation.World.create ~cache cube ~p:0.5 ~seed:0xACEDL
+      in
+      let edges = edges_of cube in
+      let oracle = ref None in
+      let (), record =
+        Obs.Trace.capture ~index:1 (fun () ->
+            let o =
+              Percolation.Oracle.create
+                ~policy:Percolation.Oracle.Unrestricted world ~source:0
+            in
+            oracle := Some o;
+            List.iter (fun (u, v) -> ignore (Percolation.Oracle.probe o u v)) edges;
+            (* Re-probes and free queries: traced fresh=false, uncounted. *)
+            List.iter (fun (u, v) -> ignore (Percolation.Oracle.probe o u v)) edges;
+            List.iter
+              (fun (u, v) -> ignore (Percolation.Oracle.probe_known o u v))
+              edges)
+      in
+      let o = Option.get !oracle in
+      let events = Obs.Trace.record_events record in
+      let fresh = Obs.Trace.distinct_probes_of_events events in
+      let label s = Printf.sprintf "cache=%b: %s" cache s in
+      Alcotest.(check int)
+        (label "fresh events = distinct_probes")
+        (Percolation.Oracle.distinct_probes o)
+        fresh;
+      Alcotest.(check int)
+        (label "recount agrees")
+        (Percolation.Oracle.distinct_probes o)
+        (Percolation.Oracle.recount_distinct o);
+      let stale =
+        List.length
+          (List.filter
+             (function
+               | Obs.Trace.Probe { fresh = false; _ } -> true | _ -> false)
+             events)
+      in
+      (* One memo re-probe plus one probe_known hit per edge. *)
+      Alcotest.(check int) (label "stale events") (2 * List.length edges) stale)
+    [ true; false ]
+
+let test_probe_known_uncounted () =
+  with_tracing ignore @@ fun () ->
+  let world = Percolation.World.create cube ~p:1.0 ~seed:7L in
+  let (), record =
+    Obs.Trace.capture ~index:1 (fun () ->
+        let o = Percolation.Oracle.create world ~source:0 in
+        Alcotest.(check bool) "probe open" true (Percolation.Oracle.probe o 0 1);
+        Alcotest.(check (option bool))
+          "known after probe" (Some true)
+          (Percolation.Oracle.probe_known o 0 1);
+        Alcotest.(check (option bool))
+          "unprobed edge unknown" None
+          (Percolation.Oracle.probe_known o 0 2);
+        Alcotest.(check int) "one distinct" 1 (Percolation.Oracle.distinct_probes o);
+        Alcotest.(check int) "one raw" 1 (Percolation.Oracle.raw_probes o))
+  in
+  let events = Obs.Trace.record_events record in
+  Alcotest.(check int) "one fresh event" 1 (Obs.Trace.distinct_probes_of_events events);
+  let probe_events =
+    List.filter (function Obs.Trace.Probe _ -> true | _ -> false) events
+  in
+  (* probe (fresh) + probe_known hit (stale); the miss emits nothing. *)
+  Alcotest.(check int) "two probe events" 2 (List.length probe_events)
+
+(* ------------------------------------------------------------------ *)
+(* Trial metrics                                                       *)
+
+let test_trial_metrics () =
+  with_metrics @@ fun () ->
+  let run jobs =
+    Experiments.Trial.run_par ~jobs
+      (Prng.Stream.create 55L)
+      ~trials:8 (bfs_spec ~p:0.6 ())
+  in
+  let reference = run 1 in
+  let snap = reference.Experiments.Trial.metrics in
+  Alcotest.(check int)
+    "accepts = observations"
+    (Stats.Censored.count reference.Experiments.Trial.observations)
+    (Obs.Metrics.counter snap "trial.accepts");
+  Alcotest.(check bool)
+    "attempts counted" true
+    (Obs.Metrics.counter snap "trial.attempts" >= 8);
+  Alcotest.(check int)
+    "probe histogram has one entry per accept"
+    (Obs.Metrics.counter snap "trial.accepts")
+    (Obs.Metrics.histogram_count snap "trial.probes");
+  Alcotest.(check bool)
+    "oracle counters flowed" true
+    (Obs.Metrics.counter snap "oracle.probe.fresh" > 0);
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "metrics bytes jobs=%d" jobs)
+        (Obs.Metrics.to_json snap)
+        (Obs.Metrics.to_json (run jobs).Experiments.Trial.metrics))
+    [ 2; 4 ]
+
+let test_metrics_off_empty () =
+  let result =
+    Experiments.Trial.run_par ~jobs:2
+      (Prng.Stream.create 55L)
+      ~trials:4 (bfs_spec ~p:0.6 ())
+  in
+  Alcotest.(check bool)
+    "disabled run carries no metrics" true
+    (Obs.Metrics.is_empty result.Experiments.Trial.metrics)
+
+(* ------------------------------------------------------------------ *)
+(* Catalog-level trace buffering                                       *)
+
+let test_catalog_trace_jobs_invariant () =
+  let run jobs =
+    let buffer = Buffer.create (1 lsl 16) in
+    let _ =
+      with_tracing (Buffer.add_string buffer) @@ fun () ->
+      Experiments.Catalog.run_all ~quick:true ~jobs ~seed:0x5EEDL ()
+    in
+    Buffer.contents buffer
+  in
+  let reference = run 1 in
+  Alcotest.(check bool) "catalog trace non-empty" true (reference <> "");
+  Alcotest.(check string) "catalog trace jobs=4 = jobs=1" reference (run 4);
+  match Obs.Trace.Replay.parse (lines_of reference) with
+  | Error e -> Alcotest.failf "catalog trace parse failed: %s" e
+  | Ok runs ->
+      let v = Obs.Trace.Replay.check runs in
+      Alcotest.(check bool) "catalog replay ok" true (Obs.Trace.Replay.ok v);
+      Alcotest.(check bool) "many runs" true (v.Obs.Trace.Replay.runs > 10)
+
+(* ------------------------------------------------------------------ *)
+(* Shortfall marker and timing                                         *)
+
+let test_shortfall_marker () =
+  let result =
+    Experiments.Trial.run
+      (Prng.Stream.create 13L)
+      ~trials:3 ~max_attempts:8 (bfs_spec ~p:0.0 ())
+  in
+  Alcotest.(check bool) "shortfall positive" true (Experiments.Trial.shortfall result > 0);
+  match Experiments.Trial.shortfall_note ~label:"t" result with
+  | None -> Alcotest.fail "expected a shortfall note"
+  | Some note ->
+      let report tables_notes =
+        Experiments.Report.make ~id:"T" ~title:"t" ~claim:"c" ~seed:1L
+          ~notes:tables_notes []
+      in
+      Alcotest.(check bool)
+        "note detected" true
+        (Experiments.Report.has_shortfall (report [ "fine"; note ]));
+      Alcotest.(check bool)
+        "clean report clean" false
+        (Experiments.Report.has_shortfall (report [ "all good" ]))
+
+let test_timing_spans () =
+  Obs.Timing.reset ();
+  Obs.Timing.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Timing.disable ();
+      Obs.Timing.reset ())
+    (fun () ->
+      let v = Obs.Timing.span "unit.work" (fun () -> 41 + 1) in
+      Alcotest.(check int) "span returns" 42 v;
+      ignore (Obs.Timing.span "unit.work" (fun () -> ()));
+      match
+        List.find_opt
+          (fun e -> e.Obs.Timing.name = "unit.work")
+          (Obs.Timing.report ())
+      with
+      | None -> Alcotest.fail "span not recorded"
+      | Some e ->
+          Alcotest.(check int) "count" 2 e.Obs.Timing.count;
+          Alcotest.(check bool) "time non-negative" true (e.Obs.Timing.total_s >= 0.0))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "basics" `Quick test_metrics_basics;
+          Alcotest.test_case "merge commutes" `Quick test_metrics_merge_commutes;
+          Alcotest.test_case "json schema" `Quick test_metrics_json_schema;
+          Alcotest.test_case "trial metrics" `Quick test_trial_metrics;
+          Alcotest.test_case "off = empty" `Quick test_metrics_off_empty;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring drop" `Quick test_ring_drop;
+          Alcotest.test_case "jobs invariant" `Quick test_trace_jobs_invariant;
+          Alcotest.test_case "replay re-derives" `Quick test_trace_replay_rederives;
+          Alcotest.test_case "catalog buffering" `Slow test_catalog_trace_jobs_invariant;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "fresh bijection" `Quick test_oracle_fresh_bijection;
+          Alcotest.test_case "probe_known uncounted" `Quick test_probe_known_uncounted;
+        ] );
+      ( "misc",
+        [
+          Alcotest.test_case "shortfall marker" `Quick test_shortfall_marker;
+          Alcotest.test_case "timing spans" `Quick test_timing_spans;
+        ] );
+    ]
