@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke smoke ci clean
+.PHONY: all build test bench bench-smoke smoke check-claims update-baseline update-baseline-full ci clean
 
 all: build
 
@@ -16,23 +16,44 @@ bench:
 # a traced quick experiment must produce valid trace/v1 + metrics/v1
 # documents whose probe accounting replays exactly, and an
 # instrumented run must leave the disabled-path cost unchanged.
+# Everything lands under artifacts/ (gitignored), not the repo root.
 bench-smoke:
-	dune exec bench/main.exe -- --percolation-only --quick --out BENCH_percolation.json
-	grep -q '"schema": "bench_percolation/v1"' BENCH_percolation.json
-	grep -q '"speedup"' BENCH_percolation.json
-	dune exec bin/faultroute.exe -- exp E1 --quick --trace SMOKE_trace.jsonl --metrics-out SMOKE_metrics.json > /dev/null
-	head -1 SMOKE_trace.jsonl | grep -q '"schema": "trace/v1"'
-	grep -q '"schema": "metrics/v1"' SMOKE_metrics.json
-	grep -q '"trial.accepts"' SMOKE_metrics.json
-	dune exec bin/faultroute.exe -- trace SMOKE_trace.jsonl
+	mkdir -p artifacts
+	dune exec bench/main.exe -- --percolation-only --quick --out artifacts/SMOKE_bench.json --history artifacts/SMOKE_history.jsonl
+	grep -q '"schema": "bench_percolation/v2"' artifacts/SMOKE_bench.json
+	grep -q '"speedup"' artifacts/SMOKE_bench.json
+	grep -q '"commit"' artifacts/SMOKE_bench.json
+	grep -q '"timestamp"' artifacts/SMOKE_bench.json
+	dune exec bin/faultroute.exe -- exp E1 --quick --strict-shortfall --trace artifacts/SMOKE_trace.jsonl --metrics-out artifacts/SMOKE_metrics.json > /dev/null
+	head -1 artifacts/SMOKE_trace.jsonl | grep -q '"schema": "trace/v1"'
+	grep -q '"schema": "metrics/v1"' artifacts/SMOKE_metrics.json
+	grep -q '"trial.accepts"' artifacts/SMOKE_metrics.json
+	dune exec bin/faultroute.exe -- trace artifacts/SMOKE_trace.jsonl
 	dune exec bench/main.exe -- --obs-guard
 
 # The quick catalog on two domains — exercises the parallel engine end
-# to end; output must match a --jobs 1 run byte for byte.
+# to end; output must match a --jobs 1 run byte for byte, and any
+# under-sampled report fails the run (exit 3).
 smoke:
-	dune exec bin/faultroute.exe -- all --quick --jobs 2 > /dev/null
+	dune exec bin/faultroute.exe -- all --quick --jobs 2 --strict-shortfall > /dev/null
 
-ci: build test smoke
+# EXPERIMENTS.md's verdict column, machine-checked: run the quick
+# catalog, evaluate every experiment's claims and compare the observed
+# values against the committed baseline. Exit 2 = a claim band is
+# violated; exit 4 = values drifted while the bands still hold.
+check-claims:
+	dune exec bin/faultroute.exe -- check --quick
+
+# Rewrite the committed baselines from a fresh run (after an intended
+# change to measured values). The full variant takes minutes.
+update-baseline:
+	dune exec bin/faultroute.exe -- check --quick --update
+
+update-baseline-full:
+	dune exec bin/faultroute.exe -- check --update
+
+ci: build test smoke check-claims
 
 clean:
 	dune clean
+	rm -rf artifacts

@@ -429,6 +429,23 @@ let compare_paths ~reps kernel =
   let cached_s = time_median ~reps (fun () -> kernel ~cache:true ()) in
   { lazy_ns = lazy_s *. 1e9; cached_ns = cached_s *. 1e9 }
 
+(* Provenance for bench snapshots: where and when the numbers came
+   from. Best-effort — a missing git (tarball build) yields null. *)
+let git_commit () =
+  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+  | ic ->
+      let line = try Some (String.trim (input_line ic)) with End_of_file -> None in
+      (match Unix.close_process_in ic with
+      | Unix.WEXITED 0 -> (match line with Some "" -> None | l -> l)
+      | _ -> None)
+  | exception Unix.Unix_error _ -> None
+
+let iso8601_utc () =
+  let tm = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
 let perc_json ~mode ~worlds results =
   let buffer = Buffer.create 2048 in
   let timing_fields t =
@@ -436,7 +453,14 @@ let perc_json ~mode ~worlds results =
       t.lazy_ns t.cached_ns (perc_speedup t)
   in
   Buffer.add_string buffer "{\n";
-  Buffer.add_string buffer "  \"schema\": \"bench_percolation/v1\",\n";
+  Buffer.add_string buffer "  \"schema\": \"bench_percolation/v2\",\n";
+  Buffer.add_string buffer
+    (Printf.sprintf "  \"commit\": %s,\n"
+       (match git_commit () with
+       | Some c -> Printf.sprintf "%S" c
+       | None -> "null"));
+  Buffer.add_string buffer
+    (Printf.sprintf "  \"timestamp\": %S,\n" (iso8601_utc ()));
   Buffer.add_string buffer (Printf.sprintf "  \"mode\": \"%s\",\n" mode);
   Buffer.add_string buffer (Printf.sprintf "  \"worlds_per_kernel\": %d,\n" worlds);
   Buffer.add_string buffer "  \"topologies\": [\n";
@@ -493,6 +517,59 @@ let report_percolation ~quick ~out =
   output_string channel json;
   close_out channel;
   Printf.printf "wrote %s\n\n" out
+
+(* Append the snapshot at [out] to a JSONL history file, flagging
+   cached-path timings more than 15% slower than the trailing snapshot
+   of the same mode. Timing noise makes this advisory: flags print, the
+   exit code stays 0. *)
+let append_history ~out ~history =
+  let contents = In_channel.with_open_text out In_channel.input_all in
+  match Result.bind (Obs.Json.of_string contents) Obs.Bench_history.of_json with
+  | Error message -> Printf.eprintf "bench history: %s is unusable: %s\n" out message
+  | Ok current ->
+      let past =
+        if Sys.file_exists history then
+          let lines =
+            String.split_on_char '\n'
+              (In_channel.with_open_text history In_channel.input_all)
+          in
+          match Obs.Bench_history.parse_lines lines with
+          | Ok snapshots -> snapshots
+          | Error message ->
+              Printf.eprintf
+                "bench history: ignoring unreadable %s (%s)\n" history message;
+              []
+        else []
+      in
+      (match Obs.Bench_history.trailing_baseline ~mode:current.mode past with
+      | None ->
+          Printf.printf "bench history: no prior %s-mode snapshot to compare\n"
+            current.Obs.Bench_history.mode
+      | Some baseline ->
+          let slow = Obs.Bench_history.regressions ~baseline current in
+          if slow = [] then
+            Printf.printf
+              "bench history: no >15%% cached-path slowdowns vs %s\n"
+              (Option.value baseline.Obs.Bench_history.commit ~default:"(uncommitted)")
+          else
+            List.iter
+              (fun r ->
+                Printf.printf
+                  "BENCH SLOWDOWN %s: %.2fx (%.0f ns -> %.0f ns vs %s)\n"
+                  r.Obs.Bench_history.key r.Obs.Bench_history.ratio
+                  r.Obs.Bench_history.baseline_ns r.Obs.Bench_history.current_ns
+                  (Option.value baseline.Obs.Bench_history.commit
+                     ~default:"(uncommitted)"))
+              slow);
+      let oc =
+        open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 history
+      in
+      (match Obs.Json.of_string contents with
+      | Ok json -> output_string oc (Obs.Json.to_string json ^ "\n")
+      | Error _ -> ());
+      close_out oc;
+      Printf.printf "appended snapshot to %s (%d entries)\n" history
+        (List.length past + 1)
 
 (* ------------------------------------------------------------------ *)
 (* Parallel engine: wall-clock of the full quick catalog at jobs = 1
@@ -616,8 +693,11 @@ let () =
   let quick_flag = Array.exists (fun a -> a = "--quick") Sys.argv in
   let perc_only = Array.exists (fun a -> a = "--percolation-only") Sys.argv in
   let out = arg_value "--out" "BENCH_percolation.json" in
+  let history = arg_value "--history" "" in
+  let maybe_history () = if history <> "" then append_history ~out ~history in
   if perc_only then begin
     report_percolation ~quick:quick_flag ~out;
+    maybe_history ();
     exit 0
   end;
   if not skip_micro then begin
@@ -626,7 +706,10 @@ let () =
     print_newline ()
   end;
   if not skip_micro then report_parallel_speedup ();
-  if not skip_micro then report_percolation ~quick:(not full) ~out;
+  if not skip_micro then begin
+    report_percolation ~quick:(not full) ~out;
+    maybe_history ()
+  end;
   Printf.printf "== experiment tables (%s mode) ==\n\n" (if full then "full" else "quick");
   let reports = Experiments.Catalog.run_all ~quick:(not full) ~seed:0x5EEDL () in
   List.iter

@@ -4,6 +4,7 @@
      list                      enumerate experiments, topologies, routers
      exp <id> [--quick]        run one experiment, print its report
      all [--quick]             run every experiment
+     check [--quick]           evaluate machine-checked claims vs a baseline
      route <topology> ...      one routing attempt with a chosen router
      census <topology> ...     component census of one percolated world
      threshold <topology> ...  bisect a critical probability
@@ -124,6 +125,63 @@ let cmd_all quick seed jobs trace metrics_out strict =
       print_newline ())
     reports;
   strict_shortfall_exit ~strict reports
+
+let default_baseline_path ~quick =
+  if quick then "verdicts/baseline.json" else "verdicts/baseline-full.json"
+
+let cmd_check quick seed jobs baseline_path out update strict =
+  Engine_par.Pool.set_default_jobs jobs;
+  let mode = if quick then "quick" else "full" in
+  let path = Option.value baseline_path ~default:(default_baseline_path ~quick) in
+  let reports = Experiments.Catalog.run_all ~quick ~jobs ~seed () in
+  let claims = List.concat_map (fun r -> r.Experiments.Report.claims) reports in
+  let baseline =
+    if update then None
+    else
+      match Verdict.Baseline.load path with
+      | Ok b ->
+          if b.Verdict.Baseline.mode <> mode || b.Verdict.Baseline.seed <> seed
+          then begin
+            Printf.eprintf
+              "check: baseline %s is for (mode %s, seed %Ld), this run is \
+               (mode %s, seed %Ld); ignoring it\n"
+              path b.Verdict.Baseline.mode b.Verdict.Baseline.seed mode seed;
+            None
+          end
+          else Some b
+      | Error message ->
+          Printf.eprintf "check: no usable baseline at %s (%s); evaluating \
+                          claims without drift detection\n"
+            path message;
+          None
+  in
+  let verdict = Verdict.Engine.evaluate ~mode ~seed ?baseline claims in
+  print_string (Verdict.Engine.render verdict);
+  Option.iter
+    (fun out_path ->
+      let oc = open_out out_path in
+      output_string oc (Obs.Json.to_string (Verdict.Engine.to_json verdict));
+      output_char oc '\n';
+      close_out oc)
+    out;
+  let shortfall = strict_shortfall_exit ~strict reports in
+  let code = Verdict.Engine.exit_code verdict in
+  if update then
+    if code = 2 then begin
+      prerr_endline "check: refusing to --update a baseline from failing claims";
+      2
+    end
+    else begin
+      (try Unix.mkdir (Filename.dirname path) 0o755
+       with Unix.Unix_error ((Unix.EEXIST | Unix.ENOENT), _, _) -> ());
+      Verdict.Baseline.save path (Verdict.Engine.baseline verdict);
+      Printf.printf "baseline written: %s (%d claims)\n" path
+        (List.length claims);
+      shortfall
+    end
+  else if code = 2 then 2
+  else if shortfall <> 0 then shortfall
+  else code
 
 let cmd_route topology size p seed source target router_name budget trace metrics_out =
   let stream = Prng.Stream.create seed in
@@ -474,6 +532,35 @@ let all_cmd =
       const cmd_all $ quick_arg $ seed_arg $ jobs_arg $ trace_arg $ metrics_arg
       $ strict_shortfall_arg)
 
+let check_cmd =
+  let baseline_arg =
+    let doc =
+      "Baseline file to compare against (default: verdicts/baseline.json in \
+       --quick mode, verdicts/baseline-full.json otherwise)."
+    in
+    Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"FILE" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the $(b,verdict/v1) JSON report to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let update_arg =
+    let doc =
+      "Rewrite the baseline from this run's observed values instead of \
+       comparing (refused if any claim fails)."
+    in
+    Arg.(value & flag & info [ "update" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run every experiment and evaluate its machine-checked claims: exit 0 \
+          when all claims hold and match the committed baseline, 2 on a failed \
+          claim, 4 on drift (values moved while the claim still holds).")
+    Term.(
+      const cmd_check $ quick_arg $ seed_arg $ jobs_arg $ baseline_arg $ out_arg
+      $ update_arg $ strict_shortfall_arg)
+
 let route_cmd =
   let source_arg =
     Arg.(
@@ -592,6 +679,7 @@ let () =
         list_cmd;
         exp_cmd;
         all_cmd;
+        check_cmd;
         route_cmd;
         census_cmd;
         threshold_cmd;

@@ -1,0 +1,105 @@
+type check =
+  | Band of { value : float; lo : float; hi : float }
+  | Floor of { value : float; min_value : float }
+  | Ceiling of { value : float; max_value : float }
+  | Increasing of float list
+  | Decreasing of float list
+  | Contains of { lo : float; hi : float; target : float }
+
+type t = { id : string; experiment : string; description : string; check : check }
+
+let experiment_of_id id =
+  match String.index_opt id '/' with
+  | Some i -> String.sub id 0 i
+  | None -> id
+
+let make ~id ~description check =
+  { id; experiment = experiment_of_id id; description; check }
+
+let band ~id ~description ~lo ~hi value =
+  make ~id ~description (Band { value; lo; hi })
+
+let floor ~id ~description ~min value =
+  make ~id ~description (Floor { value; min_value = min })
+
+let ceiling ~id ~description ~max value =
+  make ~id ~description (Ceiling { value; max_value = max })
+
+let increasing ~id ~description values = make ~id ~description (Increasing values)
+let decreasing ~id ~description values = make ~id ~description (Decreasing values)
+
+let contains ~id ~description ~lo ~hi target =
+  make ~id ~description (Contains { lo; hi; target })
+
+let finite = Float.is_finite
+
+let rec nondecreasing = function
+  | [] | [ _ ] -> true
+  | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+
+let holds t =
+  match t.check with
+  | Band { value; lo; hi } -> finite value && lo <= value && value <= hi
+  | Floor { value; min_value } -> finite value && value >= min_value
+  | Ceiling { value; max_value } -> finite value && value <= max_value
+  | Increasing values ->
+      values <> [] && List.for_all finite values && nondecreasing values
+  | Decreasing values ->
+      values <> []
+      && List.for_all finite values
+      && nondecreasing (List.rev values)
+  | Contains { lo; hi; target } ->
+      finite lo && finite hi && lo <= target && target <= hi
+
+(* The observed numbers a baseline records; everything [holds] depends on
+   except the (static, code-declared) bounds. *)
+let values t =
+  match t.check with
+  | Band { value; _ } | Floor { value; _ } | Ceiling { value; _ } -> [ value ]
+  | Increasing values | Decreasing values -> values
+  | Contains { lo; hi; _ } -> [ lo; hi ]
+
+let kind_name t =
+  match t.check with
+  | Band _ -> "band"
+  | Floor _ -> "floor"
+  | Ceiling _ -> "ceiling"
+  | Increasing _ -> "increasing"
+  | Decreasing _ -> "decreasing"
+  | Contains _ -> "contains"
+
+let fmt = Printf.sprintf "%.6g"
+let fmt_list values = String.concat " " (List.map fmt values)
+
+let describe_observed t = fmt_list (values t)
+
+let describe_expected t =
+  match t.check with
+  | Band { lo; hi; _ } -> Printf.sprintf "in [%s, %s]" (fmt lo) (fmt hi)
+  | Floor { min_value; _ } -> Printf.sprintf ">= %s" (fmt min_value)
+  | Ceiling { max_value; _ } -> Printf.sprintf "<= %s" (fmt max_value)
+  | Increasing _ -> "nondecreasing"
+  | Decreasing _ -> "nonincreasing"
+  | Contains { target; _ } -> Printf.sprintf "contains %s" (fmt target)
+
+let to_json t =
+  let open Obs.Json in
+  let bounds =
+    match t.check with
+    | Band { lo; hi; _ } -> [ ("lo", Float lo); ("hi", Float hi) ]
+    | Floor { min_value; _ } -> [ ("min", Float min_value) ]
+    | Ceiling { max_value; _ } -> [ ("max", Float max_value) ]
+    | Increasing _ | Decreasing _ -> []
+    | Contains { target; _ } -> [ ("target", Float target) ]
+  in
+  Obj
+    ([
+       ("schema", String "claim/v1");
+       ("id", String t.id);
+       ("experiment", String t.experiment);
+       ("description", String t.description);
+       ("kind", String (kind_name t));
+       ("values", List (List.map (fun v -> Float v) (values t)));
+     ]
+    @ bounds
+    @ [ ("holds", Bool (holds t)) ])

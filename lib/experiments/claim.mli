@@ -1,0 +1,72 @@
+(** Machine-checkable experiment claims ([claim/v1]).
+
+    EXPERIMENTS.md's verdict column, as data: each experiment declares the
+    paper-facing assertions its report supports — a fitted exponent inside
+    a band, an R² floor, a monotone trend, a bootstrap CI containing the
+    predicted exponent — as [t] values computed from the same numbers the
+    report tables print. The verdict engine ([lib/verdict]) evaluates them
+    ([holds] = the paper's claim survives) and compares [values] against a
+    committed baseline to detect drift: a refactor that bends a measured
+    number without breaking the band.
+
+    Bounds are declared in code per experiment (calibrated against the
+    hand-recorded EXPERIMENTS.md full-run values and the quick-mode
+    output); observed values come from the run, so claims are
+    byte-deterministic in (seed, mode) like the reports themselves. *)
+
+type check =
+  | Band of { value : float; lo : float; hi : float }
+      (** [lo <= value <= hi] — exponents, rates, ratios. *)
+  | Floor of { value : float; min_value : float }
+      (** [value >= min_value] — R² floors, success rates. *)
+  | Ceiling of { value : float; max_value : float }
+      (** [value <= max_value] — error bounds, censoring rates. *)
+  | Increasing of float list  (** Nondecreasing sequence. *)
+  | Decreasing of float list  (** Nonincreasing sequence. *)
+  | Contains of { lo : float; hi : float; target : float }
+      (** A computed interval (bootstrap CI) containing a predicted
+          [target]. *)
+
+type t = {
+  id : string;  (** ["E8/exponent"] — experiment id, ['/'], claim slug. *)
+  experiment : string;  (** Prefix of [id] before ['/']. *)
+  description : string;
+  check : check;
+}
+
+val make : id:string -> description:string -> check -> t
+(** [experiment] is derived from [id]'s prefix before the first ['/']. *)
+
+val band : id:string -> description:string -> lo:float -> hi:float -> float -> t
+val floor : id:string -> description:string -> min:float -> float -> t
+val ceiling : id:string -> description:string -> max:float -> float -> t
+val increasing : id:string -> description:string -> float list -> t
+val decreasing : id:string -> description:string -> float list -> t
+
+val contains :
+  id:string -> description:string -> lo:float -> hi:float -> float -> t
+(** [contains ~lo ~hi target]: the computed interval [lo, hi] must contain
+    [target]. *)
+
+val holds : t -> bool
+(** Whether the paper-facing assertion is true of the observed values.
+    Non-finite observations never hold; monotone checks are non-strict and
+    false on the empty list. *)
+
+val values : t -> float list
+(** The observed (run-dependent) numbers, for baseline recording and drift
+    comparison. Bounds and targets are static code, not values. *)
+
+val kind_name : t -> string
+(** ["band"], ["floor"], ["ceiling"], ["increasing"], ["decreasing"],
+    ["contains"]. *)
+
+val describe_observed : t -> string
+(** Observed values, space-separated, [%.6g]. *)
+
+val describe_expected : t -> string
+(** Human rendering of the bound: ["in [1.2, 2.6]"], [">= 0.8"], …. *)
+
+val to_json : t -> Obs.Json.t
+(** [claim/v1] object: schema, id, experiment, description, kind, observed
+    values, declared bounds, and the evaluated [holds] bit. *)

@@ -30,6 +30,8 @@ let run ?(quick = false) stream =
     Routing.Path_follow.hypercube ~n ~source ~target
   in
   let greedy_router _rand ~source:_ ~target:_ = Routing.Greedy.router in
+  (* (alpha, segment censored fraction, P[u~v]) per row, for the claims. *)
+  let cells = ref [] in
   let table, shortfalls =
     List.fold_left
       (fun (table, index, shortfalls) alpha ->
@@ -54,6 +56,18 @@ let run ?(quick = false) stream =
             (Stats.Censored.censored_count result.Trial.observations)
             (Stats.Censored.count result.Trial.observations)
         in
+        let censored_fraction result =
+          let total = Stats.Censored.count result.Trial.observations in
+          if total = 0 then nan
+          else
+            float_of_int (Stats.Censored.censored_count result.Trial.observations)
+            /. float_of_int total
+        in
+        cells :=
+          ( alpha,
+            censored_fraction segment,
+            Stats.Proportion.estimate segment.Trial.connection )
+          :: !cells;
         let row =
           [
             Printf.sprintf "%.2f" alpha;
@@ -106,5 +120,35 @@ let run ?(quick = false) stream =
     ]
     @ shortfalls
   in
-  Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes
+  let claims =
+    match List.rev !cells with
+    | [] -> []
+    | ((_, cens_first, conn_first) :: _ as cells) ->
+        let _, cens_last, conn_last = List.nth cells (List.length cells - 1) in
+        [
+          Claim.ceiling ~id:"E1/subcritical-censoring"
+            ~description:
+              (Printf.sprintf
+                 "segment censored fraction at alpha=%.2f (< 1/2: polynomial \
+                  regime)"
+                 (let a, _, _ = List.hd cells in
+                  a))
+            ~max:0.3 cens_first;
+          Claim.increasing ~id:"E1/censoring-onset"
+            ~description:
+              "segment censoring does not decrease from the smallest to the \
+               largest alpha"
+            [ cens_first; cens_last ];
+          Claim.floor ~id:"E1/subcritical-connectivity"
+            ~description:"P[u~v] at the smallest alpha (well-connected regime)"
+            ~min:0.5 conn_first;
+          Claim.floor ~id:"E1/supercritical-connectivity"
+            ~description:
+              "P[u~v] stays positive at the largest alpha — the transition is \
+               not a connectivity artifact (deep in the hard regime the pair \
+               is rarely, but not never, connected)"
+            ~min:0.05 conn_last;
+        ]
+  in
+  Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes ~claims
     [ (Printf.sprintf "H_%d antipodal routing vs alpha" n, table) ]

@@ -22,6 +22,7 @@ let run ?(quick = false) stream =
          ~headers:[ "alpha"; "n"; "p"; "mean probes"; "median probes"; "P[u~v]" ])
   in
   let notes = ref [] in
+  let claims = ref [] in
   List.iteri
     (fun alpha_index alpha ->
       let points = ref [] in
@@ -62,6 +63,23 @@ let run ?(quick = false) stream =
                 Printf.sprintf "%.2f" (Stats.Proportion.estimate result.Trial.connection);
               ])
         sizes;
+      (* Endpoint growth rate per unit n: defined from two sizes up, so the
+         blow-up claim is checkable in quick mode too. *)
+      (match List.rev !points with
+      | (n0, m0) :: _ :: _ as points ->
+          let n1, m1 = List.nth points (List.length points - 1) in
+          let rate = (m1 /. m0) ** (1.0 /. (n1 -. n0)) in
+          claims :=
+            Claim.band
+              ~id:(Printf.sprintf "E3/rate[%.2f]" alpha)
+              ~description:
+                (Printf.sprintf
+                   "mean-probe growth factor per n step at alpha=%.2f \
+                    (endpoint estimate)"
+                   alpha)
+              ~lo:1.3 ~hi:4.0 rate
+            :: !claims
+      | _ -> ());
       if List.length !points >= 3 then begin
         let points = List.rev !points in
         let expo = Stats.Regression.exponential points in
@@ -73,9 +91,24 @@ let run ?(quick = false) stream =
              size-inflating power-law exponent."
             alpha expo.Stats.Regression.slope expo.Stats.Regression.r_squared
             power.Stats.Regression.slope power.Stats.Regression.r_squared
-          :: !notes
+          :: !notes;
+        claims :=
+          Claim.floor
+            ~id:(Printf.sprintf "E3/exp-fit-r2[%.2f]" alpha)
+            ~description:
+              (Printf.sprintf "exponential fit quality at alpha=%.2f" alpha)
+            ~min:0.9 expo.Stats.Regression.r_squared
+          :: Claim.floor
+               ~id:(Printf.sprintf "E3/power-exponent-inflated[%.2f]" alpha)
+               ~description:
+                 (Printf.sprintf
+                    "a power-law fit at alpha=%.2f needs an implausibly large \
+                     exponent — growth is super-polynomial"
+                    alpha)
+               ~min:3.0 power.Stats.Regression.slope
+          :: !claims
       end)
     alphas;
   Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream)
-    ~notes:(List.rev !notes)
+    ~notes:(List.rev !notes) ~claims:(List.rev !claims)
     [ ("local-BFS complexity vs n in the hard regime", !table) ]

@@ -22,9 +22,19 @@ let run ?(quick = false) stream =
          ~headers:[ "p"; "n (distance)"; "mean probes"; "probes/n"; "P[u~v]"; "D/n" ])
   in
   let notes = ref [] in
+  let claims = ref [] in
+  (* Slope bands around the recorded full-run constants c(p) (EXPERIMENTS.md:
+     58.6 / 29.5 / 10.4 / 2.9) with room for the quick 2-point fits. *)
+  let slope_band p =
+    if p < 0.575 then (10.0, 150.0)
+    else if p < 0.65 then (5.0, 80.0)
+    else if p < 0.8 then (2.0, 40.0)
+    else (0.5, 15.0)
+  in
   List.iteri
     (fun p_index p ->
       let points = ref [] in
+      let last_stretch = ref nan in
       List.iteri
         (fun n_index n ->
           let margin = 10 in
@@ -41,8 +51,10 @@ let run ?(quick = false) stream =
           in
           let mean = Trial.mean_probes_lower_bound result in
           let chem = Stats.Summary.mean result.Trial.chemical_distances in
-          if Stats.Censored.count result.Trial.observations > 0 then
+          if Stats.Censored.count result.Trial.observations > 0 then begin
             points := (float_of_int n, mean) :: !points;
+            last_stretch := chem /. float_of_int n
+          end;
           table :=
             Stats.Table.add_row !table
               [
@@ -61,12 +73,35 @@ let run ?(quick = false) stream =
             "p = %.2f: probes = %.1f * n + %.0f (R^2 = %.3f) — linear in the distance."
             p fit.Stats.Regression.slope fit.Stats.Regression.intercept
             fit.Stats.Regression.r_squared
-          :: !notes
+          :: !notes;
+        let lo, hi = slope_band p in
+        claims :=
+          Claim.ceiling
+            ~id:(Printf.sprintf "E4/stretch[%.2f]" p)
+            ~description:
+              (Printf.sprintf
+                 "chemical stretch D/n at the largest distance, p=%.2f (Lemma \
+                  8: bounded)"
+                 p)
+            ~max:2.5 !last_stretch
+          :: Claim.floor
+               ~id:(Printf.sprintf "E4/fit-r2[%.2f]" p)
+               ~description:(Printf.sprintf "linear fit quality at p=%.2f" p)
+               ~min:0.8 fit.Stats.Regression.r_squared
+          :: Claim.band
+               ~id:(Printf.sprintf "E4/per-hop-constant[%.2f]" p)
+               ~description:
+                 (Printf.sprintf
+                    "fitted per-distance constant c(%.2f) (Thm 4: O(n) with \
+                     p-dependent constant)"
+                    p)
+               ~lo ~hi fit.Stats.Regression.slope
+          :: !claims
       end)
     ps;
   notes :=
     "Pairs sit on a horizontal line 10 cells from the boundary of an (n+20)^2 cube; \
      D/n is the chemical-distance stretch (Lemma 8 says it is bounded)." :: !notes;
   Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream)
-    ~notes:(List.rev !notes)
+    ~notes:(List.rev !notes) ~claims:(List.rev !claims)
     [ ("2-d mesh path-follow router, probes vs distance", !table) ]

@@ -31,6 +31,8 @@ let run ?(quick = false) stream =
          ~headers:[ "p"; "P[u~v] (Wilson 95%)"; "trials"; "mean probes"; "probes/n" ])
   in
   let shortfalls = ref [] in
+  let connectivity = ref [] in
+  let last_probes_per_n = ref nan in
   List.iteri
     (fun p_index p ->
       let substream = Prng.Stream.split stream p_index in
@@ -44,6 +46,8 @@ let run ?(quick = false) stream =
       | None -> ());
       let sample_size = Stats.Censored.count result.Trial.observations in
       let mean = Trial.mean_probes_lower_bound result in
+      connectivity := Stats.Proportion.estimate result.Trial.connection :: !connectivity;
+      if sample_size > 0 then last_probes_per_n := mean /. float_of_int n;
       table :=
         Stats.Table.add_row !table
           [
@@ -65,5 +69,28 @@ let run ?(quick = false) stream =
     ]
     @ List.rev !shortfalls
   in
-  Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes
+  let claims =
+    match List.rev !connectivity with
+    | [] -> []
+    | conn_first :: _ as conn ->
+        let conn_last = List.nth conn (List.length conn - 1) in
+        [
+          Claim.ceiling ~id:"E5/subcritical-connectivity"
+            ~description:
+              (Printf.sprintf "P[u~v] at p=%.2f, below p_c = 1/2" (List.hd ps))
+            ~max:0.3 conn_first;
+          Claim.floor ~id:"E5/supercritical-connectivity"
+            ~description:
+              (Printf.sprintf "P[u~v] at p=%.2f, above p_c"
+                 (List.nth ps (List.length ps - 1)))
+            ~min:0.4 conn_last;
+          Claim.increasing ~id:"E5/connectivity-monotone"
+            ~description:"P[u~v] does not decrease across the p sweep"
+            [ conn_first; conn_last ];
+          Claim.ceiling ~id:"E5/supercritical-cost"
+            ~description:"probes/n at the largest p (O(n) regime)" ~max:60.0
+            !last_probes_per_n;
+        ]
+  in
+  Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes ~claims
     [ ("connectivity and conditioned complexity across p_c", !table) ]

@@ -56,19 +56,44 @@ let run ?(quick = false) stream =
             Printf.sprintf "%.2f" (Stats.Proportion.estimate local.Trial.connection);
           ])
     depths;
+  let claims = ref [] in
   let notes =
     let base = [ Printf.sprintf "p = %.2f fixed; Theorem 7 predicts local growth rate at least 1/p = %.3f per depth step." p (1.0 /. p) ] in
     let fit_notes =
       if List.length !local_points >= 3 then begin
         let local_fit = Stats.Regression.exponential (List.rev !local_points) in
         let oracle_fit = Stats.Regression.linear (List.rev !oracle_points) in
+        (* Fresh split index 9000: not used by the per-depth trial streams. *)
+        let local_ci =
+          Stats.Regression.exponential_ci
+            (Prng.Stream.split stream 9000)
+            (List.rev !local_points)
+        in
+        claims :=
+          [
+            Claim.floor ~id:"E7/local-rate-certified"
+              ~description:
+                (Printf.sprintf
+                   "fitted local growth per depth step vs Theorem 7's 1/p = \
+                    %.3f"
+                   (1.0 /. p))
+              ~min:(1.0 /. p)
+              (exp local_fit.Stats.Regression.slope);
+            Claim.floor ~id:"E7/local-exp-fit-r2"
+              ~description:"exponential fit quality of the local column"
+              ~min:0.9 local_fit.Stats.Regression.r_squared;
+            Claim.floor ~id:"E7/oracle-linear-fit-r2"
+              ~description:"linear fit quality of the oracle column (Thm 9)"
+              ~min:0.8 oracle_fit.Stats.Regression.r_squared;
+          ];
         [
           Printf.sprintf
             "Local BFS: probes ~ exp(%.3f n) i.e. growth %.3f per step (R^2 = %.3f) — \
-             compare 1/p = %.3f."
+             compare 1/p = %.3f; bootstrap 95%% CI for the log-rate: [%.3f, %.3f]."
             local_fit.Stats.Regression.slope
             (exp local_fit.Stats.Regression.slope)
-            local_fit.Stats.Regression.r_squared (1.0 /. p);
+            local_fit.Stats.Regression.r_squared (1.0 /. p)
+            local_ci.Stats.Regression.lo local_ci.Stats.Regression.hi;
           Printf.sprintf
             "Oracle paired-DFS: probes ~ %.1f n + %.1f (R^2 = %.3f) — linear, as \
              Theorem 9 predicts."
@@ -80,5 +105,31 @@ let run ?(quick = false) stream =
     in
     base @ fit_notes
   in
+  let endpoint_claims =
+    match (List.rev !local_points, List.rev !oracle_points) with
+    | ( ((n0, l0) :: _ :: _ as locals),
+        ((_, o0) :: _ :: _ as oracles) ) ->
+        let n1, l1 = List.nth locals (List.length locals - 1) in
+        let _, o1 = List.nth oracles (List.length oracles - 1) in
+        [
+          Claim.floor ~id:"E7/local-rate"
+            ~description:
+              "endpoint local growth factor per depth step (exponential \
+               regime)"
+            ~min:1.1
+            ((l1 /. l0) ** (1.0 /. (n1 -. n0)));
+          Claim.band ~id:"E7/oracle-slope"
+            ~description:
+              "endpoint oracle probes per depth step (linear regime)" ~lo:0.5
+            ~hi:20.0
+            ((o1 -. o0) /. (n1 -. n0));
+          Claim.increasing ~id:"E7/separation-growing"
+            ~description:
+              "local/oracle mean-probe ratio grows with the depth"
+            [ l0 /. o0; l1 /. o1 ];
+        ]
+    | _ -> []
+  in
   Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes
+    ~claims:(endpoint_claims @ !claims)
     [ ("TT_n root-to-root: local BFS vs paired-DFS oracle", !table) ]

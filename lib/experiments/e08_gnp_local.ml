@@ -45,19 +45,52 @@ let run ?(quick = false) stream =
             Printf.sprintf "%.1f" (Stats.Summary.mean result.Trial.path_lengths);
           ])
     (sizes ~quick);
+  let claims = ref [] in
+  (match List.rev !points with
+  | (n0, m0) :: _ :: _ as pts ->
+      let n1, m1 = List.nth pts (List.length pts - 1) in
+      claims :=
+        [
+          Claim.band ~id:"E8/exponent"
+            ~description:
+              "endpoint power-law exponent of local probes in n (Thm 10 \
+               predicts 2)"
+            ~lo:1.2 ~hi:2.6
+            (log (m1 /. m0) /. log (n1 /. n0));
+        ]
+  | _ -> ());
   let notes =
     let base =
       [ Printf.sprintf "c = %.1f; pairs (0, n-1); %d conditioned trials per size." c trials ]
     in
     if List.length !points >= 3 then begin
-      let fit = Stats.Regression.power_law (List.rev !points) in
+      let points = List.rev !points in
+      let fit = Stats.Regression.power_law points in
+      (* Fresh split index 9000 — the trial loop uses 0..|sizes|-1. *)
+      let ci =
+        Stats.Regression.power_law_ci (Prng.Stream.split stream 9000) points
+      in
+      claims :=
+        !claims
+        @ [
+            Claim.floor ~id:"E8/fit-r2"
+              ~description:"power-law fit quality" ~min:0.9
+              fit.Stats.Regression.r_squared;
+            Claim.contains ~id:"E8/exponent-ci"
+              ~description:
+                "bootstrap 95% CI of the fitted exponent contains Theorem \
+                 10's 2"
+              ~lo:ci.Stats.Regression.lo ~hi:ci.Stats.Regression.hi 2.0;
+          ];
       Printf.sprintf
-        "Fitted exponent %.2f (R^2 = %.3f) — Theorem 10 predicts 2; probes/n^2 \
-         should level off at a constant."
+        "Fitted exponent %.2f (R^2 = %.3f), bootstrap 95%% CI [%.2f, %.2f] — \
+         Theorem 10 predicts 2; probes/n^2 should level off at a constant."
         fit.Stats.Regression.slope fit.Stats.Regression.r_squared
+        ci.Stats.Regression.lo ci.Stats.Regression.hi
       :: base
     end
     else base
   in
   Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes
+    ~claims:!claims
     [ ("local BFS on G(n, c/n)", !table) ]

@@ -57,6 +57,19 @@ let run ?(quick = false) stream =
               (Stats.Proportion.estimate oracle_result.Trial.connection);
           ])
     (E08_gnp_local.sizes ~quick);
+  let claims = ref [] in
+  (match List.rev !ratios with
+  | _ :: _ as ratio_list ->
+      let _, last_ratio = List.nth ratio_list (List.length ratio_list - 1) in
+      claims :=
+        [
+          Claim.floor ~id:"E9/oracle-beats-local"
+            ~description:
+              "local/oracle mean-probe ratio at the largest n (oracle is \
+               cheaper)"
+            ~min:1.0 last_ratio;
+        ]
+  | [] -> ());
   let notes =
     let base =
       [
@@ -67,10 +80,38 @@ let run ?(quick = false) stream =
     if List.length !oracle_points >= 3 then begin
       let oracle_fit = Stats.Regression.power_law (List.rev !oracle_points) in
       let ratio_fit = Stats.Regression.power_law (List.rev !ratios) in
+      (* Fresh split index 9000 — the trial loop uses 0..|sizes|-1. *)
+      let ci =
+        Stats.Regression.power_law_ci
+          (Prng.Stream.split stream 9000)
+          (List.rev !oracle_points)
+      in
+      claims :=
+        !claims
+        @ [
+            Claim.band ~id:"E9/oracle-exponent"
+              ~description:
+                "fitted oracle exponent (Theorem 11 predicts 1.5)" ~lo:1.2
+              ~hi:1.8 oracle_fit.Stats.Regression.slope;
+            Claim.floor ~id:"E9/oracle-fit-r2"
+              ~description:"power-law fit quality of the oracle column"
+              ~min:0.9 oracle_fit.Stats.Regression.r_squared;
+            Claim.contains ~id:"E9/oracle-exponent-ci"
+              ~description:
+                "bootstrap 95% CI of the oracle exponent contains 1.5"
+              ~lo:ci.Stats.Regression.lo ~hi:ci.Stats.Regression.hi 1.5;
+            Claim.floor ~id:"E9/ratio-exponent"
+              ~description:
+                "local/oracle ratio grows with n (Thms 10+11 predict \
+                 exponent 0.5)"
+              ~min:0.2 ratio_fit.Stats.Regression.slope;
+          ];
       [
         Printf.sprintf
-          "Oracle exponent %.2f (R^2 = %.3f) — Theorem 11 predicts 1.5."
-          oracle_fit.Stats.Regression.slope oracle_fit.Stats.Regression.r_squared;
+          "Oracle exponent %.2f (R^2 = %.3f), bootstrap 95%% CI [%.2f, %.2f] — \
+           Theorem 11 predicts 1.5."
+          oracle_fit.Stats.Regression.slope oracle_fit.Stats.Regression.r_squared
+          ci.Stats.Regression.lo ci.Stats.Regression.hi;
         Printf.sprintf
           "local/oracle ratio grows as n^%.2f — Theorems 10+11 predict sqrt(n), \
            exponent 0.5."
@@ -78,7 +119,26 @@ let run ?(quick = false) stream =
       ]
       @ base
     end
-    else base
+    else begin
+      (match List.rev !oracle_points with
+      | (n0, m0) :: _ :: _ as pts ->
+          let n1, m1 = List.nth pts (List.length pts - 1) in
+          claims :=
+            !claims
+            @ [
+                (* Two noisy sizes in quick mode: the endpoint estimate is
+                   only loosely pinned. *)
+                Claim.band ~id:"E9/oracle-exponent"
+                  ~description:
+                    "endpoint oracle exponent (Theorem 11 predicts 1.5; \
+                     2-point quick estimate)"
+                  ~lo:0.8 ~hi:3.0
+                  (log (m1 /. m0) /. log (n1 /. n0));
+              ]
+      | _ -> ());
+      base
+    end
   in
   Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes
+    ~claims:!claims
     [ ("bidirectional oracle router on G(n, c/n)", !table) ]

@@ -22,6 +22,8 @@ let run ?(quick = false) stream =
            [ "d"; "p"; "P[u~v] meas"; "P[u~v] exact"; "mean probes"; "probes/d" ])
   in
   let points = ref [] in
+  let max_deviation = ref 0.0 in
+  let last_probes_per_d = ref nan in
   List.iteri
     (fun index d ->
       let p = 1.0 /. sqrt (float_of_int d) in
@@ -34,6 +36,10 @@ let run ?(quick = false) stream =
                Routing.Local_bfs.router))
       in
       let mean = Trial.mean_probes_lower_bound result in
+      let measured = Stats.Proportion.estimate result.Trial.connection in
+      let exact = Topology.Theta.connection_probability ~d ~p in
+      max_deviation := Float.max !max_deviation (Float.abs (measured -. exact));
+      last_probes_per_d := mean /. float_of_int d;
       points := (float_of_int d, mean) :: !points;
       table :=
         Stats.Table.add_row !table
@@ -46,6 +52,7 @@ let run ?(quick = false) stream =
             Printf.sprintf "%.2f" (mean /. float_of_int d);
           ])
     ds;
+  let fit_claims = ref [] in
   let notes =
     let base =
       [
@@ -65,12 +72,59 @@ let run ?(quick = false) stream =
       ]
     in
     if List.length !points >= 3 then begin
-      let fit = Stats.Regression.power_law (List.rev !points) in
-      Printf.sprintf "Probes grow as d^%.2f (R^2 = %.3f) — linear in d."
+      let points = List.rev !points in
+      let fit = Stats.Regression.power_law points in
+      (* Fresh split index 9000 — the trial loop uses 0..|ds|-1. *)
+      let ci =
+        Stats.Regression.power_law_ci (Prng.Stream.split stream 9000) points
+      in
+      fit_claims :=
+        [
+          Claim.floor ~id:"E10/fit-r2" ~description:"power-law fit quality"
+            ~min:0.9 fit.Stats.Regression.r_squared;
+          Claim.contains ~id:"E10/exponent-ci"
+            ~description:
+              "bootstrap 95% CI of the probe-growth exponent, padded by 0.05 \
+               for finite-size bias, contains 1 (linear in d)"
+            ~lo:(ci.Stats.Regression.lo -. 0.05)
+            ~hi:(ci.Stats.Regression.hi +. 0.05)
+            1.0;
+        ];
+      Printf.sprintf
+        "Probes grow as d^%.2f (R^2 = %.3f), bootstrap 95%% CI [%.2f, %.2f] — \
+         linear in d."
         fit.Stats.Regression.slope fit.Stats.Regression.r_squared
+        ci.Stats.Regression.lo ci.Stats.Regression.hi
       :: base
     end
     else base
   in
-  Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes
+  let claims =
+    let endpoint =
+      match List.rev !points with
+      | (d0, m0) :: _ :: _ as pts ->
+          let d1, m1 = List.nth pts (List.length pts - 1) in
+          [
+            Claim.band ~id:"E10/exponent"
+              ~description:
+                "endpoint probe-growth exponent in d (Lemma 5: linear)"
+              ~lo:0.7 ~hi:1.3
+              (log (m1 /. m0) /. log (d1 /. d0));
+          ]
+      | _ -> []
+    in
+    endpoint
+    @ [
+        Claim.ceiling ~id:"E10/connectivity-agreement"
+          ~description:
+            "max |measured - exact| connection probability over the d sweep"
+          ~max:(if quick then 0.3 else 0.15)
+          !max_deviation;
+        Claim.band ~id:"E10/probes-per-d"
+          ~description:"probes/d at the largest d (the Omega(d) constant)"
+          ~lo:0.3 ~hi:3.0 !last_probes_per_d;
+      ]
+    @ !fit_claims
+  in
+  Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes ~claims
     [ ("local BFS on the theta graph at p = 1/sqrt(d)", !table) ]

@@ -20,6 +20,7 @@ let run ?(quick = false) stream =
          ~headers:
            [ "p*n"; "p"; "mean giant frac"; "mean 2nd frac"; "giant present" ])
   in
+  let row_stats = ref [] in
   List.iteri
     (fun index ratio ->
       let p = ratio /. float_of_int n in
@@ -39,6 +40,11 @@ let run ?(quick = false) stream =
             /. float_of_int census.Percolation.Clusters.vertex_count);
         if Percolation.Clusters.has_giant ~threshold:0.05 census then incr giants
       done;
+      row_stats :=
+        ( Stats.Summary.mean !giant_fracs,
+          Stats.Summary.mean !second_fracs,
+          float_of_int !giants /. float_of_int worlds )
+        :: !row_stats;
       table :=
         Stats.Table.add_row !table
           [
@@ -57,5 +63,34 @@ let run ?(quick = false) stream =
        second component to stay negligible above threshold (uniqueness).";
     ]
   in
-  Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes
+  let claims =
+    match List.rev !row_stats with
+    | [] -> []
+    | (first_giant, _, _) :: _ as rows ->
+        let last_giant, _, last_detect = List.nth rows (List.length rows - 1) in
+        let max_second =
+          List.fold_left (fun acc (_, s, _) -> Float.max acc s) 0.0 rows
+        in
+        [
+          Claim.ceiling ~id:"E11/subcritical-giant"
+            ~description:
+              (Printf.sprintf "mean giant fraction at p*n = %.2f (below 1)"
+                 (List.hd ratios))
+            ~max:0.1 first_giant;
+          Claim.floor ~id:"E11/supercritical-giant"
+            ~description:
+              (Printf.sprintf "mean giant fraction at p*n = %.2f (above 1)"
+                 (List.nth ratios (List.length ratios - 1)))
+            ~min:0.15 last_giant;
+          Claim.floor ~id:"E11/giant-detector"
+            ~description:
+              "fraction of worlds passing the giant test at the largest ratio"
+            ~min:0.9 last_detect;
+          Claim.ceiling ~id:"E11/second-component"
+            ~description:
+              "max mean second-component fraction over the sweep (uniqueness)"
+            ~max:0.1 max_second;
+        ]
+  in
+  Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes ~claims
     [ (Printf.sprintf "component census of H_%d across the AKS threshold" n, !table) ]

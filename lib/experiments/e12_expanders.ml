@@ -35,19 +35,27 @@ let run ?(quick = false) stream =
            [ "family"; "p"; "P[u~v]"; "median probes"; "censored"; "path len" ])
   in
   let shortfalls = ref [] in
+  let claims = ref [] in
+  (* Quick mode sweeps only p = 0.5, where shuffle-exchange connectivity is
+     ~1%: the full-mode cap of 40 attempts/trial starves that cell, so quick
+     runs get a deeper cap (the full-mode stream consumption is unchanged). *)
+  let max_attempts = trials * if quick then 400 else 40 in
   List.iteri
     (fun family_index (name, graph) ->
       let size = graph.Topology.Graph.vertex_count in
       (* An arbitrary far-ish pair; (0, |V|/2) is adjacent in De Bruijn. *)
       let source = 1 and target = size - 2 in
+      let connectivity = ref [] in
       List.iteri
         (fun p_index p ->
           let substream = Prng.Stream.split stream ((family_index * 100) + p_index) in
           let result =
-            Trial.run substream ~trials ~max_attempts:(trials * 40)
+            Trial.run substream ~trials ~max_attempts
               (Trial.spec ~budget ~graph ~p ~source ~target
                  (fun _rand ~source:_ ~target:_ -> Routing.Local_bfs.router))
           in
+          connectivity :=
+            Stats.Proportion.estimate result.Trial.connection :: !connectivity;
           (match
              Trial.shortfall_note
                ~label:(Printf.sprintf "%s p=%.2f" name p)
@@ -74,7 +82,21 @@ let run ?(quick = false) stream =
                 (if Stats.Summary.count result.Trial.path_lengths = 0 then "-"
                  else Printf.sprintf "%.0f" (Stats.Summary.mean result.Trial.path_lengths));
               ])
-        ps)
+        ps;
+      match List.rev !connectivity with
+      | conn_first :: _ as conn ->
+          let conn_last = List.nth conn (List.length conn - 1) in
+          claims :=
+            Claim.increasing
+              ~id:(Printf.sprintf "E12/connectivity-monotone[%s]" name)
+              ~description:
+                (Printf.sprintf
+                   "P[u~v] for %s does not decrease from the smallest to the \
+                    largest p"
+                   name)
+              [ conn_first; conn_last ]
+            :: !claims
+      | [] -> ())
     (families ~quick stream);
   let notes =
     [
@@ -87,4 +109,5 @@ let run ?(quick = false) stream =
     @ List.rev !shortfalls
   in
   Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes
+    ~claims:(List.rev !claims)
     [ ("connectivity and local-BFS cost across p", !table) ]

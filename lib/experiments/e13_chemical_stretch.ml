@@ -22,8 +22,11 @@ let run ?(quick = false) stream =
       (Stats.Table.create
          ~headers:[ "p"; "n"; "mean stretch"; "max stretch"; "connected" ])
   in
+  let claims = ref [] in
+  let per_p_last_stretch = ref [] in
   List.iteri
     (fun p_index p ->
+      let stretch_by_n = ref [] in
       List.iteri
         (fun n_index n ->
           let margin = 10 in
@@ -44,6 +47,8 @@ let run ?(quick = false) stream =
                 stretches := Stats.Summary.add !stretches s
             | None -> ()
           done;
+          if !connected > 0 then
+            stretch_by_n := Stats.Summary.mean !stretches :: !stretch_by_n;
           table :=
             Stats.Table.add_row !table
               [
@@ -55,8 +60,42 @@ let run ?(quick = false) stream =
                  else Printf.sprintf "%.2f" (Stats.Summary.max !stretches));
                 Printf.sprintf "%d/%d" !connected worlds;
               ])
-        distances)
+        distances;
+      match List.rev !stretch_by_n with
+      | s_first :: _ as by_n ->
+          let s_last = List.nth by_n (List.length by_n - 1) in
+          per_p_last_stretch := s_last :: !per_p_last_stretch;
+          claims :=
+            Claim.ceiling
+              ~id:(Printf.sprintf "E13/bounded-in-n[%.2f]" p)
+              ~description:
+                (Printf.sprintf
+                   "mean stretch at the largest distance does not inflate \
+                    over the smallest at p=%.2f"
+                   p)
+              ~max:1.3 (s_last /. s_first)
+            :: Claim.ceiling
+                 ~id:(Printf.sprintf "E13/stretch-ceiling[%.2f]" p)
+                 ~description:
+                   (Printf.sprintf
+                      "mean stretch at the largest distance, p=%.2f (Lemma \
+                       8's rho(p))"
+                      p)
+                 ~max:3.0 s_last
+            :: !claims
+      | [] -> ())
     ps;
+  (match List.rev !per_p_last_stretch with
+  | s_first :: _ :: _ as by_p ->
+      let s_last = List.nth by_p (List.length by_p - 1) in
+      claims :=
+        Claim.decreasing ~id:"E13/rho-falls-with-p"
+          ~description:
+            "mean stretch at the largest distance falls from the smallest to \
+             the largest p (rho(p) -> 1)"
+          [ s_first; s_last ]
+        :: !claims
+  | _ -> ());
   let notes =
     [
       "Stretch = D(x,y)/d(x,y) over connected worlds, d = 2, horizontal pairs. \
@@ -65,4 +104,5 @@ let run ?(quick = false) stream =
     ]
   in
   Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes
+    ~claims:(List.rev !claims)
     [ ("chemical stretch of the 2-d supercritical mesh", !table) ]

@@ -81,5 +81,33 @@ let run ?(quick = false) stream =
     end
     else base
   in
-  Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes
+  let claims =
+    match (List.rev !local_points, List.rev !oracle_points) with
+    | ( ((n0, l0) :: _ :: _ as locals),
+        ((_, o0) :: _ :: _ as oracles) ) ->
+        let n1, l1 = List.nth locals (List.length locals - 1) in
+        let _, o1 = List.nth oracles (List.length oracles - 1) in
+        let local_rate = log (l1 /. l0) /. (n1 -. n0) in
+        let oracle_rate = log (o1 /. o0) /. (n1 -. n0) in
+        [
+          Claim.floor ~id:"E14/local-growth"
+            ~description:
+              "endpoint log growth rate of local probes per n step (hard \
+               regime)"
+            ~min:0.2 local_rate;
+          Claim.floor ~id:"E14/oracle-growth-positive"
+            ~description:
+              "endpoint log growth rate of oracle probes stays positive — \
+               oracle routing is still exponential"
+            ~min:0.1 oracle_rate;
+          Claim.ceiling ~id:"E14/no-sqrt-rescue"
+            ~description:
+              "oracle/local log-rate ratio — the saving is at most \
+               meet-in-the-middle, nothing like G(n,p)'s sqrt(n)"
+            ~max:0.95
+            (oracle_rate /. local_rate);
+        ]
+    | _ -> []
+  in
+  Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes ~claims
     [ ("local vs oracle routing on hard H_{n,p}", !table) ]

@@ -36,6 +36,7 @@ let run ?(quick = false) stream =
          ~headers:
            [ "alpha"; "variant"; "median probes"; "mean probes"; "mean path len" ])
   in
+  let claims = ref [] in
   List.iteri
     (fun alpha_index alpha ->
       let p = float_of_int n ** -.alpha in
@@ -63,11 +64,13 @@ let run ?(quick = false) stream =
       (* Paired worlds: every variant consumes the same trial stream, so
          the k-th conditioned trial of each variant sees the same world. *)
       let world_stream = Prng.Stream.split stream alpha_index in
+      let means = ref [] in
       List.iter
         (fun (name, router) ->
           let result =
             Trial.run world_stream ~trials (Trial.spec ~graph ~p ~source ~target router)
           in
+          means := (name, Trial.mean_probes_lower_bound result) :: !means;
           let median =
             match Trial.median_observation result with
             | Some (Stats.Censored.Exact v) -> Printf.sprintf "%.0f" v
@@ -83,7 +86,35 @@ let run ?(quick = false) stream =
                 Printf.sprintf "%.0f" (Trial.mean_probes_lower_bound result);
                 Printf.sprintf "%.1f" (Stats.Summary.mean result.Trial.path_lengths);
               ])
-        variants)
+        variants;
+      let mean_of name = List.assoc_opt name !means in
+      (match (mean_of "bfs/random-order", mean_of "bfs/topology-order") with
+      | Some rand_mean, Some topo_mean when topo_mean > 0.0 ->
+          claims :=
+            Claim.band
+              ~id:(Printf.sprintf "E15/probe-order[%.2f]" alpha)
+              ~description:
+                (Printf.sprintf
+                   "random-order/topology-order BFS mean-probe ratio at \
+                    alpha=%.2f (no enumeration artefact)"
+                   alpha)
+              ~lo:0.3 ~hi:3.0 (rand_mean /. topo_mean)
+            :: !claims
+      | _ -> ());
+      match (mean_of "segment/ascending", mean_of "segment/descending") with
+      | Some asc_mean, Some desc_mean when desc_mean > 0.0 ->
+          claims :=
+            Claim.band
+              ~id:(Printf.sprintf "E15/backbone[%.2f]" alpha)
+              ~description:
+                (Printf.sprintf
+                   "ascending/descending segment-backbone mean-probe ratio \
+                    at alpha=%.2f (orientation-free, wide tolerance at small \
+                    samples)"
+                   alpha)
+              ~lo:0.1 ~hi:10.0 (asc_mean /. desc_mean)
+            :: !claims
+      | _ -> ())
     alphas;
   let notes =
     [
@@ -98,4 +129,5 @@ let run ?(quick = false) stream =
     ]
   in
   Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes
+    ~claims:(List.rev !claims)
     [ ("probe-order and backbone ablations on H_n", !table) ]

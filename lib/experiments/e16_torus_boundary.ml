@@ -31,6 +31,7 @@ let run ?(quick = false) stream =
          ~headers:
            [ "p"; "mesh probes/n"; "torus probes/n"; "mesh P[u~v]"; "torus P[u~v]" ])
   in
+  let per_p = ref [] in
   List.iteri
     (fun index p ->
       let substream = Prng.Stream.split stream index in
@@ -50,6 +51,12 @@ let run ?(quick = false) stream =
       let per_hop result =
         Trial.mean_probes_lower_bound result /. float_of_int n
       in
+      per_p :=
+        ( per_hop mesh_result,
+          per_hop torus_result,
+          Stats.Proportion.estimate mesh_result.Trial.connection,
+          Stats.Proportion.estimate torus_result.Trial.connection )
+        :: !per_p;
       table :=
         Stats.Table.add_row !table
           [
@@ -72,5 +79,27 @@ let run ?(quick = false) stream =
        from p_c both effects fade and the columns converge.";
     ]
   in
-  Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes
+  let claims =
+    match !per_p with
+    | [] -> []
+    | (mesh_hop, torus_hop, _, _) :: _ ->
+        (* !per_p is reversed: its head is the largest p of the sweep. *)
+        let _, _, mesh_conn_first, torus_conn_first =
+          List.nth !per_p (List.length !per_p - 1)
+        in
+        [
+          Claim.band ~id:"E16/per-hop-convergence"
+            ~description:
+              "torus/mesh per-hop cost ratio at the largest p (boundary \
+               effects fade away from p_c)"
+            ~lo:0.4 ~hi:2.5 (torus_hop /. mesh_hop);
+          Claim.floor ~id:"E16/torus-keeps-worlds"
+            ~description:
+              "torus P[u~v] minus mesh P[u~v] at the smallest p (wraparound \
+               keeps worlds connected; small negative slack for sampling)"
+            ~min:(-0.15)
+            (torus_conn_first -. mesh_conn_first);
+        ]
+  in
+  Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes ~claims
     [ ("path-follow cost per hop, mesh vs torus", !table) ]

@@ -41,6 +41,7 @@ let run ?(quick = false) stream =
              "greedy hops";
            ])
   in
+  let per_q = ref [] in
   List.iteri
     (fun index q ->
       let p = 1.0 -. q in
@@ -106,6 +107,14 @@ let run ?(quick = false) stream =
                 | None -> ())
             | `Quiescent _ | `Out_of_rounds -> ())
       done;
+      per_q :=
+        ( (if !completed = 0 then nan
+           else float_of_int !greedy_successes /. float_of_int !completed),
+          (if Stats.Summary.count !flood_latency = 0 then nan
+           else Stats.Summary.mean !flood_latency),
+          (if Stats.Summary.count !gossip_rounds = 0 then nan
+           else Stats.Summary.mean !gossip_rounds) )
+        :: !per_q;
       let mean_or_dash s =
         if Stats.Summary.count s = 0 then "-"
         else Printf.sprintf "%.1f" (Stats.Summary.mean s)
@@ -134,5 +143,29 @@ let run ?(quick = false) stream =
        its success column collapses as q grows — the paper's Section 1.3 story.";
     ]
   in
-  Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes
+  let claims =
+    match List.rev !per_q with
+    | [] -> []
+    | (greedy_first, _, gossip_first) :: _ as rows ->
+        let greedy_last, flood_last, gossip_last =
+          List.nth rows (List.length rows - 1)
+        in
+        [
+          Claim.decreasing ~id:"E18/greedy-collapse"
+            ~description:
+              "greedy-token success rate does not recover as q grows"
+            [ greedy_first; greedy_last ];
+          Claim.band ~id:"E18/flood-latency"
+            ~description:
+              "flood latency at the largest q stays within 2x the diameter \
+               (latency = percolation distance)"
+            ~lo:(float_of_int n)
+            ~hi:(2.0 *. float_of_int n)
+            flood_last;
+          Claim.increasing ~id:"E18/gossip-slowdown"
+            ~description:"gossip rounds grow (gently) with the failure rate"
+            [ gossip_first; gossip_last ];
+        ]
+  in
+  Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes ~claims
     [ ("distributed lookup under growing failure rates", !table) ]

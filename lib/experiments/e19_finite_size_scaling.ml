@@ -41,6 +41,7 @@ let run ?(quick = false) stream =
   let curve_table =
     ref (Stats.Table.create ~headers:[ "family"; "m"; "p"; "giant fraction" ])
   in
+  let claims = ref [] in
   List.iteri
     (fun case_index (name, d, sizes, ps, literature) ->
       let substream = Prng.Stream.split stream case_index in
@@ -68,6 +69,19 @@ let run ?(quick = false) stream =
         curves;
       let crossings = Percolation.Scaling.crossings curves in
       let estimate = Percolation.Scaling.estimate_threshold curves in
+      (match estimate with
+      | Some e ->
+          claims :=
+            Claim.band
+              ~id:(Printf.sprintf "E19/p-c-d%d" d)
+              ~description:
+                (Printf.sprintf
+                   "finite-size-scaling p_c estimate for %s lands near the \
+                    literature value %.4f"
+                   name literature)
+              ~lo:(0.85 *. literature) ~hi:(1.2 *. literature) e
+            :: !claims
+      | None -> ());
       table :=
         Stats.Table.add_row !table
           [
@@ -89,6 +103,7 @@ let run ?(quick = false) stream =
     ]
   in
   Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes
+    ~claims:(List.rev !claims)
     [
       ("finite-size-scaling estimates", !table);
       ("underlying giant-fraction curves", !curve_table);

@@ -36,6 +36,8 @@ let run ?(quick = false) stream =
              "max D(good pair)";
            ])
   in
+  let min_good = ref infinity in
+  let max_pair_distance = ref 0.0 in
   List.iteri
     (fun alpha_index alpha ->
       List.iteri
@@ -71,6 +73,11 @@ let run ?(quick = false) stream =
               | `Not_good | `Disconnected -> ()
             done
           done;
+          min_good :=
+            Float.min !min_good (float_of_int !good /. float_of_int !sampled);
+          if Stats.Summary.count !distances > 0 then
+            max_pair_distance :=
+              Float.max !max_pair_distance (Stats.Summary.max !distances);
           table :=
             Stats.Table.add_row !table
               [
@@ -98,5 +105,19 @@ let run ?(quick = false) stream =
        needs.";
     ]
   in
-  Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes
+  let claims =
+    [
+      Claim.floor ~id:"E20/good-density"
+        ~description:
+          "minimum good-vertex fraction over all (alpha, n) cells — good \
+           vertices dominate below alpha = 1/2"
+        ~min:0.5 !min_good;
+      Claim.ceiling ~id:"E20/good-pair-distance"
+        ~description:
+          "maximum percolation distance over sampled good pairs at fault-free \
+           distance 3 — bounded uniformly in n, as Theorem 3(ii) needs"
+        ~max:12.0 !max_pair_distance;
+    ]
+  in
+  Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes ~claims
     [ ("good-vertex density and good-pair distances on H_{n,p}", !table) ]

@@ -24,6 +24,8 @@ let run ?(quick = false) stream =
       (Stats.Table.create
          ~headers:[ "r"; "m"; "greedy hops"; "true distance"; "stretch" ])
   in
+  let largest_m = List.fold_left max 0 sides in
+  let at_largest_m = ref [] in
   List.iteri
     (fun r_index r ->
       List.iteri
@@ -56,6 +58,7 @@ let run ?(quick = false) stream =
           done;
           let hops = Stats.Summary.mean !greedy_hops in
           let dist = Stats.Summary.mean !true_distance in
+          if m = largest_m then at_largest_m := (hops, dist) :: !at_largest_m;
           table :=
             Stats.Table.add_row !table
               [
@@ -86,5 +89,34 @@ let run ?(quick = false) stream =
        cross near m ~ 10^2).";
     ]
   in
-  Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes
+  let claims =
+    match List.rev !at_largest_m with
+    | (hops_first, dist_first) :: _ :: _ as rows ->
+        let hops_last, dist_last = List.nth rows (List.length rows - 1) in
+        let distance_claim =
+          Claim.increasing ~id:"E21/distance-grows-with-r"
+            ~description:
+              (Printf.sprintf
+                 "mean true distance at m = %d grows from r = %.1f to r = %.1f \
+                  — undirected long links shrink distances only for small r"
+                 largest_m (List.hd rs)
+                 (List.nth rs (List.length rs - 1)))
+            [ dist_first; dist_last ]
+        in
+        if quick then [ distance_claim ]
+        else
+          [
+            distance_claim;
+            Claim.decreasing ~id:"E21/stretch-falls-with-r"
+              ~description:
+                (Printf.sprintf
+                   "greedy/true stretch at m = %d falls from r = %.1f to r = \
+                    %.1f — greedy cannot aim the long links it cannot see"
+                   largest_m (List.hd rs)
+                   (List.nth rs (List.length rs - 1)))
+              [ hops_first /. dist_first; hops_last /. dist_last ];
+          ]
+    | _ -> []
+  in
+  Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes ~claims
     [ ("greedy routing vs true distances on small-world lattices", !table) ]

@@ -52,6 +52,7 @@ let run ?(quick = false) stream =
         { Percolation.Scaling.size = m; points })
       sizes
   in
+  let site_estimate = Percolation.Scaling.estimate_threshold curves in
   let threshold_table =
     Stats.Table.create ~headers:[ "sizes"; "crossings"; "p_c^site estimate"; "literature" ]
     |> fun t ->
@@ -60,7 +61,7 @@ let run ?(quick = false) stream =
         String.concat "," (List.map string_of_int sizes);
         String.concat ", "
           (List.map (Printf.sprintf "%.3f") (Percolation.Scaling.crossings curves));
-        (match Percolation.Scaling.estimate_threshold curves with
+        (match site_estimate with
         | Some e -> Printf.sprintf "%.3f" e
         | None -> "-");
         "0.5927";
@@ -75,6 +76,7 @@ let run ?(quick = false) stream =
       (Stats.Table.create
          ~headers:[ "site p"; "n (distance)"; "mean probes"; "probes/n"; "P[u~v]" ])
   in
+  let max_probes_per_n = ref 0.0 in
   List.iteri
     (fun p_index site_p ->
       List.iteri
@@ -109,6 +111,9 @@ let run ?(quick = false) stream =
             | Percolation.Reveal.Disconnected | Percolation.Reveal.Unknown -> ()
           done;
           let mean = Stats.Summary.mean !probes in
+          if Stats.Summary.count !probes > 0 then
+            max_probes_per_n :=
+              Float.max !max_probes_per_n (mean /. float_of_int n);
           routing_table :=
             Stats.Table.add_row !routing_table
               [
@@ -136,7 +141,53 @@ let run ?(quick = false) stream =
        type notwithstanding).";
     ]
   in
-  Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes
+  let claims =
+    let estimate_claims =
+      match site_estimate with
+      | Some e ->
+          [
+            Claim.band ~id:"E23/site-threshold"
+              ~description:
+                "finite-size-scaling estimate of the 2-d site threshold \
+                 (literature 0.5927, strictly above the bond 0.5)"
+              ~lo:0.55 ~hi:0.70 e;
+          ]
+      | None -> []
+    in
+    let curve_claims =
+      match
+        List.find_opt
+          (fun c ->
+            c.Percolation.Scaling.size = List.fold_left max 0 sizes)
+          curves
+      with
+      | Some curve when List.length curve.Percolation.Scaling.points >= 2 ->
+          let points = curve.Percolation.Scaling.points in
+          let _, frac_first = List.hd points in
+          let _, frac_last = List.nth points (List.length points - 1) in
+          [
+            Claim.increasing ~id:"E23/giant-grows-with-site-p"
+              ~description:
+                "giant fraction on the largest mesh grows from the smallest \
+                 to the largest site p"
+              [ frac_first; frac_last ];
+          ]
+      | _ -> []
+    in
+    let routing_claims =
+      if !max_probes_per_n > 0.0 then
+        [
+          Claim.ceiling ~id:"E23/routing-cost"
+            ~description:
+              "max probes/n over all (site p, n) routing cells — linear cost \
+               survives node faults above the site threshold"
+            ~max:80.0 !max_probes_per_n;
+        ]
+      else []
+    in
+    estimate_claims @ curve_claims @ routing_claims
+  in
+  Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes ~claims
     [
       ("site-percolation threshold by finite-size scaling", threshold_table);
       ("path-follow routing under node faults", !routing_table);

@@ -32,6 +32,7 @@ let run ?(quick = false) stream =
          ~headers:
            [ "q(fail)"; "capacity"; "delivered"; "mean latency"; "max latency"; "dropped" ])
   in
+  let cells = ref [] in
   List.iteri
     (fun q_index q ->
       List.iteri
@@ -59,6 +60,12 @@ let run ?(quick = false) stream =
               (fun r -> latency := Stats.Summary.add !latency (float_of_int r))
               (Netsim.Butterfly_route.latencies engine)
           done;
+          cells :=
+            ( (q_index, c_index),
+              ( float_of_int !delivered /. float_of_int !total,
+                if Stats.Summary.count !latency = 0 then nan
+                else Stats.Summary.mean !latency ) )
+            :: !cells;
           table :=
             Stats.Table.add_row !table
               [
@@ -89,5 +96,35 @@ let run ?(quick = false) stream =
        constant q.";
     ]
   in
-  Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes
+  let claims =
+    (* Capacity index 0 is the unbounded column; q index 0 is q = 0. *)
+    match
+      ( List.assoc_opt (0, 0) !cells,
+        List.assoc_opt (List.length qs - 1, 0) !cells )
+    with
+    | Some (frac0, lat0), Some (frac_last, _) ->
+        [
+          Claim.band ~id:"E24/fault-free-delivery"
+            ~description:
+              "delivered fraction at q = 0 (unbounded links) — the fault-free \
+               butterfly routes every packet"
+            ~lo:0.999 ~hi:1.0001 frac0;
+          Claim.band ~id:"E24/fault-free-latency"
+            ~description:
+              (Printf.sprintf
+                 "mean latency at q = 0 (unbounded links) sits at the \
+                  bit-fixing pipeline depth ~ n+1 on BF(%d)"
+                 n)
+            ~lo:(float_of_int n)
+            ~hi:(float_of_int n +. 3.0)
+            lat0;
+          Claim.decreasing ~id:"E24/delivery-degrades"
+            ~description:
+              "delivered fraction (unbounded links) does not recover from \
+               q = 0 to the largest q — naive bit-fixing loses packets"
+            [ frac0; frac_last ];
+        ]
+    | _ -> []
+  in
+  Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes ~claims
     [ ("permutation routing on BF(n) under faults and congestion", !table) ]

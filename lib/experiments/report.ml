@@ -4,11 +4,12 @@ type t = {
   claim : string;
   tables : (string * Stats.Table.t) list;
   notes : string list;
+  claims : Claim.t list;
   seed : int64;
 }
 
-let make ~id ~title ~claim ~seed ?(notes = []) tables =
-  { id; title; claim; tables; notes; seed }
+let make ~id ~title ~claim ~seed ?(notes = []) ?(claims = []) tables =
+  { id; title; claim; tables; notes; claims; seed }
 
 (* The marker [Trial.shortfall_note] embeds in the notes it produces;
    [has_shortfall] keys on it so the CLI's [--strict-shortfall] and the
@@ -36,6 +37,17 @@ let render t =
   if t.notes <> [] then begin
     Buffer.add_string buffer "\nNotes:\n";
     List.iter (fun note -> Buffer.add_string buffer (Printf.sprintf "  * %s\n" note)) t.notes
+  end;
+  if t.claims <> [] then begin
+    Buffer.add_string buffer "\nClaims:\n";
+    List.iter
+      (fun c ->
+        Buffer.add_string buffer
+          (Printf.sprintf "  [%s] %s: %s — %s %s\n"
+             (if Claim.holds c then "ok" else "FAIL")
+             c.Claim.id c.Claim.description (Claim.describe_observed c)
+             (Claim.describe_expected c)))
+      t.claims
   end;
   Buffer.contents buffer
 

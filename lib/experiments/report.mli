@@ -11,6 +11,9 @@ type t = {
   claim : string;  (** The theorem/lemma being reproduced. *)
   tables : (string * Stats.Table.t) list;  (** Caption, table. *)
   notes : string list;  (** Fits, verdicts, caveats. *)
+  claims : Claim.t list;
+      (** Machine-checkable assertions ([claim/v1]) backing the verdict
+          column — evaluated by [faultroute check]. *)
   seed : int64;  (** Root seed — reruns reproduce exactly. *)
 }
 
@@ -20,6 +23,7 @@ val make :
   claim:string ->
   seed:int64 ->
   ?notes:string list ->
+  ?claims:Claim.t list ->
   (string * Stats.Table.t) list ->
   t
 

@@ -1,0 +1,106 @@
+type snapshot = {
+  mode : string;
+  commit : string option;
+  timestamp : string option;
+  metrics : (string * float) list;
+}
+
+let schema_v1 = "bench_percolation/v1"
+let schema_v2 = "bench_percolation/v2"
+
+let of_json json =
+  let ( let* ) r f = Result.bind r f in
+  let* schema =
+    match Option.bind (Json.member "schema" json) Json.to_str with
+    | Some s -> Ok s
+    | None -> Error "bench snapshot: missing schema"
+  in
+  let* () =
+    if schema = schema_v1 || schema = schema_v2 then Ok ()
+    else Error (Printf.sprintf "bench snapshot: unknown schema %S" schema)
+  in
+  let* mode =
+    match Option.bind (Json.member "mode" json) Json.to_str with
+    | Some m -> Ok m
+    | None -> Error "bench snapshot: missing mode"
+  in
+  let commit = Option.bind (Json.member "commit" json) Json.to_str in
+  let timestamp = Option.bind (Json.member "timestamp" json) Json.to_str in
+  let* topologies =
+    match Option.bind (Json.member "topologies" json) Json.to_list with
+    | Some l -> Ok l
+    | None -> Error "bench snapshot: missing topologies"
+  in
+  let* metrics =
+    List.fold_left
+      (fun acc entry ->
+        let* acc = acc in
+        match Option.bind (Json.member "name" entry) Json.to_str with
+        | None -> Error "bench snapshot: topology without a name"
+        | Some name ->
+            let kernel_ns kernel field =
+              Option.bind (Json.member kernel entry) (fun k ->
+                  Option.bind (Json.member field k) Json.to_float)
+              |> Option.map (fun ns ->
+                     (Printf.sprintf "%s/%s.%s" name kernel field, ns))
+            in
+            let found =
+              List.filter_map Fun.id
+                [
+                  kernel_ns "reveal_bfs" "cached_ns";
+                  kernel_ns "oracle_probe" "cached_ns";
+                  kernel_ns "trial_run" "ns";
+                ]
+            in
+            if found = [] then
+              Error
+                (Printf.sprintf "bench snapshot: no timings under %S" name)
+            else Ok (List.rev_append found acc))
+      (Ok []) topologies
+  in
+  Ok { mode; commit; timestamp; metrics = List.rev metrics }
+
+let parse_lines lines =
+  let ( let* ) r f = Result.bind r f in
+  List.fold_left
+    (fun acc (i, line) ->
+      let* acc = acc in
+      if String.trim line = "" then Ok acc
+      else
+        let* json =
+          Result.map_error
+            (Printf.sprintf "history line %d: %s" (i + 1))
+            (Json.of_string line)
+        in
+        let* snapshot =
+          Result.map_error
+            (Printf.sprintf "history line %d: %s" (i + 1))
+            (of_json json)
+        in
+        Ok (snapshot :: acc))
+    (Ok [])
+    (List.mapi (fun i l -> (i, l)) lines)
+  |> Result.map List.rev
+
+let trailing_baseline ~mode history =
+  List.fold_left
+    (fun acc snapshot -> if snapshot.mode = mode then Some snapshot else acc)
+    None history
+
+type regression = {
+  key : string;
+  baseline_ns : float;
+  current_ns : float;
+  ratio : float;
+}
+
+let regressions ?(threshold = 0.15) ~baseline current =
+  List.filter_map
+    (fun (key, current_ns) ->
+      match List.assoc_opt key baseline.metrics with
+      | Some baseline_ns
+        when baseline_ns > 0.0
+             && current_ns > baseline_ns *. (1.0 +. threshold) ->
+          Some { key; baseline_ns; current_ns; ratio = current_ns /. baseline_ns }
+      | _ -> None)
+    current.metrics

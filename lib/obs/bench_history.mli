@@ -1,0 +1,42 @@
+(** Bench snapshot history: parse [bench_percolation/v1|v2] JSON,
+    keep an append-only JSONL trail, and flag slowdowns against the
+    trailing same-mode baseline.
+
+    The cached-path timings ([*.cached_ns]) and the end-to-end
+    [trial_run.ns] are the tracked metrics; lazy-path numbers exist
+    only to compute speedups and are deliberately not compared (they
+    measure the machinery we moved away from). *)
+
+type snapshot = {
+  mode : string;  (** ["quick"] or ["full"]. *)
+  commit : string option;  (** v2 provenance; [None] for v1 files. *)
+  timestamp : string option;  (** ISO 8601 UTC; [None] for v1. *)
+  metrics : (string * float) list;
+      (** Keys like ["mesh2(m=40)/reveal_bfs.cached_ns"] and
+          ["mesh2(m=40)/trial_run.ns"]; values in nanoseconds. *)
+}
+
+val of_json : Json.t -> (snapshot, string) result
+(** Accepts both [bench_percolation/v1] (no provenance fields) and
+    [/v2]. *)
+
+val parse_lines : string list -> (snapshot list, string) result
+(** Parse a JSONL history (one snapshot per line, blanks skipped),
+    oldest first — the order the lines appear in. *)
+
+val trailing_baseline : mode:string -> snapshot list -> snapshot option
+(** The most recent snapshot of the same mode, i.e. the last matching
+    element of an oldest-first list. *)
+
+type regression = {
+  key : string;
+  baseline_ns : float;
+  current_ns : float;
+  ratio : float;  (** [current/baseline], always above the threshold. *)
+}
+
+val regressions :
+  ?threshold:float -> baseline:snapshot -> snapshot -> regression list
+(** Metrics of the current snapshot slower than the baseline by more
+    than [threshold] (default 0.15, i.e. >15%). Metrics missing from
+    either side are skipped. *)

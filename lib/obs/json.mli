@@ -31,3 +31,9 @@ val member : string -> t -> t option
 val to_int : t -> int option
 val to_bool : t -> bool option
 val to_str : t -> string option
+
+val to_float : t -> float option
+(** [Float] as-is; [Int] widened — JSON writers drop the fraction on
+    round values. *)
+
+val to_list : t -> t list option

@@ -48,6 +48,77 @@ let exponential points =
 
 let predict fit x = (fit.slope *. x) +. fit.intercept
 
+type slope_ci = {
+  fit : fit;
+  lo : float;
+  hi : float;
+  replicates : int;
+  confidence : float;
+}
+
+(* Case-resampling percentile bootstrap on (x, y) pairs. Resamples that
+   collapse to zero x-variance carry no slope information; they fall back to
+   the full-sample slope so the replicate count (and hence the stream
+   consumption) stays fixed and the CI remains deterministic. *)
+let bootstrap_ci stream ?(replicates = 1000) ?(confidence = 0.95) ~fit_of points
+    =
+  if replicates < 1 then
+    invalid_arg "Regression.bootstrap_ci: replicates must be >= 1";
+  if not (confidence > 0.0 && confidence < 1.0) then
+    invalid_arg "Regression.bootstrap_ci: confidence outside (0,1)";
+  let base = fit_of points in
+  let arr = Array.of_list points in
+  let n = Array.length arr in
+  let slopes =
+    Array.init replicates (fun _ ->
+        let sample =
+          List.init n (fun _ -> arr.(Prng.Stream.int_in stream n))
+        in
+        match fit_of sample with
+        | f -> f.slope
+        | exception Invalid_argument _ -> base.slope)
+  in
+  Array.sort Float.compare slopes;
+  let alpha = (1.0 -. confidence) /. 2.0 in
+  {
+    fit = base;
+    lo = Quantile.of_sorted slopes alpha;
+    hi = Quantile.of_sorted slopes (1.0 -. alpha);
+    replicates;
+    confidence;
+  }
+
+let linear_ci stream ?replicates ?confidence points =
+  bootstrap_ci stream ?replicates ?confidence ~fit_of:linear points
+
+let power_law_ci stream ?replicates ?confidence points =
+  (* Validate and transform once; resampling log-log pairs is equivalent to
+     resampling the raw pairs and refitting. *)
+  let transformed =
+    List.map
+      (fun (x, y) ->
+        if x <= 0.0 || y <= 0.0 then
+          invalid_arg "Regression.power_law_ci: coordinates must be positive";
+        (log x, log y))
+      points
+  in
+  bootstrap_ci stream ?replicates ?confidence ~fit_of:linear transformed
+
+let exponential_ci stream ?replicates ?confidence points =
+  let transformed =
+    List.map
+      (fun (x, y) ->
+        if y <= 0.0 then
+          invalid_arg "Regression.exponential_ci: y must be positive";
+        (x, log y))
+      points
+  in
+  bootstrap_ci stream ?replicates ?confidence ~fit_of:linear transformed
+
+let pp_slope_ci ppf c =
+  Format.fprintf ppf "slope=%.4f CI%.0f%%=[%.4f, %.4f] (B=%d)" c.fit.slope
+    (c.confidence *. 100.0) c.lo c.hi c.replicates
+
 let pp ppf fit =
   Format.fprintf ppf "slope=%.4f intercept=%.4f R\xc2\xb2=%.4f (n=%d)" fit.slope
     fit.intercept fit.r_squared fit.n

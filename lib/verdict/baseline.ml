@@ -1,0 +1,132 @@
+let schema = "verdict_baseline/v1"
+
+type t = {
+  mode : string;
+  seed : int64;
+  tolerance : float;
+  entries : (string * float list) list;
+}
+
+let make ~mode ~seed ?(tolerance = 1e-9) entries =
+  if tolerance < 0.0 then invalid_arg "Baseline.make: negative tolerance";
+  let sorted =
+    List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) entries
+  in
+  if List.length sorted <> List.length entries then begin
+    let ids = List.sort String.compare (List.map fst entries) in
+    let dup =
+      let rec first = function
+        | a :: (b :: _ as rest) -> if a = b then a else first rest
+        | _ -> "?"
+      in
+      first ids
+    in
+    invalid_arg (Printf.sprintf "Baseline.make: duplicate claim id %s" dup)
+  end;
+  { mode; seed; tolerance; entries = sorted }
+
+let find t id = List.assoc_opt id t.entries
+
+(* Non-finite observations are representable (a claim that never held
+   still gets recorded), but JSON has no literal for them. *)
+let json_of_value v =
+  if Float.is_finite v then Obs.Json.Float v
+  else if Float.is_nan v then Obs.Json.String "nan"
+  else if v > 0.0 then Obs.Json.String "inf"
+  else Obs.Json.String "-inf"
+
+let value_of_json = function
+  | Obs.Json.String "nan" -> Some Float.nan
+  | Obs.Json.String "inf" -> Some Float.infinity
+  | Obs.Json.String "-inf" -> Some Float.neg_infinity
+  | json -> Obs.Json.to_float json
+
+let to_json t =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String schema);
+      ("mode", Obs.Json.String t.mode);
+      ("seed", Obs.Json.String (Printf.sprintf "%Ld" t.seed));
+      ("tolerance", Obs.Json.Float t.tolerance);
+      ( "entries",
+        Obs.Json.Obj
+          (List.map
+             (fun (id, values) ->
+               (id, Obs.Json.List (List.map json_of_value values)))
+             t.entries) );
+    ]
+
+(* One entry per line so baseline updates diff reviewably in git. *)
+let to_string t =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer "{\n";
+  Buffer.add_string buffer
+    (Printf.sprintf "  \"schema\": \"%s\",\n" schema);
+  Buffer.add_string buffer (Printf.sprintf "  \"mode\": \"%s\",\n" t.mode);
+  Buffer.add_string buffer (Printf.sprintf "  \"seed\": \"%Ld\",\n" t.seed);
+  Buffer.add_string buffer
+    (Printf.sprintf "  \"tolerance\": %s,\n"
+       (Obs.Json.to_string (Obs.Json.Float t.tolerance)));
+  Buffer.add_string buffer "  \"entries\": {\n";
+  List.iteri
+    (fun i (id, values) ->
+      Buffer.add_string buffer
+        (Printf.sprintf "    %s: %s%s\n"
+           (Obs.Json.to_string (Obs.Json.String id))
+           (Obs.Json.to_string (Obs.Json.List (List.map json_of_value values)))
+           (if i < List.length t.entries - 1 then "," else "")))
+    t.entries;
+  Buffer.add_string buffer "  }\n}\n";
+  Buffer.contents buffer
+
+let of_json json =
+  let ( let* ) r f = Result.bind r f in
+  let field name to_value =
+    match Option.bind (Obs.Json.member name json) to_value with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "baseline: missing or bad field %S" name)
+  in
+  let* declared = field "schema" Obs.Json.to_str in
+  let* () =
+    if declared = schema then Ok ()
+    else Error (Printf.sprintf "baseline: schema %S, expected %S" declared schema)
+  in
+  let* mode = field "mode" Obs.Json.to_str in
+  let* seed_text = field "seed" Obs.Json.to_str in
+  let* seed =
+    match Int64.of_string_opt seed_text with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "baseline: bad seed %S" seed_text)
+  in
+  let* tolerance = field "tolerance" Obs.Json.to_float in
+  let* entries_json =
+    match Obs.Json.member "entries" json with
+    | Some (Obs.Json.Obj fields) -> Ok fields
+    | _ -> Error "baseline: missing or bad field \"entries\""
+  in
+  let* entries =
+    List.fold_left
+      (fun acc (id, values_json) ->
+        let* acc = acc in
+        match Obs.Json.to_list values_json with
+        | None -> Error (Printf.sprintf "baseline: entry %S is not a list" id)
+        | Some values ->
+            let parsed = List.filter_map value_of_json values in
+            if List.length parsed <> List.length values then
+              Error (Printf.sprintf "baseline: entry %S has a non-number" id)
+            else Ok ((id, parsed) :: acc))
+      (Ok []) entries_json
+  in
+  Ok (make ~mode ~seed ~tolerance (List.rev entries))
+
+let of_string text =
+  Result.bind (Obs.Json.of_string text) of_json
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error message -> Error message
+
+let save path t =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string t))

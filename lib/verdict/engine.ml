@@ -1,0 +1,164 @@
+let schema = "verdict/v1"
+
+type status = Pass | Drift | Fail | New
+
+let status_name = function
+  | Pass -> "pass"
+  | Drift -> "DRIFT"
+  | Fail -> "FAIL"
+  | New -> "new"
+
+type entry = {
+  claim : Experiments.Claim.t;
+  status : status;
+  baseline_values : float list option;
+  deviation : float;
+}
+
+type t = {
+  mode : string;
+  seed : int64;
+  tolerance : float;
+  entries : entry list;
+  missing : string list;
+}
+
+(* Relative for large magnitudes, absolute near zero: fractions like a
+   censoring rate of 0.0 must not blow up the denominator. *)
+let value_deviation a b =
+  if Float.is_nan a && Float.is_nan b then 0.0
+  else if (not (Float.is_finite a)) || not (Float.is_finite b) then
+    if a = b then 0.0 else Float.infinity
+  else Float.abs (a -. b) /. Float.max 1.0 (Float.abs b)
+
+let list_deviation run baseline =
+  if List.length run <> List.length baseline then Float.infinity
+  else List.fold_left2 (fun d a b -> Float.max d (value_deviation a b)) 0.0 run baseline
+
+let evaluate ~mode ~seed ?baseline claims =
+  let tolerance =
+    match baseline with Some b -> b.Baseline.tolerance | None -> 1e-9
+  in
+  let entries =
+    List.map
+      (fun claim ->
+        let baseline_values =
+          Option.bind baseline (fun b ->
+              Baseline.find b claim.Experiments.Claim.id)
+        in
+        let deviation =
+          match baseline_values with
+          | None -> 0.0
+          | Some values ->
+              list_deviation (Experiments.Claim.values claim) values
+        in
+        let status =
+          if not (Experiments.Claim.holds claim) then Fail
+          else
+            match baseline_values with
+            | None -> if baseline = None then Pass else New
+            | Some _ -> if deviation > tolerance then Drift else Pass
+        in
+        { claim; status; baseline_values; deviation })
+      claims
+  in
+  let run_ids =
+    List.map (fun c -> c.Experiments.Claim.id) claims
+  in
+  let missing =
+    match baseline with
+    | None -> []
+    | Some b ->
+        List.filter_map
+          (fun (id, _) -> if List.mem id run_ids then None else Some id)
+          b.Baseline.entries
+  in
+  { mode; seed; tolerance; entries; missing }
+
+let count status t =
+  List.length (List.filter (fun e -> e.status = status) t.entries)
+
+let exit_code t =
+  if count Fail t > 0 then 2
+  else if count Drift t > 0 || t.missing <> [] then 4
+  else 0
+
+let baseline ?tolerance t =
+  Baseline.make ~mode:t.mode ~seed:t.seed ?tolerance
+    (List.map
+       (fun e ->
+         (e.claim.Experiments.Claim.id, Experiments.Claim.values e.claim))
+       t.entries)
+
+let render t =
+  let table =
+    List.fold_left
+      (fun table e ->
+        Stats.Table.add_row table
+          [
+            e.claim.Experiments.Claim.id;
+            status_name e.status;
+            Experiments.Claim.describe_observed e.claim;
+            Experiments.Claim.describe_expected e.claim;
+            (match e.baseline_values with
+            | None -> "-"
+            | Some _ when e.deviation = 0.0 -> "="
+            | Some _ -> Printf.sprintf "dev %.3g" e.deviation);
+          ])
+      (Stats.Table.create
+         ~headers:[ "claim"; "status"; "observed"; "expected"; "baseline" ])
+      t.entries
+  in
+  let buffer = Buffer.create 4096 in
+  Buffer.add_string buffer (Stats.Table.render table);
+  List.iter
+    (fun id ->
+      Buffer.add_string buffer
+        (Printf.sprintf "missing from run (in baseline): %s\n" id))
+    t.missing;
+  Buffer.add_string buffer
+    (Printf.sprintf "%d claims: %d pass, %d drift, %d fail, %d new%s\n"
+       (List.length t.entries) (count Pass t) (count Drift t) (count Fail t)
+       (count New t)
+       (if t.missing = [] then ""
+        else Printf.sprintf ", %d missing" (List.length t.missing)));
+  Buffer.contents buffer
+
+(* Deliberately timestamp-free: the verdict of a (mode, seed) run is a
+   pure value, byte-identical across --jobs and reruns. *)
+let to_json t =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String schema);
+      ("mode", Obs.Json.String t.mode);
+      ("seed", Obs.Json.String (Printf.sprintf "%Ld" t.seed));
+      ("tolerance", Obs.Json.Float t.tolerance);
+      ("exit_code", Obs.Json.Int (exit_code t));
+      ( "summary",
+        Obs.Json.Obj
+          [
+            ("pass", Obs.Json.Int (count Pass t));
+            ("drift", Obs.Json.Int (count Drift t));
+            ("fail", Obs.Json.Int (count Fail t));
+            ("new", Obs.Json.Int (count New t));
+            ("missing", Obs.Json.Int (List.length t.missing));
+          ] );
+      ( "entries",
+        Obs.Json.List
+          (List.map
+             (fun e ->
+               Obs.Json.Obj
+                 [
+                   ("claim", Experiments.Claim.to_json e.claim);
+                   ("status", Obs.Json.String (status_name e.status));
+                   ( "baseline",
+                     match e.baseline_values with
+                     | None -> Obs.Json.Null
+                     | Some values ->
+                         Obs.Json.List (List.map Baseline.json_of_value values)
+                   );
+                   ("deviation", Obs.Json.Float e.deviation);
+                 ])
+             t.entries) );
+      ("missing", Obs.Json.List (List.map (fun id -> Obs.Json.String id) t.missing));
+    ]

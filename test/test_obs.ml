@@ -369,6 +369,115 @@ let test_timing_spans () =
           Alcotest.(check int) "count" 2 e.Obs.Timing.count;
           Alcotest.(check bool) "time non-negative" true (e.Obs.Timing.total_s >= 0.0))
 
+(* ------------------------------------------------------------------ *)
+(* Bench history                                                       *)
+
+let bench_json ?commit ?timestamp ~mode ~cached ~trial () =
+  let provenance =
+    match (commit, timestamp) with
+    | None, None -> ""
+    | _ ->
+        Printf.sprintf "\"commit\": %s, \"timestamp\": %s, "
+          (match commit with Some c -> Printf.sprintf "%S" c | None -> "null")
+          (match timestamp with Some t -> Printf.sprintf "%S" t | None -> "null")
+  in
+  Printf.sprintf
+    {|{"schema": %S, %s"mode": %S, "topologies": [
+        {"name": "mesh2(m=40)",
+         "reveal_bfs": {"cached_ns": %f, "lazy_ns": 99.0},
+         "oracle_probe": {"cached_ns": %f},
+         "trial_run": {"ns": %f}}]}|}
+    (match (commit, timestamp) with
+    | None, None -> "bench_percolation/v1"
+    | _ -> "bench_percolation/v2")
+    provenance mode cached (cached *. 2.0) trial
+
+let parse_snapshot text =
+  match Result.bind (Obs.Json.of_string text) Obs.Bench_history.of_json with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "bench snapshot: %s" e
+
+let test_bench_history_schemas () =
+  let v1 = parse_snapshot (bench_json ~mode:"quick" ~cached:100.0 ~trial:500.0 ()) in
+  Alcotest.(check (option string)) "v1 commit" None v1.Obs.Bench_history.commit;
+  Alcotest.(check (option string)) "v1 timestamp" None
+    v1.Obs.Bench_history.timestamp;
+  Alcotest.(check (option (float 1e-9))) "cached metric" (Some 100.0)
+    (List.assoc_opt "mesh2(m=40)/reveal_bfs.cached_ns"
+       v1.Obs.Bench_history.metrics);
+  Alcotest.(check (option (float 1e-9))) "trial metric" (Some 500.0)
+    (List.assoc_opt "mesh2(m=40)/trial_run.ns" v1.Obs.Bench_history.metrics);
+  (* The lazy-path number is deliberately not tracked. *)
+  Alcotest.(check int) "three tracked metrics" 3
+    (List.length v1.Obs.Bench_history.metrics);
+  let v2 =
+    parse_snapshot
+      (bench_json ~commit:"abc1234" ~timestamp:"2026-08-06T00:00:00Z"
+         ~mode:"full" ~cached:100.0 ~trial:500.0 ())
+  in
+  Alcotest.(check (option string)) "v2 commit" (Some "abc1234")
+    v2.Obs.Bench_history.commit;
+  Alcotest.(check string) "v2 mode" "full" v2.Obs.Bench_history.mode;
+  (match
+     Result.bind
+       (Obs.Json.of_string "{\"schema\": \"bench_percolation/v9\"}")
+       Obs.Bench_history.of_json
+   with
+  | Ok _ -> Alcotest.fail "accepted unknown schema"
+  | Error _ -> ())
+
+let test_bench_history_trailing_baseline () =
+  let lines =
+    [
+      bench_json ~mode:"quick" ~cached:100.0 ~trial:500.0 ();
+      "";
+      bench_json ~mode:"full" ~cached:900.0 ~trial:4000.0 ();
+      bench_json ~commit:"def5678" ~timestamp:"2026-08-06T01:00:00Z"
+        ~mode:"quick" ~cached:110.0 ~trial:520.0 ();
+    ]
+  in
+  match Obs.Bench_history.parse_lines lines with
+  | Error e -> Alcotest.failf "parse_lines: %s" e
+  | Ok history ->
+      Alcotest.(check int) "blank line skipped" 3 (List.length history);
+      (match Obs.Bench_history.trailing_baseline ~mode:"quick" history with
+      | None -> Alcotest.fail "no quick baseline"
+      | Some s ->
+          Alcotest.(check (option string)) "latest quick wins" (Some "def5678")
+            s.Obs.Bench_history.commit);
+      Alcotest.(check bool) "no bench mode" true
+        (Obs.Bench_history.trailing_baseline ~mode:"bench" history = None)
+
+let test_bench_history_parse_error_cites_line () =
+  match Obs.Bench_history.parse_lines [ bench_json ~mode:"quick" ~cached:1.0 ~trial:1.0 (); "{oops" ] with
+  | Ok _ -> Alcotest.fail "accepted malformed line"
+  | Error e ->
+      Alcotest.(check bool) "cites line 2" true
+        (String.length e >= 14 && String.sub e 0 14 = "history line 2")
+
+let test_bench_history_regressions () =
+  let baseline = parse_snapshot (bench_json ~mode:"quick" ~cached:100.0 ~trial:500.0 ()) in
+  (* reveal_bfs 30% slower (flagged), oracle_probe 30% slower (flagged),
+     trial_run 10% slower (under the 15% threshold). *)
+  let current = parse_snapshot (bench_json ~mode:"quick" ~cached:130.0 ~trial:550.0 ()) in
+  let flagged = Obs.Bench_history.regressions ~baseline current in
+  Alcotest.(check (list string)) "only >15% flagged"
+    [ "mesh2(m=40)/reveal_bfs.cached_ns"; "mesh2(m=40)/oracle_probe.cached_ns" ]
+    (List.map (fun r -> r.Obs.Bench_history.key) flagged);
+  List.iter
+    (fun r ->
+      Alcotest.(check (float 1e-9)) "ratio" 1.3 r.Obs.Bench_history.ratio)
+    flagged;
+  (* A looser threshold clears everything; a tighter one adds trial_run. *)
+  Alcotest.(check int) "threshold 0.5 clears" 0
+    (List.length (Obs.Bench_history.regressions ~threshold:0.5 ~baseline current));
+  Alcotest.(check int) "threshold 0.05 flags all" 3
+    (List.length (Obs.Bench_history.regressions ~threshold:0.05 ~baseline current));
+  (* Metrics absent from the baseline are skipped, not flagged. *)
+  let empty_baseline = { baseline with Obs.Bench_history.metrics = [] } in
+  Alcotest.(check int) "missing keys skipped" 0
+    (List.length (Obs.Bench_history.regressions ~baseline:empty_baseline current))
+
 let () =
   Alcotest.run "obs"
     [
@@ -396,5 +505,15 @@ let () =
         [
           Alcotest.test_case "shortfall marker" `Quick test_shortfall_marker;
           Alcotest.test_case "timing spans" `Quick test_timing_spans;
+        ] );
+      ( "bench-history",
+        [
+          Alcotest.test_case "v1 and v2 schemas" `Quick test_bench_history_schemas;
+          Alcotest.test_case "trailing baseline" `Quick
+            test_bench_history_trailing_baseline;
+          Alcotest.test_case "parse error cites line" `Quick
+            test_bench_history_parse_error_cites_line;
+          Alcotest.test_case "regression threshold" `Quick
+            test_bench_history_regressions;
         ] );
     ]

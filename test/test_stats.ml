@@ -214,6 +214,76 @@ let test_bootstrap_deterministic () =
   Alcotest.(check bool) "same stream, same CI" true (a = b)
 
 (* ------------------------------------------------------------------ *)
+(* Regression slope bootstrap CIs                                      *)
+
+(* Deterministic multiplicative pseudo-noise, alternating +/- 5%: no
+   PRNG, and sign-balanced so it scatters without biasing the slope. *)
+let wobble i = 1.0 +. (0.05 *. if i mod 2 = 0 then 1.0 else -1.0)
+
+let test_slope_ci_power_law () =
+  (* y = 3 x^2 with ~5% noise: the CI must contain the true exponent. *)
+  let points =
+    List.mapi
+      (fun i x -> (x, 3.0 *. (x ** 2.0) *. wobble i))
+      [ 1.0; 2.0; 3.0; 4.0; 6.0; 8.0; 12.0; 16.0 ]
+  in
+  let ci = Stats.Regression.power_law_ci (Prng.Stream.create 60L) points in
+  Alcotest.(check bool) "ordered" true (ci.Stats.Regression.lo <= ci.Stats.Regression.hi);
+  Alcotest.(check bool) "contains exponent 2" true
+    (ci.Stats.Regression.lo <= 2.0 && 2.0 <= ci.Stats.Regression.hi);
+  Alcotest.(check bool) "centred fit inside" true
+    (ci.Stats.Regression.lo <= ci.Stats.Regression.fit.Stats.Regression.slope
+    && ci.Stats.Regression.fit.Stats.Regression.slope <= ci.Stats.Regression.hi)
+
+let test_slope_ci_exponential () =
+  (* y = 2 e^(0.5 x) with ~5% noise: the CI must contain the true rate. *)
+  let points =
+    List.mapi
+      (fun i x -> (x, 2.0 *. exp (0.5 *. x) *. wobble i))
+      [ 0.0; 1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 7.0 ]
+  in
+  let ci = Stats.Regression.exponential_ci (Prng.Stream.create 61L) points in
+  Alcotest.(check bool) "contains rate 0.5" true
+    (ci.Stats.Regression.lo <= 0.5 && 0.5 <= ci.Stats.Regression.hi);
+  Alcotest.(check bool) "interval not absurdly wide" true
+    (ci.Stats.Regression.hi -. ci.Stats.Regression.lo < 0.5)
+
+let test_slope_ci_deterministic () =
+  let points = List.map (fun x -> (x, (2.0 *. x) +. 1.0)) [ 1.0; 2.0; 3.0; 5.0 ] in
+  let a = Stats.Regression.linear_ci (Prng.Stream.create 62L) points in
+  let b = Stats.Regression.linear_ci (Prng.Stream.create 62L) points in
+  Alcotest.(check bool) "same stream, same CI" true (a = b);
+  let c = Stats.Regression.linear_ci (Prng.Stream.create 63L) points in
+  Alcotest.(check bool) "replicate count recorded" true
+    (c.Stats.Regression.replicates = 1000 && c.Stats.Regression.confidence = 0.95)
+
+let test_slope_ci_two_points () =
+  (* Resamples of a 2-point set are degenerate half the time (both draws
+     the same point => zero x-variance); those fall back to the
+     full-sample slope rather than raising, so the CI is total and
+     collapses onto the slope. *)
+  let ci =
+    Stats.Regression.linear_ci (Prng.Stream.create 64L) [ (1.0, 1.0); (2.0, 3.0) ]
+  in
+  Alcotest.(check bool) "finite" true
+    (Float.is_finite ci.Stats.Regression.lo && Float.is_finite ci.Stats.Regression.hi);
+  Alcotest.(check bool) "contains the only slope" true
+    (ci.Stats.Regression.lo <= 2.0 && 2.0 <= ci.Stats.Regression.hi)
+
+let test_slope_ci_errors () =
+  let stream = Prng.Stream.create 65L in
+  Alcotest.check_raises "bad replicates"
+    (Invalid_argument "Regression.bootstrap_ci: replicates must be >= 1")
+    (fun () ->
+      ignore
+        (Stats.Regression.linear_ci stream ~replicates:0 [ (1.0, 1.0); (2.0, 3.0) ]));
+  Alcotest.check_raises "bad confidence"
+    (Invalid_argument "Regression.bootstrap_ci: confidence outside (0,1)")
+    (fun () ->
+      ignore
+        (Stats.Regression.linear_ci stream ~confidence:1.0 [ (1.0, 1.0); (2.0, 3.0) ]))
+
+(* ------------------------------------------------------------------ *)
 (* Histogram                                                           *)
 
 let test_histogram_linear () =
@@ -564,6 +634,14 @@ let () =
           case "median ci" test_bootstrap_median_ci;
           case "errors" test_bootstrap_errors;
           case "deterministic" test_bootstrap_deterministic;
+        ] );
+      ( "slope-ci",
+        [
+          case "power law contains exponent" test_slope_ci_power_law;
+          case "exponential contains rate" test_slope_ci_exponential;
+          case "deterministic" test_slope_ci_deterministic;
+          case "two points total" test_slope_ci_two_points;
+          case "errors" test_slope_ci_errors;
         ] );
       ( "histogram",
         [

@@ -1,0 +1,317 @@
+(* Tests for the verdict layer: claim semantics (claim/v1), baseline
+   round-trips (verdict_baseline/v1), and the engine's pass/drift/fail
+   classification with its exit codes — including the acceptance case
+   that a deliberately perturbed claim band turns exit 0 into exit 2. *)
+
+module Claim = Experiments.Claim
+module Baseline = Verdict.Baseline
+module Engine = Verdict.Engine
+
+let contains haystack needle =
+  let h = String.length haystack and n = String.length needle in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  n = 0 || scan 0
+
+(* ------------------------------------------------------------------ *)
+(* Claim                                                               *)
+
+let band value = Claim.band ~id:"E1/b" ~description:"band" ~lo:1.0 ~hi:2.0 value
+
+let test_claim_band () =
+  Alcotest.(check bool) "inside" true (Claim.holds (band 1.5));
+  Alcotest.(check bool) "lower edge" true (Claim.holds (band 1.0));
+  Alcotest.(check bool) "upper edge" true (Claim.holds (band 2.0));
+  Alcotest.(check bool) "below" false (Claim.holds (band 0.99));
+  Alcotest.(check bool) "above" false (Claim.holds (band 2.01));
+  Alcotest.(check bool) "nan" false (Claim.holds (band nan));
+  Alcotest.(check bool) "inf" false (Claim.holds (band infinity))
+
+let test_claim_floor_ceiling () =
+  let floor v = Claim.floor ~id:"E1/f" ~description:"f" ~min:0.8 v in
+  let ceiling v = Claim.ceiling ~id:"E1/c" ~description:"c" ~max:0.1 v in
+  Alcotest.(check bool) "floor holds" true (Claim.holds (floor 0.9));
+  Alcotest.(check bool) "floor edge" true (Claim.holds (floor 0.8));
+  Alcotest.(check bool) "floor fails" false (Claim.holds (floor 0.7));
+  Alcotest.(check bool) "floor nan" false (Claim.holds (floor nan));
+  Alcotest.(check bool) "ceiling holds" true (Claim.holds (ceiling 0.05));
+  Alcotest.(check bool) "ceiling fails" false (Claim.holds (ceiling 0.2));
+  Alcotest.(check bool) "ceiling neg-inf" false (Claim.holds (ceiling neg_infinity))
+
+let test_claim_monotone () =
+  let inc xs = Claim.increasing ~id:"E1/i" ~description:"i" xs in
+  let dec xs = Claim.decreasing ~id:"E1/d" ~description:"d" xs in
+  Alcotest.(check bool) "increasing" true (Claim.holds (inc [ 1.0; 1.0; 2.0 ]));
+  Alcotest.(check bool) "not increasing" false (Claim.holds (inc [ 1.0; 0.5 ]));
+  Alcotest.(check bool) "empty increasing" false (Claim.holds (inc []));
+  Alcotest.(check bool) "singleton" true (Claim.holds (inc [ 3.0 ]));
+  Alcotest.(check bool) "nan breaks monotone" false
+    (Claim.holds (inc [ 1.0; nan; 2.0 ]));
+  Alcotest.(check bool) "decreasing" true (Claim.holds (dec [ 3.0; 3.0; 1.0 ]));
+  Alcotest.(check bool) "not decreasing" false (Claim.holds (dec [ 1.0; 2.0 ]));
+  Alcotest.(check bool) "empty decreasing" false (Claim.holds (dec []))
+
+let test_claim_contains () =
+  let contains lo hi =
+    Claim.contains ~id:"E1/ci" ~description:"ci" ~lo ~hi 1.0
+  in
+  Alcotest.(check bool) "inside" true (Claim.holds (contains 0.9 1.1));
+  Alcotest.(check bool) "excludes" false (Claim.holds (contains 1.1 1.2));
+  Alcotest.(check bool) "nan bound" false (Claim.holds (contains nan 1.1));
+  (* For Contains the computed interval IS the observation. *)
+  Alcotest.(check (list (float 1e-12))) "values are the interval"
+    [ 0.9; 1.1 ]
+    (Claim.values (contains 0.9 1.1))
+
+let test_claim_values_and_ids () =
+  Alcotest.(check (list (float 1e-12))) "band value" [ 1.5 ]
+    (Claim.values (band 1.5));
+  Alcotest.(check (list (float 1e-12))) "monotone values" [ 1.0; 2.0 ]
+    (Claim.values (Claim.increasing ~id:"E2/i" ~description:"i" [ 1.0; 2.0 ]));
+  let c = Claim.band ~id:"E13/stretch" ~description:"s" ~lo:0.0 ~hi:1.0 0.5 in
+  Alcotest.(check string) "experiment prefix" "E13" c.Claim.experiment;
+  Alcotest.(check string) "kind" "band" (Claim.kind_name c)
+
+(* ------------------------------------------------------------------ *)
+(* Baseline                                                            *)
+
+let test_baseline_round_trip () =
+  let b =
+    Baseline.make ~mode:"quick" ~seed:24301L ~tolerance:1e-9
+      [
+        ("E2/exponent", [ 3.826; 0.5 ]);
+        ("E1/censoring", [ nan; infinity; neg_infinity ]);
+        ("E10/probes", []);
+      ]
+  in
+  match Baseline.of_string (Baseline.to_string b) with
+  | Error e -> Alcotest.failf "round trip failed: %s" e
+  | Ok b' ->
+      Alcotest.(check string) "mode" b.Baseline.mode b'.Baseline.mode;
+      Alcotest.(check int64) "seed" b.Baseline.seed b'.Baseline.seed;
+      Alcotest.(check (float 0.0)) "tolerance" b.Baseline.tolerance
+        b'.Baseline.tolerance;
+      Alcotest.(check (list string)) "ids sorted"
+        [ "E1/censoring"; "E10/probes"; "E2/exponent" ]
+        (List.map fst b'.Baseline.entries);
+      (* Non-finite values survive the string encoding. *)
+      (match Baseline.find b' "E1/censoring" with
+      | Some [ a; b; c ] ->
+          Alcotest.(check bool) "nan" true (Float.is_nan a);
+          Alcotest.(check (float 0.0)) "inf" infinity b;
+          Alcotest.(check (float 0.0)) "-inf" neg_infinity c
+      | _ -> Alcotest.fail "E1/censoring entry lost");
+      Alcotest.(check (option (list (float 1e-12)))) "finite entry"
+        (Some [ 3.826; 0.5 ])
+        (Baseline.find b' "E2/exponent");
+      Alcotest.(check (option (list (float 1e-12)))) "absent id" None
+        (Baseline.find b' "E99/nope")
+
+let test_baseline_rejects_duplicates () =
+  Alcotest.check_raises "duplicate ids"
+    (Invalid_argument "Baseline.make: duplicate claim id E1/x") (fun () ->
+      ignore (Baseline.make ~mode:"quick" ~seed:1L [ ("E1/x", []); ("E1/x", []) ]))
+
+let test_baseline_rejects_bad_schema () =
+  match Baseline.of_string "{\"schema\": \"bogus/v9\"}" with
+  | Ok _ -> Alcotest.fail "accepted a bogus schema"
+  | Error e ->
+      Alcotest.(check bool) "mentions schema" true
+        (contains e "schema")
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+
+let claims_ok =
+  [
+    Claim.band ~id:"E1/exp" ~description:"exponent" ~lo:1.0 ~hi:3.0 2.0;
+    Claim.floor ~id:"E1/r2" ~description:"fit" ~min:0.8 0.95;
+    Claim.increasing ~id:"E2/trend" ~description:"trend" [ 1.0; 2.0; 4.0 ];
+  ]
+
+let test_engine_no_baseline_passes () =
+  let v = Engine.evaluate ~mode:"quick" ~seed:7L claims_ok in
+  Alcotest.(check int) "all pass" 3 (Engine.count Engine.Pass v);
+  Alcotest.(check int) "exit 0" 0 (Engine.exit_code v)
+
+let test_engine_matching_baseline_passes () =
+  let v0 = Engine.evaluate ~mode:"quick" ~seed:7L claims_ok in
+  let baseline = Engine.baseline v0 in
+  let v = Engine.evaluate ~mode:"quick" ~seed:7L ~baseline claims_ok in
+  Alcotest.(check int) "all pass" 3 (Engine.count Engine.Pass v);
+  Alcotest.(check int) "no drift" 0 (Engine.count Engine.Drift v);
+  Alcotest.(check int) "exit 0" 0 (Engine.exit_code v)
+
+(* The acceptance case: same observations, one claim band deliberately
+   perturbed so the observed exponent falls outside it -> FAIL, exit 2. *)
+let test_engine_perturbed_band_fails () =
+  let perturbed =
+    Claim.band ~id:"E1/exp" ~description:"exponent (perturbed band)" ~lo:2.5
+      ~hi:3.0 2.0
+    :: List.tl claims_ok
+  in
+  let v = Engine.evaluate ~mode:"quick" ~seed:7L perturbed in
+  Alcotest.(check int) "one fail" 1 (Engine.count Engine.Fail v);
+  Alcotest.(check int) "exit 2" 2 (Engine.exit_code v);
+  (* Fail trumps drift in the exit code. *)
+  let baseline =
+    Baseline.make ~mode:"quick" ~seed:7L
+      [ ("E1/exp", [ 9.0 ]); ("E1/r2", [ 0.95 ]); ("E2/trend", [ 1.0; 2.0; 4.0 ]) ]
+  in
+  let v = Engine.evaluate ~mode:"quick" ~seed:7L ~baseline perturbed in
+  Alcotest.(check int) "still exit 2" 2 (Engine.exit_code v)
+
+let test_engine_perturbed_baseline_drifts () =
+  let baseline =
+    Baseline.make ~mode:"quick" ~seed:7L
+      [ ("E1/exp", [ 2.5 ]); ("E1/r2", [ 0.95 ]); ("E2/trend", [ 1.0; 2.0; 4.0 ]) ]
+  in
+  let v = Engine.evaluate ~mode:"quick" ~seed:7L ~baseline claims_ok in
+  Alcotest.(check int) "one drift" 1 (Engine.count Engine.Drift v);
+  Alcotest.(check int) "two pass" 2 (Engine.count Engine.Pass v);
+  Alcotest.(check int) "exit 4" 4 (Engine.exit_code v);
+  let drifted =
+    List.find (fun e -> e.Engine.claim.Claim.id = "E1/exp") v.Engine.entries
+  in
+  Alcotest.(check bool) "deviation recorded" true
+    (drifted.Engine.deviation > 0.1)
+
+let test_engine_tolerance_absorbs_jitter () =
+  let baseline =
+    Baseline.make ~mode:"quick" ~seed:7L ~tolerance:0.5
+      [ ("E1/exp", [ 2.4 ]); ("E1/r2", [ 0.95 ]); ("E2/trend", [ 1.0; 2.0; 4.0 ]) ]
+  in
+  let v = Engine.evaluate ~mode:"quick" ~seed:7L ~baseline claims_ok in
+  Alcotest.(check int) "within tolerance" 0 (Engine.count Engine.Drift v);
+  Alcotest.(check int) "exit 0" 0 (Engine.exit_code v)
+
+let test_engine_new_and_missing () =
+  (* Baseline covers E1 only and expects an id the run no longer emits. *)
+  let baseline =
+    Baseline.make ~mode:"quick" ~seed:7L
+      [ ("E1/exp", [ 2.0 ]); ("E1/r2", [ 0.95 ]); ("E9/gone", [ 1.0 ]) ]
+  in
+  let v = Engine.evaluate ~mode:"quick" ~seed:7L ~baseline claims_ok in
+  Alcotest.(check int) "new claim" 1 (Engine.count Engine.New v);
+  Alcotest.(check (list string)) "missing id" [ "E9/gone" ] v.Engine.missing;
+  Alcotest.(check int) "missing is drift: exit 4" 4 (Engine.exit_code v)
+
+let test_engine_arity_mismatch_is_drift () =
+  let baseline =
+    Baseline.make ~mode:"quick" ~seed:7L
+      [ ("E1/exp", [ 2.0; 2.0 ]); ("E1/r2", [ 0.95 ]); ("E2/trend", [ 1.0; 2.0; 4.0 ]) ]
+  in
+  let v = Engine.evaluate ~mode:"quick" ~seed:7L ~baseline claims_ok in
+  let e =
+    List.find (fun e -> e.Engine.claim.Claim.id = "E1/exp") v.Engine.entries
+  in
+  Alcotest.(check bool) "infinite deviation" true
+    (e.Engine.deviation = infinity);
+  Alcotest.(check int) "exit 4" 4 (Engine.exit_code v)
+
+let test_engine_baseline_round_trip () =
+  let v = Engine.evaluate ~mode:"quick" ~seed:7L claims_ok in
+  let b = Engine.baseline v in
+  match Baseline.of_string (Baseline.to_string b) with
+  | Error e -> Alcotest.failf "engine baseline does not round trip: %s" e
+  | Ok b' ->
+      let v' = Engine.evaluate ~mode:"quick" ~seed:7L ~baseline:b' claims_ok in
+      Alcotest.(check int) "round-tripped baseline still passes" 0
+        (Engine.exit_code v')
+
+let test_engine_render_mentions_status () =
+  let baseline =
+    Baseline.make ~mode:"quick" ~seed:7L
+      [ ("E1/exp", [ 2.5 ]); ("E1/r2", [ 0.95 ]); ("E2/trend", [ 1.0; 2.0; 4.0 ]) ]
+  in
+  let v = Engine.evaluate ~mode:"quick" ~seed:7L ~baseline claims_ok in
+  let rendered = Engine.render v in
+  Alcotest.(check bool) "table shows DRIFT" true
+    (contains rendered "DRIFT");
+  Alcotest.(check bool) "summary line" true
+    (contains rendered "1 drift")
+
+(* Verdict JSON is timestamp-free, hence byte-stable across reruns. *)
+let test_engine_json_deterministic () =
+  let render () =
+    Obs.Json.to_string
+      (Engine.to_json (Engine.evaluate ~mode:"quick" ~seed:7L claims_ok))
+  in
+  let a = render () and b = render () in
+  Alcotest.(check string) "byte-identical" a b;
+  Alcotest.(check bool) "carries schema" true
+    (contains a "verdict/v1")
+
+(* ------------------------------------------------------------------ *)
+(* End to end on a real experiment: E10's quick run emits claims that
+   hold and evaluate clean against their own baseline.                 *)
+
+let test_experiment_claims_pass () =
+  match
+    List.find_opt
+      (fun e -> e.Experiments.Catalog.id = "E10")
+      Experiments.Catalog.all
+  with
+  | None -> Alcotest.fail "E10 missing from catalog"
+  | Some e ->
+      let report = e.Experiments.Catalog.run ~quick:true (Prng.Stream.create 23L) in
+      let claims = report.Experiments.Report.claims in
+      Alcotest.(check bool) "emits claims" true (List.length claims >= 2);
+      List.iter
+        (fun c ->
+          Alcotest.(check bool) (c.Claim.id ^ " holds") true (Claim.holds c);
+          Alcotest.(check string) (c.Claim.id ^ " prefix") "E10"
+            c.Claim.experiment)
+        claims;
+      let v = Engine.evaluate ~mode:"quick" ~seed:23L claims in
+      let baseline = Engine.baseline v in
+      let v' = Engine.evaluate ~mode:"quick" ~seed:23L ~baseline claims in
+      Alcotest.(check int) "self-baseline exit 0" 0 (Engine.exit_code v')
+
+let () =
+  Alcotest.run "verdict"
+    [
+      ( "claim",
+        [
+          Alcotest.test_case "band bounds" `Quick test_claim_band;
+          Alcotest.test_case "floor and ceiling" `Quick test_claim_floor_ceiling;
+          Alcotest.test_case "monotone sequences" `Quick test_claim_monotone;
+          Alcotest.test_case "contains interval" `Quick test_claim_contains;
+          Alcotest.test_case "values and ids" `Quick test_claim_values_and_ids;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "round trip" `Quick test_baseline_round_trip;
+          Alcotest.test_case "duplicate ids rejected" `Quick
+            test_baseline_rejects_duplicates;
+          Alcotest.test_case "bad schema rejected" `Quick
+            test_baseline_rejects_bad_schema;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "no baseline passes" `Quick
+            test_engine_no_baseline_passes;
+          Alcotest.test_case "matching baseline passes" `Quick
+            test_engine_matching_baseline_passes;
+          Alcotest.test_case "perturbed band fails (exit 2)" `Quick
+            test_engine_perturbed_band_fails;
+          Alcotest.test_case "perturbed baseline drifts (exit 4)" `Quick
+            test_engine_perturbed_baseline_drifts;
+          Alcotest.test_case "tolerance absorbs jitter" `Quick
+            test_engine_tolerance_absorbs_jitter;
+          Alcotest.test_case "new and missing claims" `Quick
+            test_engine_new_and_missing;
+          Alcotest.test_case "arity mismatch is drift" `Quick
+            test_engine_arity_mismatch_is_drift;
+          Alcotest.test_case "baseline round trip" `Quick
+            test_engine_baseline_round_trip;
+          Alcotest.test_case "render mentions status" `Quick
+            test_engine_render_mentions_status;
+          Alcotest.test_case "json deterministic" `Quick
+            test_engine_json_deterministic;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "E10 quick claims hold" `Quick
+            test_experiment_claims_pass;
+        ] );
+    ]
