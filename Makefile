@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke smoke check-claims update-baseline update-baseline-full ci clean
+.PHONY: all build test bench bench-smoke smoke chaos-smoke check-claims update-baseline update-baseline-full ci clean
 
 all: build
 
@@ -37,6 +37,29 @@ bench-smoke:
 smoke:
 	dune exec bin/faultroute.exe -- all --quick --jobs 2 --strict-shortfall > /dev/null
 
+# Fault tolerance end to end. Leg 1: the quick catalog under a
+# recoverable fault plan (injected crashes, a stall, a flaky chunk)
+# must be byte-identical to the fault-free run at --jobs 1 and 4, with
+# the faults/v1 summary confined to stderr. Leg 2: a die@N plan kills
+# the process mid-run (exit 137) while completed chunks stream to an
+# append-only checkpoint; --resume at a different job count completes
+# the run byte-identically, restoring rather than recomputing the
+# finished chunks (checkpoint.chunks.restored > 0 in metrics/v1).
+chaos-smoke:
+	mkdir -p artifacts
+	rm -rf artifacts/CHAOS_ckpt
+	dune exec bin/faultroute.exe -- all --quick --jobs 2 --seed 1 > artifacts/CHAOS_clean.txt
+	dune exec bin/faultroute.exe -- all --quick --jobs 1 --seed 1 --inject 'crash@3,stall@5,flaky:0.05x2,seed=9' > artifacts/CHAOS_fault_j1.txt 2> artifacts/CHAOS_faults.json
+	dune exec bin/faultroute.exe -- all --quick --jobs 4 --seed 1 --inject 'crash@3,stall@5,flaky:0.05x2,seed=9' > artifacts/CHAOS_fault_j4.txt 2> /dev/null
+	cmp artifacts/CHAOS_clean.txt artifacts/CHAOS_fault_j1.txt
+	cmp artifacts/CHAOS_clean.txt artifacts/CHAOS_fault_j4.txt
+	grep -q '"schema": "faults/v1"' artifacts/CHAOS_faults.json
+	dune exec bin/faultroute.exe -- exp E2 --quick --jobs 2 --seed 1 > artifacts/CHAOS_e2_clean.txt
+	dune exec bin/faultroute.exe -- exp E2 --quick --jobs 2 --seed 1 --checkpoint artifacts/CHAOS_ckpt --inject 'die@6' > /dev/null 2>&1; test $$? -eq 137
+	dune exec bin/faultroute.exe -- exp E2 --quick --jobs 4 --seed 1 --checkpoint artifacts/CHAOS_ckpt --resume --metrics-out artifacts/CHAOS_metrics.json > artifacts/CHAOS_e2_resumed.txt
+	cmp artifacts/CHAOS_e2_clean.txt artifacts/CHAOS_e2_resumed.txt
+	grep -q '"checkpoint.chunks.restored": [1-9]' artifacts/CHAOS_metrics.json
+
 # EXPERIMENTS.md's verdict column, machine-checked: run the quick
 # catalog, evaluate every experiment's claims and compare the observed
 # values against the committed baseline. Exit 2 = a claim band is
@@ -52,7 +75,7 @@ update-baseline:
 update-baseline-full:
 	dune exec bin/faultroute.exe -- check --update
 
-ci: build test smoke check-claims
+ci: build test smoke chaos-smoke check-claims
 
 clean:
 	dune clean

@@ -561,13 +561,14 @@ let append_history ~out ~history =
                   (Option.value baseline.Obs.Bench_history.commit
                      ~default:"(uncommitted)"))
               slow);
-      let oc =
-        open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 history
-      in
+      (* Atomic append (temp + rename): a kill mid-append must corrupt
+         neither the existing history nor the new line, or every later
+         bench run would drop the whole file as unreadable. *)
       (match Obs.Json.of_string contents with
-      | Ok json -> output_string oc (Obs.Json.to_string json ^ "\n")
+      | Ok json ->
+          Obs.Atomic_file.append_line ~path:history
+            ~line:(Obs.Json.to_string json ^ "\n")
       | Error _ -> ());
-      close_out oc;
       Printf.printf "appended snapshot to %s (%d entries)\n" history
         (List.length past + 1)
 

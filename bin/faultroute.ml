@@ -15,6 +15,16 @@
    [--strict-shortfall] turns under-sampled reports into exit code 3.
    All instrumentation is off (and free) unless a flag asks for it.
 
+   Fault tolerance (exp/all/check): [--retries N] and
+   [--chunk-deadline S] arm the supervised worker pool, [--inject SPEC]
+   / [--fault-plan FILE] install a deterministic fault plan, and
+   [--checkpoint DIR] journals completed chunks ([--resume] restores
+   them). Recovered faults are reported on stderr as faults/v1;
+   unrecoverable ones (quarantined chunks, failed experiments) exit 5.
+
+   Exit codes are centralised in [Verdict.Exit_code]; see the README
+   table.
+
    Topologies and routers are resolved through their registries
    ([Topology.Registry], [Routing.Registry]); this file contains no
    name-matching of its own. A topology spec is NAME or NAME:SIZE. *)
@@ -73,9 +83,114 @@ let strict_shortfall_exit ~strict reports =
       "strict-shortfall: %d report(s) under-sampled (%s): %s\n"
       (List.length short) Experiments.Report.shortfall_marker
       (String.concat ", " (List.map (fun r -> r.Experiments.Report.id) short));
-    3
+    Verdict.Exit_code.strict_shortfall
   end
-  else 0
+  else Verdict.Exit_code.ok
+
+(* ------------------------------------------------------------------ *)
+(* Supervision plumbing: resolve the fault plan, arm the supervisor
+   policy and the checkpoint around a campaign body, then surface the
+   fault summary. Recovered faults go to stderr only — stdout must stay
+   byte-identical to a fault-free run when every chunk eventually
+   succeeded. Unrecoverable losses (quarantined chunks, failed
+   experiments) escalate the exit code to 5. *)
+
+let with_supervision ~inject ~fault_plan ~checkpoint ~resume ~retries ~deadline k
+    =
+  let plan =
+    match (inject, fault_plan) with
+    | Some spec, _ -> Result.map Option.some (Faultsim.Plan.of_spec spec)
+    | None, Some path -> Result.map Option.some (Faultsim.Plan.load path)
+    | None, None -> Ok None
+  in
+  match plan with
+  | Error message ->
+      prerr_endline message;
+      Verdict.Exit_code.error
+  | Ok plan ->
+      let supervised =
+        plan <> None || checkpoint <> None || retries <> None
+        || deadline <> None
+      in
+      if not supervised then k ()
+      else begin
+        let base = Engine_par.Supervisor.default_policy in
+        let policy =
+          {
+            base with
+            Engine_par.Supervisor.max_attempts =
+              Option.value retries
+                ~default:base.Engine_par.Supervisor.max_attempts;
+            deadline_s = deadline;
+          }
+        in
+        let checkpoint_ready =
+          match checkpoint with
+          | None -> Ok ()
+          | Some dir ->
+              Option.iter
+                (fun p ->
+                  Experiments.Checkpoint.set_kill_after
+                    (Faultsim.Plan.die_after_chunks p))
+                plan;
+              Experiments.Checkpoint.configure ~dir ~resume
+        in
+        match checkpoint_ready with
+        | Error message ->
+            Printf.eprintf "checkpoint: %s\n" message;
+            Verdict.Exit_code.error
+        | Ok () -> (
+            Engine_par.Supervisor.reset_global ();
+            Engine_par.Supervisor.arm policy;
+            Faultsim.Plan.set_ambient plan;
+            (* SIGINT: the journal is flushed line by line, so a clean
+               close is all an interrupted campaign needs to resume. *)
+            let previous_sigint =
+              Sys.signal Sys.sigint
+                (Sys.Signal_handle
+                   (fun _ ->
+                     Experiments.Checkpoint.deconfigure ();
+                     exit 130))
+            in
+            let code =
+              Fun.protect
+                ~finally:(fun () ->
+                  Sys.set_signal Sys.sigint previous_sigint;
+                  if Obs.Metrics.on () then begin
+                    Obs.Metrics.absorb
+                      (Engine_par.Supervisor.metrics_snapshot ());
+                    if Experiments.Checkpoint.active () then
+                      Obs.Metrics.absorb
+                        (Experiments.Checkpoint.metrics_snapshot ())
+                  end;
+                  Experiments.Checkpoint.deconfigure ();
+                  Faultsim.Plan.set_ambient None;
+                  Engine_par.Supervisor.disarm ())
+                k
+            in
+            let summary : Engine_par.Supervisor.summary =
+              Engine_par.Supervisor.global_summary ()
+            in
+            if
+              summary.retries > 0
+              || summary.failures <> []
+              || summary.quarantined <> []
+              || summary.failed_units <> []
+            then
+              Printf.eprintf "%s\n"
+                (Obs.Json.to_string
+                   (Engine_par.Supervisor.summary_json summary));
+            if Engine_par.Supervisor.unrecoverable summary then begin
+              Printf.eprintf
+                "unrecoverable faults: %d chunk(s) quarantined, %d \
+                 experiment(s) failed\n"
+                (List.length summary.quarantined)
+                (List.length summary.failed_units);
+              Verdict.Exit_code.worst
+                [ code; Verdict.Exit_code.unrecoverable_faults ]
+            end
+            else code)
+      end
 
 (* ------------------------------------------------------------------ *)
 (* Subcommand implementations.                                         *)
@@ -98,7 +213,8 @@ let cmd_list () =
     Routing.Registry.entries;
   0
 
-let cmd_exp id quick seed jobs csv trace metrics_out strict =
+let cmd_exp id quick seed jobs csv trace metrics_out strict inject fault_plan
+    checkpoint resume retries deadline =
   match Experiments.Catalog.find id with
   | None ->
       Printf.eprintf "no experiment %S; see `faultroute list`\n" id;
@@ -106,6 +222,9 @@ let cmd_exp id quick seed jobs csv trace metrics_out strict =
   | Some e ->
       Engine_par.Pool.set_default_jobs jobs;
       with_observability ~trace ~metrics_out @@ fun () ->
+      with_supervision ~inject ~fault_plan ~checkpoint ~resume ~retries
+        ~deadline
+      @@ fun () ->
       let stream = Prng.Stream.create seed in
       let report = e.Experiments.Catalog.run ~quick stream in
       if csv then
@@ -115,9 +234,12 @@ let cmd_exp id quick seed jobs csv trace metrics_out strict =
       else Experiments.Report.print report;
       strict_shortfall_exit ~strict [ report ]
 
-let cmd_all quick seed jobs trace metrics_out strict =
+let cmd_all quick seed jobs trace metrics_out strict inject fault_plan
+    checkpoint resume retries deadline =
   Engine_par.Pool.set_default_jobs jobs;
   with_observability ~trace ~metrics_out @@ fun () ->
+  with_supervision ~inject ~fault_plan ~checkpoint ~resume ~retries ~deadline
+  @@ fun () ->
   let reports = Experiments.Catalog.run_all ~quick ~jobs ~seed () in
   List.iter
     (fun r ->
@@ -129,10 +251,13 @@ let cmd_all quick seed jobs trace metrics_out strict =
 let default_baseline_path ~quick =
   if quick then "verdicts/baseline.json" else "verdicts/baseline-full.json"
 
-let cmd_check quick seed jobs baseline_path out update strict =
+let cmd_check quick seed jobs baseline_path out update strict inject fault_plan
+    checkpoint resume retries deadline =
   Engine_par.Pool.set_default_jobs jobs;
   let mode = if quick then "quick" else "full" in
   let path = Option.value baseline_path ~default:(default_baseline_path ~quick) in
+  with_supervision ~inject ~fault_plan ~checkpoint ~resume ~retries ~deadline
+  @@ fun () ->
   let reports = Experiments.Catalog.run_all ~quick ~jobs ~seed () in
   let claims = List.concat_map (fun r -> r.Experiments.Report.claims) reports in
   let baseline =
@@ -167,20 +292,21 @@ let cmd_check quick seed jobs baseline_path out update strict =
   let shortfall = strict_shortfall_exit ~strict reports in
   let code = Verdict.Engine.exit_code verdict in
   if update then
-    if code = 2 then begin
+    if code = Verdict.Exit_code.claim_fail then begin
       prerr_endline "check: refusing to --update a baseline from failing claims";
-      2
+      Verdict.Exit_code.claim_fail
     end
     else begin
-      (try Unix.mkdir (Filename.dirname path) 0o755
-       with Unix.Unix_error ((Unix.EEXIST | Unix.ENOENT), _, _) -> ());
+      (* Baseline.save creates missing parent directories and writes
+         atomically, so --update works on a fresh clone where the
+         verdicts/ tree does not exist yet. *)
       Verdict.Baseline.save path (Verdict.Engine.baseline verdict);
       Printf.printf "baseline written: %s (%d claims)\n" path
         (List.length claims);
       shortfall
     end
-  else if code = 2 then 2
-  else if shortfall <> 0 then shortfall
+  else if code = Verdict.Exit_code.claim_fail then code
+  else if shortfall <> Verdict.Exit_code.ok then shortfall
   else code
 
 let cmd_route topology size p seed source target router_name budget trace metrics_out =
@@ -431,7 +557,7 @@ let cmd_trace file =
                count re-derives exactly from its fresh probe events";
             0
           end
-          else 2)
+          else Verdict.Exit_code.claim_fail)
 
 (* ------------------------------------------------------------------ *)
 (* Cmdliner wiring.                                                    *)
@@ -467,6 +593,50 @@ let strict_shortfall_arg =
      out before the requested trial count)."
   in
   Arg.(value & flag & info [ "strict-shortfall" ] ~doc)
+
+let inject_arg =
+  let doc =
+    "Install a deterministic fault plan from a compact spec: \
+     comma-separated $(b,crash\\@CHUNK), $(b,stall\\@CHUNK), \
+     $(b,flaky:RATExMAX), $(b,die\\@CHUNKS), $(b,seed=N) — e.g. \
+     $(b,crash\\@3,flaky:0.02x2,seed=7). Overrides $(b,--fault-plan)."
+  in
+  Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"SPEC" ~doc)
+
+let fault_plan_arg =
+  let doc = "Load a $(b,faultplan/v1) JSON fault plan from $(docv)." in
+  Arg.(value & opt (some string) None & info [ "fault-plan" ] ~docv:"FILE" ~doc)
+
+let checkpoint_arg =
+  let doc =
+    "Journal every completed trial chunk to $(docv)/checkpoint.jsonl \
+     ($(b,checkpoint/v1)) so an interrupted campaign can be resumed with \
+     $(b,--resume)."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"DIR" ~doc)
+
+let resume_arg =
+  let doc =
+    "With $(b,--checkpoint), restore completed chunks from the existing \
+     journal instead of truncating it; only missing chunks are recomputed and \
+     the report is byte-identical to an uninterrupted run."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let retries_arg =
+  let doc =
+    "Attempts per trial chunk before it is quarantined (arms the supervised \
+     worker pool; default 3 once armed)."
+  in
+  Arg.(value & opt (some int) None & info [ "retries" ] ~docv:"N" ~doc)
+
+let deadline_arg =
+  let doc =
+    "Cooperative per-chunk deadline in seconds: a chunk past its budget is \
+     failed and retried (arms the supervised worker pool)."
+  in
+  Arg.(
+    value & opt (some float) None & info [ "chunk-deadline" ] ~docv:"SECONDS" ~doc)
 
 let jobs_arg =
   let doc =
@@ -523,14 +693,17 @@ let exp_cmd =
     (Cmd.info "exp" ~doc:"Run one experiment and print its report.")
     Term.(
       const cmd_exp $ id_arg $ quick_arg $ seed_arg $ jobs_arg $ csv_arg
-      $ trace_arg $ metrics_arg $ strict_shortfall_arg)
+      $ trace_arg $ metrics_arg $ strict_shortfall_arg $ inject_arg
+      $ fault_plan_arg $ checkpoint_arg $ resume_arg $ retries_arg
+      $ deadline_arg)
 
 let all_cmd =
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment in the catalog.")
     Term.(
       const cmd_all $ quick_arg $ seed_arg $ jobs_arg $ trace_arg $ metrics_arg
-      $ strict_shortfall_arg)
+      $ strict_shortfall_arg $ inject_arg $ fault_plan_arg $ checkpoint_arg
+      $ resume_arg $ retries_arg $ deadline_arg)
 
 let check_cmd =
   let baseline_arg =
@@ -559,7 +732,8 @@ let check_cmd =
           claim, 4 on drift (values moved while the claim still holds).")
     Term.(
       const cmd_check $ quick_arg $ seed_arg $ jobs_arg $ baseline_arg $ out_arg
-      $ update_arg $ strict_shortfall_arg)
+      $ update_arg $ strict_shortfall_arg $ inject_arg $ fault_plan_arg
+      $ checkpoint_arg $ resume_arg $ retries_arg $ deadline_arg)
 
 let route_cmd =
   let source_arg =

@@ -36,6 +36,30 @@ let find id =
   let wanted = String.lowercase_ascii id in
   List.find_opt (fun e -> String.lowercase_ascii e.id = wanted) all
 
+(* Under supervision a broken experiment must not take the campaign
+   down: retry once (pure streams make the retry exact), then ship a
+   stub report and register the loss in the supervisor's global
+   summary, which the CLI turns into a faults/v1 section and exit
+   code 5. Unsupervised runs keep the historical crash barrier — an
+   exception aborts the campaign, which is the right default for
+   development. *)
+let run_resilient e quick experiment_stream =
+  match e.run ?quick experiment_stream with
+  | report -> report
+  | exception first ->
+      Engine_par.Supervisor.record_unit_retry ();
+      (match e.run ?quick experiment_stream with
+      | report -> report
+      | exception _ ->
+          let message = Printexc.to_string first in
+          Engine_par.Supervisor.record_unit_failure ~unit:e.id ~message;
+          Report.make ~id:e.id ~title:e.title
+            ~claim:"(not evaluated: experiment failed unrecoverably)"
+            ~seed:(Prng.Stream.seed experiment_stream)
+            ~notes:
+              [ Printf.sprintf "experiment failed unrecoverably: %s" message ]
+            [])
+
 let run_all ?quick ?jobs ~seed () =
   let stream = Prng.Stream.create seed in
   (* One task per experiment on the shared pool; each experiment's
@@ -50,6 +74,13 @@ let run_all ?quick ?jobs ~seed () =
      to the real sink afterwards, in catalog order — the trace file is
      byte-identical for every job count. *)
   let tracing = Obs.Trace.on () in
+  let supervised =
+    Engine_par.Supervisor.armed () || Faultsim.Plan.ambient () <> None
+  in
+  let run_one e experiment_stream =
+    if supervised then run_resilient e quick experiment_stream
+    else e.run ?quick experiment_stream
+  in
   let indexed = Array.of_list (List.mapi (fun index e -> (index, e)) all) in
   let outcomes =
     Engine_par.Pool.map ?jobs
@@ -59,11 +90,11 @@ let run_all ?quick ?jobs ~seed () =
           let buffer = Buffer.create 4096 in
           let report =
             Obs.Trace.with_sink (Buffer.add_string buffer) (fun () ->
-                e.run ?quick experiment_stream)
+                run_one e experiment_stream)
           in
           (report, Buffer.contents buffer)
         end
-        else (e.run ?quick experiment_stream, ""))
+        else (run_one e experiment_stream, ""))
       indexed
   in
   if tracing then

@@ -1,0 +1,228 @@
+type cell =
+  | Rejected
+  | Accepted of { distance : int; outcome : Routing.Outcome.t }
+
+let schema = "checkpoint/v1"
+let file ~dir = Filename.concat dir "checkpoint.jsonl"
+let digest_key canonical = Digest.to_hex (Digest.string canonical)
+
+(* ------------------------------------------------------------------ *)
+(* Cell wire format. Compact single-letter tags — a journal line per
+   chunk at every chunk of a long campaign adds up. A Found path is
+   stored as its hop count only and reconstructed as a synthetic
+   0..hops vertex list: the accumulator fold consumes nothing but the
+   length, and pretending otherwise would bloat every line with a full
+   path. *)
+
+let cell_to_json = function
+  | Rejected -> Obs.Json.Obj [ ("t", Obs.Json.String "r") ]
+  | Accepted { distance; outcome } -> (
+      match outcome with
+      | Routing.Outcome.Found { path; probes; raw_probes } ->
+          Obs.Json.Obj
+            [
+              ("t", Obs.Json.String "f");
+              ("d", Obs.Json.Int distance);
+              ("p", Obs.Json.Int probes);
+              ("rp", Obs.Json.Int raw_probes);
+              ("h", Obs.Json.Int (List.length path - 1));
+            ]
+      | Routing.Outcome.No_path { probes } ->
+          Obs.Json.Obj
+            [
+              ("t", Obs.Json.String "n");
+              ("d", Obs.Json.Int distance);
+              ("p", Obs.Json.Int probes);
+            ]
+      | Routing.Outcome.Budget_exceeded { probes } ->
+          Obs.Json.Obj
+            [
+              ("t", Obs.Json.String "b");
+              ("d", Obs.Json.Int distance);
+              ("p", Obs.Json.Int probes);
+            ])
+
+let cell_of_json json =
+  let int_field name = Option.bind (Obs.Json.member name json) Obs.Json.to_int in
+  match Option.bind (Obs.Json.member "t" json) Obs.Json.to_str with
+  | Some "r" -> Some Rejected
+  | Some "f" -> (
+      match (int_field "d", int_field "p", int_field "rp", int_field "h") with
+      | Some d, Some p, Some rp, Some h when h >= 0 ->
+          let path = List.init (h + 1) Fun.id in
+          Some
+            (Accepted
+               {
+                 distance = d;
+                 outcome = Routing.Outcome.Found { path; probes = p; raw_probes = rp };
+               })
+      | _ -> None)
+  | Some "n" -> (
+      match (int_field "d", int_field "p") with
+      | Some d, Some p ->
+          Some (Accepted { distance = d; outcome = Routing.Outcome.No_path { probes = p } })
+      | _ -> None)
+  | Some "b" -> (
+      match (int_field "d", int_field "p") with
+      | Some d, Some p ->
+          Some
+            (Accepted
+               { distance = d; outcome = Routing.Outcome.Budget_exceeded { probes = p } })
+      | _ -> None)
+  | _ -> None
+
+let chunk_line ~key ~chunk cells =
+  Obs.Json.to_string
+    (Obs.Json.Obj
+       [
+         ("schema", Obs.Json.String schema);
+         ("ev", Obs.Json.String "chunk");
+         ("key", Obs.Json.String key);
+         ("chunk", Obs.Json.Int chunk);
+         ("cells", Obs.Json.List (Array.to_list (Array.map cell_to_json cells)));
+       ])
+  ^ "\n"
+
+let meta_line () =
+  Obs.Json.to_string
+    (Obs.Json.Obj
+       [ ("schema", Obs.Json.String schema); ("ev", Obs.Json.String "meta") ])
+  ^ "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Journal state. One table keyed by (config digest, chunk index); the
+   channel stays open with a per-line flush, so a kill can tear at most
+   the line in flight — which the loader below shrugs off.             *)
+
+type journal = {
+  table : (string * int, cell array) Hashtbl.t;
+  channel : out_channel;
+}
+
+let lock = Mutex.create ()
+let state : journal option ref = ref None
+let is_active = Atomic.make false
+let restored_count = Atomic.make 0
+let appended_count = Atomic.make 0
+let kill_after : int option Atomic.t = Atomic.make None
+
+let set_kill_after n = Atomic.set kill_after n
+let restored () = Atomic.get restored_count
+let appended () = Atomic.get appended_count
+
+let active () = Atomic.get is_active
+
+(* Tolerant load: a torn final line (the kill case) or any other
+   unparseable line is skipped, never fatal — losing one chunk to a
+   crash costs recomputing it, not the resume. *)
+let load_journal path table =
+  In_channel.with_open_text path (fun ic ->
+      let rec loop () =
+        match In_channel.input_line ic with
+        | None -> ()
+        | Some line ->
+            (match Obs.Json.of_string line with
+            | Error _ -> ()
+            | Ok json -> (
+                match
+                  ( Option.bind (Obs.Json.member "ev" json) Obs.Json.to_str,
+                    Option.bind (Obs.Json.member "key" json) Obs.Json.to_str,
+                    Option.bind (Obs.Json.member "chunk" json) Obs.Json.to_int,
+                    Option.bind (Obs.Json.member "cells" json) Obs.Json.to_list )
+                with
+                | Some "chunk", Some key, Some chunk, Some cells_json -> (
+                    let cells = List.map cell_of_json cells_json in
+                    if List.for_all Option.is_some cells then
+                      Hashtbl.replace table (key, chunk)
+                        (Array.of_list (List.filter_map Fun.id cells)))
+                | _ -> ()));
+            loop ()
+      in
+      loop ())
+
+let close_locked () =
+  (match !state with
+  | Some j -> ( try close_out j.channel with Sys_error _ -> ())
+  | None -> ());
+  state := None;
+  Atomic.set is_active false
+
+let deconfigure () =
+  Mutex.lock lock;
+  close_locked ();
+  Mutex.unlock lock;
+  Atomic.set kill_after None
+
+let configure ~dir ~resume =
+  Mutex.lock lock;
+  let result =
+    try
+      close_locked ();
+      Obs.Atomic_file.mkdir_p dir;
+      let path = file ~dir in
+      let table = Hashtbl.create 256 in
+      let fresh = (not resume) || not (Sys.file_exists path) in
+      if not fresh then load_journal path table;
+      let channel =
+        open_out_gen
+          (Open_wronly :: Open_creat
+          :: (if fresh then [ Open_trunc ] else [ Open_append ]))
+          0o644 path
+      in
+      if fresh then begin
+        output_string channel (meta_line ());
+        flush channel
+      end;
+      state := Some { table; channel };
+      Atomic.set is_active true;
+      Atomic.set restored_count 0;
+      Atomic.set appended_count 0;
+      Ok ()
+    with
+    | Sys_error message -> Error message
+    | Unix.Unix_error (code, fn, arg) ->
+        Error (Printf.sprintf "%s %s: %s" fn arg (Unix.error_message code))
+  in
+  Mutex.unlock lock;
+  result
+
+let lookup ~key ~chunk =
+  Mutex.lock lock;
+  let hit =
+    match !state with
+    | None -> None
+    | Some j -> Hashtbl.find_opt j.table (key, chunk)
+  in
+  Mutex.unlock lock;
+  if hit <> None then Atomic.incr restored_count;
+  hit
+
+let store ~key ~chunk cells =
+  Mutex.lock lock;
+  let stored =
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock lock)
+      (fun () ->
+        match !state with
+        | None -> false
+        | Some j ->
+            Hashtbl.replace j.table (key, chunk) cells;
+            output_string j.channel (chunk_line ~key ~chunk cells);
+            flush j.channel;
+            true)
+  in
+  if stored then begin
+    let n = 1 + Atomic.fetch_and_add appended_count 1 in
+    (* The simulated kill -9: exit without flushing anything else or
+       running at_exit, exactly as a signal would take the process
+       down. The journal line above is already on disk. *)
+    match Atomic.get kill_after with
+    | Some threshold when n >= threshold -> Unix._exit 137
+    | _ -> ()
+  end
+
+let metrics_snapshot () =
+  let registry = Obs.Metrics.create () in
+  Obs.Metrics.add registry "checkpoint.chunks.restored" (restored ());
+  Obs.Metrics.add registry "checkpoint.chunks.appended" (appended ());
+  Obs.Metrics.snapshot registry

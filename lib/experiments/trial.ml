@@ -248,6 +248,55 @@ let trace_header spec stream ~trials ~max_attempts =
       ("max_attempts", Obs.Json.Int max_attempts);
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Supervision and checkpointing.
+
+   Both are ambient process state installed by the CLI: a run takes the
+   plain [Pool] path — and its exact cost profile — unless a supervisor
+   policy is armed, a fault plan is installed, or a checkpoint is
+   configured. The supervised path wraps every chunk in the retry loop
+   of [Engine_par.Supervisor]; because [work] is a pure function of
+   [(spec, root seed, chunk)], a retried chunk recomputes the identical
+   value and the merged report stays byte-identical to a fault-free run
+   whenever every chunk eventually succeeds. A quarantined chunk is
+   dropped from the ordered merge: its attempts never happened as far
+   as the statistics are concerned, and the CLI surfaces the loss via
+   the faults summary and exit code. *)
+
+let checkpoint_key spec stream ~trials ~max_attempts =
+  (* Everything a chunk's cells depend on — and nothing they don't (the
+     job count shapes scheduling, never results, so resuming under a
+     different [--jobs] must hit). The probe router from reserved
+     split 0 names the router family, as in the trace header. *)
+  let router =
+    spec.router (Prng.Stream.split stream 0) ~source:spec.source
+      ~target:spec.target
+  in
+  let opt = function Some v -> string_of_int v | None -> "none" in
+  Checkpoint.digest_key
+    (Printf.sprintf
+       "graph=%s;p=%.17g;source=%d;target=%d;router=%s;policy=%s;budget=%s;reveal_limit=%s;seed=%Ld;trials=%d;max_attempts=%d;chunk=%d"
+       spec.graph.Topology.Graph.name spec.p spec.source spec.target
+       router.Routing.Router.name
+       (policy_string router.Routing.Router.policy)
+       (opt spec.budget) (opt spec.reveal_limit)
+       (Prng.Stream.seed stream) trials max_attempts chunk_size)
+
+let cell_to_checkpoint (cell : cell) =
+  match cell.attempt with
+  | Rejected -> Checkpoint.Rejected
+  | Accepted { distance; outcome } -> Checkpoint.Accepted { distance; outcome }
+
+let cell_of_checkpoint = function
+  | Checkpoint.Rejected ->
+      { attempt = Rejected; trace = None; metrics = Obs.Metrics.empty }
+  | Checkpoint.Accepted { distance; outcome } ->
+      {
+        attempt = Accepted { distance; outcome };
+        trace = None;
+        metrics = Obs.Metrics.empty;
+      }
+
 let run_engine ?jobs stream ~trials ?max_attempts spec =
   if trials <= 0 then invalid_arg "Trial.run: trials must be positive";
   let max_attempts = Option.value max_attempts ~default:(100 * trials) in
@@ -257,7 +306,10 @@ let run_engine ?jobs stream ~trials ?max_attempts spec =
     let lo = (c * chunk_size) + 1 in
     let hi = Stdlib.min max_attempts ((c + 1) * chunk_size) in
     let cells =
-      Array.init (hi - lo + 1) (fun k -> observed_attempt spec stream (lo + k))
+      Array.init (hi - lo + 1) (fun k ->
+          if Engine_par.Supervisor.watchdog_armed () then
+            Engine_par.Supervisor.poll ();
+          observed_attempt spec stream (lo + k))
     in
     { cells; acc = Array.fold_left acc_add acc_empty cells }
   in
@@ -265,7 +317,55 @@ let run_engine ?jobs stream ~trials ?max_attempts spec =
     Atomic.fetch_and_add accepted_so_far chunk.acc.accepted + chunk.acc.accepted
     >= trials
   in
-  let chunks = Engine_par.Pool.collect_prefix ?jobs ~limit:n_chunks ~until work in
+  let plan = Faultsim.Plan.ambient () in
+  let supervised =
+    Engine_par.Supervisor.armed () || plan <> None || Checkpoint.active ()
+  in
+  let chunks, fault_summary =
+    if not supervised then
+      (Engine_par.Pool.collect_prefix ?jobs ~limit:n_chunks ~until work, None)
+    else begin
+      let work =
+        if not (Checkpoint.active ()) then work
+        else begin
+          let key = checkpoint_key spec stream ~trials ~max_attempts in
+          fun c ->
+            match Checkpoint.lookup ~key ~chunk:c with
+            | Some stored ->
+                let cells = Array.map cell_of_checkpoint stored in
+                { cells; acc = Array.fold_left acc_add acc_empty cells }
+            | None ->
+                let chunk = work c in
+                Checkpoint.store ~key ~chunk:c
+                  (Array.map cell_to_checkpoint chunk.cells);
+                chunk
+        end
+      in
+      let policy =
+        Option.value
+          (Engine_par.Supervisor.current_policy ())
+          ~default:Engine_par.Supervisor.default_policy
+      in
+      let inject =
+        match plan with
+        | Some plan ->
+            fun ~chunk ~attempt -> Faultsim.Plan.injector plan ~chunk ~attempt
+        | None -> fun ~chunk:_ ~attempt:_ -> Engine_par.Supervisor.Pass
+      in
+      let outcomes, summary =
+        Engine_par.Supervisor.collect_prefix ?jobs ~policy ~inject
+          ~limit:n_chunks ~until work
+      in
+      let completed =
+        Array.to_list outcomes
+        |> List.filter_map (function
+             | Engine_par.Supervisor.Completed chunk -> Some chunk
+             | Engine_par.Supervisor.Quarantined _ -> None)
+        |> Array.of_list
+      in
+      (completed, Some summary)
+    end
+  in
   (* Ordered truncation: merge whole chunks while they cannot contain
      the [trials]-th acceptance, then replay the boundary chunk. *)
   let tracing = Obs.Trace.on () in
@@ -301,6 +401,17 @@ let run_engine ?jobs stream ~trials ?max_attempts spec =
       (fun record ->
         List.iter (Buffer.add_string buffer) (Obs.Trace.record_lines record))
       (List.rev !traces);
+    (* Supervision events ride the trace as run-level lines: sorted by
+       (chunk, attempt), so their bytes are schedule-independent too. *)
+    (match fault_summary with
+    | Some (s : Engine_par.Supervisor.summary) ->
+        List.iter
+          (fun (f : Engine_par.Supervisor.failure) ->
+            Buffer.add_string buffer
+              (Obs.Trace.fault_line ~chunk:f.chunk ~attempt:f.attempt
+                 ~kind:(Engine_par.Supervisor.kind_string f.kind)))
+          s.failures
+    | None -> ());
     Buffer.add_string buffer
       (Obs.Trace.end_line ~attempts:!attempts_used ~accepted:final.accepted);
     Obs.Trace.write_line (Buffer.contents buffer)

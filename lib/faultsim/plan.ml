@@ -1,0 +1,232 @@
+type fault =
+  | Crash_on_chunk of int
+  | Stall_on_chunk of int
+  | Flaky of { rate : float; max_failures : int }
+  | Die_after_chunks of int
+
+type t = { seed : int64; faults : fault list }
+
+let validate_fault = function
+  | Crash_on_chunk c | Stall_on_chunk c ->
+      if c < 0 then invalid_arg "Faultsim.Plan: negative chunk index"
+  | Flaky { rate; max_failures } ->
+      if not (Float.is_finite rate) || rate < 0.0 || rate > 1.0 then
+        invalid_arg "Faultsim.Plan: flaky rate must be in [0,1]";
+      if max_failures < 0 then
+        invalid_arg "Faultsim.Plan: negative flaky max_failures"
+  | Die_after_chunks n ->
+      if n < 0 then invalid_arg "Faultsim.Plan: negative die_after_chunks"
+
+let make ?(seed = 0L) faults =
+  List.iter validate_fault faults;
+  { seed; faults }
+
+(* The flaky coin: uniform in [0,1), a pure hash of (plan seed, chunk,
+   attempt) through the same SplitMix64 finalizer discipline as the
+   percolation edge coins — chunk and attempt both avalanche, so
+   neighbouring coordinates draw uncorrelated coins. *)
+let flaky_coin ~seed ~chunk ~attempt =
+  Prng.Coin.uniform ~seed:(Prng.Coin.derive seed chunk) attempt
+
+let injector t ~chunk ~attempt =
+  let decide = function
+    | Crash_on_chunk c when c = chunk && attempt = 1 ->
+        Some Engine_par.Supervisor.Crash
+    | Stall_on_chunk c when c = chunk && attempt = 1 ->
+        Some Engine_par.Supervisor.Stall
+    | Flaky { rate; max_failures }
+      when attempt <= max_failures
+           && flaky_coin ~seed:t.seed ~chunk ~attempt < rate ->
+        Some Engine_par.Supervisor.Crash
+    | Crash_on_chunk _ | Stall_on_chunk _ | Flaky _ | Die_after_chunks _ ->
+        None
+  in
+  match List.find_map decide t.faults with
+  | Some verdict -> verdict
+  | None -> Engine_par.Supervisor.Pass
+
+let die_after_chunks t =
+  List.find_map
+    (function Die_after_chunks n -> Some n | _ -> None)
+    t.faults
+
+(* ------------------------------------------------------------------ *)
+(* Ambient plan.                                                       *)
+
+let ambient_plan : t option Atomic.t = Atomic.make None
+let set_ambient p = Atomic.set ambient_plan p
+let ambient () = Atomic.get ambient_plan
+
+(* ------------------------------------------------------------------ *)
+(* faultplan/v1.                                                       *)
+
+let schema = "faultplan/v1"
+
+let fault_to_json = function
+  | Crash_on_chunk c ->
+      Obs.Json.Obj
+        [ ("kind", Obs.Json.String "crash_on_chunk"); ("chunk", Obs.Json.Int c) ]
+  | Stall_on_chunk c ->
+      Obs.Json.Obj
+        [ ("kind", Obs.Json.String "stall_on_chunk"); ("chunk", Obs.Json.Int c) ]
+  | Flaky { rate; max_failures } ->
+      Obs.Json.Obj
+        [
+          ("kind", Obs.Json.String "flaky");
+          ("rate", Obs.Json.Float rate);
+          ("max_failures", Obs.Json.Int max_failures);
+        ]
+  | Die_after_chunks n ->
+      Obs.Json.Obj
+        [ ("kind", Obs.Json.String "die_after_chunks"); ("chunks", Obs.Json.Int n) ]
+
+let to_json t =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String schema);
+      (* Seeds print as strings, like verdict_baseline/v1: JSON readers
+         must not round 64-bit values through floats. *)
+      ("seed", Obs.Json.String (Printf.sprintf "%Ld" t.seed));
+      ("faults", Obs.Json.List (List.map fault_to_json t.faults));
+    ]
+
+let to_string t = Obs.Json.to_string (to_json t) ^ "\n"
+
+let ( let* ) = Result.bind
+
+let fault_of_json json =
+  let int_field name =
+    match Option.bind (Obs.Json.member name json) Obs.Json.to_int with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "fault: missing int field %S" name)
+  in
+  match Option.bind (Obs.Json.member "kind" json) Obs.Json.to_str with
+  | Some "crash_on_chunk" ->
+      let* c = int_field "chunk" in
+      Ok (Crash_on_chunk c)
+  | Some "stall_on_chunk" ->
+      let* c = int_field "chunk" in
+      Ok (Stall_on_chunk c)
+  | Some "flaky" ->
+      let* rate =
+        match Option.bind (Obs.Json.member "rate" json) Obs.Json.to_float with
+        | Some r -> Ok r
+        | None -> Error "fault: flaky without rate"
+      in
+      let* max_failures = int_field "max_failures" in
+      Ok (Flaky { rate; max_failures })
+  | Some "die_after_chunks" ->
+      let* n = int_field "chunks" in
+      Ok (Die_after_chunks n)
+  | Some other -> Error (Printf.sprintf "fault: unknown kind %S" other)
+  | None -> Error "fault: missing kind"
+
+let of_json json =
+  let* declared =
+    match Option.bind (Obs.Json.member "schema" json) Obs.Json.to_str with
+    | Some s -> Ok s
+    | None -> Error "faultplan: missing schema"
+  in
+  let* () =
+    if declared = schema then Ok ()
+    else Error (Printf.sprintf "faultplan: schema %S, expected %S" declared schema)
+  in
+  let* seed =
+    match Obs.Json.member "seed" json with
+    | None -> Ok 0L
+    | Some (Obs.Json.String s) -> (
+        match Int64.of_string_opt s with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "faultplan: bad seed %S" s))
+    | Some (Obs.Json.Int i) -> Ok (Int64.of_int i)
+    | Some _ -> Error "faultplan: bad seed"
+  in
+  let* faults_json =
+    match Option.bind (Obs.Json.member "faults" json) Obs.Json.to_list with
+    | Some l -> Ok l
+    | None -> Error "faultplan: missing faults list"
+  in
+  let* faults =
+    List.fold_left
+      (fun acc f ->
+        let* acc = acc in
+        let* fault = fault_of_json f in
+        Ok (fault :: acc))
+      (Ok []) faults_json
+  in
+  match make ~seed (List.rev faults) with
+  | plan -> Ok plan
+  | exception Invalid_argument message -> Error message
+
+let of_string text = Result.bind (Obs.Json.of_string text) of_json
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error message -> Error message
+
+(* Compact CLI spec: crash@3,stall@5,flaky:0.02x2,die@10,seed=7 *)
+let of_spec spec =
+  let parse_item item =
+    let item = String.trim item in
+    let int_after prefix =
+      let tail =
+        String.sub item (String.length prefix)
+          (String.length item - String.length prefix)
+      in
+      match int_of_string_opt tail with
+      | Some n -> Ok n
+      | None -> Error (Printf.sprintf "fault spec: bad number in %S" item)
+    in
+    if String.length item > 6 && String.sub item 0 6 = "crash@" then
+      Result.map (fun c -> `Fault (Crash_on_chunk c)) (int_after "crash@")
+    else if String.length item > 6 && String.sub item 0 6 = "stall@" then
+      Result.map (fun c -> `Fault (Stall_on_chunk c)) (int_after "stall@")
+    else if String.length item > 4 && String.sub item 0 4 = "die@" then
+      Result.map (fun n -> `Fault (Die_after_chunks n)) (int_after "die@")
+    else if String.length item > 5 && String.sub item 0 5 = "seed=" then
+      match Int64.of_string_opt (String.sub item 5 (String.length item - 5)) with
+      | Some s -> Ok (`Seed s)
+      | None -> Error (Printf.sprintf "fault spec: bad seed in %S" item)
+    else if String.length item > 6 && String.sub item 0 6 = "flaky:" then
+      let body = String.sub item 6 (String.length item - 6) in
+      match String.index_opt body 'x' with
+      | None -> Error (Printf.sprintf "fault spec: %S needs RATExMAX" item)
+      | Some i -> (
+          let rate_text = String.sub body 0 i in
+          let max_text = String.sub body (i + 1) (String.length body - i - 1) in
+          match (float_of_string_opt rate_text, int_of_string_opt max_text) with
+          | Some rate, Some max_failures -> Ok (`Fault (Flaky { rate; max_failures }))
+          | _ -> Error (Printf.sprintf "fault spec: bad RATExMAX in %S" item))
+    else
+      Error
+        (Printf.sprintf
+           "fault spec: %S (expected crash@N, stall@N, flaky:RATExMAX, die@N or \
+            seed=N)"
+           item)
+  in
+  let items =
+    String.split_on_char ',' spec |> List.filter (fun s -> String.trim s <> "")
+  in
+  if items = [] then Error "fault spec: empty"
+  else
+    let* parsed =
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          let* p = parse_item item in
+          Ok (p :: acc))
+        (Ok []) items
+    in
+    let parsed = List.rev parsed in
+    let seed =
+      List.fold_left
+        (fun acc -> function `Seed s -> s | `Fault _ -> acc)
+        0L parsed
+    in
+    let faults =
+      List.filter_map (function `Fault f -> Some f | `Seed _ -> None) parsed
+    in
+    match make ~seed faults with
+    | plan -> Ok plan
+    | exception Invalid_argument message -> Error message

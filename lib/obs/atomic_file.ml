@@ -1,0 +1,38 @@
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* The temp sibling carries the pid so concurrent writers (two CLI
+   processes updating the same baseline) cannot clobber each other's
+   staging file; the final rename still serialises them. *)
+let temp_sibling path = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ())
+
+let replace_via_temp path emit =
+  mkdir_p (Filename.dirname path);
+  let temp = temp_sibling path in
+  let oc = open_out temp in
+  (try
+     emit oc;
+     flush oc;
+     close_out oc
+   with exn ->
+     close_out_noerr oc;
+     (try Sys.remove temp with Sys_error _ -> ());
+     raise exn);
+  Sys.rename temp path
+
+let write ~path ~contents =
+  replace_via_temp path (fun oc -> output_string oc contents)
+
+let append_line ~path ~line =
+  let existing =
+    if Sys.file_exists path then
+      In_channel.with_open_bin path In_channel.input_all
+    else ""
+  in
+  replace_via_temp path (fun oc ->
+      output_string oc existing;
+      output_string oc line)

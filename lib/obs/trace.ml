@@ -174,6 +174,15 @@ let end_line ~attempts ~accepted =
       ("accepted", Json.Int accepted);
     ]
 
+let fault_line ~chunk ~attempt ~kind =
+  line
+    [
+      ("ev", Json.String "fault");
+      ("chunk", Json.Int chunk);
+      ("fault_attempt", Json.Int attempt);
+      ("kind", Json.String kind);
+    ]
+
 let record_lines r =
   let events = List.map (fun ev -> line (event_fields r.rec_index ev)) r.rec_events in
   if r.rec_dropped = 0 then events
@@ -207,6 +216,7 @@ module Replay = struct
     attempts : attempt list;
     declared_attempts : int option;
     declared_accepted : int option;
+    faults : int;
   }
 
   let empty_attempt index =
@@ -289,6 +299,7 @@ module Replay = struct
                           attempts = [];
                           declared_attempts = None;
                           declared_accepted = None;
+                          faults = 0;
                         };
                   }
             | Some other ->
@@ -350,6 +361,15 @@ module Replay = struct
             let* distance = int_field "distance" json line_no in
             let* probes = int_field "probes" json line_no in
             Ok { state with open_attempt = Some { a with outcome = `Accept (distance, probes) } }
+        | "fault" -> (
+            (* Run-level supervision event: a chunk attempt failed and
+               was retried or quarantined. Written between the last
+               attempt and run_end, outside any attempt. *)
+            let state = flush_attempt state in
+            match state.current with
+            | None -> Error (Printf.sprintf "line %d: fault outside a run" line_no)
+            | Some run ->
+                Ok { state with current = Some { run with faults = run.faults + 1 } })
         | "dropped" ->
             let* a = require_attempt state line_no in
             let* count = int_field "count" json line_no in

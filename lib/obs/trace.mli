@@ -26,7 +26,9 @@
     at most one [budget_hit], and a final [accept] or [reject].
     A [dropped] line reports ring-buffer overflow (capacity
     {!default_ring_capacity}); the replay checker treats such attempts
-    as unverifiable rather than wrong. *)
+    as unverifiable rather than wrong. Under supervision, run-level
+    [fault] lines (see {!fault_line}) may appear between the last
+    attempt and [run_end]. *)
 
 type reject_reason = Disconnected | Reveal_limit
 
@@ -115,6 +117,13 @@ val header_line : (string * Json.t) list -> string
 
 val end_line : attempts:int -> accepted:int -> string
 
+val fault_line : chunk:int -> attempt:int -> kind:string -> string
+(** A run-level supervision event: chunk [chunk]'s attempt [attempt]
+    failed with [kind] (an [Engine_par.Supervisor.kind_string]) and was
+    retried or quarantined. The trial engine writes these between the
+    last attempt's events and [run_end]; they carry no probe data, so
+    the replay checker only counts them. *)
+
 val record_lines : record -> string list
 (** One line per event (a trailing [dropped] line when the ring
     overflowed), each tagged with the record's attempt index. *)
@@ -139,6 +148,7 @@ module Replay : sig
     attempts : attempt list;  (** In attempt order. *)
     declared_attempts : int option;  (** From [run_end]. *)
     declared_accepted : int option;
+    faults : int;  (** Run-level [fault] lines seen. *)
   }
 
   val parse : string list -> (run list, string) result

@@ -127,6 +127,7 @@ let load path =
   | text -> of_string text
   | exception Sys_error message -> Error message
 
-let save path t =
-  Out_channel.with_open_text path (fun oc ->
-      Out_channel.output_string oc (to_string t))
+(* Atomic (temp + rename) so a kill mid-update can never leave a torn
+   baseline for the next `check` to choke on; also creates missing
+   parent directories, so `check --update` works on a fresh clone. *)
+let save path t = Obs.Atomic_file.write ~path ~contents:(to_string t)

@@ -79,9 +79,9 @@ let count status t =
   List.length (List.filter (fun e -> e.status = status) t.entries)
 
 let exit_code t =
-  if count Fail t > 0 then 2
-  else if count Drift t > 0 || t.missing <> [] then 4
-  else 0
+  if count Fail t > 0 then Exit_code.claim_fail
+  else if count Drift t > 0 || t.missing <> [] then Exit_code.drift
+  else Exit_code.ok
 
 let baseline ?tolerance t =
   Baseline.make ~mode:t.mode ~seed:t.seed ?tolerance

@@ -1,0 +1,19 @@
+let ok = 0
+let error = 1
+let claim_fail = 2
+let strict_shortfall = 3
+let drift = 4
+let unrecoverable_faults = 5
+
+let worst codes = List.fold_left Stdlib.max ok codes
+
+let describe code =
+  if code = ok then "success"
+  else if code = error then "usage or I/O error"
+  else if code = claim_fail then "a machine-checked claim does not hold"
+  else if code = strict_shortfall then
+    "--strict-shortfall and a report is under-sampled"
+  else if code = drift then "claims hold but drifted from the baseline"
+  else if code = unrecoverable_faults then
+    "unrecoverable worker faults: the report is partial"
+  else Printf.sprintf "unknown exit code %d" code

@@ -1,0 +1,33 @@
+(** The CLI's exit-code contract, in one place.
+
+    Scripts and CI legs branch on these numbers, so they are API: every
+    [faultroute] subcommand maps its outcome through this module, and
+    the README table is generated from the same list. Codes compose by
+    severity — when several conditions hold the largest code wins
+    ({!worst}), so a run that both drifted and lost chunks reports the
+    loss. *)
+
+val ok : int
+(** 0 — success. *)
+
+val error : int
+(** 1 — usage or I/O error (cmdliner's default failure code). *)
+
+val claim_fail : int
+(** 2 — a machine-checked claim does not hold. *)
+
+val strict_shortfall : int
+(** 3 — [--strict-shortfall] and a report is under-sampled. *)
+
+val drift : int
+(** 4 — claims hold but drifted from the committed baseline. *)
+
+val unrecoverable_faults : int
+(** 5 — supervision exhausted its retry budget: chunks quarantined or
+    experiments failed; the report is partial. *)
+
+val worst : int list -> int
+(** The most severe of the given codes (their maximum; 0 for []). *)
+
+val describe : int -> string
+(** Human summary for the code, used in CLI help and the README. *)

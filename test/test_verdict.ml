@@ -106,6 +106,31 @@ let test_baseline_round_trip () =
       Alcotest.(check (option (list (float 1e-12)))) "absent id" None
         (Baseline.find b' "E99/nope")
 
+let test_baseline_save_creates_parents () =
+  (* Regression: `check --update` on a fresh clone used to fail because
+     Baseline.save could not create the missing verdicts/ tree — it
+     must now build the parents and write atomically. *)
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "verdict_test_%d" (Unix.getpid ()))
+  in
+  let path = Filename.concat (Filename.concat dir "deep") "baseline.json" in
+  let b = Baseline.make ~mode:"quick" ~seed:1L [ ("E1/x", [ 1.0 ]) ] in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists path then Sys.remove path;
+      if Sys.file_exists (Filename.dirname path) then
+        Unix.rmdir (Filename.dirname path);
+      if Sys.file_exists dir then Unix.rmdir dir)
+    (fun () ->
+      Baseline.save path b;
+      match Baseline.load path with
+      | Error e -> Alcotest.failf "reload failed: %s" e
+      | Ok b' ->
+          Alcotest.(check (option (list (float 0.0)))) "entry survives"
+            (Some [ 1.0 ]) (Baseline.find b' "E1/x"))
+
 let test_baseline_rejects_duplicates () =
   Alcotest.check_raises "duplicate ids"
     (Invalid_argument "Baseline.make: duplicate claim id E1/x") (fun () ->
@@ -281,6 +306,8 @@ let () =
       ( "baseline",
         [
           Alcotest.test_case "round trip" `Quick test_baseline_round_trip;
+          Alcotest.test_case "save creates parents" `Quick
+            test_baseline_save_creates_parents;
           Alcotest.test_case "duplicate ids rejected" `Quick
             test_baseline_rejects_duplicates;
           Alcotest.test_case "bad schema rejected" `Quick
