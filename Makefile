@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke smoke chaos-smoke check-claims update-baseline update-baseline-full ci clean
+.PHONY: all build test bench bench-smoke smoke chaos-smoke serve-smoke check-claims update-baseline update-baseline-full ci clean
 
 all: build
 
@@ -60,6 +60,26 @@ chaos-smoke:
 	cmp artifacts/CHAOS_e2_clean.txt artifacts/CHAOS_e2_resumed.txt
 	grep -q '"checkpoint.chunks.restored": [1-9]' artifacts/CHAOS_metrics.json
 
+# The query service end to end. Leg 1: replay the committed 10k-query
+# file, concatenated to 100k, against the 3-world example manifest at
+# --jobs 1 and --jobs 4; answers and evidence/v1 must be byte-identical
+# and every claim in the evidence file must hold (each world built
+# exactly once, every admitted query answered). Leg 2: a traced run
+# over the small demo queries whose trace/v1 must replay exactly.
+serve-smoke:
+	mkdir -p artifacts
+	for i in 1 2 3 4 5 6 7 8 9 10; do cat examples/serve/queries-10k.jsonl; done > artifacts/SERVE_queries_100k.jsonl
+	dune exec bin/faultroute.exe -- serve --manifest examples/serve/session.json --queries artifacts/SERVE_queries_100k.jsonl --jobs 1 --out artifacts/SERVE_answers_j1.jsonl --evidence-out artifacts/SERVE_evidence_j1.json --metrics-out artifacts/SERVE_metrics.json
+	dune exec bin/faultroute.exe -- serve --manifest examples/serve/session.json --queries artifacts/SERVE_queries_100k.jsonl --jobs 4 --out artifacts/SERVE_answers_j4.jsonl --evidence-out artifacts/SERVE_evidence_j4.json
+	cmp artifacts/SERVE_answers_j1.jsonl artifacts/SERVE_answers_j4.jsonl
+	cmp artifacts/SERVE_evidence_j1.json artifacts/SERVE_evidence_j4.json
+	grep -q '"schema": "evidence/v1"' artifacts/SERVE_evidence_j1.json
+	grep -q '"worldpool.constructed": 3' artifacts/SERVE_metrics.json
+	dune exec bin/faultroute.exe -- evidence artifacts/SERVE_evidence_j1.json
+	dune exec bin/faultroute.exe -- serve --manifest examples/serve/session.json --queries examples/serve/queries.jsonl --trace artifacts/SERVE_trace.jsonl > /dev/null
+	head -1 artifacts/SERVE_trace.jsonl | grep -q '"schema": "trace/v1"'
+	dune exec bin/faultroute.exe -- trace artifacts/SERVE_trace.jsonl
+
 # EXPERIMENTS.md's verdict column, machine-checked: run the quick
 # catalog, evaluate every experiment's claims and compare the observed
 # values against the committed baseline. Exit 2 = a claim band is
@@ -75,7 +95,7 @@ update-baseline:
 update-baseline-full:
 	dune exec bin/faultroute.exe -- check --update
 
-ci: build test smoke chaos-smoke check-claims
+ci: build test smoke chaos-smoke serve-smoke check-claims
 
 clean:
 	dune clean

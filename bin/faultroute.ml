@@ -8,12 +8,18 @@
      route <topology> ...      one routing attempt with a chosen router
      census <topology> ...     component census of one percolated world
      threshold <topology> ...  bisect a critical probability
+     serve --manifest <file>   resident-world streamed JSONL query service
+     evidence <file>           validate an evidence/v1 summary
      trace <file>              replay a trace/v1 JSONL file and audit it
 
    Observability: [--trace FILE] streams probe-level trace/v1 JSONL,
    [--metrics-out FILE] writes the merged metrics/v1 counters, and
    [--strict-shortfall] turns under-sampled reports into exit code 3.
    All instrumentation is off (and free) unless a flag asks for it.
+   These recur across subcommands, so they travel as one [common]
+   record built by one shared cmdliner term (same flag names, docs and
+   defaults everywhere); the fault-tolerance flags travel likewise as a
+   [supervision] record.
 
    Fault tolerance (exp/all/check): [--retries N] and
    [--chunk-deadline S] arm the supervised worker pool, [--inject SPEC]
@@ -30,6 +36,28 @@
    name-matching of its own. A topology spec is NAME or NAME:SIZE. *)
 
 let default_seed = 0x5EEDL
+
+(* The flags shared by exp/all/check/route/simulate/serve, as data:
+   one record, one term (see [common_term] below), no per-subcommand
+   duplicates to drift apart. *)
+type common = {
+  seed : int64;
+  jobs : int;
+  trace : string option;
+  metrics_out : string option;
+  strict : bool;
+}
+
+(* The fault-tolerance flags of the campaign subcommands
+   (exp/all/check), likewise unified. *)
+type supervision = {
+  inject : string option;
+  fault_plan : string option;
+  checkpoint : string option;
+  resume : bool;
+  retries : int option;
+  deadline : float option;
+}
 
 let with_instance spec_string ~size stream k =
   match Topology.Registry.of_spec spec_string with
@@ -76,6 +104,12 @@ let with_observability ~trace ~metrics_out k =
         metrics_out)
     k
 
+(* Arm everything the [common] record asks for around a subcommand
+   body: the ambient job count, then tracing/metrics. *)
+let with_common common k =
+  Engine_par.Pool.set_default_jobs common.jobs;
+  with_observability ~trace:common.trace ~metrics_out:common.metrics_out k
+
 let strict_shortfall_exit ~strict reports =
   let short = List.filter Experiments.Report.has_shortfall reports in
   if strict && short <> [] then begin
@@ -95,8 +129,8 @@ let strict_shortfall_exit ~strict reports =
    succeeded. Unrecoverable losses (quarantined chunks, failed
    experiments) escalate the exit code to 5. *)
 
-let with_supervision ~inject ~fault_plan ~checkpoint ~resume ~retries ~deadline k
-    =
+let with_supervision { inject; fault_plan; checkpoint; resume; retries; deadline }
+    k =
   let plan =
     match (inject, fault_plan) with
     | Some spec, _ -> Result.map Option.some (Faultsim.Plan.of_spec spec)
@@ -213,53 +247,72 @@ let cmd_list () =
     Routing.Registry.entries;
   0
 
-let cmd_exp id quick seed jobs csv trace metrics_out strict inject fault_plan
-    checkpoint resume retries deadline =
+let cmd_exp id quick csv common supervision =
   match Experiments.Catalog.find id with
   | None ->
       Printf.eprintf "no experiment %S; see `faultroute list`\n" id;
       1
   | Some e ->
-      Engine_par.Pool.set_default_jobs jobs;
-      with_observability ~trace ~metrics_out @@ fun () ->
-      with_supervision ~inject ~fault_plan ~checkpoint ~resume ~retries
-        ~deadline
-      @@ fun () ->
-      let stream = Prng.Stream.create seed in
+      with_common common @@ fun () ->
+      with_supervision supervision @@ fun () ->
+      let stream = Prng.Stream.create common.seed in
       let report = e.Experiments.Catalog.run ~quick stream in
       if csv then
         List.iter
           (fun (caption, body) -> Printf.printf "# %s\n%s" caption body)
           (Experiments.Report.render_csv report)
       else Experiments.Report.print report;
-      strict_shortfall_exit ~strict [ report ]
+      strict_shortfall_exit ~strict:common.strict [ report ]
 
-let cmd_all quick seed jobs trace metrics_out strict inject fault_plan
-    checkpoint resume retries deadline =
-  Engine_par.Pool.set_default_jobs jobs;
-  with_observability ~trace ~metrics_out @@ fun () ->
-  with_supervision ~inject ~fault_plan ~checkpoint ~resume ~retries ~deadline
-  @@ fun () ->
-  let reports = Experiments.Catalog.run_all ~quick ~jobs ~seed () in
+let cmd_all quick common supervision =
+  with_common common @@ fun () ->
+  with_supervision supervision @@ fun () ->
+  let reports =
+    Experiments.Catalog.run_all ~quick ~jobs:common.jobs ~seed:common.seed ()
+  in
   List.iter
     (fun r ->
       Experiments.Report.print r;
       print_newline ())
     reports;
-  strict_shortfall_exit ~strict reports
+  strict_shortfall_exit ~strict:common.strict reports
 
 let default_baseline_path ~quick =
   if quick then "verdicts/baseline.json" else "verdicts/baseline-full.json"
 
-let cmd_check quick seed jobs baseline_path out update strict inject fault_plan
-    checkpoint resume retries deadline =
-  Engine_par.Pool.set_default_jobs jobs;
+(* Load evidence/v1 files named by [check --evidence] and turn each
+   into its machine-checkable claims; a file that fails to load or
+   validate is itself a failed check. *)
+let evidence_claims paths =
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | path :: rest -> (
+        match Serve.Evidence.load path with
+        | Error message -> Error (Printf.sprintf "%s: %s" path message)
+        | Ok evidence -> (
+            match Serve.Evidence.validate evidence with
+            | Error message -> Error (Printf.sprintf "%s: %s" path message)
+            | Ok () -> collect (Serve.Evidence.claims evidence @ acc) rest))
+  in
+  collect [] paths
+
+let cmd_check quick baseline_path out update evidence_files common supervision =
+  Engine_par.Pool.set_default_jobs common.jobs;
+  let seed = common.seed and jobs = common.jobs in
   let mode = if quick then "quick" else "full" in
   let path = Option.value baseline_path ~default:(default_baseline_path ~quick) in
-  with_supervision ~inject ~fault_plan ~checkpoint ~resume ~retries ~deadline
+  match evidence_claims evidence_files with
+  | Error message ->
+      Printf.eprintf "check: evidence %s\n" message;
+      Verdict.Exit_code.claim_fail
+  | Ok evidence_claims ->
+  with_supervision supervision
   @@ fun () ->
   let reports = Experiments.Catalog.run_all ~quick ~jobs ~seed () in
-  let claims = List.concat_map (fun r -> r.Experiments.Report.claims) reports in
+  let claims =
+    List.concat_map (fun r -> r.Experiments.Report.claims) reports
+    @ evidence_claims
+  in
   let baseline =
     if update then None
     else
@@ -289,7 +342,7 @@ let cmd_check quick seed jobs baseline_path out update strict inject fault_plan
       output_char oc '\n';
       close_out oc)
     out;
-  let shortfall = strict_shortfall_exit ~strict reports in
+  let shortfall = strict_shortfall_exit ~strict:common.strict reports in
   let code = Verdict.Engine.exit_code verdict in
   if update then
     if code = Verdict.Exit_code.claim_fail then begin
@@ -309,7 +362,8 @@ let cmd_check quick seed jobs baseline_path out update strict inject fault_plan
   else if shortfall <> Verdict.Exit_code.ok then shortfall
   else code
 
-let cmd_route topology size p seed source target router_name budget trace metrics_out =
+let cmd_route topology size p source target router_name budget common =
+  let seed = common.seed in
   let stream = Prng.Stream.create seed in
   with_instance topology ~size (Prng.Stream.split stream 0) @@ fun instance ->
   let graph = instance.Topology.Registry.graph in
@@ -325,7 +379,7 @@ let cmd_route topology size p seed source target router_name budget trace metric
       prerr_endline message;
       1
   | Ok router ->
-      with_observability ~trace ~metrics_out @@ fun () ->
+      with_common common @@ fun () ->
       (* The world's seed must come from its own split of the root
          stream, not the raw CLI seed: splits 0 and 1 already feed
          topology and router randomness, and reusing the root seed for
@@ -443,14 +497,15 @@ let cmd_mincut topology size seed source target =
     (String.concat ", " (List.map (fun (u, v) -> Printf.sprintf "(%d,%d)" u v) cut));
   0
 
-let cmd_simulate topology size p seed protocol_name source target max_rounds metrics_out =
+let cmd_simulate topology size p protocol_name source target max_rounds common =
+  let seed = common.seed in
   let stream = Prng.Stream.create seed in
   with_instance topology ~size stream @@ fun instance ->
   let graph = instance.Topology.Registry.graph in
   let world = Percolation.World.create graph ~p ~seed in
   let source = Option.value source ~default:0 in
   let target = Option.value target ~default:(graph.Topology.Graph.vertex_count - 1) in
-  with_observability ~trace:None ~metrics_out @@ fun () ->
+  with_common common @@ fun () ->
   Printf.printf "world: %s, p = %.4f, seed = %Ld; %s from %d to %d\n"
     graph.Topology.Graph.name p seed protocol_name source target;
   let describe metrics result =
@@ -559,6 +614,102 @@ let cmd_trace file =
           end
           else Verdict.Exit_code.claim_fail)
 
+let cmd_serve manifest queries out evidence_out common =
+  match Serve.Session.load ~default_seed:common.seed manifest with
+  | Error message ->
+      prerr_endline message;
+      Verdict.Exit_code.manifest_error
+  | Ok session -> (
+      with_common common @@ fun () ->
+      match Serve.Service.start session with
+      | Error message ->
+          prerr_endline message;
+          Verdict.Exit_code.manifest_error
+      | Ok service ->
+          let with_input k =
+            match queries with
+            | None -> Ok (k (Serve.Service.read_lines stdin))
+            | Some path -> (
+                match
+                  In_channel.with_open_bin path (fun ic ->
+                      k (Serve.Service.read_lines ic))
+                with
+                | outcome -> Ok outcome
+                | exception Sys_error message -> Error message)
+          in
+          let run_session read =
+            match out with
+            | None ->
+                let outcome =
+                  Serve.Service.serve service ~read ~write:print_string
+                in
+                flush stdout;
+                outcome
+            | Some path ->
+                Out_channel.with_open_bin path (fun oc ->
+                    Serve.Service.serve service ~read
+                      ~write:(Out_channel.output_string oc))
+          in
+          (match with_input run_session with
+          | Error message ->
+              prerr_endline message;
+              Verdict.Exit_code.error
+          | Ok { Serve.Service.evidence; overflowed } ->
+              Option.iter
+                (fun path ->
+                  Out_channel.with_open_bin path (fun oc ->
+                      Out_channel.output_string oc
+                        (Serve.Evidence.to_string evidence)))
+                evidence_out;
+              if overflowed then begin
+                Printf.eprintf
+                  "serve: admission cap %s reached, %d query line(s) rejected\n"
+                  (match evidence.Serve.Evidence.max_queries with
+                  | Some m -> string_of_int m
+                  | None -> "?")
+                  evidence.Serve.Evidence.rejected;
+                Verdict.Exit_code.queue_overflow
+              end
+              else Verdict.Exit_code.ok))
+
+let cmd_evidence file =
+  match Serve.Evidence.load file with
+  | Error message ->
+      prerr_endline message;
+      1
+  | Ok evidence -> (
+      match Serve.Evidence.validate evidence with
+      | Error message ->
+          Printf.eprintf "evidence: %s\n" message;
+          Verdict.Exit_code.claim_fail
+      | Ok () ->
+          Printf.printf
+            "evidence/v1: session %S, digest %s\n\
+             admitted %d, answered %d (malformed %d, errors %d), rejected %d\n\
+             probes %d across %d world(s)\n"
+            evidence.Serve.Evidence.session
+            evidence.Serve.Evidence.config_digest
+            evidence.Serve.Evidence.admitted evidence.Serve.Evidence.answered
+            evidence.Serve.Evidence.malformed evidence.Serve.Evidence.errors
+            evidence.Serve.Evidence.rejected evidence.Serve.Evidence.probes
+            (List.length evidence.Serve.Evidence.worlds);
+          let claims = Serve.Evidence.claims evidence in
+          let failed =
+            List.filter
+              (fun c -> not (Experiments.Claim.holds c))
+              claims
+          in
+          List.iter
+            (fun c ->
+              Printf.printf "%-6s %-28s %s (observed %s, want %s)\n"
+                (if Experiments.Claim.holds c then "OK" else "FAIL")
+                c.Experiments.Claim.id c.Experiments.Claim.description
+                (Experiments.Claim.describe_observed c)
+                (Experiments.Claim.describe_expected c))
+            claims;
+          if failed = [] then Verdict.Exit_code.ok
+          else Verdict.Exit_code.claim_fail)
+
 (* ------------------------------------------------------------------ *)
 (* Cmdliner wiring.                                                    *)
 
@@ -657,6 +808,26 @@ let jobs_arg =
     & opt positive_int (Engine_par.Pool.recommended_jobs ())
     & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+(* The shared flag records: every subcommand that takes [--seed],
+   [--jobs], [--trace], [--metrics-out] or [--strict-shortfall] gets
+   all of them from this one term, so names, docs and defaults cannot
+   diverge between subcommands. *)
+let common_term =
+  let make seed jobs trace metrics_out strict =
+    { seed; jobs; trace; metrics_out; strict }
+  in
+  Term.(
+    const make $ seed_arg $ jobs_arg $ trace_arg $ metrics_arg
+    $ strict_shortfall_arg)
+
+let supervision_term =
+  let make inject fault_plan checkpoint resume retries deadline =
+    { inject; fault_plan; checkpoint; resume; retries; deadline }
+  in
+  Term.(
+    const make $ inject_arg $ fault_plan_arg $ checkpoint_arg $ resume_arg
+    $ retries_arg $ deadline_arg)
+
 let topology_arg =
   Arg.(
     required
@@ -691,19 +862,13 @@ let exp_cmd =
   in
   Cmd.v
     (Cmd.info "exp" ~doc:"Run one experiment and print its report.")
-    Term.(
-      const cmd_exp $ id_arg $ quick_arg $ seed_arg $ jobs_arg $ csv_arg
-      $ trace_arg $ metrics_arg $ strict_shortfall_arg $ inject_arg
-      $ fault_plan_arg $ checkpoint_arg $ resume_arg $ retries_arg
-      $ deadline_arg)
+    Term.(const cmd_exp $ id_arg $ quick_arg $ csv_arg $ common_term
+          $ supervision_term)
 
 let all_cmd =
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment in the catalog.")
-    Term.(
-      const cmd_all $ quick_arg $ seed_arg $ jobs_arg $ trace_arg $ metrics_arg
-      $ strict_shortfall_arg $ inject_arg $ fault_plan_arg $ checkpoint_arg
-      $ resume_arg $ retries_arg $ deadline_arg)
+    Term.(const cmd_all $ quick_arg $ common_term $ supervision_term)
 
 let check_cmd =
   let baseline_arg =
@@ -724,6 +889,16 @@ let check_cmd =
     in
     Arg.(value & flag & info [ "update" ] ~doc)
   in
+  let evidence_arg =
+    let doc =
+      "Also gate on a serve session's $(b,evidence/v1) summary: the file must \
+       load, validate, and its claims (answered = admitted, outcome \
+       accounting, single construction, no overflow) join the evaluated set. \
+       Repeatable."
+    in
+    Arg.(
+      value & opt_all string [] & info [ "evidence" ] ~docv:"FILE" ~doc)
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
@@ -731,9 +906,8 @@ let check_cmd =
           when all claims hold and match the committed baseline, 2 on a failed \
           claim, 4 on drift (values moved while the claim still holds).")
     Term.(
-      const cmd_check $ quick_arg $ seed_arg $ jobs_arg $ baseline_arg $ out_arg
-      $ update_arg $ strict_shortfall_arg $ inject_arg $ fault_plan_arg
-      $ checkpoint_arg $ resume_arg $ retries_arg $ deadline_arg)
+      const cmd_check $ quick_arg $ baseline_arg $ out_arg $ update_arg
+      $ evidence_arg $ common_term $ supervision_term)
 
 let route_cmd =
   let source_arg =
@@ -763,8 +937,8 @@ let route_cmd =
   Cmd.v
     (Cmd.info "route" ~doc:"Run one routing attempt on one percolated world.")
     Term.(
-      const cmd_route $ topology_arg $ size_arg $ p_arg $ seed_arg $ source_arg
-      $ target_arg $ router_arg $ budget_arg $ trace_arg $ metrics_arg)
+      const cmd_route $ topology_arg $ size_arg $ p_arg $ source_arg
+      $ target_arg $ router_arg $ budget_arg $ common_term)
 
 let census_cmd =
   Cmd.v
@@ -807,8 +981,62 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a message-passing protocol on one percolated world.")
     Term.(
-      const cmd_simulate $ topology_arg $ size_arg $ p_arg $ seed_arg $ protocol_arg
-      $ source_arg $ target_arg $ rounds_arg $ metrics_arg)
+      const cmd_simulate $ topology_arg $ size_arg $ p_arg $ protocol_arg
+      $ source_arg $ target_arg $ rounds_arg $ common_term)
+
+let serve_cmd =
+  let manifest_arg =
+    let doc = "The $(b,session/v1) manifest: worlds, limits, query mix." in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "manifest" ] ~docv:"FILE" ~doc)
+  in
+  let queries_arg =
+    let doc =
+      "Replay newline-delimited JSON queries from $(docv) instead of stdin."
+    in
+    Arg.(value & opt (some string) None & info [ "queries" ] ~docv:"FILE" ~doc)
+  in
+  let out_arg =
+    let doc = "Write answer lines to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let evidence_arg =
+    let doc =
+      "Write the session's $(b,evidence/v1) summary to $(docv) (gate it with \
+       $(b,faultroute check --evidence))."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "evidence-out" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Load a session/v1 manifest into a resident world pool (each world \
+          built exactly once) and answer newline-delimited JSON queries \
+          (route, reveal, cluster, stats) from stdin or a replay file, \
+          sharding batches across worker domains. Answers, evidence and \
+          trace bytes are identical for every --jobs value. Exit 6 on a \
+          manifest error, 7 when the admission cap rejected queries.")
+    Term.(
+      const cmd_serve $ manifest_arg $ queries_arg $ out_arg $ evidence_arg
+      $ common_term)
+
+let evidence_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"An evidence/v1 summary written by serve --evidence-out.")
+  in
+  Cmd.v
+    (Cmd.info "evidence"
+       ~doc:
+         "Validate an evidence/v1 summary: schema, internal accounting, and \
+          its machine-checkable claims. Exit 2 when any check fails.")
+    Term.(const cmd_evidence $ file_arg)
 
 let trace_cmd =
   let file_arg =
@@ -859,6 +1087,8 @@ let () =
         threshold_cmd;
         simulate_cmd;
         mincut_cmd;
+        serve_cmd;
+        evidence_cmd;
         trace_cmd;
       ]
   in

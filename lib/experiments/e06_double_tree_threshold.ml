@@ -47,7 +47,7 @@ let run ?(quick = false) stream =
           let substream = Prng.Stream.split stream ((n_index * 100) + p_index) in
           let rate =
             Percolation.Threshold.success_rate substream ~trials ~event:(fun ~seed ->
-                let world = Percolation.World.create graph ~p ~seed in
+                let world = Worldpool.build graph ~p ~seed in
                 match Percolation.Reveal.connected world x y with
                 | Percolation.Reveal.Connected _ -> true
                 | Percolation.Reveal.Disconnected | Percolation.Reveal.Unknown -> false)

@@ -30,7 +30,7 @@ let run ?(quick = false) stream =
       let giants = ref 0 in
       for w = 1 to worlds do
         let seed = Prng.Coin.derive (Prng.Stream.seed substream) w in
-        let world = Percolation.World.create graph ~p ~seed in
+        let world = Worldpool.build graph ~p ~seed in
         let census = Percolation.Clusters.census world in
         giant_fracs :=
           Stats.Summary.add !giant_fracs (Percolation.Clusters.giant_fraction census);

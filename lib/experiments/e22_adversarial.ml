@@ -61,7 +61,7 @@ let run ?(quick = false) stream =
           for trial = 1 to trials do
             (* Base world fault-free: isolate the adversary's effect. *)
             let base =
-              Percolation.World.create graph ~p:1.0
+              Worldpool.build graph ~p:1.0
                 ~seed:(Prng.Coin.derive (Prng.Stream.seed substream) trial)
             in
             let attacked =

@@ -1,0 +1,94 @@
+(** Keyed, size-gated construction and lookup of percolation worlds —
+    the seam between "what world" and "who builds it".
+
+    Historically every consumer built its own worlds inline
+    ([Percolation.World.create] calls scattered through [Trial] and the
+    experiment files), so a world lived exactly as long as one trial
+    attempt and could never be reused. This module makes worlds
+    first-class resources:
+
+    - {!build} / {!detached} are the {e one-shot} constructors: the
+      blessed replacement for direct [World.create] calls in experiment
+      code (those are deprecated — see DESIGN.md §7's migration note).
+      No locking, no retention; exactly the old cost profile.
+    - {!create} / {!get} / {!provider} are the {e resident pool}: each
+      distinct [(graph, p, seed, site_p)] key is constructed at most
+      once, {!Percolation.World.prefill}ed so the world is genuinely
+      immutable, and then shared — including across domains, which the
+      prefill makes safe. [faultroute serve] keeps its session worlds
+      here and answers every query against the same resident objects.
+
+    {2 Size gate}
+
+    Pooling pays when the world carries a materialised cache. Graphs
+    too large for {!Percolation.World.cache_gate} get lazy worlds —
+    O(1) memory, pure-function queries, nothing to share — so {!get}
+    builds those per call and never retains them (they are {e already}
+    safe to share; there is just nothing to save by doing so).
+
+    {2 Eviction and accounting}
+
+    The pool holds at most [capacity] worlds (default
+    {!default_capacity}); inserting past that evicts the oldest key
+    (FIFO — deterministic, no clock). Evicted worlds stay valid for
+    whoever holds them; only the pool's reference is dropped.
+    {!stats} / {!metrics_snapshot} expose constructions, hits and
+    evictions — [worldpool.constructed] is how [make serve-smoke]
+    proves each manifest world was built exactly once. *)
+
+type t
+(** A resident pool. Thread-safe: one mutex guards the table, and
+    every retained world is prefilled before it becomes visible. *)
+
+type provider = seed:int64 -> Percolation.World.t
+(** How {!Trial} (and anything else that samples worlds) obtains one:
+    a function of the seed alone, everything else fixed up front. A
+    provider must be observationally equal to
+    [World.create graph ~p ~seed] for its [(graph, p)] — pool-backed
+    and detached providers both are — because checkpoint keys and
+    report bytes assume world states are a pure function of
+    [(graph, p, seed)]. *)
+
+val default_capacity : int
+(** 64 resident worlds. *)
+
+val create : ?capacity:int -> unit -> t
+(** An empty pool.
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val build :
+  ?site_p:float -> Topology.Graph.t -> p:float -> seed:int64 -> Percolation.World.t
+(** One-shot construction — [Percolation.World.create], centralised.
+    Use this (or {!detached}) instead of calling [World.create]
+    directly from experiment code. *)
+
+val detached : ?site_p:float -> Topology.Graph.t -> p:float -> provider
+(** [detached graph ~p] is the unpooled provider: every call
+    constructs a fresh single-use world. {!Trial.spec}'s default. *)
+
+val get :
+  ?site_p:float ->
+  t ->
+  Topology.Graph.t ->
+  p:float ->
+  seed:int64 ->
+  Percolation.World.t
+(** The resident world for [(graph, p, seed, site_p)], constructing
+    (and prefilling) it on first request. Worlds above the cache gate
+    are built per call and not retained. *)
+
+val provider : ?site_p:float -> t -> Topology.Graph.t -> p:float -> provider
+(** [provider pool graph ~p] is [fun ~seed -> get pool graph ~p ~seed]. *)
+
+type stats = {
+  resident : int;  (** Worlds currently retained. *)
+  constructed : int;  (** Constructions performed (pooled or gated-out). *)
+  hits : int;  (** Requests served from the table. *)
+  evicted : int;  (** Worlds dropped by the capacity bound. *)
+}
+
+val stats : t -> stats
+
+val metrics_snapshot : t -> Obs.Metrics.snapshot
+(** [worldpool.constructed] / [.hits] / [.evicted] / [.resident]
+    counters for a [metrics/v1] document. *)

@@ -215,6 +215,21 @@ let iter_open_neighbors t v f =
         if is_open t v w then f w
       done
 
+(* Force the whole coin cache in one pass: every site coin, every edge
+   coin, every adjacency list. After this no query path writes to the
+   cache (every [probed] bit is set and every [adj] slot is [Some]), so
+   the world can be read concurrently from any number of domains.
+   Worlds above the cache gate have no cache to force — their queries
+   re-evaluate the pure coin function and are already write-free. *)
+let prefill t =
+  match t.cache with
+  | None -> ()
+  | Some c ->
+      for v = 0 to t.graph.Topology.Graph.vertex_count - 1 do
+        ignore (vertex_alive_coin t v);
+        ignore (coin_adj t c v)
+      done
+
 let open_degree t v =
   let count = ref 0 in
   iter_open_neighbors t v (fun _ -> incr count);

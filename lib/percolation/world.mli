@@ -98,6 +98,16 @@ val vertex_alive : t -> int -> bool
     bond-only world). A dead vertex has every incident edge closed.
     @raise Invalid_argument if the vertex is out of range. *)
 
+val prefill : t -> unit
+(** Force the entire coin cache: flip every site and edge coin and
+    materialise every vertex's open-adjacency list in one pass. After
+    [prefill] no query writes to the cache, so the world is genuinely
+    immutable and can be shared read-only across domains — the
+    contract resident pools ({!Experiments.Worldpool}, [faultroute
+    serve]) rely on. No-op on lazy (uncached) worlds, whose queries
+    are already write-free. Observable states are unchanged: prefill
+    evaluates the same pure coin function queries would. *)
+
 val is_open : t -> int -> int -> bool
 (** [is_open w u v] is the state of edge [{u,v}].
     @raise Topology.Graph.Not_an_edge if they are not adjacent. *)

@@ -1,0 +1,218 @@
+module J = Obs.Json
+
+type world_row = { wid : string; constructed : int; queries : int; probes : int }
+
+type t = {
+  session : string;
+  config_digest : string;
+  queue : int;
+  max_queries : int option;
+  admitted : int;
+  answered : int;
+  malformed : int;
+  errors : int;
+  rejected : int;
+  probes : int;
+  outcomes : (string * int) list;
+  worlds : world_row list;
+}
+
+let schema = "evidence/v1"
+
+let outcome_keys =
+  [
+    "budget_exceeded"; "cluster"; "connected"; "disconnected"; "error";
+    "found"; "malformed"; "no_path"; "stats"; "unknown";
+  ]
+
+let ( let* ) = Result.bind
+let err fmt = Printf.ksprintf (fun m -> Error ("evidence/v1: " ^ m)) fmt
+
+let world_to_json w =
+  J.Obj
+    [
+      ("id", J.String w.wid);
+      ("constructed", J.Int w.constructed);
+      ("queries", J.Int w.queries);
+      ("probes", J.Int w.probes);
+    ]
+
+let to_json t =
+  J.Obj
+    [
+      ("schema", J.String schema);
+      ("session", J.String t.session);
+      ("config_digest", J.String t.config_digest);
+      ("queue", J.Int t.queue);
+      ( "max_queries",
+        match t.max_queries with None -> J.Null | Some n -> J.Int n );
+      ("admitted", J.Int t.admitted);
+      ("answered", J.Int t.answered);
+      ("malformed", J.Int t.malformed);
+      ("errors", J.Int t.errors);
+      ("rejected", J.Int t.rejected);
+      ("probes", J.Int t.probes);
+      ("outcomes", J.Obj (List.map (fun (k, n) -> (k, J.Int n)) t.outcomes));
+      ("worlds", J.List (List.map world_to_json t.worlds));
+    ]
+
+let to_string t = J.to_string (to_json t) ^ "\n"
+
+let int_field json name =
+  match Option.bind (J.member name json) J.to_int with
+  | Some i -> Ok i
+  | None -> err "missing integer field %S" name
+
+let str_field json name =
+  match Option.bind (J.member name json) J.to_str with
+  | Some s -> Ok s
+  | None -> err "missing string field %S" name
+
+let world_of_json json =
+  let* wid = str_field json "id" in
+  let* constructed = int_field json "constructed" in
+  let* queries = int_field json "queries" in
+  let* probes = int_field json "probes" in
+  Ok { wid; constructed; queries; probes }
+
+let of_json json =
+  match json with
+  | J.Obj _ ->
+      let* () =
+        match Option.bind (J.member "schema" json) J.to_str with
+        | Some s when s = schema -> Ok ()
+        | Some s -> err "unsupported schema %S (want %S)" s schema
+        | None -> err "missing string field \"schema\""
+      in
+      let* session = str_field json "session" in
+      let* config_digest = str_field json "config_digest" in
+      let* queue = int_field json "queue" in
+      let* max_queries =
+        match J.member "max_queries" json with
+        | None | Some J.Null -> Ok None
+        | Some v -> (
+            match J.to_int v with
+            | Some n -> Ok (Some n)
+            | None -> err "max_queries must be an integer or null")
+      in
+      let* admitted = int_field json "admitted" in
+      let* answered = int_field json "answered" in
+      let* malformed = int_field json "malformed" in
+      let* errors = int_field json "errors" in
+      let* rejected = int_field json "rejected" in
+      let* probes = int_field json "probes" in
+      let* outcomes =
+        match J.member "outcomes" json with
+        | Some (J.Obj fields) ->
+            let rec collect acc = function
+              | [] -> Ok (List.rev acc)
+              | (k, J.Int n) :: rest -> collect ((k, n) :: acc) rest
+              | (k, _) :: _ -> err "outcome %S must be an integer" k
+            in
+            collect [] fields
+        | _ -> err "missing object field \"outcomes\""
+      in
+      let* worlds =
+        match J.member "worlds" json with
+        | Some (J.List entries) ->
+            let rec collect acc = function
+              | [] -> Ok (List.rev acc)
+              | w :: rest ->
+                  let* row = world_of_json w in
+                  collect (row :: acc) rest
+            in
+            collect [] entries
+        | _ -> err "missing list field \"worlds\""
+      in
+      Ok
+        {
+          session; config_digest; queue; max_queries; admitted; answered;
+          malformed; errors; rejected; probes; outcomes; worlds;
+        }
+  | _ -> err "evidence must be a JSON object"
+
+let of_string text =
+  match J.of_string text with
+  | Error e -> err "%s" e
+  | Ok json -> of_json json
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error e -> err "cannot read %s: %s" path e
+
+let outcome_sum t = List.fold_left (fun acc (_, n) -> acc + n) 0 t.outcomes
+
+let validate t =
+  let* () =
+    if List.map fst t.outcomes <> outcome_keys then
+      err "outcome histogram keys differ from the fixed domain"
+    else Ok ()
+  in
+  let all_counts =
+    [ t.admitted; t.answered; t.malformed; t.errors; t.rejected; t.probes ]
+    @ List.map snd t.outcomes
+    @ List.concat_map
+        (fun (w : world_row) -> [ w.constructed; w.queries; w.probes ])
+        t.worlds
+  in
+  let* () =
+    if List.exists (fun n -> n < 0) all_counts then err "negative count"
+    else Ok ()
+  in
+  let* () =
+    if t.answered <> t.admitted then
+      err "answered (%d) <> admitted (%d)" t.answered t.admitted
+    else Ok ()
+  in
+  let* () =
+    let sum = outcome_sum t in
+    if sum <> t.answered then
+      err "outcome histogram sums to %d, answered is %d" sum t.answered
+    else Ok ()
+  in
+  let* () =
+    if List.sort compare (List.map (fun w -> w.wid) t.worlds)
+       <> List.map (fun w -> w.wid) t.worlds
+    then err "world rows not sorted by id"
+    else Ok ()
+  in
+  let* () =
+    match List.find_opt (fun w -> w.constructed > 1) t.worlds with
+    | Some w -> err "world %S constructed %d times" w.wid w.constructed
+    | None -> Ok ()
+  in
+  let world_probes =
+    List.fold_left (fun acc (w : world_row) -> acc + w.probes) 0 t.worlds
+  in
+  if world_probes <> t.probes then
+    err "world probe totals sum to %d, session total is %d" world_probes
+      t.probes
+  else Ok ()
+
+(* Claim ids are "serve:NAME/slug"; the verdict engine groups by the
+   prefix before '/', so session names containing '/' are flattened. *)
+let claims t =
+  let prefix =
+    "serve:" ^ String.map (fun c -> if c = '/' then '_' else c) t.session
+  in
+  let id slug = prefix ^ "/" ^ slug in
+  let max_constructed =
+    List.fold_left (fun acc w -> max acc w.constructed) 0 t.worlds
+  in
+  [
+    Experiments.Claim.band ~id:(id "answered")
+      ~description:"every admitted query was answered" ~lo:0.0 ~hi:0.0
+      (float_of_int (t.answered - t.admitted));
+    Experiments.Claim.band ~id:(id "accounting")
+      ~description:"outcome histogram accounts for every answer" ~lo:0.0
+      ~hi:0.0
+      (float_of_int (outcome_sum t - t.answered));
+    Experiments.Claim.ceiling ~id:(id "construction")
+      ~description:"each manifest world was constructed at most once"
+      ~max:1.0
+      (float_of_int max_constructed);
+    Experiments.Claim.ceiling ~id:(id "overflow")
+      ~description:"no queries rejected by the admission cap" ~max:0.0
+      (float_of_int t.rejected);
+  ]

@@ -1,0 +1,57 @@
+(** The [evidence/v1] summary a serve session leaves behind.
+
+    One JSON object per session: how many queries were admitted,
+    answered, malformed, rejected; the outcome histogram; per-world
+    query/probe/construction counts; and the manifest's config digest.
+    Every field is an integer aggregate in a fixed sort order, so the
+    file is byte-identical for any [--jobs] and any queue capacity —
+    the artifact [faultroute check --evidence] gates on. *)
+
+type world_row = {
+  wid : string;
+  constructed : int;  (** Worlds built for this id — must be 0 or 1. *)
+  queries : int;  (** Queries answered against this world. *)
+  probes : int;  (** Distinct oracle probes charged to them. *)
+}
+
+type t = {
+  session : string;
+  config_digest : string;  (** {!Session.digest} of the manifest. *)
+  queue : int;
+  max_queries : int option;
+  admitted : int;  (** Input lines accepted into the session. *)
+  answered : int;  (** Answers emitted — equals [admitted]. *)
+  malformed : int;  (** Protocol-error answers among them. *)
+  errors : int;  (** Semantic-error answers among them. *)
+  rejected : int;  (** Lines refused by the admission cap. *)
+  probes : int;  (** Total distinct probes across all worlds. *)
+  outcomes : (string * int) list;
+      (** Histogram over {!outcome_keys}, every key present, sorted. *)
+  worlds : world_row list;  (** Sorted by [wid]. *)
+}
+
+val schema : string
+(** ["evidence/v1"]. *)
+
+val outcome_keys : string list
+(** The fixed histogram domain, sorted: [budget_exceeded], [cluster],
+    [connected], [disconnected], [error], [found], [malformed],
+    [no_path], [stats], [unknown]. *)
+
+val to_json : t -> Obs.Json.t
+val to_string : t -> string
+(** Compact canonical JSON, trailing newline — the file bytes. *)
+
+val of_json : Obs.Json.t -> (t, string) result
+val of_string : string -> (t, string) result
+val load : string -> (t, string) result
+
+val validate : t -> (unit, string) result
+(** Internal consistency: [answered = admitted], the outcome histogram
+    sums to [answered], per-world constructions are 0 or 1, world
+    probe/query totals match the session totals, no negative counts. *)
+
+val claims : t -> Experiments.Claim.t list
+(** The session's machine-checkable assertions, for the verdict
+    engine: answered-equals-admitted, outcome accounting, each world
+    constructed at most once, nothing rejected by admission. *)

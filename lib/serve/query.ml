@@ -1,0 +1,70 @@
+module J = Obs.Json
+
+type op =
+  | Route of { source : int; target : int; router : string; budget : int option }
+  | Reveal of { source : int; target : int; limit : int option }
+  | Cluster of { vertex : int; limit : int option }
+  | Stats
+
+type t = { qid : J.t; world : string option; op : op }
+
+let op_name = function
+  | Route _ -> "route"
+  | Reveal _ -> "reveal"
+  | Cluster _ -> "cluster"
+  | Stats -> "stats"
+
+let ( let* ) = Result.bind
+
+let int_field json name =
+  match Option.bind (J.member name json) J.to_int with
+  | Some i when i >= 0 -> Ok i
+  | Some i -> Error (Printf.sprintf "field %S = %d must be >= 0" name i)
+  | None -> Error (Printf.sprintf "missing integer field %S" name)
+
+let opt_cap json name =
+  match J.member name json with
+  | None | Some J.Null -> Ok None
+  | Some v -> (
+      match J.to_int v with
+      | Some i when i >= 1 -> Ok (Some i)
+      | Some i -> Error (Printf.sprintf "field %S = %d must be >= 1" name i)
+      | None -> Error (Printf.sprintf "field %S must be a positive integer" name))
+
+let parse line =
+  match J.of_string line with
+  | Error e -> Error e
+  | Ok (J.Obj _ as json) ->
+      let qid = Option.value (J.member "id" json) ~default:J.Null in
+      let world = Option.bind (J.member "world" json) J.to_str in
+      let* op =
+        match Option.bind (J.member "op" json) J.to_str with
+        | Some "route" ->
+            let* source = int_field json "source" in
+            let* target = int_field json "target" in
+            let router =
+              match Option.bind (J.member "router" json) J.to_str with
+              | Some r -> r
+              | None -> "bfs"
+            in
+            let* budget = opt_cap json "budget" in
+            Ok (Route { source; target; router; budget })
+        | Some "reveal" ->
+            let* source = int_field json "source" in
+            let* target = int_field json "target" in
+            let* limit = opt_cap json "limit" in
+            Ok (Reveal { source; target; limit })
+        | Some "cluster" ->
+            let* vertex = int_field json "vertex" in
+            let* limit = opt_cap json "limit" in
+            Ok (Cluster { vertex; limit })
+        | Some "stats" -> Ok Stats
+        | Some op -> Error (Printf.sprintf "unknown op %S" op)
+        | None -> Error "missing string field \"op\""
+      in
+      (match op with
+      | Stats -> Ok { qid; world; op }
+      | _ when world = None ->
+          Error (Printf.sprintf "op %S requires a \"world\" field" (op_name op))
+      | _ -> Ok { qid; world; op })
+  | Ok _ -> Error "query must be a JSON object"

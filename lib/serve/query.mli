@@ -1,0 +1,40 @@
+(** One line of the serve wire protocol: a JSON query.
+
+    A query is a single-line JSON object:
+    [{"id": ..., "op": "route", "world": "w0", "source": 3, "target": 9,
+      "router": "bfs", "budget": 200}].
+
+    [id] is free-form JSON echoed back verbatim in the answer (clients
+    correlate; the service never interprets it). [op] selects the
+    operation; [world] names a manifest world and is required for every
+    op except [stats]. Optional caps ([budget], [limit]) fall back to
+    the session's limits. *)
+
+type op =
+  | Route of {
+      source : int;
+      target : int;
+      router : string;  (** Routing registry name; default ["bfs"]. *)
+      budget : int option;
+    }
+  | Reveal of { source : int; target : int; limit : int option }
+      (** Ground-truth connectivity [source ~ target]. *)
+  | Cluster of { vertex : int; limit : int option }
+      (** Open-cluster size of [vertex]. *)
+  | Stats  (** Session counters so far; forces a queue flush. *)
+
+type t = {
+  qid : Obs.Json.t;  (** Echoed back; [Null] when absent. *)
+  world : string option;
+  op : op;
+}
+
+val op_name : op -> string
+(** The wire name: ["route"], ["reveal"], ["cluster"], ["stats"]. *)
+
+val parse : string -> (t, string) result
+(** Parse one line. Errors are protocol-level (malformed JSON, unknown
+    op, missing/mistyped fields); the service answers them with an
+    error object instead of dying. Semantic errors (unknown world,
+    vertex out of range, inapplicable router) are {e not} detected
+    here — they need the session. *)

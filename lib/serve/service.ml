@@ -1,0 +1,536 @@
+module J = Obs.Json
+
+type resident = {
+  wspec : Session.world_spec;
+  instance : Topology.Registry.instance;
+  world : Percolation.World.t;
+  constructed : bool;
+}
+
+type t = {
+  sess : Session.t;
+  residents : resident list;  (* manifest order *)
+  by_id : (string, resident) Hashtbl.t;
+  root : Prng.Stream.t;
+  pool : Experiments.Worldpool.t;
+}
+
+let session t = t.sess
+
+let start ?pool (sess : Session.t) =
+  let pool =
+    match pool with
+    | Some p -> p
+    | None ->
+        Experiments.Worldpool.create
+          ~capacity:
+            (max Experiments.Worldpool.default_capacity
+               (List.length sess.Session.worlds))
+          ()
+  in
+  let build (w : Session.world_spec) =
+    match Topology.Registry.of_spec w.Session.topology with
+    | Error e -> Error (Printf.sprintf "world %S: %s" w.Session.wid e)
+    | Ok spec -> (
+        let size = Option.value spec.Topology.Registry.size ~default:0 in
+        let stream = Prng.Stream.split (Prng.Stream.create w.Session.seed) 0 in
+        match Topology.Registry.build spec ~default_size:size stream with
+        | exception Invalid_argument m ->
+            Error (Printf.sprintf "world %S: %s" w.Session.wid m)
+        | instance ->
+            let before =
+              (Experiments.Worldpool.stats pool).Experiments.Worldpool.constructed
+            in
+            let world =
+              Experiments.Worldpool.get ?site_p:w.Session.site_p pool
+                instance.Topology.Registry.graph ~p:w.Session.p
+                ~seed:w.Session.seed
+            in
+            let after =
+              (Experiments.Worldpool.stats pool).Experiments.Worldpool.constructed
+            in
+            Ok { wspec = w; instance; world; constructed = after > before })
+  in
+  let rec build_all acc = function
+    | [] -> Ok (List.rev acc)
+    | w :: rest -> (
+        match build w with
+        | Error _ as e -> e
+        | Ok r -> build_all (r :: acc) rest)
+  in
+  match build_all [] sess.Session.worlds with
+  | Error e -> Error e
+  | Ok residents ->
+      let by_id = Hashtbl.create 16 in
+      List.iter (fun r -> Hashtbl.replace by_id r.wspec.Session.wid r) residents;
+      Ok { sess; residents; by_id; root = Prng.Stream.create sess.Session.seed; pool }
+
+(* ------------------------------------------------------------------ *)
+(* Per-query evaluation — pure in (session, qindex, item), runs on
+   worker domains. Resident worlds are prefilled, so reads are
+   write-free; everything else is query-local. *)
+
+type item = Bad of { qid : J.t; error : string } | Ask of Query.t
+
+type acct = {
+  ok_world : string option;  (* counted world, ok answers only *)
+  outcome : string;  (* one of Evidence.outcome_keys *)
+  probes : int;
+  accepted : bool;  (* emitted a trace Accept terminal *)
+  record : Obs.Trace.record option;
+  metrics : Obs.Metrics.snapshot option;
+}
+
+let silent_acct outcome =
+  {
+    ok_world = None;
+    outcome;
+    probes = 0;
+    accepted = false;
+    record = None;
+    metrics = None;
+  }
+
+let json_opt = function None -> J.Null | Some s -> J.String s
+
+let error_answer ~qid ~op ~world ~outcome msg =
+  J.to_string
+    (J.Obj
+       [
+         ("id", qid); ("op", op); ("world", world); ("ok", J.Bool false);
+         ("outcome", J.String outcome); ("error", J.String msg);
+       ])
+  ^ "\n"
+
+let ok_answer ~qid ~op ~world fields =
+  J.to_string
+    (J.Obj
+       ([ ("id", qid); ("op", J.String op); ("world", world);
+          ("ok", J.Bool true) ]
+       @ fields))
+  ^ "\n"
+
+(* Run [f] under this query's trace ring and metrics registry; [f]
+   emits its own terminal events and returns the tallied answer. *)
+let observed ~qindex f =
+  let with_metrics g =
+    if Obs.Metrics.on () then (
+      let registry = Obs.Metrics.create () in
+      let v = Obs.Metrics.with_ambient registry g in
+      (v, Some (Obs.Metrics.snapshot registry)))
+    else (g (), None)
+  in
+  if Obs.Trace.on () then
+    let (v, snapshot), record =
+      Obs.Trace.capture ~index:qindex (fun () ->
+          with_metrics (fun () ->
+              Obs.Trace.emit (Obs.Trace.Attempt_start { index = qindex });
+              f ()))
+    in
+    (v, snapshot, Some record)
+  else
+    let v, snapshot = with_metrics (fun () -> f ()) in
+    (v, snapshot, None)
+
+let eval t ~qindex item =
+  match item with
+  | Bad { qid; error } ->
+      ( error_answer ~qid ~op:J.Null ~world:J.Null ~outcome:"malformed" error,
+        silent_acct "malformed" )
+  | Ask q -> (
+      let qid = q.Query.qid in
+      let opn = Query.op_name q.Query.op in
+      let wfield = json_opt q.Query.world in
+      let fail msg =
+        ( error_answer ~qid ~op:(J.String opn) ~world:wfield ~outcome:"error"
+            msg,
+          silent_acct "error" )
+      in
+      if not (Session.allows t.sess opn) then
+        fail (Printf.sprintf "op %S is not in the session query mix" opn)
+      else
+        let resident =
+          match q.Query.world with
+          | None -> Error "missing \"world\""
+          | Some wid -> (
+              match Hashtbl.find_opt t.by_id wid with
+              | Some r -> Ok r
+              | None -> Error (Printf.sprintf "unknown world %S" wid))
+        in
+        match (q.Query.op, resident) with
+        | Query.Stats, _ ->
+            (* Valid stats queries are answered sequentially by the
+               serve loop; reaching here means the mix allowed it but
+               the loop did not intercept — a service bug, answered
+               (deterministically) rather than asserted. *)
+            fail "stats queries are answered by the session loop"
+        | _, Error msg -> fail msg
+        | op, Ok r -> (
+            let n = r.instance.Topology.Registry.graph.Topology.Graph.vertex_count in
+            let check name v =
+              if v < n then Ok ()
+              else
+                Error
+                  (Printf.sprintf "%s %d out of range (world has %d vertices)"
+                     name v n)
+            in
+            let stream = Prng.Stream.split t.root qindex in
+            let wid = r.wspec.Session.wid in
+            let default_limit = t.sess.Session.limits.Session.reveal_limit in
+            match op with
+            | Query.Stats -> assert false (* handled above *)
+            | Query.Route { source; target; router; budget } -> (
+                match
+                  match check "source" source with
+                  | Error _ as e -> e
+                  | Ok () -> (
+                      match check "target" target with
+                      | Error _ as e -> e
+                      | Ok () -> (
+                          match Routing.Registry.of_spec router with
+                          | Error _ as e -> e
+                          | Ok entry ->
+                              entry.Routing.Registry.build
+                                ~instance:r.instance ~source ~target stream))
+                with
+                | Error msg -> fail msg
+                | Ok router_t -> (
+                    let result, metrics, record =
+                      observed ~qindex (fun () ->
+                          match
+                            Routing.Router.run ?budget router_t r.world
+                              ~source ~target
+                          with
+                          | outcome ->
+                              (match outcome with
+                              | Routing.Outcome.Found { path; probes; _ } ->
+                                  Obs.Trace.emit
+                                    (Obs.Trace.Accept
+                                       {
+                                         distance = List.length path - 1;
+                                         probes;
+                                       })
+                              | Routing.Outcome.No_path _ ->
+                                  Obs.Trace.emit
+                                    (Obs.Trace.Reject
+                                       { reason = Obs.Trace.Disconnected })
+                              | Routing.Outcome.Budget_exceeded _ -> ());
+                              Ok outcome
+                          | exception Routing.Router.Invalid_route { router; _ }
+                            ->
+                              Error
+                                (Printf.sprintf
+                                   "router %S returned an invalid route"
+                                   router))
+                    in
+                    match result with
+                    | Error msg ->
+                        let line, acct = fail msg in
+                        (line, { acct with record; metrics })
+                    | Ok outcome ->
+                        let probes = Routing.Outcome.probes outcome in
+                        let key, fields, accepted =
+                          match outcome with
+                          | Routing.Outcome.Found { path; _ } ->
+                              ( "found",
+                                [ ("probes", J.Int probes);
+                                  ("path_len", J.Int (List.length path - 1)) ],
+                                true )
+                          | Routing.Outcome.No_path _ ->
+                              ("no_path", [ ("probes", J.Int probes) ], false)
+                          | Routing.Outcome.Budget_exceeded _ ->
+                              ( "budget_exceeded",
+                                [ ("probes", J.Int probes) ],
+                                false )
+                        in
+                        ( ok_answer ~qid ~op:opn ~world:wfield
+                            (("outcome", J.String key) :: fields),
+                          {
+                            ok_world = Some wid;
+                            outcome = key;
+                            probes;
+                            accepted;
+                            record;
+                            metrics;
+                          } )))
+            | Query.Reveal { source; target; limit } -> (
+                match
+                  match check "source" source with
+                  | Error _ as e -> e
+                  | Ok () -> check "target" target
+                with
+                | Error msg -> fail msg
+                | Ok () ->
+                    let limit =
+                      match limit with Some _ -> limit | None -> default_limit
+                    in
+                    let verdict, metrics, record =
+                      observed ~qindex (fun () ->
+                          let v =
+                            Percolation.Reveal.connected ?limit r.world source
+                              target
+                          in
+                          (match v with
+                          | Percolation.Reveal.Connected d ->
+                              Obs.Trace.emit
+                                (Obs.Trace.Accept { distance = d; probes = 0 })
+                          | Percolation.Reveal.Disconnected ->
+                              Obs.Trace.emit
+                                (Obs.Trace.Reject
+                                   { reason = Obs.Trace.Disconnected })
+                          | Percolation.Reveal.Unknown ->
+                              Obs.Trace.emit
+                                (Obs.Trace.Reject
+                                   { reason = Obs.Trace.Reveal_limit }));
+                          v)
+                    in
+                    let key, fields, accepted =
+                      match verdict with
+                      | Percolation.Reveal.Connected d ->
+                          ("connected", [ ("distance", J.Int d) ], true)
+                      | Percolation.Reveal.Disconnected ->
+                          ("disconnected", [], false)
+                      | Percolation.Reveal.Unknown -> ("unknown", [], false)
+                    in
+                    ( ok_answer ~qid ~op:opn ~world:wfield
+                        (("outcome", J.String key) :: fields),
+                      {
+                        ok_world = Some wid;
+                        outcome = key;
+                        probes = 0;
+                        accepted;
+                        record;
+                        metrics;
+                      } ))
+            | Query.Cluster { vertex; limit } -> (
+                match check "vertex" vertex with
+                | Error msg -> fail msg
+                | Ok () ->
+                    let limit =
+                      match limit with Some _ -> limit | None -> default_limit
+                    in
+                    let (size, truncated), metrics, record =
+                      observed ~qindex (fun () ->
+                          Percolation.Reveal.cluster_size ?limit r.world vertex)
+                    in
+                    ( ok_answer ~qid ~op:opn ~world:wfield
+                        [
+                          ("outcome", J.String "cluster");
+                          ("size", J.Int size);
+                          ("truncated", J.Bool truncated);
+                        ],
+                      {
+                        ok_world = Some wid;
+                        outcome = "cluster";
+                        probes = 0;
+                        accepted = false;
+                        record;
+                        metrics;
+                      } ))))
+
+(* ------------------------------------------------------------------ *)
+(* The session loop: admit, batch, flush through the pool, tally in
+   admission order. *)
+
+type outcome = { evidence : Evidence.t; overflowed : bool }
+
+let read_lines channel () = In_channel.input_line channel
+
+let qid_of_bad_line line =
+  match J.of_string line with
+  | Ok (J.Obj _ as json) -> Option.value (J.member "id" json) ~default:J.Null
+  | _ -> J.Null
+
+let serve ?jobs t ~read ~write =
+  let sess = t.sess in
+  let capacity = sess.Session.limits.Session.queue in
+  let traced = Obs.Trace.on () in
+  let metered = Obs.Metrics.on () in
+  (* Sequential tally state — admission-order, shared by flush/stats. *)
+  let admitted = ref 0 and answered = ref 0 and rejected = ref 0 in
+  let malformed = ref 0 and errors = ref 0 and probes = ref 0 in
+  let attempts = ref 0 and accepted = ref 0 in
+  let outcome_counts = Hashtbl.create 16 in
+  List.iter (fun k -> Hashtbl.replace outcome_counts k 0) Evidence.outcome_keys;
+  let world_tallies = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      Hashtbl.replace world_tallies r.wspec.Session.wid (ref 0, ref 0))
+    t.residents;
+  let metrics_acc = ref Obs.Metrics.empty in
+  if traced then
+    Obs.Trace.write_line
+      (Obs.Trace.header_line
+         [
+           ("kind", J.String "serve");
+           ("session", J.String sess.Session.name);
+           ("digest", J.String (Session.digest sess));
+           ("seed", J.String (Int64.to_string sess.Session.seed));
+           ("worlds", J.Int (List.length t.residents));
+           ("queue", J.Int capacity);
+         ]);
+  let tally (line, acct) trace_buffer =
+    write line;
+    incr answered;
+    Hashtbl.replace outcome_counts acct.outcome
+      (Hashtbl.find outcome_counts acct.outcome + 1);
+    (match acct.outcome with
+    | "malformed" -> incr malformed
+    | "error" -> incr errors
+    | _ -> ());
+    probes := !probes + acct.probes;
+    (match acct.ok_world with
+    | Some wid ->
+        let queries, world_probes = Hashtbl.find world_tallies wid in
+        incr queries;
+        world_probes := !world_probes + acct.probes
+    | None -> ());
+    (match acct.record with
+    | Some record ->
+        incr attempts;
+        if acct.accepted then incr accepted;
+        List.iter
+          (fun l -> Buffer.add_string trace_buffer l)
+          (Obs.Trace.record_lines record)
+    | None -> ());
+    match acct.metrics with
+    | Some snapshot -> metrics_acc := Obs.Metrics.merge !metrics_acc snapshot
+    | None -> ()
+  in
+  let pending = ref [] and pending_n = ref 0 in
+  let flush () =
+    if !pending_n > 0 then begin
+      let items = Array.of_list (List.rev !pending) in
+      pending := [];
+      pending_n := 0;
+      let results =
+        Engine_par.Pool.map ?jobs
+          (fun (qindex, item) -> eval t ~qindex item)
+          items
+      in
+      let trace_buffer = Buffer.create (if traced then 4096 else 16) in
+      Array.iter (fun r -> tally r trace_buffer) results;
+      if traced && Buffer.length trace_buffer > 0 then
+        Obs.Trace.write_line (Buffer.contents trace_buffer)
+    end
+  in
+  let enqueue qindex item =
+    pending := (qindex, item) :: !pending;
+    incr pending_n;
+    if !pending_n >= capacity then flush ()
+  in
+  let answer_stats qindex qid =
+    flush ();
+    (* Every earlier query is now tallied, so the counters are a pure
+       function of the admission index — capacity/jobs cannot show. *)
+    let world_counts =
+      List.map
+        (fun r ->
+          let wid = r.wspec.Session.wid in
+          let queries, _ = Hashtbl.find world_tallies wid in
+          (wid, J.Int !queries))
+        (List.sort
+           (fun a b -> compare a.wspec.Session.wid b.wspec.Session.wid)
+           t.residents)
+    in
+    let line =
+      ok_answer ~qid ~op:"stats" ~world:J.Null
+        [
+          ("outcome", J.String "stats");
+          ("admitted", J.Int qindex);
+          ("answered", J.Int !answered);
+          ("probes", J.Int !probes);
+          ("worlds", J.Obj world_counts);
+        ]
+    in
+    let trace_buffer = Buffer.create 16 in
+    tally (line, silent_acct "stats") trace_buffer
+  in
+  let rec loop () =
+    match read () with
+    | None -> ()
+    | Some raw ->
+        let line = String.trim raw in
+        if line = "" then loop ()
+        else if
+          match sess.Session.limits.Session.max_queries with
+          | Some m -> !admitted >= m
+          | None -> false
+        then begin
+          (* Admission cap: drain and count — bounded work per line,
+             no answer, reported via evidence + exit code. *)
+          incr rejected;
+          loop ()
+        end
+        else begin
+          incr admitted;
+          let qindex = !admitted in
+          (match Query.parse line with
+          | Error e ->
+              enqueue qindex (Bad { qid = qid_of_bad_line line; error = e })
+          | Ok q when q.Query.op = Query.Stats && Session.allows sess "stats"
+            ->
+              answer_stats qindex q.Query.qid
+          | Ok q -> enqueue qindex (Ask q));
+          loop ()
+        end
+  in
+  loop ();
+  flush ();
+  if traced then
+    Obs.Trace.write_line
+      (Obs.Trace.end_line ~attempts:!attempts ~accepted:!accepted);
+  if metered then begin
+    Obs.Metrics.absorb !metrics_acc;
+    let registry = Obs.Metrics.create () in
+    Obs.Metrics.add registry "serve.admitted" !admitted;
+    Obs.Metrics.add registry "serve.answered" !answered;
+    Obs.Metrics.add registry "serve.malformed" !malformed;
+    Obs.Metrics.add registry "serve.errors" !errors;
+    Obs.Metrics.add registry "serve.rejected" !rejected;
+    Obs.Metrics.add registry "serve.probes" !probes;
+    Hashtbl.iter
+      (fun key count ->
+        if count > 0 then Obs.Metrics.add registry ("serve.outcome." ^ key) count)
+      outcome_counts;
+    Obs.Metrics.absorb (Obs.Metrics.snapshot registry);
+    Obs.Metrics.absorb (Experiments.Worldpool.metrics_snapshot t.pool)
+  end;
+  let world_rows =
+    List.sort
+      (fun (a : Evidence.world_row) b -> compare a.Evidence.wid b.Evidence.wid)
+      (List.map
+         (fun r ->
+           let wid = r.wspec.Session.wid in
+           let queries, world_probes = Hashtbl.find world_tallies wid in
+           {
+             Evidence.wid;
+             constructed = (if r.constructed then 1 else 0);
+             queries = !queries;
+             probes = !world_probes;
+           })
+         t.residents)
+  in
+  let evidence =
+    {
+      Evidence.session = sess.Session.name;
+      config_digest = Session.digest sess;
+      queue = capacity;
+      max_queries = sess.Session.limits.Session.max_queries;
+      admitted = !admitted;
+      answered = !answered;
+      malformed = !malformed;
+      errors = !errors;
+      rejected = !rejected;
+      probes = !probes;
+      outcomes =
+        List.map (fun k -> (k, Hashtbl.find outcome_counts k)) Evidence.outcome_keys;
+      worlds = world_rows;
+    }
+  in
+  { evidence; overflowed = !rejected > 0 }
+
+let run ?jobs ?pool sess ~read ~write =
+  match start ?pool sess with
+  | Error _ as e -> e
+  | Ok t -> Ok (serve ?jobs t ~read ~write)

@@ -1,0 +1,205 @@
+module J = Obs.Json
+
+type world_spec = {
+  wid : string;
+  topology : string;
+  p : float;
+  site_p : float option;
+  seed : int64;
+}
+
+type limits = {
+  queue : int;
+  max_queries : int option;
+  reveal_limit : int option;
+}
+
+type t = {
+  name : string;
+  seed : int64;
+  worlds : world_spec list;
+  limits : limits;
+  mix : string list;
+}
+
+let schema = "session/v1"
+let default_queue = 4096
+let ops = [ "cluster"; "reveal"; "route"; "stats" ]
+let allows t op = t.mix = [] || List.mem op t.mix
+
+let ( let* ) = Result.bind
+let err fmt = Printf.ksprintf (fun m -> Error ("session/v1: " ^ m)) fmt
+
+let seed_of_json ~what = function
+  | J.Int i -> Ok (Int64.of_int i)
+  | J.String s -> (
+      match Int64.of_string_opt s with
+      | Some v -> Ok v
+      | None -> err "%s: bad int64 seed %S" what s)
+  | _ -> err "%s: seed must be an integer or a decimal string" what
+
+let opt_field name conv json =
+  match J.member name json with
+  | None | Some J.Null -> Ok None
+  | Some v -> (
+      match conv v with Ok r -> Ok (Some r) | Error _ as e -> e)
+
+let probability ~what name v =
+  match J.to_float v with
+  | Some f when f >= 0.0 && f <= 1.0 -> Ok f
+  | Some f -> err "%s: %s = %g is not in [0, 1]" what name f
+  | None -> err "%s: %s must be a number" what name
+
+let positive_int ~what name v =
+  match J.to_int v with
+  | Some i when i >= 1 -> Ok i
+  | Some i -> err "%s: %s = %d must be >= 1" what name i
+  | None -> err "%s: %s must be a positive integer" what name
+
+let world_of_json ~default_seed json =
+  match json with
+  | J.Obj _ ->
+      let* wid =
+        match Option.bind (J.member "id" json) J.to_str with
+        | Some id when id <> "" -> Ok id
+        | Some _ -> err "world: id must be non-empty"
+        | None -> err "world: missing string field \"id\""
+      in
+      let what = Printf.sprintf "world %S" wid in
+      let* topology =
+        match Option.bind (J.member "topology" json) J.to_str with
+        | Some s -> (
+            (* Validate eagerly: a manifest error must surface at load
+               time (exit code manifest_error), not mid-stream. *)
+            match Topology.Registry.of_spec s with
+            | Error e -> err "%s: %s" what e
+            | Ok { Topology.Registry.size = None; _ } ->
+                err "%s: topology %S must carry an inline size (NAME:SIZE)"
+                  what s
+            | Ok _ -> Ok s)
+        | None -> err "%s: missing string field \"topology\"" what
+      in
+      let* p =
+        match J.member "p" json with
+        | Some v -> probability ~what "p" v
+        | None -> err "%s: missing field \"p\"" what
+      in
+      let* site_p = opt_field "site_p" (probability ~what "site_p") json in
+      let* seed =
+        match J.member "seed" json with
+        | None | Some J.Null -> Ok default_seed
+        | Some v -> seed_of_json ~what v
+      in
+      Ok { wid; topology; p; site_p; seed }
+  | _ -> err "worlds entries must be objects"
+
+let limits_of_json json =
+  match J.member "limits" json with
+  | None | Some J.Null ->
+      Ok { queue = default_queue; max_queries = None; reveal_limit = None }
+  | Some (J.Obj _ as l) ->
+      let what = "limits" in
+      let* queue =
+        match J.member "queue" l with
+        | None | Some J.Null -> Ok default_queue
+        | Some v -> positive_int ~what "queue" v
+      in
+      let* max_queries = opt_field "max_queries" (positive_int ~what "max_queries") l in
+      let* reveal_limit = opt_field "reveal_limit" (positive_int ~what "reveal_limit") l in
+      Ok { queue; max_queries; reveal_limit }
+  | Some _ -> err "limits must be an object"
+
+let mix_of_json json =
+  match J.member "query_mix" json with
+  | None | Some J.Null -> Ok []
+  | Some (J.List entries) ->
+      let rec collect acc = function
+        | [] -> Ok (List.sort_uniq compare (List.rev acc))
+        | J.String s :: rest when List.mem s ops -> collect (s :: acc) rest
+        | J.String s :: _ ->
+            err "query_mix: unknown op %S (known: %s)" s (String.concat ", " ops)
+        | _ -> err "query_mix entries must be strings"
+      in
+      collect [] entries
+  | Some _ -> err "query_mix must be a list"
+
+let of_json ~default_seed json =
+  match json with
+  | J.Obj _ ->
+      let* () =
+        match Option.bind (J.member "schema" json) J.to_str with
+        | Some s when s = schema -> Ok ()
+        | Some s -> err "unsupported schema %S (want %S)" s schema
+        | None -> err "missing string field \"schema\""
+      in
+      let name =
+        match Option.bind (J.member "name" json) J.to_str with
+        | Some n when n <> "" -> n
+        | _ -> "session"
+      in
+      let* seed =
+        match J.member "seed" json with
+        | None | Some J.Null -> Ok default_seed
+        | Some v -> seed_of_json ~what:"session" v
+      in
+      let* worlds =
+        match J.member "worlds" json with
+        | Some (J.List (_ :: _ as entries)) ->
+            let rec collect acc = function
+              | [] -> Ok (List.rev acc)
+              | w :: rest ->
+                  let* parsed = world_of_json ~default_seed:seed w in
+                  if List.exists (fun q -> q.wid = parsed.wid) acc then
+                    err "duplicate world id %S" parsed.wid
+                  else collect (parsed :: acc) rest
+            in
+            collect [] entries
+        | Some (J.List []) -> err "worlds must be non-empty"
+        | _ -> err "missing list field \"worlds\""
+      in
+      let* limits = limits_of_json json in
+      let* mix = mix_of_json json in
+      Ok { name; seed; worlds; limits; mix }
+  | _ -> err "manifest must be a JSON object"
+
+let of_string ~default_seed text =
+  match J.of_string text with
+  | Error e -> err "%s" e
+  | Ok json -> of_json ~default_seed json
+
+let load ~default_seed path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | text -> of_string ~default_seed text
+  | exception Sys_error e -> err "cannot read %s: %s" path e
+
+let seed_json s = J.String (Int64.to_string s)
+
+let world_to_json w =
+  J.Obj
+    ([ ("id", J.String w.wid); ("topology", J.String w.topology);
+       ("p", J.Float w.p) ]
+    @ (match w.site_p with None -> [] | Some q -> [ ("site_p", J.Float q) ])
+    @ [ ("seed", seed_json w.seed) ])
+
+let to_json t =
+  J.Obj
+    [
+      ("schema", J.String schema);
+      ("name", J.String t.name);
+      ("seed", seed_json t.seed);
+      ("worlds", J.List (List.map world_to_json t.worlds));
+      ( "limits",
+        J.Obj
+          ([ ("queue", J.Int t.limits.queue) ]
+          @ (match t.limits.max_queries with
+            | None -> []
+            | Some n -> [ ("max_queries", J.Int n) ])
+          @
+          match t.limits.reveal_limit with
+          | None -> []
+          | Some n -> [ ("reveal_limit", J.Int n) ]) );
+      ("query_mix", J.List (List.map (fun s -> J.String s) t.mix));
+    ]
+
+let to_string t = J.to_string (to_json t) ^ "\n"
+let digest t = Experiments.Checkpoint.digest_key (to_string t)

@@ -1,0 +1,75 @@
+(** The [session/v1] manifest: which worlds a serve session keeps
+    resident, what queries it admits, and where its limits are.
+
+    A manifest is pure data — topology/p/seed triples (the world
+    identities), an optional query mix (the admitted operations), and
+    limits (batch queue capacity, total admission cap, default reveal
+    limit). Two sessions with equal manifests answer equal query files
+    with byte-identical output; {!digest} names that equivalence class
+    (the [config_digest] of the evidence file).
+
+    Topology specs inside a manifest must carry an inline size
+    ([hypercube:10], never a bare [hypercube]) — a session's worlds are
+    fixed by the manifest alone, with no CLI default to consult. *)
+
+type world_spec = {
+  wid : string;  (** Unique id queries refer to, e.g. ["w0"]. *)
+  topology : string;  (** Registry spec with inline size. *)
+  p : float;  (** Edge retention probability. *)
+  site_p : float option;  (** Vertex survival probability, if sites fail. *)
+  seed : int64;
+}
+
+type limits = {
+  queue : int;
+      (** Batch queue capacity — at most this many queries are in
+          flight at once (default {!default_queue}). Backpressure, not
+          semantics: answers are byte-identical for any capacity. *)
+  max_queries : int option;
+      (** Admission cap for the whole session; input beyond it is
+          rejected and the session exits with the queue-overflow code.
+          [None] = unlimited. *)
+  reveal_limit : int option;
+      (** Default exploration cap for [reveal]/[cluster] queries that
+          carry none. [None] = explore fully. *)
+}
+
+type t = {
+  name : string;
+  seed : int64;
+      (** Root of the per-query randomness (randomized routers); query
+          [i] draws from [Prng.Stream.split (create seed) i]. *)
+  worlds : world_spec list;
+  limits : limits;
+  mix : string list;
+      (** Admitted operations, sorted; [[]] admits every op. *)
+}
+
+val schema : string
+(** ["session/v1"]. *)
+
+val default_queue : int
+(** 4096. *)
+
+val ops : string list
+(** The known operations: ["cluster"; "reveal"; "route"; "stats"]. *)
+
+val allows : t -> string -> bool
+(** Whether the session's query mix admits the named op. *)
+
+val of_json : default_seed:int64 -> Obs.Json.t -> (t, string) result
+val of_string : default_seed:int64 -> string -> (t, string) result
+
+val load : default_seed:int64 -> string -> (t, string) result
+(** Read and parse a manifest file; I/O errors become [Error]. *)
+
+val to_json : t -> Obs.Json.t
+(** Canonical form: fixed field order, defaults made explicit, seeds as
+    strings (int64-safe, the baseline-file discipline). Round-trips
+    through {!of_json}. *)
+
+val to_string : t -> string
+(** Compact canonical JSON, trailing newline. *)
+
+val digest : t -> string
+(** Hex digest of the canonical form — the session's [config_digest]. *)

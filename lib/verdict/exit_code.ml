@@ -4,6 +4,8 @@ let claim_fail = 2
 let strict_shortfall = 3
 let drift = 4
 let unrecoverable_faults = 5
+let manifest_error = 6
+let queue_overflow = 7
 
 let worst codes = List.fold_left Stdlib.max ok codes
 
@@ -16,4 +18,8 @@ let describe code =
   else if code = drift then "claims hold but drifted from the baseline"
   else if code = unrecoverable_faults then
     "unrecoverable worker faults: the report is partial"
+  else if code = manifest_error then
+    "a serve session manifest failed to parse or build"
+  else if code = queue_overflow then
+    "the serve admission cap rejected queries after backpressure"
   else Printf.sprintf "unknown exit code %d" code

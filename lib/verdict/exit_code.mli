@@ -26,6 +26,15 @@ val unrecoverable_faults : int
 (** 5 — supervision exhausted its retry budget: chunks quarantined or
     experiments failed; the report is partial. *)
 
+val manifest_error : int
+(** 6 — a [serve] session manifest failed to parse or to build its
+    worlds; nothing was answered. *)
+
+val queue_overflow : int
+(** 7 — the [serve] admission cap ([limits.max_queries]) was reached
+    after backpressure: excess queries were drained unanswered, and
+    the evidence file records how many. *)
+
 val worst : int list -> int
 (** The most severe of the given codes (their maximum; 0 for []). *)
 
