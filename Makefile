@@ -11,17 +11,22 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# Quick percolation hot-path bench (cached vs lazy worlds) plus a
-# schema check on the emitted JSON, then the observability surface:
-# a traced quick experiment must produce valid trace/v1 + metrics/v1
-# documents whose probe accounting replays exactly, and an
-# instrumented run must leave the disabled-path cost unchanged.
+# Quick percolation hot-path bench (cached vs lazy worlds, plus the
+# bitset reveal engine) plus a schema check on the emitted JSON, then
+# the observability surface: a traced quick experiment must produce
+# valid trace/v1 + metrics/v1 documents whose probe accounting replays
+# exactly, and an instrumented run must leave the disabled-path cost
+# unchanged. The bitset engine's timing must land both in the snapshot
+# and in the appended history line (the regression flag covers it).
 # Everything lands under artifacts/ (gitignored), not the repo root.
 bench-smoke:
 	mkdir -p artifacts
 	dune exec bench/main.exe -- --percolation-only --quick --out artifacts/SMOKE_bench.json --history artifacts/SMOKE_history.jsonl
-	grep -q '"schema": "bench_percolation/v2"' artifacts/SMOKE_bench.json
+	grep -q '"schema": "bench_percolation/v3"' artifacts/SMOKE_bench.json
 	grep -q '"speedup"' artifacts/SMOKE_bench.json
+	grep -q '"bitset_ns"' artifacts/SMOKE_bench.json
+	grep -q '"bitset_speedup"' artifacts/SMOKE_bench.json
+	tail -1 artifacts/SMOKE_history.jsonl | grep -q '"bitset_ns"'
 	grep -q '"commit"' artifacts/SMOKE_bench.json
 	grep -q '"timestamp"' artifacts/SMOKE_bench.json
 	dune exec bin/faultroute.exe -- exp E1 --quick --strict-shortfall --trace artifacts/SMOKE_trace.jsonl --metrics-out artifacts/SMOKE_metrics.json > /dev/null

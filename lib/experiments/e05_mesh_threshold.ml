@@ -33,11 +33,17 @@ let run ?(quick = false) stream =
   let shortfalls = ref [] in
   let connectivity = ref [] in
   let last_probes_per_n = ref nan in
-  List.iteri
-    (fun p_index p ->
-      let substream = Prng.Stream.split stream p_index in
+  (* One attempt stream shared by every p of the sweep: attempt i's
+     world at p' >= p contains its world at p (monotone coupling), so
+     per-attempt connectivity — and hence the accepted/attempted
+     estimate of P[u~v] — is non-decreasing in p deterministically.
+     The E5/connectivity-monotone claim holds per sample, not just in
+     expectation. *)
+  let sweep_stream = Prng.Stream.split stream 0 in
+  List.iter
+    (fun p ->
       let result =
-        Trial.run substream ~trials ~max_attempts:(trials * 50)
+        Trial.run sweep_stream ~trials ~max_attempts:(trials * 50)
           (Trial.spec ~graph ~p ~source ~target (fun _rand ~source ~target ->
                Routing.Path_follow.mesh ~d ~m ~source ~target))
       in

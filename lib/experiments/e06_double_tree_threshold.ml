@@ -42,16 +42,21 @@ let run ?(quick = false) stream =
     (fun n_index n ->
       let graph = Topology.Double_tree.graph n in
       let x = Topology.Double_tree.root1 and y = Topology.Double_tree.root2 ~n in
+      (* One [Threshold.sweep] per depth: the same trial seeds are cut
+         at every p, so each depth's measured curve is non-decreasing in
+         p deterministically (root-to-root connectivity is monotone) —
+         only the depth axis draws fresh substreams. *)
+      let substream = Prng.Stream.split stream n_index in
+      let rates =
+        Percolation.Threshold.sweep substream ~trials ~ps
+          ~event:(fun ~p ~seed ->
+            let world = Worldpool.build graph ~p ~seed in
+            match Percolation.Reveal.connected world x y with
+            | Percolation.Reveal.Connected _ -> true
+            | Percolation.Reveal.Disconnected | Percolation.Reveal.Unknown -> false)
+      in
       List.iteri
-        (fun p_index p ->
-          let substream = Prng.Stream.split stream ((n_index * 100) + p_index) in
-          let rate =
-            Percolation.Threshold.success_rate substream ~trials ~event:(fun ~seed ->
-                let world = Worldpool.build graph ~p ~seed in
-                match Percolation.Reveal.connected world x y with
-                | Percolation.Reveal.Connected _ -> true
-                | Percolation.Reveal.Disconnected | Percolation.Reveal.Unknown -> false)
-          in
+        (fun p_index (p, rate) ->
           let exact = exact_connection ~n ~p in
           max_deviation := Float.max !max_deviation (Float.abs (rate -. exact));
           (* The first p of the sweep sits below 1/sqrt(2) in both modes. *)
@@ -64,7 +69,7 @@ let run ?(quick = false) stream =
                 Printf.sprintf "%.3f" rate;
                 Printf.sprintf "%.3f" exact;
               ])
-        ps)
+        rates)
     depths;
   let notes =
     [

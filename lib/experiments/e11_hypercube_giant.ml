@@ -21,16 +21,25 @@ let run ?(quick = false) stream =
            [ "p*n"; "p"; "mean giant frac"; "mean 2nd frac"; "giant present" ])
   in
   let row_stats = ref [] in
-  List.iteri
-    (fun index ratio ->
+  (* One coupled family per world, sampled once and cut at every ratio:
+     world w's component structure at increasing p*n is a refinement of
+     the same draws, so its giant fraction is non-decreasing across the
+     sweep deterministically — and the whole experiment pays [worlds]
+     sampling sweeps instead of [worlds * ratios]. *)
+  let substream = Prng.Stream.split stream 0 in
+  let families =
+    Array.init worlds (fun i ->
+        Worldpool.coupled graph
+          ~seed:(Prng.Coin.derive (Prng.Stream.seed substream) (i + 1)))
+  in
+  List.iter
+    (fun ratio ->
       let p = ratio /. float_of_int n in
-      let substream = Prng.Stream.split stream index in
       let giant_fracs = ref Stats.Summary.empty in
       let second_fracs = ref Stats.Summary.empty in
       let giants = ref 0 in
       for w = 1 to worlds do
-        let seed = Prng.Coin.derive (Prng.Stream.seed substream) w in
-        let world = Worldpool.build graph ~p ~seed in
+        let world = Worldpool.cut families.(w - 1) ~p in
         let census = Percolation.Clusters.census world in
         giant_fracs :=
           Stats.Summary.add !giant_fracs (Percolation.Clusters.giant_fraction census);

@@ -30,6 +30,9 @@ let build ?site_p graph ~p ~seed = Percolation.World.create ?site_p graph ~p ~se
 
 let detached ?site_p graph ~p : provider = fun ~seed -> build ?site_p graph ~p ~seed
 
+let coupled ?site graph ~seed = Percolation.Coupled.create ?site graph ~seed
+let cut ?site_p family ~p = Percolation.Coupled.world_at ?site_p family ~p
+
 (* Graph names are unique per family+parameters (the registries
    guarantee it), so the key needs no structural digest; p is printed
    round-trip exact, matching the checkpoint-key discipline. *)

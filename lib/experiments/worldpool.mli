@@ -66,6 +66,18 @@ val detached : ?site_p:float -> Topology.Graph.t -> p:float -> provider
 (** [detached graph ~p] is the unpooled provider: every call
     constructs a fresh single-use world. {!Trial.spec}'s default. *)
 
+val coupled : ?site:bool -> Topology.Graph.t -> seed:int64 -> Percolation.Coupled.t
+(** [coupled graph ~seed] samples a monotone-coupled sweep family —
+    [Percolation.Coupled.create], centralised so experiment code keeps
+    constructing worlds through this module. Use one family per trial
+    seed and {!cut} it at every [p] of a sweep.
+    @raise Invalid_argument if the graph exceeds the cache gate. *)
+
+val cut : ?site_p:float -> Percolation.Coupled.t -> p:float -> Percolation.World.t
+(** [cut family ~p] is the family's world at [p] —
+    [Percolation.Coupled.world_at]. Observationally identical to
+    [build graph ~p ~seed] for the family's graph and seed. *)
+
 val get :
   ?site_p:float ->
   t ->

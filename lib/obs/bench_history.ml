@@ -7,6 +7,7 @@ type snapshot = {
 
 let schema_v1 = "bench_percolation/v1"
 let schema_v2 = "bench_percolation/v2"
+let schema_v3 = "bench_percolation/v3"
 
 let of_json json =
   let ( let* ) r f = Result.bind r f in
@@ -16,7 +17,7 @@ let of_json json =
     | None -> Error "bench snapshot: missing schema"
   in
   let* () =
-    if schema = schema_v1 || schema = schema_v2 then Ok ()
+    if schema = schema_v1 || schema = schema_v2 || schema = schema_v3 then Ok ()
     else Error (Printf.sprintf "bench snapshot: unknown schema %S" schema)
   in
   let* mode =
@@ -48,6 +49,10 @@ let of_json json =
               List.filter_map Fun.id
                 [
                   kernel_ns "reveal_bfs" "cached_ns";
+                  (* v3 snapshots carry the bitset engine's time too, so
+                     the >15% regression flag covers all three reveal
+                     kernels; absent on v1/v2 lines. *)
+                  kernel_ns "reveal_bfs" "bitset_ns";
                   kernel_ns "oracle_probe" "cached_ns";
                   kernel_ns "trial_run" "ns";
                 ]

@@ -1,8 +1,9 @@
-(** Bench snapshot history: parse [bench_percolation/v1|v2] JSON,
+(** Bench snapshot history: parse [bench_percolation/v1|v2|v3] JSON,
     keep an append-only JSONL trail, and flag slowdowns against the
     trailing same-mode baseline.
 
-    The cached-path timings ([*.cached_ns]) and the end-to-end
+    The cached-path timings ([*.cached_ns]), the bitset reveal engine
+    ([reveal_bfs.bitset_ns], v3 only) and the end-to-end
     [trial_run.ns] are the tracked metrics; lazy-path numbers exist
     only to compute speedups and are deliberately not compared (they
     measure the machinery we moved away from). *)
@@ -17,8 +18,8 @@ type snapshot = {
 }
 
 val of_json : Json.t -> (snapshot, string) result
-(** Accepts both [bench_percolation/v1] (no provenance fields) and
-    [/v2]. *)
+(** Accepts [bench_percolation/v1] (no provenance fields), [/v2], and
+    [/v3] (adds [reveal_bfs.bitset_ns] to the harvested metrics). *)
 
 val parse_lines : string list -> (snapshot list, string) result
 (** Parse a JSONL history (one snapshot per line, blanks skipped),

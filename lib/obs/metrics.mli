@@ -77,6 +77,11 @@ val to_json : snapshot -> string
 val on : unit -> bool
 (** Whether metrics collection is enabled (off by default). *)
 
+val enabled : bool Atomic.t
+(** The switch behind {!on}, exposed so per-edge hot loops can read it
+    with an inlined [Atomic.get] instead of a cross-module call. Treat
+    as read-only: always arm through {!enable}/{!disable}. *)
+
 val enable : unit -> unit
 
 val disable : unit -> unit

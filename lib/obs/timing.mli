@@ -15,6 +15,11 @@ val on : unit -> bool
 val enable : unit -> unit
 val disable : unit -> unit
 
+val enabled : bool Atomic.t
+(** The switch behind {!on}, exposed so per-edge hot loops can read it
+    with an inlined [Atomic.get] instead of a cross-module call. Treat
+    as read-only: always arm through {!enable}/{!disable}. *)
+
 val span : string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f], attributing its wall time to [name] when
     timing is enabled. Exception-safe; nested spans both count their

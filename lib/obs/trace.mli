@@ -61,6 +61,12 @@ val distinct_probes_of_events : event list -> int
 val on : unit -> bool
 (** Whether tracing is enabled (off by default). *)
 
+val enabled : bool Atomic.t
+(** The switch behind {!on}, exposed so per-edge hot loops can read it
+    with an inlined [Atomic.get] instead of a cross-module call. Treat
+    as read-only: arming tracing without installing a sink is a bug —
+    always go through {!enable}/{!disable}. *)
+
 val enable : sink:(string -> unit) -> unit
 (** Arm tracing; [sink] receives complete JSONL lines (newline
     included) from {!write_line}. *)

@@ -49,11 +49,36 @@ let giant_fraction c =
 let has_giant ?(threshold = 0.01) c =
   giant_fraction c >= threshold && c.largest >= 2 * c.second_largest
 
-let in_largest world v =
+type membership = {
+  components : Union_find.t;
+  canonical_root : int;
+  largest_size : int;
+}
+
+let membership world =
   let uf = components world in
   let n = Union_find.element_count uf in
-  let best = ref 0 in
-  for u = 0 to n - 1 do
-    best := max !best (Union_find.size uf u)
+  (* Scan roots in ascending id order with a strictly-greater test: the
+     winner is the smallest root id among the maximum-size components,
+     so ties resolve to one canonical component deterministically. *)
+  let canonical_root = ref (-1) in
+  let largest_size = ref 0 in
+  for v = 0 to n - 1 do
+    if Union_find.find uf v = v then begin
+      let s = Union_find.size uf v in
+      if s > !largest_size then begin
+        largest_size := s;
+        canonical_root := v
+      end
+    end
   done;
-  Union_find.size uf v = !best
+  { components = uf; canonical_root = !canonical_root; largest_size = !largest_size }
+
+let member m v = Union_find.find m.components v = m.canonical_root
+
+(* The old implementation compared [size uf v] against the maximum size,
+   which wrongly answered [true] for *every* maximum-size component when
+   sizes tie — and rebuilt the union-find on each call. Now one
+   membership build answers any number of queries against the canonical
+   root. *)
+let in_largest world v = member (membership world) v

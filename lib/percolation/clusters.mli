@@ -28,6 +28,26 @@ val components : World.t -> Union_find.t
 (** The underlying union-find structure, for membership queries
     ([Union_find.same] answers [u ~ v] for all pairs at once). *)
 
+type membership = {
+  components : Union_find.t;
+  canonical_root : int;
+      (** Root of {e the} largest component: among components of maximal
+          size, the one with the smallest union-find root id — a
+          deterministic tie-break, so "the giant" is a single component
+          even when sizes tie. [-1] on an empty graph. *)
+  largest_size : int;
+}
+(** A reusable largest-component membership query: one union-find build
+    and one root scan answer any number of {!member} calls. *)
+
+val membership : World.t -> membership
+
+val member : membership -> int -> bool
+(** Whether the vertex lies in the canonical largest component. *)
+
 val in_largest : World.t -> int -> bool
-(** Whether a vertex lies in (one of) the largest component(s).
-    Recomputes the census; for repeated queries use {!components}. *)
+(** [member (membership world) v]: whether a vertex lies in the
+    canonical largest component (ties broken by smallest root id — two
+    equal-size components never both answer [true], which the previous
+    size-comparison implementation got wrong). Builds the union-find on
+    every call; for repeated queries build one {!membership}. *)

@@ -1,0 +1,38 @@
+type t = {
+  graph : Topology.Graph.t;
+  seed : int64;
+  uniforms : float array;
+  site_uniforms : float array option;
+}
+
+let create ?(site = false) graph ~seed =
+  if
+    not
+      (graph.Topology.Graph.edge_id_bound <= World.cache_gate
+      && graph.Topology.Graph.vertex_count <= World.cache_gate)
+  then invalid_arg "Coupled.create: graph exceeds the cache gate";
+  (* One uniform per edge id, exactly the values [Prng.Coin.bernoulli]
+     thresholds: the cut at any [p] reproduces [World.create] bit for
+     bit, and cuts at increasing [p] nest deterministically. *)
+  let uniforms = Array.make graph.Topology.Graph.edge_id_bound 0.0 in
+  Prng.Coin.uniform_fill ~seed uniforms;
+  let site_uniforms =
+    if site then begin
+      let su = Array.make graph.Topology.Graph.vertex_count 0.0 in
+      Prng.Coin.uniform_fill ~seed:(World.site_seed seed) su;
+      Some su
+    end
+    else None
+  in
+  { graph; seed; uniforms; site_uniforms }
+
+let graph t = t.graph
+let seed t = t.seed
+
+let world_at ?site_p t ~p =
+  (match (site_p, t.site_uniforms) with
+  | Some _, None ->
+      invalid_arg "Coupled.world_at: family sampled without ~site:true"
+  | _ -> ());
+  World.of_uniforms ?site_uniforms:t.site_uniforms ?site_p t.graph ~p ~seed:t.seed
+    ~uniforms:t.uniforms

@@ -1,0 +1,49 @@
+(** Monotone-coupled sweep-world families.
+
+    A threshold scan evaluates the same random graph model at many
+    retention probabilities. Because {!Prng.Coin.bernoulli} thresholds
+    a uniform that depends only on [(seed, id)], worlds sharing a seed
+    are {e already} monotone-coupled across [p]; this module makes the
+    coupling explicit and cheap: sample every edge's uniform once
+    ({!create}), then cut the family at each [p] of the sweep
+    ({!world_at}). Every cut is a full {!World.t} — cached, registered
+    through the ordinary representation — so reveals, oracles, cluster
+    censuses, traces and claims work unchanged, and
+
+    - [world_at family ~p] is observationally identical to
+      [World.create graph ~p ~seed] (property-tested), so converting a
+      sweep to a coupled family never changes any single-[p]
+      distribution;
+    - for [p <= p'], the open-edge set of the cut at [p] is a subset of
+      the cut at [p'] {e deterministically, per sample} — monotone trend
+      claims over a shared-seed sweep hold exactly, not statistically;
+    - an entire scan pays one uniform-sampling sweep instead of one
+      coin-hashing sweep per [p].
+
+    Decorrelation across trials stays on the trial axis: derive one
+    seed per trial ({!Prng.Coin.derive}) and one family per seed.
+
+    Families exist only for graphs under {!World.cache_gate} (the
+    stored uniforms are O(edge ids)); sweeps over larger graphs keep
+    per-[p] lazy worlds. *)
+
+type t
+(** A sampled family: one uniform per edge id (and per vertex, when
+    sampled with [~site:true]). Immutable; share freely. *)
+
+val create : ?site:bool -> Topology.Graph.t -> seed:int64 -> t
+(** [create graph ~seed] samples the edge uniforms of the family —
+    exactly the values [World.create graph ~p ~seed] would hash, for
+    any [p]. With [~site:true] the per-vertex survival uniforms (the
+    {!World.site_seed} namespace) are sampled too, enabling coupled
+    site sweeps via [world_at ?site_p].
+    @raise Invalid_argument if the graph exceeds {!World.cache_gate}. *)
+
+val world_at : ?site_p:float -> t -> p:float -> World.t
+(** The cut of the family at [p]: a cached world observationally
+    identical to [World.create ?site_p graph ~p ~seed].
+    @raise Invalid_argument if [?site_p] is given but the family was
+    sampled without [~site:true], or a probability is out of range. *)
+
+val graph : t -> Topology.Graph.t
+val seed : t -> int64

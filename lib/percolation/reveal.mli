@@ -8,27 +8,58 @@
     Exploration cost is proportional to the open cluster explored, so a
     [limit] on visited vertices is available for huge graphs.
 
-    Cached worlds ({!World.cached}) are explored with int-array arena
-    BFS (distances and queue indexed by vertex id); lazy worlds use the
-    Hashtbl-frontier reference engine. The two are observationally
-    identical — same verdicts, same distances, same visit order —
-    which is property-tested. *)
+    Three BFS engines serve the queries. Lazy worlds use the
+    Hashtbl-frontier reference engine; cached worlds ({!World.cached})
+    use int-array arena BFS (same visit order as the reference,
+    property-tested), and — for queries that observe no visit order —
+    a level-synchronous bitset engine that scans frontiers a 64-bit
+    word at a time. Every engine discovers each vertex at its true BFS
+    distance and implements one shared limit convention (a truncated
+    run visits exactly [limit] vertices), so verdicts, distances and
+    full-exploration counts are engine-independent; only visit {e order}
+    within a level, and hence {e which} vertices a truncated run
+    reaches, distinguishes the bitset engine from the other two. *)
 
 type verdict = Connected of int | Disconnected | Unknown
 (** [Connected d]: an open path exists and the percolation distance is
     [d]. [Unknown]: the exploration limit was hit first. *)
+
+type engine = Table | Arena | Bitset
+(** Explicit engine selector, for differential tests and benchmarks.
+    Production entry points pick automatically: [Table] for lazy
+    worlds, [Arena] for cached worlds when visit order is observable
+    (tracing on, a [limit] set, or an order-sensitive caller), [Bitset]
+    otherwise. [Arena] and [Bitset] allocate O(vertex count) and so
+    suit any graph small enough to index by vertex. *)
 
 val connected : ?limit:int -> World.t -> int -> int -> verdict
 (** [connected w u v] explores the open cluster of [u] breadth-first
     until [v] is found, the cluster is exhausted, or [limit] vertices
     have been visited. *)
 
+val connected_via : engine -> ?limit:int -> World.t -> int -> int -> verdict
+(** {!connected} on an explicit engine. Without [limit] all engines
+    return the same verdict and distance. With [limit], [Table] and
+    [Arena] still agree exactly, but [Bitset] may reach the target
+    inside the budget when the queue engines truncate first (or vice
+    versa) — its visit order differs, so only truncated {e counts} are
+    comparable across all three. *)
+
 val cluster_of : ?limit:int -> World.t -> int -> int list * bool
 (** [cluster_of w v] is the open cluster containing [v] (unordered) and
     a flag that is [true] when exploration was truncated by [limit]. *)
 
 val cluster_size : ?limit:int -> World.t -> int -> int * bool
-(** Size variant of {!cluster_of}. *)
+(** Size variant of {!cluster_of}: the number of vertices visited and
+    the truncation flag. Counts during the walk (no intermediate member
+    list), and — the count being engine-independent — runs on the
+    bitset engine whenever the world is cached, no [limit] is set and
+    tracing is off. *)
+
+val cluster_size_via : engine -> ?limit:int -> World.t -> int -> int * bool
+(** {!cluster_size} on an explicit engine. The result is
+    engine-independent even under [limit] (the shared truncation
+    convention fixes the count at exactly [limit]). *)
 
 val ball : World.t -> int -> radius:int -> (int, int) Hashtbl.t
 (** [ball w v ~radius] maps every vertex within percolation distance

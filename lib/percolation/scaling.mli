@@ -22,7 +22,10 @@ val measure_giant_curve :
     the mean giant-component fraction at each [p] over [trials] worlds.
     The same seed set is reused across all [p] (monotone coupling), so
     each measured curve is exactly non-decreasing — crossings carry no
-    per-point sampling noise. *)
+    per-point sampling noise. Each seed's draws are sampled once into a
+    {!Coupled} family and cut at every [p] (when the graph fits
+    {!World.cache_gate}; larger graphs fall back to per-[p] worlds with
+    the same seeds and identical states). *)
 
 val interpolate : curve -> float -> float
 (** Piecewise-linear evaluation of a curve; clamps outside its range.

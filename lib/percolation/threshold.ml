@@ -26,12 +26,30 @@ let bisect ?jobs ?(trials_per_pivot = 40) ?(iterations = 12) stream ~event ~lo ~
   in
   loop lo hi iterations
 
+(* One seed per trial, shared across every [p] of the sweep: because
+   edge states are pure functions of [(seed, id)] thresholded at [p],
+   trial [t]'s worlds at increasing [p] are monotone-coupled, so a
+   monotone event holds monotonically along each row — the estimated
+   curve is non-decreasing deterministically, per sample, not merely in
+   expectation. (The historical version split a fresh substream per [p],
+   decorrelating the axis and leaving monotone claims to sampling
+   luck.) Parallelism is over trials; [Pool.map]'s deterministic
+   chunking keeps the result byte-identical for every [jobs] value. *)
 let sweep ?jobs stream ~trials ~event ~ps =
-  List.mapi
-    (fun index p ->
-      let substream = Prng.Stream.split stream index in
-      let rate =
-        success_rate ?jobs substream ~trials ~event:(fun ~seed -> event ~p ~seed)
-      in
-      (p, rate))
-    ps
+  if trials <= 0 then invalid_arg "Threshold.sweep: trials must be positive";
+  let ps = Array.of_list ps in
+  let rows =
+    Engine_par.Pool.map ?jobs
+      (fun trial ->
+        let seed = Prng.Coin.derive (Prng.Stream.seed stream) trial in
+        Array.map (fun p -> event ~p ~seed) ps)
+      (Array.init trials (fun i -> i + 1))
+  in
+  Array.to_list
+    (Array.mapi
+       (fun i p ->
+         let successes =
+           Array.fold_left (fun n row -> if row.(i) then n + 1 else n) 0 rows
+         in
+         (p, float_of_int successes /. float_of_int trials))
+       ps)

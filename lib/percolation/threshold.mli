@@ -40,4 +40,9 @@ val sweep :
   ps:float list ->
   (float * float) list
 (** [sweep stream ~trials ~event ~ps] evaluates the success rate at each
-    listed [p] — the raw data for threshold plots. *)
+    listed [p] — the raw data for threshold plots. The same [trials]
+    world seeds are reused at every [p] (trial [t] sees the standard
+    monotone coupling along the whole sweep), so for a monotone [event]
+    the estimated curve is non-decreasing {e deterministically}; fresh
+    seeds appear only on the trial axis. Byte-identical across [jobs]
+    values. *)

@@ -1,17 +1,32 @@
-(* Flat bitsets, one bit per edge id (and per vertex id under site
-   percolation). [probed] records whether the coin has been flipped;
-   [state] holds the memoised result. Memoisation is invisible: both
-   paths evaluate the same pure coin function. *)
-type site_cache = { v_probed : Bytes.t; v_alive : Bytes.t }
+(* Cached worlds carry their coins eagerly: one sequential
+   [Prng.Coin.bernoulli_fill] sweep at construction writes the whole
+   edge-coin bitset (and the vertex-survival bitset under site
+   percolation), so every later [is_open] is a bit test. On top of the
+   coins sits a lazily materialised CSR of open-adjacency rows in one
+   growing int arena — rows are cut from the graph's shared
+   {!Topology.Csr} structure on first query, so no query path ever
+   calls a topology's [neighbors] closure more than once per vertex per
+   world. Memoisation is invisible: both representations evaluate the
+   same pure coin function. *)
+type site_cache = { v_alive : Bytes.t }
 
 type cache = {
-  e_probed : Bytes.t;
-  e_open : Bytes.t;
-  adj : int array option array;
-      (* Per-vertex coin-open neighbor lists, filled lazily on first
-         [open_neighbors]/[iter_open_neighbors] query. Removal overlays
-         are applied on top at query time, so the lists stay valid for
-         every [remove_edges] derivative sharing this cache. *)
+  e_coin : Bytes.t;
+      (* Bit per edge id: the bare edge coin (endpoint survival and
+         removal overlays are applied on top at query time). Filled
+         eagerly at construction. *)
+  csr : Topology.Csr.t;  (* shared, graph-owned adjacency *)
+  rows : int array;
+      (* Interleaved per-vertex row metadata: [rows.(2v)] is the offset
+         of [v]'s open-adjacency row in [arena] (-1 = not yet
+         materialised), [rows.(2v + 1)] its length. Interleaving keeps
+         offset and length on one cache line — the lookup is a random
+         access per BFS vertex expansion. *)
+  mutable arena : int array;
+      (* Open-neighbor targets, rows appended in first-query order.
+         Growth replaces the array (never mutates filled rows), so an
+         iterator holding a stale reference still reads correct data. *)
+  mutable arena_used : int;
   site : site_cache option;
 }
 
@@ -27,11 +42,6 @@ type t = {
 let bit_get b i =
   Char.code (Bytes.unsafe_get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
 
-let bit_set b i =
-  let j = i lsr 3 in
-  Bytes.unsafe_set b j
-    (Char.unsafe_chr (Char.code (Bytes.unsafe_get b j) lor (1 lsl (i land 7))))
-
 let bitset bits = Bytes.make ((bits + 7) / 8) '\000'
 
 (* Distinct seed namespace for vertex coins, so site and bond states are
@@ -40,36 +50,87 @@ let site_seed seed = Prng.Coin.derive seed 0x5173
 
 let cache_gate = 1 lsl 21
 
-let create ?site_p ?(cache = true) graph ~p ~seed =
-  if not (p >= 0.0 && p <= 1.0) then invalid_arg "World.create: p outside [0,1]";
-  (match site_p with
+let check_probabilities ~who ~p ~site_p =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg (Printf.sprintf "World.%s: p outside [0,1]" who);
+  match site_p with
   | Some sp when not (sp >= 0.0 && sp <= 1.0) ->
-      invalid_arg "World.create: site_p outside [0,1]"
-  | Some _ | None -> ());
+      invalid_arg (Printf.sprintf "World.%s: site_p outside [0,1]" who)
+  | Some _ | None -> ()
+
+let fits_gate graph =
+  graph.Topology.Graph.edge_id_bound <= cache_gate
+  && graph.Topology.Graph.vertex_count <= cache_gate
+
+(* Assemble a cache around an already filled edge-coin bitset. The
+   arena starts at the vertex count and doubles; rows are appended on
+   first query. *)
+let make_cache graph ~e_coin ~site =
+  let n = graph.Topology.Graph.vertex_count in
+  {
+    e_coin;
+    csr = Topology.Csr.of_graph graph;
+    rows = Array.make (2 * n) (-1);
+    arena = Array.make (max 64 n) 0;
+    arena_used = 0;
+    site;
+  }
+
+let site_cache_of graph ~seed ~site_p =
+  match site_p with
+  | None -> None
+  | Some sp ->
+      let n = graph.Topology.Graph.vertex_count in
+      let v_alive = bitset n in
+      Prng.Coin.bernoulli_fill ~seed:(site_seed seed) ~p:sp v_alive ~count:n;
+      Some { v_alive }
+
+let create ?site_p ?(cache = true) graph ~p ~seed =
+  check_probabilities ~who:"create" ~p ~site_p;
   let cache =
-    if
-      cache
-      && graph.Topology.Graph.edge_id_bound <= cache_gate
-      && graph.Topology.Graph.vertex_count <= cache_gate
-    then
-      Some
-        {
-          e_probed = bitset graph.Topology.Graph.edge_id_bound;
-          e_open = bitset graph.Topology.Graph.edge_id_bound;
-          adj = Array.make graph.Topology.Graph.vertex_count None;
-          site =
-            (match site_p with
-            | None -> None
-            | Some _ ->
-                Some
-                  {
-                    v_probed = bitset graph.Topology.Graph.vertex_count;
-                    v_alive = bitset graph.Topology.Graph.vertex_count;
-                  });
-        }
+    if cache && fits_gate graph then begin
+      let e_coin = bitset graph.Topology.Graph.edge_id_bound in
+      Prng.Coin.bernoulli_fill ~seed ~p e_coin
+        ~count:graph.Topology.Graph.edge_id_bound;
+      Some (make_cache graph ~e_coin ~site:(site_cache_of graph ~seed ~site_p))
+    end
     else None
   in
   { graph; p; seed; removed = None; site_p; cache }
+
+let of_uniforms ?site_uniforms ?site_p graph ~p ~seed ~uniforms =
+  check_probabilities ~who:"of_uniforms" ~p ~site_p;
+  if not (fits_gate graph) then
+    invalid_arg "World.of_uniforms: graph exceeds the cache gate";
+  if Array.length uniforms <> graph.Topology.Graph.edge_id_bound then
+    invalid_arg "World.of_uniforms: need one uniform per edge id";
+  let n = graph.Topology.Graph.vertex_count in
+  let e_coin = bitset graph.Topology.Graph.edge_id_bound in
+  let bit_set b i =
+    let j = i lsr 3 in
+    Bytes.unsafe_set b j
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get b j) lor (1 lsl (i land 7))))
+  in
+  Array.iteri (fun id u -> if u < p then bit_set e_coin id) uniforms;
+  let site =
+    match (site_p, site_uniforms) with
+    | None, _ -> None
+    | Some sp, Some su ->
+        if Array.length su <> n then
+          invalid_arg "World.of_uniforms: need one site uniform per vertex";
+        let v_alive = bitset n in
+        Array.iteri (fun v u -> if u < sp then bit_set v_alive v) su;
+        Some { v_alive }
+    | Some _, None -> site_cache_of graph ~seed ~site_p
+  in
+  {
+    graph;
+    p;
+    seed;
+    removed = None;
+    site_p;
+    cache = Some (make_cache graph ~e_coin ~site);
+  }
 
 let cached t = t.cache <> None
 let graph t = t.graph
@@ -93,73 +154,76 @@ let remove_edges t edges =
 let removed_count t =
   match t.removed with None -> 0 | Some removed -> Hashtbl.length removed
 
+let alive_in_cache c v =
+  match c.site with None -> true | Some sc -> bit_get sc.v_alive v
+
 let vertex_alive_coin t v =
   match t.site_p with
   | None -> true
   | Some sp -> (
       match t.cache with
-      | Some { site = Some sc; _ } ->
-          if bit_get sc.v_probed v then bit_get sc.v_alive v
-          else begin
-            let alive = Prng.Coin.bernoulli ~seed:(site_seed t.seed) ~p:sp v in
-            bit_set sc.v_probed v;
-            if alive then bit_set sc.v_alive v;
-            alive
-          end
-      | Some { site = None; _ } | None ->
-          Prng.Coin.bernoulli ~seed:(site_seed t.seed) ~p:sp v)
+      | Some c -> alive_in_cache c v
+      | None -> Prng.Coin.bernoulli ~seed:(site_seed t.seed) ~p:sp v)
 
 let vertex_alive t v =
   Topology.Graph.check_vertex t.graph v;
   vertex_alive_coin t v
 
 (* Edge state ignoring adversarial removals: both endpoints alive and
-   the edge coin succeeds — a pure function of (seed, u, v, id), hence
-   memoisable by edge id. *)
+   the edge coin succeeds — a pure function of (seed, u, v, id). On the
+   cached path all three facts are pre-computed bits. *)
 let coin_open t u v id =
   match t.cache with
-  | Some c ->
-      if bit_get c.e_probed id then bit_get c.e_open id
-      else begin
-        let state =
-          vertex_alive t u && vertex_alive t v
-          && Prng.Coin.bernoulli ~seed:t.seed ~p:t.p id
-        in
-        bit_set c.e_probed id;
-        if state then bit_set c.e_open id;
-        state
-      end
+  | Some c -> bit_get c.e_coin id && alive_in_cache c u && alive_in_cache c v
   | None ->
       vertex_alive t u && vertex_alive t v
       && Prng.Coin.bernoulli ~seed:t.seed ~p:t.p id
 
-let is_open t u v =
-  let id = t.graph.Topology.Graph.edge_id u v in
+let is_open_id t u v ~id =
   (match t.removed with
   | Some removed -> not (Hashtbl.mem removed id)
   | None -> true)
   && coin_open t u v id
 
-(* The coin-open neighbor list of [v] (no removal overlay applied),
-   memoised in the adjacency cache. Filling it flips — and therefore
-   memoises — every coin out of [v]. *)
-let coin_adj t c v =
-  match Array.unsafe_get c.adj v with
-  | Some a -> a
-  | None ->
-      let nbrs = t.graph.Topology.Graph.neighbors v in
-      let n = Array.length nbrs in
-      let k = ref 0 in
-      for i = 0 to n - 1 do
-        let w = Array.unsafe_get nbrs i in
-        if coin_open t v w (t.graph.Topology.Graph.edge_id v w) then begin
-          Array.unsafe_set nbrs !k w;
-          incr k
-        end
-      done;
-      let a = if !k = n then nbrs else Array.sub nbrs 0 !k in
-      c.adj.(v) <- Some a;
-      a
+let is_open t u v = is_open_id t u v ~id:(t.graph.Topology.Graph.edge_id u v)
+
+(* Materialise the coin-open row of [v] (no removal overlay applied) by
+   scanning the shared CSR with bit tests — no closure calls, no
+   allocation beyond amortised arena growth. Returns the row offset. *)
+let fill_row c v =
+  let csr = c.csr in
+  let lo = csr.Topology.Csr.xadj.(v) and hi = csr.Topology.Csr.xadj.(v + 1) in
+  let needed = hi - lo in
+  if c.arena_used + needed > Array.length c.arena then begin
+    let grown =
+      Array.make (max (2 * Array.length c.arena) (c.arena_used + needed)) 0
+    in
+    Array.blit c.arena 0 grown 0 c.arena_used;
+    c.arena <- grown
+  end;
+  let start = c.arena_used in
+  let k = ref start in
+  if alive_in_cache c v then begin
+    let targets = csr.Topology.Csr.targets
+    and edge_ids = csr.Topology.Csr.edge_ids
+    and arena = c.arena in
+    for i = lo to hi - 1 do
+      let w = Array.unsafe_get targets i in
+      if bit_get c.e_coin (Array.unsafe_get edge_ids i) && alive_in_cache c w
+      then begin
+        Array.unsafe_set arena !k w;
+        incr k
+      end
+    done
+  end;
+  c.arena_used <- !k;
+  c.rows.((2 * v) + 1) <- !k - start;
+  c.rows.(2 * v) <- start;
+  start
+
+let row_start c v =
+  let start = c.rows.(2 * v) in
+  if start >= 0 then start else fill_row c v
 
 let edge_removed t v w =
   match t.removed with
@@ -167,26 +231,28 @@ let edge_removed t v w =
   | Some removed -> Hashtbl.mem removed (t.graph.Topology.Graph.edge_id v w)
 
 (* Filter a fresh, caller-owned array in place — no intermediate list on
-   either path. Cached worlds filter the memoised coin-open list (only
-   the removal overlay left to check); lazy worlds filter the raw
-   neighbor array through the coin. *)
+   either path. Cached worlds cut the memoised coin-open row (only the
+   removal overlay left to check); lazy worlds filter the raw neighbor
+   array — which the freshness contract of {!Topology.Graph.t} lets us
+   own — through the coin. *)
 let open_neighbors t v =
   match t.cache with
   | Some c ->
-      let adj = coin_adj t c v in
-      if t.removed = None then Array.copy adj
+      let start = row_start c v in
+      let len = c.rows.((2 * v) + 1) in
+      if t.removed = None then Array.sub c.arena start len
       else begin
-        let n = Array.length adj in
-        let out = Array.make n 0 in
+        let arena = c.arena in
+        let out = Array.make len 0 in
         let k = ref 0 in
-        for i = 0 to n - 1 do
-          let w = Array.unsafe_get adj i in
+        for i = start to start + len - 1 do
+          let w = Array.unsafe_get arena i in
           if not (edge_removed t v w) then begin
             Array.unsafe_set out !k w;
             incr k
           end
         done;
-        if !k = n then out else Array.sub out 0 !k
+        if !k = len then out else Array.sub out 0 !k
       end
   | None ->
       let nbrs = t.graph.Topology.Graph.neighbors v in
@@ -204,10 +270,21 @@ let open_neighbors t v =
 let iter_open_neighbors t v f =
   match t.cache with
   | Some c ->
-      let adj = coin_adj t c v in
-      if t.removed = None then Array.iter f adj
+      let start = row_start c v in
+      let len = c.rows.((2 * v) + 1) in
+      (* Capture the arena after the row is in place: [f] may fill more
+         rows and grow (replace) the arena, but the captured array keeps
+         this row intact. *)
+      let arena = c.arena in
+      if t.removed = None then
+        for i = start to start + len - 1 do
+          f (Array.unsafe_get arena i)
+        done
       else
-        Array.iter (fun w -> if not (edge_removed t v w) then f w) adj
+        for i = start to start + len - 1 do
+          let w = Array.unsafe_get arena i in
+          if not (edge_removed t v w) then f w
+        done
   | None ->
       let nbrs = t.graph.Topology.Graph.neighbors v in
       for i = 0 to Array.length nbrs - 1 do
@@ -215,20 +292,39 @@ let iter_open_neighbors t v f =
         if is_open t v w then f w
       done
 
-(* Force the whole coin cache in one pass: every site coin, every edge
-   coin, every adjacency list. After this no query path writes to the
-   cache (every [probed] bit is set and every [adj] slot is [Some]), so
-   the world can be read concurrently from any number of domains.
-   Worlds above the cache gate have no cache to force — their queries
-   re-evaluate the pure coin function and are already write-free. *)
+(* Coins and site bits are eager, so only the open-adjacency rows are
+   left to force. After this no query path writes to the cache (every
+   [row_start] slot is set), so the world can be read concurrently from
+   any number of domains. Worlds above the cache gate have no cache to
+   force — their queries re-evaluate the pure coin function and are
+   already write-free. *)
 let prefill t =
   match t.cache with
   | None -> ()
   | Some c ->
       for v = 0 to t.graph.Topology.Graph.vertex_count - 1 do
-        ignore (vertex_alive_coin t v);
-        ignore (coin_adj t c v)
+        ignore (row_start c v)
       done
+
+(* Narrow read-only views of the cache for hot loops in the same
+   library ({!Oracle}, {!Reveal}): a cross-module call per edge or per
+   neighbor is measurable at kernel scale, and these make the inner
+   loops straight-line array/bit code. Both return [None] whenever the
+   single-bit / raw-row reading would be wrong (lazy world, removal
+   overlay, site percolation for the bit view), so callers always have
+   the general path as fallback. *)
+let raw_open_bits t =
+  match t.cache with
+  | Some c when t.removed = None && c.site = None -> Some c.e_coin
+  | Some _ | None -> None
+
+let adjacency_view t =
+  match t.cache with
+  | Some c when t.removed = None -> Some (c.rows, c.arena)
+  | Some _ | None -> None
+
+let ensure_row t v =
+  match t.cache with None -> () | Some c -> ignore (row_start c v)
 
 let open_degree t v =
   let count = ref 0 in

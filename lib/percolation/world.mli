@@ -14,18 +14,17 @@
     - {e lazy} (the historical behaviour): every [is_open] call rehashes
       [(seed, edge id)]. O(1) memory; the only choice for implicit
       graphs whose [edge_id_bound] is astronomically large.
-    - {e cached}: the world carries flat bitsets over
-      [\[0, edge_id_bound)] (and over vertices, under site percolation)
-      that memoise each coin the first time it is flipped, plus a
-      per-vertex open-adjacency cache: the coin-open neighbor list of a
-      vertex is materialised on first [open_neighbors] /
-      [iter_open_neighbors] query and reused thereafter (removal
-      overlays are filtered on top at query time). Repeat queries — a
-      reveal BFS followed by a router probing the same edges, or
-      repeated traversals of one world — become bit tests and array
-      scans, with no rehashing and no neighbor re-enumeration. Both
-      paths evaluate the {e same} pure coin function, so results are
-      bit-identical; only the work differs.
+    - {e cached}: construction fills a flat bitset over
+      [\[0, edge_id_bound)] with every edge coin (and one over vertices
+      with every survival coin, under site percolation) in a single
+      sequential {!Prng.Coin.bernoulli_fill} sweep, and cuts per-vertex
+      open-adjacency rows from the graph's shared {!Topology.Csr}
+      structure into one flat int arena on first [open_neighbors] /
+      [iter_open_neighbors] query (removal overlays are filtered on top
+      at query time). Every query — first or repeat — is bit tests and
+      array scans: no rehashing, no [neighbors] closure calls, no
+      per-query allocation. Both paths evaluate the {e same} pure coin
+      function, so results are bit-identical; only the work differs.
 
     [create] picks the cached path automatically whenever the graph is
     small enough ({!cache_gate}); [~cache:false] forces the lazy path
@@ -74,6 +73,35 @@ val create :
     edge states are identical.
     @raise Invalid_argument if [p] or [site_p] is outside [\[0, 1\]]. *)
 
+val of_uniforms :
+  ?site_uniforms:float array ->
+  ?site_p:float ->
+  Topology.Graph.t ->
+  p:float ->
+  seed:int64 ->
+  uniforms:float array ->
+  t
+(** [of_uniforms graph ~p ~seed ~uniforms] is a cached world whose edge
+    coins are threshold cuts of pre-sampled uniforms:
+    edge [id]'s coin succeeds iff [uniforms.(id) < p]. When
+    [uniforms.(id) = Prng.Coin.uniform ~seed id] for every id — which
+    is {!Coupled}'s invariant — the result is observationally identical
+    to [create graph ~p ~seed], and worlds cut from the same array at
+    increasing [p] are monotone-coupled {e deterministically}. Under
+    [?site_p], vertex survival is likewise cut from [?site_uniforms]
+    when given ([site_uniforms.(v) < site_p]), or hashed from the seed's
+    site namespace as [create] would when omitted.
+    @raise Invalid_argument if the graph exceeds {!cache_gate}, an
+    array length disagrees with the graph, or a probability is outside
+    [\[0, 1\]]. *)
+
+val site_seed : int64 -> int64
+(** The vertex-coin seed namespace derived from a world seed: site
+    percolation draws vertex [v]'s survival from
+    [Prng.Coin.uniform ~seed:(site_seed seed) v], independent of the
+    edge coins even though vertex and edge ids overlap. Exposed so
+    {!Coupled} can pre-sample the same uniforms [create] would hash. *)
+
 val cached : t -> bool
 (** Whether this world runs the cached fast path. *)
 
@@ -99,18 +127,25 @@ val vertex_alive : t -> int -> bool
     @raise Invalid_argument if the vertex is out of range. *)
 
 val prefill : t -> unit
-(** Force the entire coin cache: flip every site and edge coin and
-    materialise every vertex's open-adjacency list in one pass. After
-    [prefill] no query writes to the cache, so the world is genuinely
-    immutable and can be shared read-only across domains — the
-    contract resident pools ({!Experiments.Worldpool}, [faultroute
-    serve]) rely on. No-op on lazy (uncached) worlds, whose queries
-    are already write-free. Observable states are unchanged: prefill
-    evaluates the same pure coin function queries would. *)
+(** Materialise every vertex's open-adjacency row in one pass (the
+    coin bitsets are already filled at construction). After [prefill]
+    no query writes to the cache, so the world is genuinely immutable
+    and can be shared read-only across domains — the contract resident
+    pools ({!Experiments.Worldpool}, [faultroute serve]) rely on.
+    No-op on lazy (uncached) worlds, whose queries are already
+    write-free. Observable states are unchanged: prefill evaluates the
+    same pure coin function queries would. *)
 
 val is_open : t -> int -> int -> bool
 (** [is_open w u v] is the state of edge [{u,v}].
     @raise Topology.Graph.Not_an_edge if they are not adjacent. *)
+
+val is_open_id : t -> int -> int -> id:int -> bool
+(** [is_open_id w u v ~id] equals [is_open w u v] given
+    [id = (graph w).edge_id u v] — the fast path for callers that have
+    already resolved the edge id ({!Oracle}'s probe loop resolves it
+    once per probe for its own memo). Unspecified if [id] is not the
+    edge's id. *)
 
 val open_neighbors : t -> int -> int array
 (** Adjacent vertices reachable through open edges — adjacency in the
@@ -121,6 +156,31 @@ val iter_open_neighbors : t -> int -> (int -> unit) -> unit
 (** [iter_open_neighbors w v f] calls [f] on every open neighbor of [v]
     in the same order as {!open_neighbors}, without building the result
     array — the allocation-free primitive for BFS hot loops. *)
+
+val raw_open_bits : t -> Bytes.t option
+(** [Some bits] when an edge's state is exactly bit [id] of [bits]:
+    the world is cached, bond-only, and carries no removal overlay.
+    The bitset is the live coin cache — treat it as read-only. [None]
+    otherwise; callers fall back to {!is_open_id}. Exists so
+    {!Oracle}'s fresh-probe hot path is a single bit test instead of a
+    chain of cross-module calls. *)
+
+val adjacency_view : t -> (int array * int array) option
+(** [Some (rows, arena)] exposes the open-adjacency cache of a cached
+    world with no removal overlay. Row metadata is interleaved so one
+    cache-line fetch serves both fields: once [rows.(2 * v) >= 0],
+    vertex [v]'s open neighbors are [arena.(i)] for
+    [rows.(2 * v) <= i < rows.(2 * v) + rows.(2 * v + 1)]. A negative
+    [rows.(2 * v)] means the row is not yet materialised — call
+    {!ensure_row} and re-fetch the view ([arena] may have been replaced
+    by growth; [rows] has stable identity). Both arrays are the live
+    cache — read-only. [None] on lazy worlds and removal overlays;
+    callers fall back to {!iter_open_neighbors}. Exists so {!Reveal}'s
+    BFS inner loops are straight-line array code. *)
+
+val ensure_row : t -> int -> unit
+(** Materialise a vertex's open-adjacency row (no-op on lazy worlds).
+    Companion to {!adjacency_view}. *)
 
 val open_degree : t -> int -> int
 

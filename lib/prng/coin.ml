@@ -8,5 +8,36 @@ let uniform ~seed id =
 
 let bernoulli ~seed ~p id = uniform ~seed id < p
 
+(* Batched variants: one sequential SplitMix64 sweep over consecutive
+   ids. [hash64] evaluates the finalizer at [z_id = seed + gamma * id];
+   walking ids in order replaces the per-call 64-bit multiply with one
+   add per id, and keeps the whole sweep branch-light — the generator
+   for eagerly-filled world caches and coupled sweep families. The
+   outputs are bit-identical to calling [uniform]/[bernoulli] per id
+   (property-tested). *)
+
+let to_unit h =
+  Int64.to_float (Int64.shift_right_logical h 11) *. (1.0 /. 9007199254740992.0)
+
+let uniform_fill ~seed out =
+  let z = ref seed in
+  for id = 0 to Array.length out - 1 do
+    Array.unsafe_set out id (to_unit (Splitmix64.mix (Splitmix64.mix !z)));
+    z := Int64.add !z Splitmix64.golden_gamma
+  done
+
+let bernoulli_fill ~seed ~p bits ~count =
+  if Bytes.length bits * 8 < count then
+    invalid_arg "Coin.bernoulli_fill: bitset too small";
+  let z = ref seed in
+  for id = 0 to count - 1 do
+    (if to_unit (Splitmix64.mix (Splitmix64.mix !z)) < p then
+       let j = id lsr 3 in
+       Bytes.unsafe_set bits j
+         (Char.unsafe_chr
+            (Char.code (Bytes.unsafe_get bits j) lor (1 lsl (id land 7)))));
+    z := Int64.add !z Splitmix64.golden_gamma
+  done
+
 let derive seed label =
   Splitmix64.mix (Int64.logxor (Splitmix64.mix seed) (Int64.mul 0xD1342543DE82EF95L (Int64.of_int label)))

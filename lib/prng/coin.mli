@@ -20,6 +20,20 @@ val bernoulli : seed:int64 -> p:float -> int -> bool
     in [(seed, id)]. Monotone in [p]: if it is true at [p] it is true at
     every [p' >= p] for the same seed and id. *)
 
+val uniform_fill : seed:int64 -> float array -> unit
+(** [uniform_fill ~seed out] sets [out.(id) <- uniform ~seed id] for
+    every index of [out], as one sequential sweep (one SplitMix64 state
+    advance per id instead of a multiply per call). Bit-identical to the
+    per-id function — the backing store of coupled sweep families. *)
+
+val bernoulli_fill : seed:int64 -> p:float -> Bytes.t -> count:int -> unit
+(** [bernoulli_fill ~seed ~p bits ~count] ORs bit [id] of [bits] for
+    every [id] in [\[0, count)] with [bernoulli ~seed ~p id], in one
+    sequential sweep — the eager generator for cached world coin
+    bitsets. Bits beyond [count] are untouched; bits already set stay
+    set (pass a zeroed buffer for a pure fill).
+    @raise Invalid_argument if [bits] holds fewer than [count] bits. *)
+
 val derive : int64 -> int -> int64
 (** [derive seed label] is a new seed deterministically derived from
     [seed] and the integer [label]. Use to give each trial, stream or

@@ -34,7 +34,7 @@ let graph n =
   let edge_id u v =
     if u < 0 || v < 0 || u >= size || v >= size || u = v then
       raise (Graph.Not_an_edge (u, v));
-    let child = max u v and candidate_parent = min u v in
+    let child = if u < v then v else u and candidate_parent = if u < v then u else v in
     match parent child with
     | Some p when p = candidate_parent -> child - 1
     | Some _ | None -> raise (Graph.Not_an_edge (u, v))

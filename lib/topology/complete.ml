@@ -1,5 +1,7 @@
 let edge_id_of_pair u v =
-  let lo = min u v and hi = max u v in
+  (* Monomorphic comparisons: polymorphic [min]/[max] go through the
+     generic compare runtime and dominate probe-heavy hot loops. *)
+  let lo = if u < v then u else v and hi = if u < v then v else u in
   (hi * (hi - 1) / 2) + lo
 
 let graph n =

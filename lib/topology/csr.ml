@@ -1,0 +1,75 @@
+(* Flat compressed-sparse-row adjacency: per-vertex offsets into two
+   parallel int arrays holding neighbor targets and canonical edge ids.
+   Building one costs a full adjacency enumeration (every [neighbors]
+   array allocated once, every [edge_id] computed once); afterwards any
+   consumer can walk a vertex's row with plain array reads — no closure
+   calls, no per-query allocation. Percolation worlds over the same
+   graph all share one structure via {!of_graph}. *)
+
+type t = {
+  xadj : int array;
+  targets : int array;
+  edge_ids : int array;
+}
+
+let build (g : Graph.t) =
+  let n = g.Graph.vertex_count in
+  (* Materialise every row once: the row lengths define the offsets, so
+     a [degree] function that disagreed with [neighbors] could not skew
+     the layout. *)
+  let rows = Array.init n g.Graph.neighbors in
+  let xadj = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    xadj.(v + 1) <- xadj.(v) + Array.length rows.(v)
+  done;
+  let total = xadj.(n) in
+  let targets = Array.make total 0 in
+  let edge_ids = Array.make total 0 in
+  for v = 0 to n - 1 do
+    let base = xadj.(v) in
+    Array.iteri
+      (fun i w ->
+        targets.(base + i) <- w;
+        edge_ids.(base + i) <- g.Graph.edge_id v w)
+      rows.(v)
+  done;
+  { xadj; targets; edge_ids }
+
+(* Graphs are closures, so the memo keys on physical identity: every
+   experiment builds its graph once and threads the same value through
+   all its worlds, which is exactly when sharing pays. Two structurally
+   equal but distinct graph values merely build twice — never wrong.
+   The list is tiny (a handful of live topologies per process) and
+   mutex-guarded because worlds are constructed from worker domains. *)
+let memo_capacity = 8
+let memo : (Graph.t * t) list ref = ref []
+let memo_mutex = Mutex.create ()
+
+let lookup g = List.find_opt (fun (g', _) -> g' == g) !memo
+
+let of_graph g =
+  let hit =
+    Mutex.lock memo_mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock memo_mutex) (fun () -> lookup g)
+  in
+  match hit with
+  | Some (_, csr) -> csr
+  | None ->
+      (* Build outside the lock: a racing domain may build the same CSR
+         twice, which wastes work but cannot produce a wrong result
+         (construction is pure). *)
+      let csr = build g in
+      Mutex.lock memo_mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock memo_mutex)
+        (fun () ->
+          match lookup g with
+          | Some (_, existing) -> existing
+          | None ->
+              let kept =
+                if List.length !memo >= memo_capacity then
+                  List.filteri (fun i _ -> i < memo_capacity - 1) !memo
+                else !memo
+              in
+              memo := (g, csr) :: kept;
+              csr)

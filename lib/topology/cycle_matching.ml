@@ -33,7 +33,7 @@ let create stream n =
     if u < 0 || v < 0 || u >= n || v >= n || u = v then raise (Graph.Not_an_edge (u, v));
     if cycle_next u = v then u
     else if cycle_next v = u then v
-    else if matching.(u) = v then n + min u v
+    else if matching.(u) = v then n + (if u < v then u else v)
     else raise (Graph.Not_an_edge (u, v))
   in
   ( {

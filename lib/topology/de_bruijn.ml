@@ -20,17 +20,23 @@ let graph n =
   let edge_id u v =
     if u < 0 || v < 0 || u >= size || v >= size || u = v then
       raise (Graph.Not_an_edge (u, v));
-    let representations =
-      List.concat_map
-        (fun (s, t) ->
-          List.filter_map
-            (fun b -> if shift ~n s b = t then Some ((2 * s) + b) else None)
-            [ 0; 1 ])
-        [ (u, v); (v, u) ]
+    (* Smallest matching (source, bit) representation, checked in
+       ascending id order — allocation-free, as this sits on every
+       oracle probe's hot path. *)
+    let id =
+      if u <= v then
+        if shift ~n u 0 = v then 2 * u
+        else if shift ~n u 1 = v then (2 * u) + 1
+        else if shift ~n v 0 = u then 2 * v
+        else if shift ~n v 1 = u then (2 * v) + 1
+        else -1
+      else if shift ~n v 0 = u then 2 * v
+      else if shift ~n v 1 = u then (2 * v) + 1
+      else if shift ~n u 0 = v then 2 * u
+      else if shift ~n u 1 = v then (2 * u) + 1
+      else -1
     in
-    match List.sort compare representations with
-    | [] -> raise (Graph.Not_an_edge (u, v))
-    | id :: _ -> id
+    if id < 0 then raise (Graph.Not_an_edge (u, v)) else id
   in
   {
     Graph.name = Printf.sprintf "de_bruijn(n=%d)" n;

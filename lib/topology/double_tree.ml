@@ -52,7 +52,8 @@ let decompose_edge ~n u v =
   let try_tree tree =
     match (heap_in_tree ~n ~tree u, heap_in_tree ~n ~tree v) with
     | hu, hv ->
-        let child = max hu hv and parent_heap = min hu hv in
+        let child = if hu < hv then hv else hu
+        and parent_heap = if hu < hv then hu else hv in
         if child lsr 1 = parent_heap then Some (tree, child) else None
     | exception Not_found -> None
   in

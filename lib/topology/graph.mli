@@ -20,7 +20,14 @@ type t = {
   vertex_count : int;
   degree : int -> int;  (** Degree of a vertex. *)
   neighbors : int -> int array;
-      (** Fresh array of adjacent vertices; callers may keep or mutate it. *)
+      (** Adjacent vertices. {b Freshness contract}: every call returns
+          a {e newly allocated} array that the graph does not retain or
+          alias — two consecutive calls return physically distinct,
+          structurally equal arrays. Callers may therefore keep or
+          mutate the result freely ({!Percolation.World}'s lazy path
+          filters it in place). Every topology, in and out of the
+          registry, must honour this; a qcheck test over the full
+          registry enforces it. *)
   edge_id : int -> int -> int;
       (** Canonical id of the edge [{u,v}]; symmetric in its arguments.
           @raise Not_an_edge if the pair is not an edge. *)

@@ -70,7 +70,7 @@ let graph ~d ~m =
      where v is the endpoint with the smaller coordinate. *)
   let edge_id u v =
     if u < 0 || v < 0 || u >= size || v >= size then raise (Graph.Not_an_edge (u, v));
-    let lo = min u v and hi = max u v in
+    let lo = if u < v then u else v and hi = if u < v then v else u in
     let diff = hi - lo in
     let rec find_axis axis =
       if axis = d then raise (Graph.Not_an_edge (u, v))
@@ -80,9 +80,11 @@ let graph ~d ~m =
     let axis = find_axis 0 in
     (* Reject wraparound-looking pairs: the lower endpoint must not be on
        the upper face of that axis boundary, i.e. coordinates must be
-       consistent (lo's coordinate on [axis] is < m-1 and hi = lo + 1). *)
-    let c = coords ~d ~m lo in
-    if c.(axis) >= m - 1 then raise (Graph.Not_an_edge (u, v));
+       consistent (lo's coordinate on [axis] is < m-1 and hi = lo + 1).
+       Only that one coordinate is needed, so extract it directly rather
+       than materialising the whole coordinate vector — [edge_id] is on
+       every probe's hot path. *)
+    if lo / strides.(axis) mod m >= m - 1 then raise (Graph.Not_an_edge (u, v));
     (lo * d) + axis
   in
   {

@@ -26,12 +26,13 @@ let graph n =
       raise (Graph.Not_an_edge (u, v));
     if u lxor v = 1 then 2 * (u lsr 1)
     else begin
-      let sources =
-        List.filter (fun s -> rotate_left ~n s = (u lxor v lxor s)) [ u; v ]
-      in
-      match List.sort compare sources with
-      | [] -> raise (Graph.Not_an_edge (u, v))
-      | s :: _ -> (2 * s) + 1
+      (* Smallest generating source, checked in ascending order —
+         allocation-free (no list building or polymorphic sort) since
+         this sits on every oracle probe's hot path. *)
+      let lo = if u < v then u else v and hi = if u < v then v else u in
+      if rotate_left ~n lo = hi then (2 * lo) + 1
+      else if rotate_left ~n hi = lo then (2 * hi) + 1
+      else raise (Graph.Not_an_edge (u, v))
     end
   in
   {

@@ -16,7 +16,7 @@ let graph d =
      with id 2i + 1. *)
   let edge_id a b =
     if a < 0 || b < 0 || a >= size || b >= size then raise (Graph.Not_an_edge (a, b));
-    let lo = min a b and hi = max a b in
+    let lo = if a < b then a else b and hi = if a < b then b else a in
     if hi < 2 || lo > 1 then raise (Graph.Not_an_edge (a, b))
     else begin
       let path = hi - 2 in

@@ -223,6 +223,26 @@ let test_quick_experiments_produce_tables () =
       Alcotest.(check bool) (id ^ " renders") true (String.length rendered > 100))
     [ "E5"; "E6"; "E10"; "E11"; "E13"; "E17"; "E19"; "E22"; "E23"; "E24" ]
 
+let test_converted_sweeps_jobs_identical () =
+  (* The coupled-sweep conversions must stay byte-identical across job
+     counts: the coupling moved sweep randomness from per-p coin hashing
+     to one shared uniform sample, and the parallel engine must not be
+     able to tell. *)
+  let saved = Engine_par.Pool.default_jobs () in
+  Fun.protect
+    ~finally:(fun () -> Engine_par.Pool.set_default_jobs saved)
+    (fun () ->
+      List.iter
+        (fun id ->
+          let render jobs =
+            Engine_par.Pool.set_default_jobs jobs;
+            Experiments.Report.render (run_quick id)
+          in
+          Alcotest.(check string)
+            (id ^ " identical under jobs=1 and jobs=4")
+            (render 1) (render 4))
+        [ "E1"; "E5"; "E11" ])
+
 let test_e10_connectivity_close_to_exact () =
   let report = run_quick "E10" in
   (* Structural check only: the table has one row per d value. *)
@@ -256,6 +276,7 @@ let () =
           case "E6 matches GW recursion" test_e6_matches_recursion;
           case "recursion properties" test_exact_connection_recursion_properties;
           case "quick experiments render" test_quick_experiments_produce_tables;
+          case "converted sweeps: jobs-independent" test_converted_sweeps_jobs_identical;
           case "E10 table shape" test_e10_connectivity_close_to_exact;
         ] );
     ]

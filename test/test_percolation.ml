@@ -306,6 +306,29 @@ let test_in_largest () =
   if census.P.Clusters.largest = 64 then
     Alcotest.(check bool) "member" true (P.Clusters.in_largest w 17)
 
+let test_in_largest_tie () =
+  (* Two components of equal size: the canonical tie-break (smallest
+     root id) must pick exactly one — the historical size-comparison
+     implementation answered [true] on both sides of a tie. *)
+  let path6 = Topology.Mesh.graph ~d:1 ~m:6 in
+  let w =
+    P.World.remove_edges (P.World.create path6 ~p:1.0 ~seed:1L) [ (2, 3) ]
+  in
+  let members = List.filter (P.Clusters.in_largest w) [ 0; 1; 2; 3; 4; 5 ] in
+  Alcotest.(check int) "one side only" 3 (List.length members);
+  Alcotest.(check bool) "the two halves disagree" true
+    (P.Clusters.in_largest w 0 <> P.Clusters.in_largest w 5);
+  (* The reusable membership answers identically without a rebuild per
+     query. *)
+  let m = P.Clusters.membership w in
+  Alcotest.(check int) "largest size" 3 m.P.Clusters.largest_size;
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "member %d" v)
+        (P.Clusters.in_largest w v) (P.Clusters.member m v))
+    [ 0; 1; 2; 3; 4; 5 ]
+
 (* ------------------------------------------------------------------ *)
 (* Chemical                                                            *)
 
@@ -909,6 +932,139 @@ let test_diff_removal_overlay () =
     (P.World.is_open cached 0 1)
 
 (* ------------------------------------------------------------------ *)
+(* Coupled sweep families                                              *)
+
+let test_coupled_identity_bond () =
+  let family = P.Coupled.create hypercube6 ~seed:33L in
+  Alcotest.(check int64) "seed" 33L (P.Coupled.seed family);
+  Alcotest.(check string) "graph" hypercube6.G.name (P.Coupled.graph family).G.name;
+  List.iter
+    (fun p ->
+      let cut = P.Coupled.world_at family ~p in
+      let reference = P.World.create hypercube6 ~p ~seed:33L in
+      Alcotest.(check bool) "cut is cached" true (P.World.cached cut);
+      G.iter_edges hypercube6 (fun u v ->
+          Alcotest.(check bool)
+            (Printf.sprintf "p=%.2f edge (%d,%d)" p u v)
+            (P.World.is_open reference u v)
+            (P.World.is_open cut u v)))
+    [ 0.0; 0.25; 0.5; 0.75; 1.0 ]
+
+let test_coupled_identity_site () =
+  let family = P.Coupled.create ~site:true hypercube6 ~seed:35L in
+  let cut = P.Coupled.world_at ~site_p:0.7 family ~p:0.6 in
+  let reference = P.World.create ~site_p:0.7 hypercube6 ~p:0.6 ~seed:35L in
+  for v = 0 to 63 do
+    Alcotest.(check bool)
+      (Printf.sprintf "alive %d" v)
+      (P.World.vertex_alive reference v)
+      (P.World.vertex_alive cut v)
+  done;
+  G.iter_edges hypercube6 (fun u v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "edge (%d,%d)" u v)
+        (P.World.is_open reference u v)
+        (P.World.is_open cut u v))
+
+let test_coupled_monotone_bond () =
+  (* Deterministic nesting per sample — the point of the coupling: not
+     a statistical trend but a subset relation on every draw. *)
+  let family = P.Coupled.create hypercube6 ~seed:37L in
+  let cuts = List.map (fun p -> P.Coupled.world_at family ~p) [ 0.1; 0.3; 0.5; 0.7; 0.9 ] in
+  let rec nested = function
+    | lo :: (hi :: _ as rest) ->
+        G.iter_edges hypercube6 (fun u v ->
+            if P.World.is_open lo u v then
+              Alcotest.(check bool) "nested" true (P.World.is_open hi u v));
+        nested rest
+    | [ _ ] | [] -> ()
+  in
+  nested cuts
+
+let test_coupled_monotone_site () =
+  let family = P.Coupled.create ~site:true hypercube6 ~seed:39L in
+  let lo = P.Coupled.world_at ~site_p:0.4 family ~p:0.7 in
+  let hi = P.Coupled.world_at ~site_p:0.8 family ~p:0.7 in
+  for v = 0 to 63 do
+    if P.World.vertex_alive lo v then
+      Alcotest.(check bool)
+        (Printf.sprintf "alive %d nested" v)
+        true (P.World.vertex_alive hi v)
+  done;
+  G.iter_edges hypercube6 (fun u v ->
+      if P.World.is_open lo u v then
+        Alcotest.(check bool)
+          (Printf.sprintf "edge (%d,%d) nested" u v)
+          true (P.World.is_open hi u v))
+
+let test_coupled_site_requires_sampling () =
+  let family = P.Coupled.create hypercube6 ~seed:41L in
+  Alcotest.check_raises "site_p without ~site"
+    (Invalid_argument "Coupled.world_at: family sampled without ~site:true")
+    (fun () -> ignore (P.Coupled.world_at ~site_p:0.5 family ~p:0.5))
+
+let test_coupled_gate () =
+  Alcotest.check_raises "over gate"
+    (Invalid_argument "Coupled.create: graph exceeds the cache gate")
+    (fun () -> ignore (P.Coupled.create (Topology.Hypercube.graph 19) ~seed:1L))
+
+(* ------------------------------------------------------------------ *)
+(* Reveal engines                                                      *)
+
+let engines = [ ("table", P.Reveal.Table); ("arena", P.Reveal.Arena); ("bitset", P.Reveal.Bitset) ]
+
+let check_engines_agree label w source target =
+  (* Without a limit, verdicts, distances and full-cluster counts are
+     engine-independent. *)
+  (match List.map (fun (n, e) -> (n, P.Reveal.connected_via e w source target)) engines with
+  | (_, first) :: rest ->
+      List.iter
+        (fun (n, verdict) ->
+          Alcotest.(check bool) (Printf.sprintf "%s: %s verdict" label n) true (verdict = first))
+        rest
+  | [] -> ());
+  match List.map (fun (n, e) -> (n, P.Reveal.cluster_size_via e w source)) engines with
+  | (_, first) :: rest ->
+      List.iter
+        (fun (n, count) ->
+          Alcotest.(check (pair int bool)) (Printf.sprintf "%s: %s count" label n) first count)
+        rest
+  | [] -> ()
+
+let test_engines_differential () =
+  for k = 1 to 8 do
+    let seed = Int64.of_int (100 + k) in
+    let p = 0.1 *. float_of_int k in
+    let cached = P.World.create hypercube6 ~p ~seed in
+    check_engines_agree "cached" cached 0 63;
+    let lazy_ = P.World.create ~cache:false hypercube6 ~p ~seed in
+    check_engines_agree "lazy" lazy_ 0 63;
+    (* Removal overlays and site percolation drop the raw-bit fast
+       paths; the engines must agree on the general path too. *)
+    let overlay = P.World.remove_edges cached [ (0, 1); (0, 2); (5, 7) ] in
+    check_engines_agree "overlay" overlay 0 63;
+    let site = P.World.create ~site_p:0.8 hypercube6 ~p ~seed in
+    check_engines_agree "site" site 0 63
+  done
+
+let test_engines_limit_counts () =
+  (* The shared limit convention: a truncated run visits exactly
+     [limit] vertices on every engine, even though the bitset engine
+     reaches a different vertex set. *)
+  let w = P.World.create hypercube6 ~p:0.9 ~seed:55L in
+  let full, _ = P.Reveal.cluster_size w 0 in
+  Alcotest.(check bool) "cluster big enough" true (full > 16);
+  List.iter
+    (fun limit ->
+      List.iter
+        (fun (n, e) ->
+          let count, truncated = P.Reveal.cluster_size_via e ~limit w 0 in
+          Alcotest.(check int) (Printf.sprintf "%s count at limit %d" n limit) (min limit full) count;
+          Alcotest.(check bool) (Printf.sprintf "%s truncated at %d" n limit) (limit < full) truncated)
+        engines)
+    [ 1; 2; 7; 16; 1000 ]
+
+(* ------------------------------------------------------------------ *)
 (* QCheck properties                                                   *)
 
 let qcheck_tests =
@@ -979,6 +1135,38 @@ let qcheck_tests =
           (fun (v, bit) -> ignore (P.Oracle.probe o v (Topology.Hypercube.flip v bit)))
           probes;
         P.Oracle.distinct_probes o <= P.Oracle.raw_probes o);
+    Test.make ~name:"coupled cut = independent world" ~count:200
+      (pair int64 (float_bound_inclusive 1.0))
+      (fun (seed, p) ->
+        let g = Topology.Hypercube.graph 4 in
+        let family = P.Coupled.create g ~seed in
+        let cut = P.Coupled.world_at family ~p in
+        let reference = P.World.create g ~p ~seed in
+        G.fold_edges g ~init:true ~f:(fun acc u v ->
+            acc && P.World.is_open cut u v = P.World.is_open reference u v));
+    Test.make ~name:"coupled cuts nest deterministically" ~count:200
+      (triple int64 (float_bound_inclusive 1.0) (float_bound_inclusive 1.0))
+      (fun (seed, p1, p2) ->
+        let lo_p = Float.min p1 p2 and hi_p = Float.max p1 p2 in
+        let g = Topology.Hypercube.graph 4 in
+        let family = P.Coupled.create g ~seed in
+        let lo = P.Coupled.world_at family ~p:lo_p in
+        let hi = P.Coupled.world_at family ~p:hi_p in
+        G.fold_edges g ~init:true ~f:(fun acc u v ->
+            acc && ((not (P.World.is_open lo u v)) || P.World.is_open hi u v)));
+    Test.make ~name:"reveal engines agree" ~count:100
+      (pair int64 (float_bound_inclusive 1.0))
+      (fun (seed, p) ->
+        let g = Topology.Hypercube.graph 4 in
+        let w = P.World.create g ~p ~seed in
+        P.Reveal.cluster_size_via P.Reveal.Table w 0
+        = P.Reveal.cluster_size_via P.Reveal.Arena w 0
+        && P.Reveal.cluster_size_via P.Reveal.Arena w 0
+           = P.Reveal.cluster_size_via P.Reveal.Bitset w 0
+        && P.Reveal.connected_via P.Reveal.Table w 0 15
+           = P.Reveal.connected_via P.Reveal.Arena w 0 15
+        && P.Reveal.connected_via P.Reveal.Arena w 0 15
+           = P.Reveal.connected_via P.Reveal.Bitset w 0 15);
   ]
 
 let () =
@@ -1031,6 +1219,21 @@ let () =
           case "empty world" test_census_empty_world;
           case "sizes sum" test_census_sizes_sum;
           case "in largest" test_in_largest;
+          case "in largest: ties canonical" test_in_largest_tie;
+        ] );
+      ( "coupled",
+        [
+          case "bond cut = independent world" test_coupled_identity_bond;
+          case "site cut = independent world" test_coupled_identity_site;
+          case "bond cuts nest" test_coupled_monotone_bond;
+          case "site cuts nest" test_coupled_monotone_site;
+          case "site_p needs ~site" test_coupled_site_requires_sampling;
+          case "cache gate enforced" test_coupled_gate;
+        ] );
+      ( "reveal engines",
+        [
+          case "differential agreement" test_engines_differential;
+          case "limit convention" test_engines_limit_counts;
         ] );
       ( "chemical",
         [

@@ -461,6 +461,35 @@ let test_small_world_contact_bias () =
   Alcotest.(check bool) "r=4 contacts shorter than r=0" true
     (mean_contact_distance 4.0 < mean_contact_distance 0.0)
 
+let check_neighbors_fresh g =
+  for v = 0 to g.G.vertex_count - 1 do
+    let a = g.G.neighbors v in
+    let b = g.G.neighbors v in
+    Alcotest.(check (array int)) (Printf.sprintf "%s: N(%d) stable" g.G.name v) a b;
+    if Array.length a > 0 then begin
+      (* Physically distinct (empty arrays share the atom, so only
+         non-empty rows can witness freshness)... *)
+      Alcotest.(check bool) (Printf.sprintf "%s: N(%d) fresh" g.G.name v) true (a != b);
+      (* ...and mutating a returned array must not leak into later
+         calls — World's lazy path filters the row in place. *)
+      a.(0) <- -1;
+      Alcotest.(check (array int))
+        (Printf.sprintf "%s: N(%d) mutation isolated" g.G.name v)
+        b (g.G.neighbors v)
+    end
+  done
+
+let test_registry_neighbors_fresh () =
+  (* The freshness contract documented on [Graph.t.neighbors], enforced
+     for every family in the registry: each call returns a newly
+     allocated, unaliased array. *)
+  let stream = Prng.Stream.create 424L in
+  List.iter
+    (fun entry ->
+      let instance = entry.Topology.Registry.build ~size:6 stream in
+      check_neighbors_fresh instance.Topology.Registry.graph)
+    Topology.Registry.entries
+
 let test_graph_helpers () =
   let g = Topology.Hypercube.graph 4 in
   Alcotest.(check int) "edge_count" 32 (G.edge_count g);
@@ -497,6 +526,11 @@ let () =
         generic_battery "DB(6)" (Topology.De_bruijn.graph 6) ~metric_samples:0 );
       ( "shuffle exchange generic",
         generic_battery "SE(6)" (Topology.Shuffle_exchange.graph 6) ~metric_samples:0 );
+      ( "registry",
+        [
+          Alcotest.test_case "neighbors freshness contract" `Quick
+            test_registry_neighbors_fresh;
+        ] );
       ( "butterfly generic",
         generic_battery "BF(4)" (Topology.Butterfly.graph 4) ~metric_samples:0 );
       ( "hypercube",
