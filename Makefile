@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke smoke chaos-smoke serve-smoke check-claims update-baseline update-baseline-full ci clean
+.PHONY: all build test bench bench-smoke smoke chaos-smoke serve-smoke obs-smoke check-claims update-baseline update-baseline-full ci clean
 
 all: build
 
@@ -85,6 +85,27 @@ serve-smoke:
 	head -1 artifacts/SERVE_trace.jsonl | grep -q '"schema": "trace/v1"'
 	dune exec bin/faultroute.exe -- trace artifacts/SERVE_trace.jsonl
 
+# Run telemetry end to end. A serve run with the whole reporting layer
+# armed (telemetry/v1 heartbeats, profile/v1 spans, metrics/v1) must
+# keep answer and evidence bytes identical to a telemetry-off run at a
+# different --jobs; every emitted artifact must validate through the
+# obs inspector, and the report must actually show per-domain pool
+# utilization and latency quantiles. Then the cost side: instrumenting
+# the hot paths must leave the disabled-path cost unchanged
+# (--obs-guard, <5%).
+obs-smoke:
+	mkdir -p artifacts
+	dune exec bin/faultroute.exe -- serve --manifest examples/serve/session.json --queries examples/serve/queries-10k.jsonl --jobs 4 --telemetry-out artifacts/OBS_telemetry.jsonl --profile-out artifacts/OBS_profile.json --metrics-out artifacts/OBS_metrics.json --out artifacts/OBS_answers_on.jsonl --evidence-out artifacts/OBS_evidence_on.json
+	dune exec bin/faultroute.exe -- serve --manifest examples/serve/session.json --queries examples/serve/queries-10k.jsonl --jobs 1 --out artifacts/OBS_answers_off.jsonl --evidence-out artifacts/OBS_evidence_off.json
+	cmp artifacts/OBS_answers_on.jsonl artifacts/OBS_answers_off.jsonl
+	cmp artifacts/OBS_evidence_on.json artifacts/OBS_evidence_off.json
+	dune exec bin/faultroute.exe -- obs validate artifacts/OBS_telemetry.jsonl artifacts/OBS_profile.json artifacts/OBS_metrics.json
+	dune exec bin/faultroute.exe -- obs report artifacts/OBS_telemetry.jsonl | grep -q 'pool utilization'
+	dune exec bin/faultroute.exe -- obs report artifacts/OBS_telemetry.jsonl | grep -q 'p95'
+	dune exec bin/faultroute.exe -- obs report artifacts/OBS_profile.json | grep -q 'profile/v1'
+	test -n "$$(dune exec bin/faultroute.exe -- obs folded artifacts/OBS_profile.json)"
+	dune exec bench/main.exe -- --obs-guard
+
 # EXPERIMENTS.md's verdict column, machine-checked: run the quick
 # catalog, evaluate every experiment's claims and compare the observed
 # values against the committed baseline. Exit 2 = a claim band is
@@ -100,7 +121,7 @@ update-baseline:
 update-baseline-full:
 	dune exec bin/faultroute.exe -- check --update
 
-ci: build test smoke chaos-smoke serve-smoke check-claims
+ci: build test smoke chaos-smoke serve-smoke obs-smoke check-claims
 
 clean:
 	dune clean

@@ -694,7 +694,7 @@ let report_parallel_speedup () =
 (* ------------------------------------------------------------------ *)
 (* Observability: profiling spans and the zero-cost-when-off guard.    *)
 
-let report_profile () =
+let report_profile ?profile_out () =
   Obs.Timing.reset ();
   Obs.Timing.enable ();
   let t0 = Unix.gettimeofday () in
@@ -705,7 +705,14 @@ let report_profile () =
     "== profiling spans (quick catalog, %d reports, %.2f s wall) ==\n"
     (List.length reports) elapsed;
   Printf.printf "%s\n"
-    (Format.asprintf "%a" Obs.Timing.pp_report (Obs.Timing.report ()))
+    (Format.asprintf "%a" Obs.Timing.pp_report (Obs.Timing.report ()));
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      output_string oc (Obs.Timing.profile_json ());
+      close_out oc;
+      Printf.printf "profile/v1 written to %s\n" path)
+    profile_out
 
 (* The zero-cost-when-off contract, checked empirically: the
    oracle-probe kernel is timed with instrumentation disabled, then an
@@ -785,32 +792,126 @@ let obs_guard () =
     end
   end
 
-let arg_value name default =
-  let rec find i =
-    if i >= Array.length Sys.argv - 1 then default
-    else if Sys.argv.(i) = name then Sys.argv.(i + 1)
-    else find (i + 1)
+(* A real single-pass parser (no cmdliner in the bench image): every
+   flag is matched exactly, value flags consume the next word, and an
+   unknown argument is a usage error — unlike the old [Array.exists]
+   scans, a typo can no longer silently run the default suite. *)
+type bench_args = {
+  mutable full : bool;
+  mutable quick : bool;
+  mutable tables_only : bool;
+  mutable perc_only : bool;
+  mutable kernels : bool;
+  mutable obs_guard : bool;
+  mutable profile : bool;
+  mutable profile_out : string option;
+  mutable out : string;
+  mutable history : string option;
+}
+
+let usage_lines =
+  [
+    "usage: bench [--full|--quick] [--tables-only] [--percolation-only]";
+    "             [--kernels] [--obs-guard] [--profile] [--profile-out FILE]";
+    "             [--out FILE] [--history FILE]";
+    "";
+    "  --full              full-size tables and percolation cases";
+    "  --quick             smoke-test sizes";
+    "  --tables-only       skip the bechamel micro-benchmarks";
+    "  --percolation-only  only the percolation kernel comparison";
+    "  --kernels           only the reveal/oracle kernel micro-table";
+    "  --obs-guard         check instrumentation costs nothing when off";
+    "  --profile           profile the quick catalog, print the span table";
+    "  --profile-out FILE  also write the profile/v1 span tree to FILE";
+    "  --out FILE          percolation snapshot path (default BENCH_percolation.json)";
+    "  --history FILE      append the snapshot to a JSONL history and flag regressions";
+  ]
+
+let parse_args () =
+  let a =
+    {
+      full = false;
+      quick = false;
+      tables_only = false;
+      perc_only = false;
+      kernels = false;
+      obs_guard = false;
+      profile = false;
+      profile_out = None;
+      out = "BENCH_percolation.json";
+      history = None;
+    }
   in
-  find 1
+  let argc = Array.length Sys.argv in
+  let die message =
+    Printf.eprintf "bench: %s\n" message;
+    List.iter prerr_endline usage_lines;
+    exit 2
+  in
+  let rec loop i =
+    if i < argc then
+      let value name =
+        if i + 1 >= argc then die (Printf.sprintf "%s needs a value" name)
+        else Sys.argv.(i + 1)
+      in
+      match Sys.argv.(i) with
+      | "--full" ->
+          a.full <- true;
+          loop (i + 1)
+      | "--quick" ->
+          a.quick <- true;
+          loop (i + 1)
+      | "--tables-only" ->
+          a.tables_only <- true;
+          loop (i + 1)
+      | "--percolation-only" ->
+          a.perc_only <- true;
+          loop (i + 1)
+      | "--kernels" ->
+          a.kernels <- true;
+          loop (i + 1)
+      | "--obs-guard" ->
+          a.obs_guard <- true;
+          loop (i + 1)
+      | "--profile" ->
+          a.profile <- true;
+          loop (i + 1)
+      | "--profile-out" ->
+          a.profile_out <- Some (value "--profile-out");
+          loop (i + 2)
+      | "--out" ->
+          a.out <- value "--out";
+          loop (i + 2)
+      | "--history" ->
+          a.history <- Some (value "--history");
+          loop (i + 2)
+      | "--help" | "-h" ->
+          List.iter print_endline usage_lines;
+          exit 0
+      | arg -> die (Printf.sprintf "unknown argument %S" arg)
+  in
+  loop 1;
+  a
 
 let () =
-  if Array.exists (fun a -> a = "--obs-guard") Sys.argv then exit (obs_guard ());
-  if Array.exists (fun a -> a = "--profile") Sys.argv then begin
-    report_profile ();
+  let args = parse_args () in
+  if args.obs_guard then exit (obs_guard ());
+  if args.profile || args.profile_out <> None then begin
+    report_profile ?profile_out:args.profile_out ();
     exit 0
   end;
-  let full = Array.exists (fun a -> a = "--full") Sys.argv in
-  let skip_micro = Array.exists (fun a -> a = "--tables-only") Sys.argv in
-  let quick_flag = Array.exists (fun a -> a = "--quick") Sys.argv in
-  let perc_only = Array.exists (fun a -> a = "--percolation-only") Sys.argv in
-  let out = arg_value "--out" "BENCH_percolation.json" in
-  let history = arg_value "--history" "" in
-  let maybe_history () = if history <> "" then append_history ~out ~history in
-  if Array.exists (fun a -> a = "--kernels") Sys.argv then begin
+  let full = args.full in
+  let skip_micro = args.tables_only in
+  let quick_flag = args.quick in
+  let out = args.out in
+  let maybe_history () =
+    Option.iter (fun history -> append_history ~out ~history) args.history
+  in
+  if args.kernels then begin
     report_kernels ~quick:(quick_flag || not full);
     exit 0
   end;
-  if perc_only then begin
+  if args.perc_only then begin
     report_percolation ~quick:quick_flag ~out;
     maybe_history ();
     exit 0

@@ -45,6 +45,9 @@ type common = {
   jobs : int;
   trace : string option;
   metrics_out : string option;
+  telemetry : bool;
+  telemetry_out : string option;
+  profile_out : string option;
   strict : bool;
 }
 
@@ -75,7 +78,8 @@ let with_instance spec_string ~size stream k =
 (* Observability plumbing: arm tracing/metrics around a subcommand
    body, then flush the sinks whatever happens.                        *)
 
-let with_observability ~trace ~metrics_out k =
+let with_observability ~trace ~metrics_out ~telemetry ~telemetry_out
+    ~profile_out k =
   let trace_channel =
     Option.map
       (fun path ->
@@ -87,6 +91,30 @@ let with_observability ~trace ~metrics_out k =
   if Option.is_some metrics_out then begin
     Obs.Metrics.reset_global ();
     Obs.Metrics.enable ()
+  end;
+  let telemetered = telemetry || Option.is_some telemetry_out in
+  let telemetry_channel =
+    if not telemetered then None
+    else begin
+      Obs.Telemetry.reset ();
+      match telemetry_out with
+      | None ->
+          (* Default sink: heartbeat lines on stderr, out of the way of
+             answers and reports on stdout. *)
+          Obs.Telemetry.enable ();
+          None
+      | Some path ->
+          let oc = open_out path in
+          Obs.Telemetry.set_sink (fun s ->
+              output_string oc s;
+              flush oc);
+          Obs.Telemetry.enable ();
+          Some oc
+    end
+  in
+  if Option.is_some profile_out then begin
+    Obs.Timing.reset ();
+    Obs.Timing.enable ()
   end;
   Fun.protect
     ~finally:(fun () ->
@@ -101,14 +129,33 @@ let with_observability ~trace ~metrics_out k =
           let oc = open_out path in
           output_string oc (Obs.Metrics.to_json (Obs.Metrics.global_snapshot ()));
           close_out oc)
-        metrics_out)
+        metrics_out;
+      if telemetered then begin
+        (* One final forced snapshot so even a subcommand that never
+           heartbeats leaves a complete telemetry/v1 artifact. *)
+        Obs.Telemetry.heartbeat ();
+        Obs.Telemetry.disable ();
+        Obs.Telemetry.set_sink (fun s ->
+            output_string stderr s;
+            flush stderr);
+        Option.iter close_out telemetry_channel
+      end;
+      Option.iter
+        (fun path ->
+          Obs.Timing.disable ();
+          let oc = open_out path in
+          output_string oc (Obs.Timing.profile_json ());
+          close_out oc)
+        profile_out)
     k
 
 (* Arm everything the [common] record asks for around a subcommand
-   body: the ambient job count, then tracing/metrics. *)
+   body: the ambient job count, then tracing/metrics/telemetry. *)
 let with_common common k =
   Engine_par.Pool.set_default_jobs common.jobs;
-  with_observability ~trace:common.trace ~metrics_out:common.metrics_out k
+  with_observability ~trace:common.trace ~metrics_out:common.metrics_out
+    ~telemetry:common.telemetry ~telemetry_out:common.telemetry_out
+    ~profile_out:common.profile_out k
 
 let strict_shortfall_exit ~strict reports =
   let short = List.filter Experiments.Report.has_shortfall reports in
@@ -711,6 +758,94 @@ let cmd_evidence file =
           else Verdict.Exit_code.claim_fail)
 
 (* ------------------------------------------------------------------ *)
+(* The obs subcommands: one inspector for every artifact the toolkit
+   emits (Obs.Inspect does the sniffing/validation; loading IS schema
+   validation, so `obs validate` only reports verdicts).               *)
+
+let cmd_obs_validate files =
+  let failed = ref 0 in
+  List.iter
+    (fun file ->
+      match Obs.Inspect.load file with
+      | Ok artifact ->
+          Printf.printf "%s: ok (%s)\n" file
+            (Obs.Inspect.kind_name (Obs.Inspect.kind artifact))
+      | Error message ->
+          incr failed;
+          Printf.printf "INVALID %s\n" message)
+    files;
+  if !failed = 0 then Verdict.Exit_code.ok else Verdict.Exit_code.claim_fail
+
+let cmd_obs_report files =
+  let ppf = Format.std_formatter in
+  let loaded =
+    List.filter_map
+      (fun file ->
+        match Obs.Inspect.load file with
+        | Ok artifact -> Some (file, artifact)
+        | Error message ->
+            prerr_endline message;
+            None)
+      files
+  in
+  List.iter
+    (fun (file, artifact) ->
+      if List.length files > 1 then Format.fprintf ppf "== %s ==@." file;
+      Obs.Inspect.report ppf artifact)
+    loaded;
+  (* Several metrics files fold into one cross-run view — the same
+     merge the engine itself uses, so the aggregate is exact. *)
+  (match
+     List.filter (fun (_, a) -> Obs.Inspect.kind a = `Metrics) loaded
+   with
+  | (_ :: _ :: _ as metrics) ->
+      let merged =
+        List.fold_left
+          (fun acc (_, a) ->
+            match acc with
+            | Error _ as e -> e
+            | Ok acc -> Obs.Inspect.aggregate acc a)
+          (Ok (snd (List.hd metrics)))
+          (List.tl metrics)
+      in
+      (match merged with
+      | Ok a ->
+          Format.fprintf ppf "== aggregate of %d metrics files ==@."
+            (List.length metrics);
+          Obs.Inspect.report ppf a
+      | Error message -> prerr_endline message)
+  | _ -> ());
+  if List.length loaded = List.length files then Verdict.Exit_code.ok
+  else Verdict.Exit_code.claim_fail
+
+let cmd_obs_diff file_a file_b =
+  match (Obs.Inspect.load file_a, Obs.Inspect.load file_b) with
+  | Error m, _ | _, Error m ->
+      prerr_endline m;
+      Verdict.Exit_code.claim_fail
+  | Ok a, Ok b -> (
+      Printf.printf "%s -> %s\n" file_a file_b;
+      match Obs.Inspect.diff Format.std_formatter a b with
+      | Ok () -> Verdict.Exit_code.ok
+      | Error m ->
+          prerr_endline m;
+          Verdict.Exit_code.error)
+
+let cmd_obs_folded file =
+  match Obs.Inspect.load file with
+  | Error m ->
+      prerr_endline m;
+      Verdict.Exit_code.claim_fail
+  | Ok artifact -> (
+      match Obs.Inspect.folded_of_profile artifact with
+      | Ok lines ->
+          List.iter print_endline lines;
+          Verdict.Exit_code.ok
+      | Error m ->
+          prerr_endline m;
+          Verdict.Exit_code.error)
+
+(* ------------------------------------------------------------------ *)
 (* Cmdliner wiring.                                                    *)
 
 open Cmdliner
@@ -737,6 +872,30 @@ let trace_arg =
 let metrics_arg =
   let doc = "Write the run's merged $(b,metrics/v1) counters to $(docv)." in
   Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let telemetry_arg =
+  let doc =
+    "Emit $(b,telemetry/v1) heartbeat lines (gauges, pool utilization, \
+     latency histograms) on stderr while the run progresses. Telemetry is \
+     reporting-layer only: result bytes are identical with it on or off."
+  in
+  Arg.(value & flag & info [ "telemetry" ] ~doc)
+
+let telemetry_out_arg =
+  let doc =
+    "Write $(b,telemetry/v1) heartbeat lines to $(docv) instead of stderr \
+     (implies $(b,--telemetry))."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "telemetry-out" ] ~docv:"FILE" ~doc)
+
+let profile_out_arg =
+  let doc =
+    "Write the hierarchical $(b,profile/v1) span tree to $(docv) at exit \
+     (arms wall-clock profiling; inspect with $(b,faultroute obs))."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "profile-out" ] ~docv:"FILE" ~doc)
 
 let strict_shortfall_arg =
   let doc =
@@ -813,12 +972,22 @@ let jobs_arg =
    all of them from this one term, so names, docs and defaults cannot
    diverge between subcommands. *)
 let common_term =
-  let make seed jobs trace metrics_out strict =
-    { seed; jobs; trace; metrics_out; strict }
+  let make seed jobs trace metrics_out telemetry telemetry_out profile_out
+      strict =
+    {
+      seed;
+      jobs;
+      trace;
+      metrics_out;
+      telemetry;
+      telemetry_out;
+      profile_out;
+      strict;
+    }
   in
   Term.(
-    const make $ seed_arg $ jobs_arg $ trace_arg $ metrics_arg
-    $ strict_shortfall_arg)
+    const make $ seed_arg $ jobs_arg $ trace_arg $ metrics_arg $ telemetry_arg
+    $ telemetry_out_arg $ profile_out_arg $ strict_shortfall_arg)
 
 let supervision_term =
   let make inject fault_plan checkpoint resume retries deadline =
@@ -1053,6 +1222,76 @@ let trace_cmd =
           the recorded count.")
     Term.(const cmd_trace $ file_arg)
 
+let obs_cmd =
+  let files_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Observability artifacts: trace/v1, metrics/v1, profile/v1, \
+             telemetry/v1, or bench_percolation history files (sniffed by \
+             schema tag).")
+  in
+  let file_a_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BEFORE" ~doc:"Baseline artifact.")
+  in
+  let file_b_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"AFTER" ~doc:"Artifact to compare against BEFORE.")
+  in
+  let profile_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"A profile/v1 file written by --profile-out.")
+  in
+  let validate =
+    Cmd.v
+      (Cmd.info "validate"
+         ~doc:
+           "Schema-validate artifacts (traces are also replay-checked). Exit \
+            2 if any file is invalid.")
+      Term.(const cmd_obs_validate $ files_arg)
+  in
+  let report =
+    Cmd.v
+      (Cmd.info "report"
+         ~doc:
+           "Pretty-print artifacts: counters/gauges, per-domain pool \
+            utilization, latency percentiles, span trees, replay verdicts. \
+            Several metrics/v1 files are additionally aggregated into one \
+            merged view.")
+      Term.(const cmd_obs_report $ files_arg)
+  in
+  let diff =
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:
+           "Diff two artifacts of the same kind: counter/gauge/histogram \
+            deltas, significant span movement, or bench regressions.")
+      Term.(const cmd_obs_diff $ file_a_arg $ file_b_arg)
+  in
+  let folded =
+    Cmd.v
+      (Cmd.info "folded"
+         ~doc:
+           "Print flamegraph folded-stack lines (span;path self-us) from a \
+            profile/v1 file — pipe into standard flamegraph tooling.")
+      Term.(const cmd_obs_folded $ profile_arg)
+  in
+  Cmd.group
+    (Cmd.info "obs"
+       ~doc:
+         "Inspect observability artifacts: validate, pretty-print, \
+          aggregate and diff the trace/metrics/profile/telemetry/bench \
+          family.")
+    [ validate; report; diff; folded ]
+
 let mincut_cmd =
   let source_arg =
     Arg.(
@@ -1090,6 +1329,7 @@ let () =
         serve_cmd;
         evidence_cmd;
         trace_cmd;
+        obs_cmd;
       ]
   in
   exit (Cmd.eval' group)

@@ -14,7 +14,16 @@
     Crash barrier: the first exception raised by any task cancels the
     pool (remaining workers stop at the next task boundary), and the
     exception is re-raised in the caller with its original backtrace
-    once every domain has been joined. *)
+    once every domain has been joined.
+
+    Telemetry: when {!Obs.Telemetry} is enabled, every outermost
+    dispatch reports per-domain slot gauges
+    ([pool.domain.<slot>.busy_s] / [.wall_s] / [.tasks], slot 0 being
+    the caller) plus [pool.task_ns] and [pool.queue_wait_ns]
+    histograms, accumulated domain-locally and published at slot end —
+    purely reporting-layer, results are byte-identical with telemetry
+    on or off. Disabled (the default), the hook is one atomic load per
+    dispatch. *)
 
 val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the CLI's default job

@@ -208,10 +208,14 @@ let run_supervised ~policy ~inject ~record work chunk =
     if k > policy.max_attempts then Quarantined (List.rev failures)
     else begin
       let delay = backoff_delay policy k in
-      if delay > 0.0 then Unix.sleepf delay;
+      if delay > 0.0 then begin
+        Obs.Telemetry.add_to "supervisor.backoff_s" delay;
+        Unix.sleepf delay
+      end;
       let fail kind =
         let f = { chunk; attempt = k; kind } in
         record f;
+        Obs.Telemetry.add_to "supervisor.retries" 1.;
         attempt (k + 1) (f :: failures)
       in
       match inject ~chunk ~attempt:k with
@@ -222,10 +226,22 @@ let run_supervised ~policy ~inject ~record work chunk =
              the simulation is deterministic and costs no wall time. *)
           fail Injected_stall
       | Pass -> (
+          let t0 = if Obs.Telemetry.on () then Unix.gettimeofday () else 0. in
+          let observe () =
+            if Obs.Telemetry.on () then
+              Obs.Telemetry.observe_ns "supervisor.attempt_ns"
+                ((Unix.gettimeofday () -. t0) *. 1e9)
+          in
           match with_deadline policy.deadline_s (fun () -> work chunk) with
-          | result -> Completed result
-          | exception Deadline_exceeded -> fail Deadline
-          | exception exn -> fail (Task_exception (Printexc.to_string exn)))
+          | result ->
+              observe ();
+              Completed result
+          | exception Deadline_exceeded ->
+              observe ();
+              fail Deadline
+          | exception exn ->
+              observe ();
+              fail (Task_exception (Printexc.to_string exn)))
     end
   in
   attempt 1 []

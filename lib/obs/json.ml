@@ -30,6 +30,13 @@ let rec emit buffer = function
   | Null -> Buffer.add_string buffer "null"
   | Bool b -> Buffer.add_string buffer (if b then "true" else "false")
   | Int i -> Buffer.add_string buffer (string_of_int i)
+  | Float f when not (Float.is_finite f) ->
+      (* JSON has no nan/inf literal. Emitting them raw would produce a
+         document no parser (including ours) accepts, so non-finite
+         floats degrade to null — see the policy note in the mli.
+         Emitters that must round-trip non-finite values encode them
+         as strings instead (Verdict.Baseline). *)
+      Buffer.add_string buffer "null"
   | Float f ->
       (* %.17g round-trips every double; strip needless width by trying
          shorter forms first. *)
@@ -38,7 +45,7 @@ let rec emit buffer = function
         if float_of_string short = f then short else Printf.sprintf "%.17g" f
       in
       Buffer.add_string buffer
-        (if Float.is_integer f && Float.is_finite f && Float.abs f < 1e15 then
+        (if Float.is_integer f && Float.abs f < 1e15 then
            Printf.sprintf "%.1f" f
          else s)
   | String s -> escape buffer s

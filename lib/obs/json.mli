@@ -18,7 +18,20 @@ type t =
 val to_string : t -> string
 (** Compact single-line rendering (no trailing newline). Object fields
     are emitted in the order given — emitters sort them where byte
-    determinism matters. *)
+    determinism matters.
+
+    {b Non-finite float policy.} JSON has no literal for [nan] or
+    [±infinity], so a non-finite [Float] is emitted as [null] — the
+    document stays parseable and a reader sees an explicitly absent
+    value rather than a junk token. This is the right default for the
+    float-heavy wall-clock artifacts ([profile/v1], [telemetry/v1]),
+    where a non-finite value means "not measured". Emitters that must
+    {e round-trip} non-finite values (e.g. {!Verdict.Baseline}) encode
+    them as the strings ["nan"]/["inf"]/["-inf"] at their own layer;
+    this module never produces those strings itself. Finite floats
+    round-trip exactly: [of_string (to_string (Float f)) = Ok (Float f)]
+    for every finite [f] (integer-valued floats are emitted with a
+    [.0] suffix so they parse back as [Float], not [Int]). *)
 
 val of_string : string -> (t, string) result
 (** Parse one JSON value; trailing whitespace allowed, anything else

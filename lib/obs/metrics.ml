@@ -136,6 +136,41 @@ let histogram_count s name =
 let histogram_sum s name =
   match List.assoc_opt name s with Some (V_hist h) -> h.s_sum | _ -> 0
 
+(* A bucket only records "somewhere in [2^(i-1), 2^i)", so a quantile
+   read off the buckets is the bucket's inclusive upper bound — a
+   conservative (never under-reporting) estimate. The exact min/max
+   tighten the two ends. *)
+let bucket_upper_bound i = if i <= 1 then i else (1 lsl i) - 1
+
+let quantile s name q =
+  if not (Float.is_finite q) || q < 0. || q > 1. then None
+  else
+    match List.assoc_opt name s with
+    | Some (V_hist h) when h.s_count > 0 ->
+        let rank =
+          Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int h.s_count)))
+        in
+        let rec find i seen =
+          if i >= bucket_count then h.s_max
+          else
+            let seen = seen + h.s_buckets.(i) in
+            if seen >= rank then
+              Stdlib.min h.s_max (Stdlib.max h.s_min (bucket_upper_bound i))
+            else find (i + 1) seen
+        in
+        Some (find 0 0)
+    | _ -> None
+
+let quantiles s name qs =
+  let rec collect acc = function
+    | [] -> Some (List.rev acc)
+    | q :: rest -> (
+        match quantile s name q with
+        | Some v -> collect (v :: acc) rest
+        | None -> None)
+  in
+  collect [] qs
+
 let to_json (s : snapshot) =
   let counters =
     List.filter_map

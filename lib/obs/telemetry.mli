@@ -1,0 +1,99 @@
+(** Run telemetry: wall-clock gauges and latency histograms emitted as
+    [telemetry/v1] heartbeat lines — the service-facing sibling of
+    {!Timing}.
+
+    Strictly reporting-layer, like {!Timing}: nothing recorded here may
+    influence result bytes, so a telemetry-enabled run stays
+    byte-identical to a telemetry-off run at any [--jobs]. Values are
+    floats (seconds, nanoseconds, counts-as-floats); the deterministic
+    integer side lives in {!Metrics}.
+
+    One process-global registry behind a mutex. Callers on hot paths
+    that would contend (pool workers) accumulate into a {!local}
+    histogram and {!absorb} it once per unit of work; everything else
+    calls the locked one-shot recorders. When disabled (the default)
+    every recorder reduces to one [Atomic.get] branch. *)
+
+val on : unit -> bool
+val enabled : bool Atomic.t
+
+val enable : unit -> unit
+(** Arm recording and start the uptime clock. *)
+
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Drop all cells and restart the uptime clock. *)
+
+(** {2 Recording} *)
+
+val add_to : string -> float -> unit
+(** Accumulate into a float gauge (creating it at 0). *)
+
+val set_gauge : string -> float -> unit
+(** Overwrite a gauge — for instantaneous readings (queue depth). *)
+
+val max_gauge : string -> float -> unit
+(** Keep the maximum seen — for peaks. *)
+
+val observe_ns : string -> float -> unit
+(** Record one duration (nanoseconds) into the named histogram
+    (power-of-two nanosecond buckets shared with {!Metrics}). *)
+
+(** {2 Contention-free accumulation} *)
+
+type local
+(** A private histogram a single domain fills without locking. *)
+
+val local_create : unit -> local
+val local_observe_ns : local -> float -> unit
+
+val absorb : string -> local -> unit
+(** Merge a local histogram into the named global one (one lock
+    acquisition); no-op when the local is empty or telemetry is off. *)
+
+(** {2 Snapshots and heartbeats} *)
+
+type hist_view = {
+  h_count : int;
+  h_sum_ns : float;
+  h_min_ns : float;
+  h_max_ns : float;
+  h_buckets : (int * int) list;
+      (** sparse [(lower bound, count)], sorted ascending *)
+}
+
+type view = {
+  uptime_s : float;  (** seconds since {!enable}/{!reset} *)
+  gauges : (string * float) list;  (** name-sorted *)
+  hists : (string * hist_view) list;  (** name-sorted *)
+}
+
+val snapshot : unit -> view
+
+val hist_quantile_ns : hist_view -> float -> float option
+(** Bucket-upper-bound quantile estimate, clamped into [min, max] —
+    same semantics as {!Metrics.quantile}. [None] on an empty view or
+    [q] outside [\[0, 1\]]. *)
+
+val to_json_line : ?extra:(string * Json.t) list -> view -> string
+(** One [telemetry/v1] JSONL line:
+    [{"schema": "telemetry/v1", ...extra, "uptime_s": ..,
+    "gauges": {...}, "histograms": {name: {count, sum_ns, min_ns,
+    max_ns, p50_ns, p95_ns, p99_ns, buckets: [[lb, n], ...]}}}].
+    Ends in a newline. [extra] fields (session id, progress counters)
+    are spliced in right after the schema tag. *)
+
+val set_sink : (string -> unit) -> unit
+(** Where heartbeat lines go; default writes to stderr. *)
+
+val set_interval : float -> unit
+(** Minimum seconds between {!maybe_heartbeat} emissions (default 1.0,
+    floor 0.01). *)
+
+val heartbeat : ?extra:(string * Json.t) list -> unit -> unit
+(** Emit a snapshot line to the sink now (when enabled). *)
+
+val maybe_heartbeat : ?extra:(string * Json.t) list -> unit -> unit
+(** Emit only if at least the configured interval has passed since the
+    last emission — cheap enough to call once per batch. *)

@@ -1,12 +1,22 @@
-(** Profiling spans — the non-deterministic half of the observability
-    layer, kept strictly at the reporting layer.
+(** Hierarchical profiling spans — the non-deterministic half of the
+    observability layer, kept strictly at the reporting layer.
 
     Wall-clock measurements can never be byte-reproducible, so they
-    live apart from {!Metrics}: spans accumulate into per-domain
-    tables (no cross-domain contention on the hot path) and
-    {!report} folds them together on demand. Enabling timing changes
-    {e no} computed result — only how long things take to compute
-    (two clock reads per span).
+    live apart from {!Metrics}: each domain keeps its own span stack
+    and tree of per-path nodes (no cross-domain contention on the hot
+    path) and {!tree}/{!report} fold the domains together on demand.
+    Enabling timing changes {e no} computed result — only how long
+    things take to compute (two clock reads per span).
+
+    Attribution is by {e stack path}, not by flat name: a span entered
+    while another is open becomes that span's child, its wall time is
+    part of the parent's [total] but subtracted from the parent's
+    [self]. Summing [self] over the whole tree therefore reproduces
+    measured wall time exactly once — the flat-table double count the
+    old name-keyed implementation documented is gone. Recursive spans
+    (same name nested under itself) appear as nested tree nodes; the
+    flat {!report} counts such a name's total only at its outermost
+    occurrence.
 
     When disabled (the default) {!span} is the guarded thunk call and
     nothing else. *)
@@ -21,22 +31,55 @@ val enabled : bool Atomic.t
     as read-only: always arm through {!enable}/{!disable}. *)
 
 val span : string -> (unit -> 'a) -> 'a
-(** [span name f] runs [f], attributing its wall time to [name] when
-    timing is enabled. Exception-safe; nested spans both count their
-    own wall time (attribution is by name, not a stack). *)
+(** [span name f] runs [f], attributing its wall time to the tree node
+    for [name] under the current stack path when timing is enabled.
+    Exception-safe. Stacks deeper than an internal cap (64) stop
+    growing the tree — further spans fold into the innermost node. *)
 
 val add : string -> float -> unit
 (** Credit [seconds] to [name] directly (for call sites that already
-    hold their own timestamps, like the bench harness). No-op when
-    disabled. *)
+    hold their own timestamps, like the bench harness). The credit
+    lands at the current stack position like a zero-length child span:
+    it counts toward the enclosing span's children, not its self time.
+    No-op when disabled. *)
 
-type entry = { name : string; count : int; total_s : float }
+(** {2 Folded views}
+
+    All views fold the per-domain trees by name path. They read the
+    live trees racily — safe, but take them when worker domains are
+    quiescent for exact numbers. *)
+
+type tree = {
+  span_name : string;
+  calls : int;
+  total : float;  (** inclusive wall seconds (children counted in) *)
+  self : float;  (** exclusive wall seconds (children subtracted) *)
+  children : tree list;
+}
+
+val tree : unit -> tree list
+(** The merged span tree since the last {!reset}; siblings sorted by
+    name for stable output. *)
+
+type entry = { name : string; count : int; total_s : float; self_s : float }
 
 val report : unit -> entry list
-(** All spans recorded since the last {!reset}, summed across domains,
-    sorted by descending total time. *)
+(** Flat per-name summary of {!tree}, sorted by descending total time.
+    [self_s] columns sum to measured wall time; [total_s] is inclusive
+    and counts recursive occurrences once. *)
 
 val reset : unit -> unit
 
+val profile_json : unit -> string
+(** The [profile/v1] document: a single JSON object
+    [{"schema": "profile/v1", "spans": [{name, count, total_s, self_s,
+    children: [...]}, ...]}] mirroring {!tree}. Ends in a newline. *)
+
+val folded : unit -> string list
+(** Folded-stack lines ["root;child;leaf <self-us>"] for standard
+    flamegraph tooling (one line per tree node with nonzero self time,
+    value in integer microseconds). Semicolons in span names are
+    rewritten to [':'] to keep the format unambiguous. *)
+
 val pp_report : Format.formatter -> entry list -> unit
-(** Aligned table: name, call count, total, mean. *)
+(** Aligned table: name, call count, total, self, mean. *)

@@ -74,21 +74,25 @@ type item = Bad of { qid : J.t; error : string } | Ask of Query.t
 
 type acct = {
   ok_world : string option;  (* counted world, ok answers only *)
+  op : string;  (* query-type label for latency telemetry *)
   outcome : string;  (* one of Evidence.outcome_keys *)
   probes : int;
   accepted : bool;  (* emitted a trace Accept terminal *)
   record : Obs.Trace.record option;
   metrics : Obs.Metrics.snapshot option;
+  elapsed_ns : float;  (* reporting-layer only; 0 when telemetry is off *)
 }
 
-let silent_acct outcome =
+let silent_acct ~op outcome =
   {
     ok_world = None;
+    op;
     outcome;
     probes = 0;
     accepted = false;
     record = None;
     metrics = None;
+    elapsed_ns = 0.;
   }
 
 let json_opt = function None -> J.Null | Some s -> J.String s
@@ -132,11 +136,11 @@ let observed ~qindex f =
     let v, snapshot = with_metrics (fun () -> f ()) in
     (v, snapshot, None)
 
-let eval t ~qindex item =
+let eval_item t ~qindex item =
   match item with
   | Bad { qid; error } ->
       ( error_answer ~qid ~op:J.Null ~world:J.Null ~outcome:"malformed" error,
-        silent_acct "malformed" )
+        silent_acct ~op:"malformed" "malformed" )
   | Ask q -> (
       let qid = q.Query.qid in
       let opn = Query.op_name q.Query.op in
@@ -144,7 +148,7 @@ let eval t ~qindex item =
       let fail msg =
         ( error_answer ~qid ~op:(J.String opn) ~world:wfield ~outcome:"error"
             msg,
-          silent_acct "error" )
+          silent_acct ~op:opn "error" )
       in
       if not (Session.allows t.sess opn) then
         fail (Printf.sprintf "op %S is not in the session query mix" opn)
@@ -247,11 +251,13 @@ let eval t ~qindex item =
                             (("outcome", J.String key) :: fields),
                           {
                             ok_world = Some wid;
+                            op = opn;
                             outcome = key;
                             probes;
                             accepted;
                             record;
                             metrics;
+                            elapsed_ns = 0.;
                           } )))
             | Query.Reveal { source; target; limit } -> (
                 match
@@ -296,11 +302,13 @@ let eval t ~qindex item =
                         (("outcome", J.String key) :: fields),
                       {
                         ok_world = Some wid;
+                        op = opn;
                         outcome = key;
                         probes = 0;
                         accepted;
                         record;
                         metrics;
+                        elapsed_ns = 0.;
                       } ))
             | Query.Cluster { vertex; limit } -> (
                 match check "vertex" vertex with
@@ -321,12 +329,26 @@ let eval t ~qindex item =
                         ],
                       {
                         ok_world = Some wid;
+                        op = opn;
                         outcome = "cluster";
                         probes = 0;
                         accepted = false;
                         record;
                         metrics;
+                        elapsed_ns = 0.;
                       } ))))
+
+(* Latency measurement wraps the whole evaluation, workers each timing
+   their own queries. The reading rides along in the acct and is only
+   {e consumed} sequentially at tally time, so it never touches answer
+   bytes; when telemetry is off the clock is never read. *)
+let eval t ~qindex item =
+  if Obs.Telemetry.on () then begin
+    let t0 = Unix.gettimeofday () in
+    let line, acct = eval_item t ~qindex item in
+    (line, { acct with elapsed_ns = (Unix.gettimeofday () -. t0) *. 1e9 })
+  end
+  else eval_item t ~qindex item
 
 (* ------------------------------------------------------------------ *)
 (* The session loop: admit, batch, flush through the pool, tally in
@@ -346,6 +368,13 @@ let serve ?jobs t ~read ~write =
   let capacity = sess.Session.limits.Session.queue in
   let traced = Obs.Trace.on () in
   let metered = Obs.Metrics.on () in
+  let telemetered = Obs.Telemetry.on () in
+  (* Probe-count distribution over route answers, kept in a local
+     always-on registry: the [stats] reply quotes its quantiles, so it
+     must exist (and be bit-identical) whether or not [--metrics-out]
+     or telemetry is armed. Integer histogram + admission-order feeding
+     = jobs-invariant. *)
+  let probe_hist = Obs.Metrics.create () in
   (* Sequential tally state — admission-order, shared by flush/stats. *)
   let admitted = ref 0 and answered = ref 0 and rejected = ref 0 in
   let malformed = ref 0 and errors = ref 0 and probes = ref 0 in
@@ -383,8 +412,14 @@ let serve ?jobs t ~read ~write =
     | Some wid ->
         let queries, world_probes = Hashtbl.find world_tallies wid in
         incr queries;
-        world_probes := !world_probes + acct.probes
+        world_probes := !world_probes + acct.probes;
+        if acct.op = "route" then
+          Obs.Metrics.observe probe_hist "serve.route.probes" acct.probes
     | None -> ());
+    if telemetered && acct.elapsed_ns > 0. then
+      Obs.Telemetry.observe_ns
+        ("serve.latency." ^ acct.op ^ "_ns")
+        acct.elapsed_ns;
     (match acct.record with
     | Some record ->
         incr attempts;
@@ -398,6 +433,17 @@ let serve ?jobs t ~read ~write =
     | None -> ()
   in
   let pending = ref [] and pending_n = ref 0 in
+  let beat ~force () =
+    if telemetered then begin
+      Obs.Telemetry.set_gauge "serve.admitted" (float_of_int !admitted);
+      Obs.Telemetry.set_gauge "serve.answered" (float_of_int !answered);
+      Obs.Telemetry.set_gauge "serve.rejected" (float_of_int !rejected);
+      Obs.Telemetry.set_gauge "serve.queue_depth" (float_of_int !pending_n);
+      let extra = [ ("session", J.String sess.Session.name) ] in
+      if force then Obs.Telemetry.heartbeat ~extra ()
+      else Obs.Telemetry.maybe_heartbeat ~extra ()
+    end
+  in
   let flush () =
     if !pending_n > 0 then begin
       let items = Array.of_list (List.rev !pending) in
@@ -411,15 +457,19 @@ let serve ?jobs t ~read ~write =
       let trace_buffer = Buffer.create (if traced then 4096 else 16) in
       Array.iter (fun r -> tally r trace_buffer) results;
       if traced && Buffer.length trace_buffer > 0 then
-        Obs.Trace.write_line (Buffer.contents trace_buffer)
+        Obs.Trace.write_line (Buffer.contents trace_buffer);
+      beat ~force:false ()
     end
   in
   let enqueue qindex item =
     pending := (qindex, item) :: !pending;
     incr pending_n;
+    if telemetered then
+      Obs.Telemetry.max_gauge "serve.queue_depth_peak" (float_of_int !pending_n);
     if !pending_n >= capacity then flush ()
   in
   let answer_stats qindex qid =
+    let t0 = if telemetered then Unix.gettimeofday () else 0. in
     flush ();
     (* Every earlier query is now tallied, so the counters are a pure
        function of the admission index — capacity/jobs cannot show. *)
@@ -433,18 +483,38 @@ let serve ?jobs t ~read ~write =
            (fun a b -> compare a.wspec.Session.wid b.wspec.Session.wid)
            t.residents)
     in
+    let probe_q =
+      (* Quantiles of route probe counts so far — integer estimates off
+         the deterministic histogram (Metrics.quantile), Null before the
+         first route answer. *)
+      let snapshot = Obs.Metrics.snapshot probe_hist in
+      List.map
+        (fun (label, q) ->
+          ( label,
+            match Obs.Metrics.quantile snapshot "serve.route.probes" q with
+            | Some v -> J.Int v
+            | None -> J.Null ))
+        [ ("probes_p50", 0.5); ("probes_p95", 0.95); ("probes_p99", 0.99) ]
+    in
     let line =
       ok_answer ~qid ~op:"stats" ~world:J.Null
-        [
-          ("outcome", J.String "stats");
-          ("admitted", J.Int qindex);
-          ("answered", J.Int !answered);
-          ("probes", J.Int !probes);
-          ("worlds", J.Obj world_counts);
-        ]
+        ([
+           ("outcome", J.String "stats");
+           ("admitted", J.Int qindex);
+           ("answered", J.Int !answered);
+           ("probes", J.Int !probes);
+         ]
+        @ probe_q
+        @ [ ("worlds", J.Obj world_counts) ])
     in
     let trace_buffer = Buffer.create 16 in
-    tally (line, silent_acct "stats") trace_buffer
+    let acct =
+      let base = silent_acct ~op:"stats" "stats" in
+      if telemetered then
+        { base with elapsed_ns = (Unix.gettimeofday () -. t0) *. 1e9 }
+      else base
+    in
+    tally (line, acct) trace_buffer
   in
   let rec loop () =
     match read () with
@@ -477,11 +547,13 @@ let serve ?jobs t ~read ~write =
   in
   loop ();
   flush ();
+  beat ~force:true ();
   if traced then
     Obs.Trace.write_line
       (Obs.Trace.end_line ~attempts:!attempts ~accepted:!accepted);
   if metered then begin
     Obs.Metrics.absorb !metrics_acc;
+    Obs.Metrics.absorb (Obs.Metrics.snapshot probe_hist);
     let registry = Obs.Metrics.create () in
     Obs.Metrics.add registry "serve.admitted" !admitted;
     Obs.Metrics.add registry "serve.answered" !answered;

@@ -17,7 +17,24 @@
     after each batch, so answer bytes, evidence bytes, and trace bytes
     are identical for every [jobs] value {e and} every queue capacity.
     [stats] queries force a flush first, making their counters a pure
-    function of their admission index.
+    function of their admission index; the reply also quotes
+    [probes_p50]/[probes_p95]/[probes_p99] — bucket-quantile estimates
+    ({!Obs.Metrics.quantile}) over the route answers so far, [null]
+    before the first one. The quantile histogram is fed in admission
+    order from a local always-on registry, so these fields are equally
+    jobs- and telemetry-invariant.
+
+    {2 Telemetry}
+
+    With {!Obs.Telemetry} enabled the session reports, out-of-band:
+    per-query-type latency histograms ([serve.latency.<op>_ns], each
+    query timed on its worker domain, recorded at the sequential
+    tally), queue gauges ([serve.queue_depth], [.queue_depth_peak]),
+    progress gauges ([serve.admitted]/[.answered]/[.rejected]), and a
+    [telemetry/v1] heartbeat line after flushes (rate-limited) plus one
+    final forced heartbeat. All of it is reporting-layer: answer,
+    evidence and trace bytes are byte-identical with telemetry on or
+    off, at any [--jobs].
 
     {2 Failure containment}
 

@@ -370,6 +370,340 @@ let test_timing_spans () =
           Alcotest.(check bool) "time non-negative" true (e.Obs.Timing.total_s >= 0.0))
 
 (* ------------------------------------------------------------------ *)
+(* Json float policy                                                   *)
+
+let test_json_nonfinite_null () =
+  List.iter
+    (fun f ->
+      Alcotest.(check string)
+        (Printf.sprintf "%h emits null" f)
+        "null"
+        (Obs.Json.to_string (Obs.Json.Float f)))
+    [ Float.nan; Float.infinity; Float.neg_infinity ];
+  (* Nested occurrences keep the document parseable. *)
+  let doc =
+    Obs.Json.to_string
+      (Obs.Json.Obj [ ("a", Obs.Json.Float Float.nan); ("b", Obs.Json.Int 1) ])
+  in
+  match Obs.Json.of_string doc with
+  | Error e -> Alcotest.failf "nan-bearing object does not parse: %s" e
+  | Ok j ->
+      Alcotest.(check (option bool))
+        "nan field reads as null" (Some true)
+        (Option.map (fun v -> v = Obs.Json.Null) (Obs.Json.member "a" j))
+
+let test_json_float_round_trip () =
+  List.iter
+    (fun f ->
+      match Obs.Json.of_string (Obs.Json.to_string (Obs.Json.Float f)) with
+      | Ok (Obs.Json.Float g) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%h round-trips exactly" f)
+            true
+            (Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float g))
+      | Ok _ -> Alcotest.failf "%h did not parse back as Float" f
+      | Error e -> Alcotest.failf "%h emission does not parse: %s" f e)
+    [
+      0.0; -0.0; 1.0; -2.5; 0.1; 1.5; Float.pi; 1e-9; 1e300; 6.02214076e23;
+      Float.max_float; Float.min_float; 4.9e-324 (* smallest subnormal *);
+      123456789.123456789;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Metrics quantiles                                                   *)
+
+let test_metrics_quantiles () =
+  let r = Obs.Metrics.create () in
+  for v = 1 to 100 do
+    Obs.Metrics.observe r "lat" v
+  done;
+  let s = Obs.Metrics.snapshot r in
+  let q p = Obs.Metrics.quantile s "lat" p in
+  (* Values 1..100 in power-of-two buckets: rank 50 lands in [32,63]
+     (cumulative 63), so the estimate is that bucket's upper bound. *)
+  Alcotest.(check (option int)) "p50 = 63" (Some 63) (q 0.5);
+  (* Ranks 95 and 99 land in [64,127]; the upper bound clamps to the
+     observed max. *)
+  Alcotest.(check (option int)) "p95 clamps to max" (Some 100) (q 0.95);
+  Alcotest.(check (option int)) "p99 clamps to max" (Some 100) (q 0.99);
+  Alcotest.(check (option int)) "p0 clamps to min" (Some 1) (q 0.0);
+  Alcotest.(check (option int)) "p100 = max" (Some 100) (q 1.0);
+  Alcotest.(check (option int)) "absent name" None (Obs.Metrics.quantile s "zzz" 0.5);
+  Alcotest.(check (option int)) "q out of range" None (q 1.5);
+  Alcotest.(check (option int)) "q nan" None (q Float.nan);
+  (match Obs.Metrics.quantiles s "lat" [ 0.5; 0.95 ] with
+  | Some [ a; b ] ->
+      Alcotest.(check int) "quantiles p50" 63 a;
+      Alcotest.(check int) "quantiles p95" 100 b
+  | _ -> Alcotest.fail "quantiles did not return both estimates");
+  Alcotest.(check bool) "quantiles all-or-nothing" true
+    (Obs.Metrics.quantiles s "lat" [ 0.5; 2.0 ] = None);
+  (* A single observation pins every quantile to that value. *)
+  let one = Obs.Metrics.create () in
+  Obs.Metrics.observe one "x" 37;
+  let s1 = Obs.Metrics.snapshot one in
+  List.iter
+    (fun p ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "single value q=%.2f" p)
+        (Some 37)
+        (Obs.Metrics.quantile s1 "x" p))
+    [ 0.0; 0.5; 1.0 ]
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchical timing: nested and recursive attribution               *)
+
+let with_timing f =
+  Obs.Timing.reset ();
+  Obs.Timing.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Timing.disable ();
+      Obs.Timing.reset ())
+    f
+
+let spin () =
+  (* A little real work so spans accumulate measurable nonzero time. *)
+  let acc = ref 0 in
+  for i = 1 to 20_000 do
+    acc := !acc + (i * i)
+  done;
+  Sys.opaque_identity !acc
+
+let test_timing_nested_attribution () =
+  with_timing @@ fun () ->
+  Obs.Timing.span "outer" (fun () ->
+      ignore (spin ());
+      Obs.Timing.span "inner" (fun () -> ignore (spin ()));
+      Obs.Timing.span "inner" (fun () -> ignore (spin ())));
+  match Obs.Timing.tree () with
+  | [ outer ] ->
+      Alcotest.(check string) "root name" "outer" outer.Obs.Timing.span_name;
+      Alcotest.(check int) "root calls" 1 outer.Obs.Timing.calls;
+      (match outer.Obs.Timing.children with
+      | [ inner ] ->
+          Alcotest.(check string) "child name" "inner" inner.Obs.Timing.span_name;
+          Alcotest.(check int) "child calls merged" 2 inner.Obs.Timing.calls;
+          (* total = self + children, exactly (same additions). *)
+          Alcotest.(check (float 1e-9))
+            "outer total = self + inner total"
+            outer.Obs.Timing.total
+            (outer.Obs.Timing.self +. inner.Obs.Timing.total);
+          Alcotest.(check bool) "inner leaf: self = total" true
+            (inner.Obs.Timing.self = inner.Obs.Timing.total)
+      | kids ->
+          Alcotest.failf "expected one merged child, got %d" (List.length kids))
+  | roots -> Alcotest.failf "expected one root, got %d" (List.length roots)
+
+let test_timing_recursive_once () =
+  with_timing @@ fun () ->
+  let rec go n =
+    Obs.Timing.span "rec" (fun () ->
+        ignore (spin ());
+        if n > 0 then go (n - 1))
+  in
+  go 2;
+  (* Three nested activations of the same name. *)
+  let root =
+    match Obs.Timing.tree () with
+    | [ r ] -> r
+    | roots -> Alcotest.failf "expected one root, got %d" (List.length roots)
+  in
+  let rec depth t =
+    match t.Obs.Timing.children with
+    | [] -> 1
+    | [ c ] -> 1 + depth c
+    | kids -> Alcotest.failf "unexpected fanout %d" (List.length kids)
+  in
+  Alcotest.(check int) "three nested nodes" 3 (depth root);
+  let rec self_sum t =
+    t.Obs.Timing.self
+    +. List.fold_left (fun a c -> a +. self_sum c) 0.0 t.Obs.Timing.children
+  in
+  (* The flat report must count the recursive total once (the outermost
+     activation), not three times, while counting all three calls and
+     the full self sum. *)
+  (match Obs.Timing.report () with
+  | [ e ] ->
+      Alcotest.(check string) "entry name" "rec" e.Obs.Timing.name;
+      Alcotest.(check int) "entry count" 3 e.Obs.Timing.count;
+      Alcotest.(check (float 1e-9))
+        "total counted once" root.Obs.Timing.total e.Obs.Timing.total_s;
+      Alcotest.(check (float 1e-9))
+        "self sums over activations" (self_sum root) e.Obs.Timing.self_s;
+      Alcotest.(check bool) "wall >= self-sum sanity" true
+        (e.Obs.Timing.total_s +. 1e-9 >= e.Obs.Timing.self_s)
+  | entries ->
+      Alcotest.failf "expected one flat entry, got %d" (List.length entries));
+  (* profile/v1 artifact parses and carries the schema tag. *)
+  (match Obs.Json.of_string (String.trim (Obs.Timing.profile_json ())) with
+  | Error e -> Alcotest.failf "profile json does not parse: %s" e
+  | Ok j ->
+      Alcotest.(check (option string))
+        "profile schema" (Some "profile/v1") (jstr "schema" j));
+  (* Folded stacks spell out the recursion path. *)
+  Alcotest.(check bool) "folded has rec;rec;rec" true
+    (List.exists
+       (fun l ->
+         String.length l > 11 && String.sub l 0 11 = "rec;rec;rec")
+       (Obs.Timing.folded ()))
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                           *)
+
+let with_telemetry sink f =
+  Obs.Telemetry.reset ();
+  Obs.Telemetry.set_sink sink;
+  Obs.Telemetry.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Telemetry.disable ();
+      Obs.Telemetry.reset ();
+      Obs.Telemetry.set_sink (fun line ->
+          output_string stderr line;
+          flush stderr))
+    f
+
+let test_telemetry_snapshot () =
+  with_telemetry ignore @@ fun () ->
+  Obs.Telemetry.add_to "work" 2.0;
+  Obs.Telemetry.add_to "work" 3.0;
+  Obs.Telemetry.set_gauge "depth" 7.0;
+  Obs.Telemetry.max_gauge "peak" 5.0;
+  Obs.Telemetry.max_gauge "peak" 2.0;
+  List.iter (fun v -> Obs.Telemetry.observe_ns "lat_ns" v)
+    [ 100.0; 200.0; 400.0; 800.0 ];
+  let v = Obs.Telemetry.snapshot () in
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "gauges accumulate, sorted"
+    [ ("depth", 7.0); ("peak", 5.0); ("work", 5.0) ]
+    v.Obs.Telemetry.gauges;
+  (match v.Obs.Telemetry.hists with
+  | [ ("lat_ns", h) ] ->
+      Alcotest.(check int) "hist count" 4 h.Obs.Telemetry.h_count;
+      Alcotest.(check (float 1e-9)) "hist sum" 1500.0 h.Obs.Telemetry.h_sum_ns;
+      Alcotest.(check (float 1e-9)) "hist min" 100.0 h.Obs.Telemetry.h_min_ns;
+      Alcotest.(check (float 1e-9)) "hist max" 800.0 h.Obs.Telemetry.h_max_ns;
+      (* Rank 2 of 4 lands in the [128,255] bucket holding 200. *)
+      Alcotest.(check (option (float 1e-9)))
+        "p50 upper bound" (Some 255.0)
+        (Obs.Telemetry.hist_quantile_ns h 0.5);
+      Alcotest.(check (option (float 1e-9)))
+        "p99 clamps to max" (Some 800.0)
+        (Obs.Telemetry.hist_quantile_ns h 0.99)
+  | hs -> Alcotest.failf "expected one histogram, got %d" (List.length hs));
+  (* The heartbeat line is valid telemetry/v1 JSON with extras spliced. *)
+  let line =
+    Obs.Telemetry.to_json_line ~extra:[ ("session", Obs.Json.String "t") ] v
+  in
+  match Obs.Json.of_string (String.trim line) with
+  | Error e -> Alcotest.failf "heartbeat does not parse: %s" e
+  | Ok j ->
+      Alcotest.(check (option string))
+        "schema tag" (Some "telemetry/v1") (jstr "schema" j);
+      Alcotest.(check (option string)) "extra spliced" (Some "t") (jstr "session" j);
+      Alcotest.(check (option int))
+        "histogram count on the wire" (Some 4)
+        (Option.bind (Obs.Json.member "histograms" j)
+           (fun hs ->
+             Option.bind (Obs.Json.member "lat_ns" hs) (jint "count")))
+
+let test_telemetry_local_absorb () =
+  with_telemetry ignore @@ fun () ->
+  let l = Obs.Telemetry.local_create () in
+  Obs.Telemetry.local_observe_ns l 100.0;
+  Obs.Telemetry.local_observe_ns l 900.0;
+  Obs.Telemetry.observe_ns "t_ns" 500.0;
+  Obs.Telemetry.absorb "t_ns" l;
+  let v = Obs.Telemetry.snapshot () in
+  match List.assoc_opt "t_ns" v.Obs.Telemetry.hists with
+  | None -> Alcotest.fail "absorbed histogram missing"
+  | Some h ->
+      Alcotest.(check int) "merged count" 3 h.Obs.Telemetry.h_count;
+      Alcotest.(check (float 1e-9)) "merged sum" 1500.0 h.Obs.Telemetry.h_sum_ns;
+      Alcotest.(check (float 1e-9)) "merged min" 100.0 h.Obs.Telemetry.h_min_ns;
+      Alcotest.(check (float 1e-9)) "merged max" 900.0 h.Obs.Telemetry.h_max_ns
+
+let test_telemetry_disabled_noop () =
+  Obs.Telemetry.reset ();
+  Obs.Telemetry.add_to "g" 1.0;
+  Obs.Telemetry.observe_ns "h_ns" 42.0;
+  let hits = ref 0 in
+  Obs.Telemetry.set_sink (fun _ -> incr hits);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Telemetry.set_sink (fun line ->
+          output_string stderr line;
+          flush stderr))
+    (fun () ->
+      Obs.Telemetry.heartbeat ();
+      let v = Obs.Telemetry.snapshot () in
+      Alcotest.(check int) "no gauges recorded" 0
+        (List.length v.Obs.Telemetry.gauges);
+      Alcotest.(check int) "no hists recorded" 0
+        (List.length v.Obs.Telemetry.hists);
+      Alcotest.(check int) "no heartbeat emitted" 0 !hits)
+
+(* ------------------------------------------------------------------ *)
+(* Inspect: sniff-load of the artifact family                          *)
+
+let write_temp_file suffix content =
+  let path = Filename.temp_file "obs_test_" suffix in
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc;
+  path
+
+let load_kind path =
+  match Obs.Inspect.load path with
+  | Ok a -> Ok (Obs.Inspect.kind_name (Obs.Inspect.kind a))
+  | Error e -> Error e
+
+let test_inspect_load_family () =
+  let profile =
+    with_timing (fun () ->
+        Obs.Timing.span "a" (fun () -> Obs.Timing.span "b" spin |> ignore);
+        Obs.Timing.profile_json ())
+  in
+  let telemetry =
+    with_telemetry ignore (fun () ->
+        Obs.Telemetry.observe_ns "x_ns" 640.0;
+        Obs.Telemetry.to_json_line (Obs.Telemetry.snapshot ()))
+  in
+  let metrics =
+    let r = Obs.Metrics.create () in
+    Obs.Metrics.incr r "n";
+    Obs.Metrics.to_json (Obs.Metrics.snapshot r)
+  in
+  let cases =
+    [
+      (".json", profile, "profile/v1");
+      (".jsonl", telemetry, "telemetry/v1");
+      (".json", metrics, "metrics/v1");
+    ]
+  in
+  List.iter
+    (fun (suffix, content, expect) ->
+      let path = write_temp_file suffix content in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Alcotest.(check (result string string))
+            (expect ^ " loads") (Ok expect) (load_kind path)))
+    cases;
+  (* Outside the family: a clear error naming the path. *)
+  let alien = write_temp_file ".json" "{\"schema\": \"martian/v1\"}\n" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove alien)
+    (fun () ->
+      match load_kind alien with
+      | Ok k -> Alcotest.failf "alien schema loaded as %s" k
+      | Error e ->
+          Alcotest.(check bool) "error cites the path" true
+            (String.length e >= String.length alien
+            && String.sub e 0 (String.length alien) = alien))
+
+(* ------------------------------------------------------------------ *)
 (* Bench history                                                       *)
 
 let bench_json ?commit ?timestamp ~mode ~cached ~trial () =
@@ -488,6 +822,34 @@ let () =
           Alcotest.test_case "json schema" `Quick test_metrics_json_schema;
           Alcotest.test_case "trial metrics" `Quick test_trial_metrics;
           Alcotest.test_case "off = empty" `Quick test_metrics_off_empty;
+          Alcotest.test_case "quantiles" `Quick test_metrics_quantiles;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "non-finite emits null" `Quick
+            test_json_nonfinite_null;
+          Alcotest.test_case "finite round-trip" `Quick
+            test_json_float_round_trip;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "nested attribution" `Quick
+            test_timing_nested_attribution;
+          Alcotest.test_case "recursive counted once" `Quick
+            test_timing_recursive_once;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "snapshot and heartbeat" `Quick
+            test_telemetry_snapshot;
+          Alcotest.test_case "local absorb" `Quick test_telemetry_local_absorb;
+          Alcotest.test_case "disabled no-op" `Quick
+            test_telemetry_disabled_noop;
+        ] );
+      ( "inspect",
+        [
+          Alcotest.test_case "artifact family loads" `Quick
+            test_inspect_load_family;
         ] );
       ( "trace",
         [

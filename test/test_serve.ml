@@ -365,6 +365,72 @@ let test_trace_replay_audits () =
       (* 4 valid queries traced; garbage line emits no attempt. *)
       Alcotest.(check int) "attempts" 4 v.Obs.Trace.Replay.attempts
 
+let test_telemetry_jobs_invariant () =
+  (* The whole telemetry layer on — latency histograms, gauges,
+     heartbeats — must leave answer and evidence bytes untouched at any
+     jobs count, and identical to a telemetry-off run. *)
+  let sess () =
+    session ~mix:[ "route"; "reveal"; "cluster"; "stats" ]
+      [ world ~wid:"x" (); world ~wid:"y" ~p:0.4 ~seed:9L () ]
+  in
+  let lines =
+    List.concat_map
+      (fun i ->
+        [
+          Printf.sprintf
+            {|{"id": %d, "op": "route", "world": "x", "source": %d, "target": 15}|}
+            (4 * i) (i mod 16);
+          Printf.sprintf
+            {|{"id": %d, "op": "reveal", "world": "y", "source": 0, "target": %d}|}
+            ((4 * i) + 1)
+            (i mod 16);
+          Printf.sprintf {|{"id": %d, "op": "stats"}|} ((4 * i) + 2);
+          Printf.sprintf
+            {|{"id": %d, "op": "cluster", "world": "y", "vertex": %d}|}
+            ((4 * i) + 3)
+            (i mod 16);
+        ])
+      [ 0; 1; 2; 3; 4; 5 ]
+  in
+  let telemetered jobs =
+    Obs.Telemetry.reset ();
+    Obs.Telemetry.set_sink ignore;
+    Obs.Telemetry.enable ();
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Telemetry.disable ();
+        Obs.Telemetry.reset ())
+      (fun () ->
+        let out, oc = run ~jobs (sess ()) lines in
+        let v = Obs.Telemetry.snapshot () in
+        (out, oc, v))
+  in
+  let out_off, oc_off = run ~jobs:1 (sess ()) lines in
+  let out1, oc1, v1 = telemetered 1 in
+  let out4, oc4, v4 = telemetered 4 in
+  Alcotest.(check string) "telemetry on, jobs 1 = jobs 4" out1 out4;
+  Alcotest.(check string) "telemetry on = off" out_off out1;
+  Alcotest.(check string) "evidence jobs 1 = jobs 4"
+    (E.to_string oc1.Svc.evidence)
+    (E.to_string oc4.Svc.evidence);
+  Alcotest.(check string) "evidence on = off"
+    (E.to_string oc_off.Svc.evidence)
+    (E.to_string oc1.Svc.evidence);
+  (* And the telemetry itself actually measured the run. *)
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "latency histograms recorded" true
+        (List.exists
+           (fun (name, h) ->
+             String.length name > 14
+             && String.sub name 0 14 = "serve.latency."
+             && h.Obs.Telemetry.h_count > 0)
+           v.Obs.Telemetry.hists);
+      Alcotest.(check (option (float 0.0)))
+        "answered gauge" (Some 24.0)
+        (List.assoc_opt "serve.answered" v.Obs.Telemetry.gauges))
+    [ v1; v4 ]
+
 (* ------------------------------------------------------------------ *)
 (* Evidence                                                            *)
 
@@ -490,6 +556,8 @@ let () =
             test_route_on_full_world;
           Alcotest.test_case "trace replay audits" `Quick
             test_trace_replay_audits;
+          Alcotest.test_case "telemetry jobs-invariant" `Quick
+            test_telemetry_jobs_invariant;
         ] );
       ( "evidence",
         [
