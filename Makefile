@@ -86,24 +86,35 @@ serve-smoke:
 	dune exec bin/faultroute.exe -- trace artifacts/SERVE_trace.jsonl
 
 # Run telemetry end to end. A serve run with the whole reporting layer
-# armed (telemetry/v1 heartbeats, profile/v1 spans, metrics/v1) must
-# keep answer and evidence bytes identical to a telemetry-off run at a
-# different --jobs; every emitted artifact must validate through the
-# obs inspector, and the report must actually show per-domain pool
-# utilization and latency quantiles. Then the cost side: instrumenting
-# the hot paths must leave the disabled-path cost unchanged
-# (--obs-guard, <5%).
+# armed (telemetry/v1 heartbeats, profile/v1 spans, metrics/v1,
+# trace/v1 query spans, runledger/v1) must keep answer and evidence
+# bytes identical to an instrumentation-off run at a different --jobs;
+# every emitted artifact must validate through the obs inspector, the
+# report must actually show per-domain pool utilization and latency
+# quantiles, the trace must replay (probe accounting + query lifecycle
+# spans), and `faultroute top --once --replay` must render the final
+# heartbeat. Then the audit side: tampering with a ledgered artifact
+# must fail `obs validate` with exit 2. Then the cost side:
+# instrumenting the hot paths must leave the disabled-path cost
+# unchanged (--obs-guard, <5%).
 obs-smoke:
 	mkdir -p artifacts
-	dune exec bin/faultroute.exe -- serve --manifest examples/serve/session.json --queries examples/serve/queries-10k.jsonl --jobs 4 --telemetry-out artifacts/OBS_telemetry.jsonl --profile-out artifacts/OBS_profile.json --metrics-out artifacts/OBS_metrics.json --out artifacts/OBS_answers_on.jsonl --evidence-out artifacts/OBS_evidence_on.json
+	rm -f artifacts/OBS_ledger.jsonl
+	dune exec bin/faultroute.exe -- serve --manifest examples/serve/session.json --queries examples/serve/queries-10k.jsonl --jobs 4 --telemetry-out artifacts/OBS_telemetry.jsonl --profile-out artifacts/OBS_profile.json --metrics-out artifacts/OBS_metrics.json --trace artifacts/OBS_trace.jsonl --ledger artifacts/OBS_ledger.jsonl --out artifacts/OBS_answers_on.jsonl --evidence-out artifacts/OBS_evidence_on.json
 	dune exec bin/faultroute.exe -- serve --manifest examples/serve/session.json --queries examples/serve/queries-10k.jsonl --jobs 1 --out artifacts/OBS_answers_off.jsonl --evidence-out artifacts/OBS_evidence_off.json
 	cmp artifacts/OBS_answers_on.jsonl artifacts/OBS_answers_off.jsonl
 	cmp artifacts/OBS_evidence_on.json artifacts/OBS_evidence_off.json
-	dune exec bin/faultroute.exe -- obs validate artifacts/OBS_telemetry.jsonl artifacts/OBS_profile.json artifacts/OBS_metrics.json
+	dune exec bin/faultroute.exe -- obs validate artifacts/OBS_ledger.jsonl artifacts/OBS_telemetry.jsonl artifacts/OBS_profile.json artifacts/OBS_metrics.json artifacts/OBS_trace.jsonl
 	dune exec bin/faultroute.exe -- obs report artifacts/OBS_telemetry.jsonl | grep -q 'pool utilization'
 	dune exec bin/faultroute.exe -- obs report artifacts/OBS_telemetry.jsonl | grep -q 'p95'
 	dune exec bin/faultroute.exe -- obs report artifacts/OBS_profile.json | grep -q 'profile/v1'
+	dune exec bin/faultroute.exe -- obs report artifacts/OBS_ledger.jsonl | grep -q 'digests verified'
+	dune exec bin/faultroute.exe -- obs report artifacts/OBS_trace.jsonl | grep -q 'query spans'
+	dune exec bin/faultroute.exe -- trace artifacts/OBS_trace.jsonl
+	dune exec bin/faultroute.exe -- top --once --replay artifacts/OBS_telemetry.jsonl | grep -q 'pool'
 	test -n "$$(dune exec bin/faultroute.exe -- obs folded artifacts/OBS_profile.json)"
+	echo tamper >> artifacts/OBS_answers_on.jsonl
+	dune exec bin/faultroute.exe -- obs validate artifacts/OBS_ledger.jsonl; test $$? -eq 2
 	dune exec bench/main.exe -- --obs-guard
 
 # EXPERIMENTS.md's verdict column, machine-checked: run the quick

@@ -48,6 +48,7 @@ type common = {
   telemetry : bool;
   telemetry_out : string option;
   profile_out : string option;
+  ledger : string option;
   strict : bool;
 }
 
@@ -149,10 +150,33 @@ let with_observability ~trace ~metrics_out ~telemetry ~telemetry_out
         profile_out)
     k
 
+(* Arm the run ledger when [--ledger] asked for one: the record binds
+   this invocation (subcommand, argv digest, seed, jobs) to every
+   artifact the common flags will write. Digests are taken at process
+   exit, after with_observability's finally has flushed and closed the
+   sinks, so they cover the final bytes. *)
+let arm_ledger ~cmd common =
+  Option.iter
+    (fun path ->
+      Obs.Ledger.arm ~path ~subcommand:cmd
+        ~config_digest:
+          (Obs.Ledger.digest_string
+             (String.concat "\x00" (Array.to_list Sys.argv)))
+        ~seed:common.seed ~jobs:common.jobs;
+      List.iter
+        (Option.iter Obs.Ledger.note_artifact)
+        [
+          common.trace; common.metrics_out; common.telemetry_out;
+          common.profile_out;
+        ])
+    common.ledger
+
 (* Arm everything the [common] record asks for around a subcommand
-   body: the ambient job count, then tracing/metrics/telemetry. *)
-let with_common common k =
+   body: the ambient job count, the run ledger, then
+   tracing/metrics/telemetry. *)
+let with_common ~cmd common k =
   Engine_par.Pool.set_default_jobs common.jobs;
+  arm_ledger ~cmd common;
   with_observability ~trace:common.trace ~metrics_out:common.metrics_out
     ~telemetry:common.telemetry ~telemetry_out:common.telemetry_out
     ~profile_out:common.profile_out k
@@ -300,7 +324,7 @@ let cmd_exp id quick csv common supervision =
       Printf.eprintf "no experiment %S; see `faultroute list`\n" id;
       1
   | Some e ->
-      with_common common @@ fun () ->
+      with_common ~cmd:"exp" common @@ fun () ->
       with_supervision supervision @@ fun () ->
       let stream = Prng.Stream.create common.seed in
       let report = e.Experiments.Catalog.run ~quick stream in
@@ -312,7 +336,7 @@ let cmd_exp id quick csv common supervision =
       strict_shortfall_exit ~strict:common.strict [ report ]
 
 let cmd_all quick common supervision =
-  with_common common @@ fun () ->
+  with_common ~cmd:"all" common @@ fun () ->
   with_supervision supervision @@ fun () ->
   let reports =
     Experiments.Catalog.run_all ~quick ~jobs:common.jobs ~seed:common.seed ()
@@ -345,6 +369,10 @@ let evidence_claims paths =
 
 let cmd_check quick baseline_path out update evidence_files common supervision =
   Engine_par.Pool.set_default_jobs common.jobs;
+  (* check bypasses with_common (no observability sinks), but still
+     ledgers its invocation and the verdict file it writes. *)
+  arm_ledger ~cmd:"check" common;
+  Option.iter Obs.Ledger.note_artifact out;
   let seed = common.seed and jobs = common.jobs in
   let mode = if quick then "quick" else "full" in
   let path = Option.value baseline_path ~default:(default_baseline_path ~quick) in
@@ -426,7 +454,7 @@ let cmd_route topology size p source target router_name budget common =
       prerr_endline message;
       1
   | Ok router ->
-      with_common common @@ fun () ->
+      with_common ~cmd:"route" common @@ fun () ->
       (* The world's seed must come from its own split of the root
          stream, not the raw CLI seed: splits 0 and 1 already feed
          topology and router randomness, and reusing the root seed for
@@ -552,7 +580,7 @@ let cmd_simulate topology size p protocol_name source target max_rounds common =
   let world = Percolation.World.create graph ~p ~seed in
   let source = Option.value source ~default:0 in
   let target = Option.value target ~default:(graph.Topology.Graph.vertex_count - 1) in
-  with_common common @@ fun () ->
+  with_common ~cmd:"simulate" common @@ fun () ->
   Printf.printf "world: %s, p = %.4f, seed = %Ld; %s from %d to %d\n"
     graph.Topology.Graph.name p seed protocol_name source target;
   let describe metrics result =
@@ -667,7 +695,9 @@ let cmd_serve manifest queries out evidence_out common =
       prerr_endline message;
       Verdict.Exit_code.manifest_error
   | Ok session -> (
-      with_common common @@ fun () ->
+      with_common ~cmd:"serve" common @@ fun () ->
+      Option.iter Obs.Ledger.note_artifact out;
+      Option.iter Obs.Ledger.note_artifact evidence_out;
       match Serve.Service.start session with
       | Error message ->
           prerr_endline message;
@@ -846,6 +876,142 @@ let cmd_obs_folded file =
           Verdict.Exit_code.error)
 
 (* ------------------------------------------------------------------ *)
+(* faultroute top: a terminal view over telemetry/v1 heartbeats —
+   live (tail the file a serve/campaign run is writing), --replay
+   (step through a complete file), or --once (render the newest
+   heartbeat and exit; CI snapshot mode). Rendering is Obs.Top; this
+   is only tailing, clearing and pacing.                               *)
+
+let cmd_top file replay once interval =
+  let parse_frames contents =
+    String.split_on_char '\n' contents
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.filter_map (fun l ->
+           match Obs.Top.frame_of_line l with
+           | Ok f -> Some f
+           | Error _ -> None)
+  in
+  let total_gaps frames =
+    let rec total acc = function
+      | a :: (b :: _ as rest) -> total (acc + Obs.Top.gap ~prev:a b) rest
+      | _ -> acc
+    in
+    total 0 frames
+  in
+  let warn_gaps frames =
+    let missing = total_gaps frames in
+    if missing > 0 then
+      Printf.eprintf "top: %d heartbeat(s) missing (seq gaps)\n" missing
+  in
+  let read_whole () =
+    match In_channel.with_open_bin file In_channel.input_all with
+    | contents -> Ok contents
+    | exception Sys_error m -> Error m
+  in
+  let clear () = print_string "\027[2J\027[H" in
+  let no_heartbeat () =
+    Printf.eprintf "top: no telemetry/v1 heartbeat in %s\n" file;
+    Verdict.Exit_code.claim_fail
+  in
+  if once then
+    match read_whole () with
+    | Error m ->
+        prerr_endline m;
+        Verdict.Exit_code.error
+    | Ok contents -> (
+        let frames = parse_frames contents in
+        match List.rev frames with
+        | [] -> no_heartbeat ()
+        | last :: _ ->
+            warn_gaps frames;
+            print_string (Obs.Top.render last);
+            Verdict.Exit_code.ok)
+  else if replay then
+    match read_whole () with
+    | Error m ->
+        prerr_endline m;
+        Verdict.Exit_code.error
+    | Ok contents -> (
+        match parse_frames contents with
+        | [] -> no_heartbeat ()
+        | frames ->
+            List.iter
+              (fun f ->
+                clear ();
+                print_string (Obs.Top.render f);
+                flush stdout;
+                Unix.sleepf interval)
+              frames;
+            warn_gaps frames;
+            Verdict.Exit_code.ok)
+  else begin
+    (* Live: tail by byte offset, feeding only complete
+       newline-terminated lines to the parser; a shrunken file means
+       rotation/truncation, so start over. Runs until interrupted. *)
+    let offset = ref 0 in
+    let carry = Buffer.create 256 in
+    let last = ref None in
+    let prev = ref None in
+    let missing = ref 0 in
+    let poll () =
+      match open_in_bin file with
+      | exception Sys_error _ -> false
+      | ic ->
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () ->
+              let len = in_channel_length ic in
+              if len < !offset then begin
+                offset := 0;
+                Buffer.clear carry
+              end;
+              seek_in ic !offset;
+              let fresh = really_input_string ic (len - !offset) in
+              offset := len;
+              Buffer.add_string carry fresh;
+              let rec complete acc = function
+                | [] -> (List.rev acc, "")
+                | [ tail ] -> (List.rev acc, tail)
+                | l :: rest -> complete (l :: acc) rest
+              in
+              let lines, tail =
+                complete [] (String.split_on_char '\n' (Buffer.contents carry))
+              in
+              Buffer.clear carry;
+              Buffer.add_string carry tail;
+              let changed = ref false in
+              List.iter
+                (fun l ->
+                  if String.trim l <> "" then
+                    match Obs.Top.frame_of_line l with
+                    | Ok f ->
+                        (match !prev with
+                        | Some p -> missing := !missing + Obs.Top.gap ~prev:p f
+                        | None -> ());
+                        prev := Some f;
+                        last := Some f;
+                        changed := true
+                    | Error _ -> ())
+                lines;
+              !changed)
+    in
+    let rec live () =
+      (if poll () then
+         match !last with
+         | Some f ->
+             clear ();
+             print_string (Obs.Top.render f);
+             if !missing > 0 then
+               Printf.printf "(%d heartbeat(s) missing)\n" !missing;
+             flush stdout
+         | None -> ());
+      Unix.sleepf interval;
+      live ()
+    in
+    live ()
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Cmdliner wiring.                                                    *)
 
 open Cmdliner
@@ -896,6 +1062,15 @@ let profile_out_arg =
   in
   Arg.(
     value & opt (some string) None & info [ "profile-out" ] ~docv:"FILE" ~doc)
+
+let ledger_arg =
+  let doc =
+    "Append one $(b,runledger/v1) record for this invocation to $(docv): \
+     subcommand, config digest, seed, jobs, wall time, exit code, and the \
+     path + content digest of every artifact written. Audit with $(b,faultroute \
+     obs validate) — a tampered or stale artifact exits 2."
+  in
+  Arg.(value & opt (some string) None & info [ "ledger" ] ~docv:"FILE" ~doc)
 
 let strict_shortfall_arg =
   let doc =
@@ -973,7 +1148,7 @@ let jobs_arg =
    diverge between subcommands. *)
 let common_term =
   let make seed jobs trace metrics_out telemetry telemetry_out profile_out
-      strict =
+      ledger strict =
     {
       seed;
       jobs;
@@ -982,12 +1157,13 @@ let common_term =
       telemetry;
       telemetry_out;
       profile_out;
+      ledger;
       strict;
     }
   in
   Term.(
     const make $ seed_arg $ jobs_arg $ trace_arg $ metrics_arg $ telemetry_arg
-    $ telemetry_out_arg $ profile_out_arg $ strict_shortfall_arg)
+    $ telemetry_out_arg $ profile_out_arg $ ledger_arg $ strict_shortfall_arg)
 
 let supervision_term =
   let make inject fault_plan checkpoint resume retries deadline =
@@ -1229,8 +1405,8 @@ let obs_cmd =
       & info [] ~docv:"FILE"
           ~doc:
             "Observability artifacts: trace/v1, metrics/v1, profile/v1, \
-             telemetry/v1, or bench_percolation history files (sniffed by \
-             schema tag).")
+             telemetry/v1, runledger/v1, or bench_percolation history files \
+             (sniffed by schema tag).")
   in
   let file_a_arg =
     Arg.(
@@ -1254,8 +1430,10 @@ let obs_cmd =
     Cmd.v
       (Cmd.info "validate"
          ~doc:
-           "Schema-validate artifacts (traces are also replay-checked). Exit \
-            2 if any file is invalid.")
+           "Schema-validate artifacts (traces are also replay-checked; run \
+            ledgers are cross-checked against the artifacts on disk, so a \
+            tampered or stale artifact fails). Exit 2 if any file is \
+            invalid.")
       Term.(const cmd_obs_validate $ files_arg)
   in
   let report =
@@ -1288,9 +1466,47 @@ let obs_cmd =
     (Cmd.info "obs"
        ~doc:
          "Inspect observability artifacts: validate, pretty-print, \
-          aggregate and diff the trace/metrics/profile/telemetry/bench \
-          family.")
+          aggregate and diff the \
+          trace/metrics/profile/telemetry/ledger/bench family.")
     [ validate; report; diff; folded ]
+
+let top_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "A telemetry/v1 heartbeat file (written by \
+             $(b,--telemetry-out)).")
+  in
+  let replay_arg =
+    let doc =
+      "The file is complete: step through every heartbeat and exit instead \
+       of tailing."
+    in
+    Arg.(value & flag & info [ "replay" ] ~doc)
+  in
+  let once_arg =
+    let doc =
+      "Render the newest heartbeat once and exit — a CI snapshot. Exit 2 \
+       when the file holds no parseable heartbeat."
+    in
+    Arg.(value & flag & info [ "once" ] ~doc)
+  in
+  let interval_arg =
+    let doc = "Seconds between redraws (live) or replayed frames." in
+    Arg.(value & opt float 1.0 & info [ "interval" ] ~docv:"SECONDS" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal view of a telemetry/v1 heartbeat file: run progress, \
+          per-domain pool utilization and GC pressure, and per-op latency \
+          percentiles, redrawn as the producing run heartbeats. Tails the \
+          file until interrupted; see $(b,--replay) and $(b,--once) for \
+          post-hoc use.")
+    Term.(const cmd_top $ file_arg $ replay_arg $ once_arg $ interval_arg)
 
 let mincut_cmd =
   let source_arg =
@@ -1330,6 +1546,12 @@ let () =
         evidence_cmd;
         trace_cmd;
         obs_cmd;
+        top_cmd;
       ]
   in
-  exit (Cmd.eval' group)
+  let code = Cmd.eval' group in
+  (* The ledger record carries the exit code and digests of the final
+     artifact bytes, so it is appended here — after every
+     with_observability finally has flushed and closed its sinks. *)
+  Obs.Ledger.finalize ~exit_code:code;
+  exit code

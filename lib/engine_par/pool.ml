@@ -58,6 +58,7 @@ let with_slot_telemetry ~slot ~pool_t0 ~work body =
     r
   in
   let slot_t0 = Unix.gettimeofday () in
+  let gc0 = Obs.Runtime.sample () in
   Fun.protect
     ~finally:(fun () ->
       let wall = Unix.gettimeofday () -. slot_t0 in
@@ -66,7 +67,8 @@ let with_slot_telemetry ~slot ~pool_t0 ~work body =
       Obs.Telemetry.add_to (prefix ^ "busy_s") !busy;
       Obs.Telemetry.add_to (prefix ^ "tasks") (float_of_int !tasks);
       Obs.Telemetry.absorb "pool.task_ns" task_ns;
-      Obs.Telemetry.absorb "pool.queue_wait_ns" queue_wait_ns)
+      Obs.Telemetry.absorb "pool.queue_wait_ns" queue_wait_ns;
+      Obs.Runtime.publish_slot ~slot (Obs.Runtime.delta_since gc0))
     (fun () -> body timed_work)
 
 let sequential_prefix ~limit ~until work =

@@ -29,11 +29,18 @@ type pnode = {
 type artifact =
   | Trace of Trace.Replay.run list
   | Metrics of table
-  | Telemetry of { beats : int; uptime_s : float; table : table }
+  | Telemetry of {
+      beats : int;
+      uptime_s : float;
+      seq_missing : int;  (* heartbeats lost between consecutive lines *)
+      seq_reordered : int;  (* lines whose seq did not advance *)
+      table : table;
+    }
   | Profile of pnode list
   | Bench of Bench_history.snapshot list  (* oldest first, non-empty *)
+  | Ledger of Ledger.record list
 
-type kind = [ `Trace | `Metrics | `Telemetry | `Profile | `Bench ]
+type kind = [ `Trace | `Metrics | `Telemetry | `Profile | `Bench | `Ledger ]
 
 let kind = function
   | Trace _ -> `Trace
@@ -41,6 +48,7 @@ let kind = function
   | Telemetry _ -> `Telemetry
   | Profile _ -> `Profile
   | Bench _ -> `Bench
+  | Ledger _ -> `Ledger
 
 let kind_name = function
   | `Trace -> "trace/v1"
@@ -48,6 +56,7 @@ let kind_name = function
   | `Telemetry -> "telemetry/v1"
   | `Profile -> "profile/v1"
   | `Bench -> "bench_percolation history"
+  | `Ledger -> "runledger/v1"
 
 (* ------------------------------------------------------------------ *)
 (* Parsing helpers.                                                    *)
@@ -185,32 +194,67 @@ let parse_telemetry_line j =
   parse_table ~counters_key:"gauges" ~sum_key:"sum_ns" ~min_key:"min_ns"
     ~max_key:"max_ns" j
 
+(* One heartbeat line, decomposed: the monotonic seq (absent on legacy
+   files), uptime, the optional session label, and the gauge/histogram
+   table. Shared with [Top], which renders heartbeats one at a time. *)
+let parse_heartbeat j =
+  let* seq =
+    match Json.member "seq" j with
+    | None | Some Json.Null -> Ok None
+    | Some v -> (
+        match Json.to_int v with
+        | Some n -> Ok (Some n)
+        | None -> Error "field \"seq\" is not an integer")
+  in
+  let* uptime_s = num_field "uptime_s" j in
+  let session = Option.bind (Json.member "session" j) Json.to_str in
+  let* table = parse_telemetry_line j in
+  Ok (seq, uptime_s, session, table)
+
 let parse_telemetry lines =
   (* Heartbeats are cumulative snapshots of the same registry: the last
      line is the run's final state, earlier ones only add the beat
-     count — so "merge" is take-latest, not sum. *)
-  let rec loop i last = function
+     count — so "merge" is take-latest, not sum. Consecutive seq values
+     must advance by exactly one (the emitter only bumps on emission);
+     a jump means lines were lost, a non-advance means reordering. *)
+  let rec loop i last prev_seq missing reordered = function
     | [] -> (
         match last with
         | None -> Error "no telemetry lines"
-        | Some (uptime_s, table, beats) -> Ok (Telemetry { beats; uptime_s; table }))
+        | Some (uptime_s, table, beats) ->
+            Ok
+              (Telemetry
+                 {
+                   beats;
+                   uptime_s;
+                   seq_missing = missing;
+                   seq_reordered = reordered;
+                   table;
+                 }))
     | line :: rest -> (
         match Json.of_string line with
         | Error m -> Error (Printf.sprintf "line %d: %s" i m)
         | Ok j -> (
-            match
-              let* uptime_s = num_field "uptime_s" j in
-              let* table = parse_telemetry_line j in
-              Ok (uptime_s, table)
-            with
+            match parse_heartbeat j with
             | Error m -> Error (Printf.sprintf "line %d: %s" i m)
-            | Ok (uptime_s, table) ->
+            | Ok (seq, uptime_s, _session, table) ->
                 let beats =
                   match last with None -> 1 | Some (_, _, n) -> n + 1
                 in
-                loop (i + 1) (Some (uptime_s, table, beats)) rest))
+                let prev_seq, missing, reordered =
+                  match (prev_seq, seq) with
+                  | Some p, Some s when s > p + 1 ->
+                      (Some s, missing + (s - p - 1), reordered)
+                  | Some p, Some s when s <= p ->
+                      (Some s, missing, reordered + 1)
+                  | _, Some s -> (Some s, missing, reordered)
+                  | _, None -> (prev_seq, missing, reordered)
+                in
+                loop (i + 1)
+                  (Some (uptime_s, table, beats))
+                  prev_seq missing reordered rest))
   in
-  loop 1 None lines
+  loop 1 None None 0 0 lines
 
 let rec parse_pnode j =
   let* p_name =
@@ -266,6 +310,18 @@ let parse_bench lines =
   let* snapshots = Bench_history.parse_lines lines in
   if snapshots = [] then Error "no bench snapshots" else Ok (Bench snapshots)
 
+let parse_ledger lines =
+  (* Loading IS validation for the ledger too: beyond the schema, every
+     recorded artifact digest is cross-checked against the file on disk
+     so `obs validate` catches tampered or stale artifacts (exit 2). A
+     torn final line (crashed writer) is tolerated, like checkpoints. *)
+  let* records, _torn = Ledger.parse_lines lines in
+  if records = [] then Error "no ledger records"
+  else
+    match Ledger.verify records with
+    | [] -> Ok (Ledger records)
+    | errs -> Error (String.concat "; " errs)
+
 (* ------------------------------------------------------------------ *)
 (* Loading.                                                            *)
 
@@ -292,6 +348,7 @@ let load path =
         | Some "metrics/v1" -> parse_metrics doc
         | Some "profile/v1" -> parse_profile doc
         | Some "telemetry/v1" -> parse_telemetry lines
+        | Some "runledger/v1" -> parse_ledger lines
         | Some s when String.length s >= 18
                       && String.sub s 0 18 = "bench_percolation/" ->
             parse_bench lines
@@ -418,9 +475,15 @@ let pp_counters ppf label counters =
   end
 
 let pp_table ppf ~label t =
-  pp_counters ppf label t.counters;
-  pp_utilization ppf t.counters;
-  pp_hist_rows ppf t.hists
+  (* An empty or header-only artifact renders an explicit marker, not a
+     silently empty table — "nothing was recorded" is a finding. *)
+  if t.counters = [] && t.hists = [] then
+    Format.fprintf ppf "  (no samples)@."
+  else begin
+    pp_counters ppf label t.counters;
+    pp_utilization ppf t.counters;
+    pp_hist_rows ppf t.hists
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Reports.                                                            *)
@@ -437,10 +500,14 @@ let report ppf = function
   | Metrics t ->
       Format.fprintf ppf "metrics/v1@.";
       pp_table ppf ~label:"counter" t
-  | Telemetry { beats; uptime_s; table } ->
+  | Telemetry { beats; uptime_s; seq_missing; seq_reordered; table } ->
       Format.fprintf ppf "telemetry/v1: %d heartbeat%s, uptime %.3f s@." beats
         (if beats = 1 then "" else "s")
         uptime_s;
+      if seq_missing > 0 || seq_reordered > 0 then
+        Format.fprintf ppf
+          "  WARNING: heartbeat seq gaps — %d missing, %d reordered line(s)@."
+          seq_missing seq_reordered;
       pp_table ppf ~label:"gauge" table
   | Profile nodes ->
       Format.fprintf ppf "profile/v1@.";
@@ -456,7 +523,38 @@ let report ppf = function
         (if v.Trace.Replay.runs = 1 then "" else "s")
         v.Trace.Replay.attempts v.Trace.Replay.accepted v.Trace.Replay.checked
         v.Trace.Replay.unverifiable
-        (if Trace.Replay.ok v then "ok" else "FAILED")
+        (if Trace.Replay.ok v then "ok" else "FAILED");
+      if v.Trace.Replay.qspans > 0 then
+        Format.fprintf ppf "  query spans: %d lifecycle event%s, %s@."
+          v.Trace.Replay.qspans
+          (if v.Trace.Replay.qspans = 1 then "" else "s")
+          (if v.Trace.Replay.qspan_errors = [] then
+             "ordering and exactly-once tally ok"
+           else
+             Printf.sprintf "%d violation(s)"
+               (List.length v.Trace.Replay.qspan_errors))
+  | Ledger records ->
+      Format.fprintf ppf "runledger/v1: %d record%s, digests verified@."
+        (List.length records)
+        (if List.length records = 1 then "" else "s");
+      Format.fprintf ppf "  %-12s %-14s %5s %5s %9s %10s@." "subcommand"
+        "config" "jobs" "exit" "wall s" "artifacts";
+      List.iter
+        (fun (r : Ledger.record) ->
+          let short =
+            if String.length r.Ledger.config_digest > 12 then
+              String.sub r.Ledger.config_digest 0 12
+            else r.Ledger.config_digest
+          in
+          Format.fprintf ppf "  %-12s %-14s %5d %5d %9.3f %10d@."
+            r.Ledger.subcommand short r.Ledger.jobs r.Ledger.exit_code
+            r.Ledger.wall_s
+            (List.length r.Ledger.artifacts);
+          List.iter
+            (fun (a : Ledger.artifact) ->
+              Format.fprintf ppf "    %s %s@." a.Ledger.digest a.Ledger.path)
+            r.Ledger.artifacts)
+        records
   | Bench snapshots ->
       Format.fprintf ppf "bench history: %d snapshot%s@." (List.length snapshots)
         (if List.length snapshots = 1 then "" else "s");
@@ -540,6 +638,13 @@ let diff ppf a b =
       Ok (diff_tables ppf x y)
   | Telemetry x, Telemetry y ->
       Format.fprintf ppf "  uptime %.3f s -> %.3f s@." x.uptime_s y.uptime_s;
+      if
+        x.seq_missing + x.seq_reordered + y.seq_missing + y.seq_reordered > 0
+      then
+        Format.fprintf ppf
+          "  heartbeat seq anomalies: %d missing/%d reordered -> %d \
+           missing/%d reordered@."
+          x.seq_missing x.seq_reordered y.seq_missing y.seq_reordered;
       Ok (diff_tables ppf x.table y.table)
   | Profile x, Profile y ->
       let fa = flatten_pnodes "" [] x and fb = flatten_pnodes "" [] y in

@@ -4,17 +4,49 @@
     {!load} sniffs a file by the [schema] tag on its first JSON line
     and parses {e and validates} it in one step: [trace/v1] (JSONL,
     replay-checked on load), [metrics/v1], [profile/v1],
-    [telemetry/v1] (JSONL heartbeats; the last line wins) and
-    [bench_percolation/v1..v3] documents or history trails. A
-    successful load {e is} schema validation — "obs validate" prints
-    nothing but the verdict. *)
+    [telemetry/v1] (JSONL heartbeats; the last line wins),
+    [runledger/v1] (JSONL run records; every recorded artifact digest
+    is cross-checked against the file on disk, so a tampered or stale
+    artifact fails the load) and [bench_percolation/v1..v3] documents
+    or history trails. A successful load {e is} schema validation —
+    "obs validate" prints nothing but the verdict. *)
+
+type hist = {
+  count : int;
+  sum : float;
+  min_v : float option;
+  max_v : float option;
+  buckets : (int * int) list;  (** (lower bound, count), ascending *)
+}
+
+type table = {
+  counters : (string * float) list;  (** name-sorted *)
+  hists : (string * hist) list;  (** name-sorted *)
+}
+(** The normalized counter/gauge + histogram shape metrics and
+    telemetry both parse into — exposed so {!Top} can render
+    heartbeats with the same machinery. *)
 
 type artifact
 
-type kind = [ `Trace | `Metrics | `Telemetry | `Profile | `Bench ]
+type kind = [ `Trace | `Metrics | `Telemetry | `Profile | `Bench | `Ledger ]
 
 val kind : artifact -> kind
 val kind_name : kind -> string
+
+val hist_quantile : hist -> float -> float option
+(** Bucket-upper-bound quantile clamped into [min, max] — the same
+    estimator as [Metrics.quantile]. *)
+
+val utilization_rows : (string * float) list -> (int * float * float * float) list
+(** Fold [pool.domain.<slot>.busy_s/.wall_s/.tasks] gauges into one
+    [(slot, busy_s, wall_s, tasks)] row per domain slot, slot-sorted. *)
+
+val parse_heartbeat :
+  Json.t -> (int option * float * string option * table, string) result
+(** Decompose one [telemetry/v1] heartbeat line: monotonic [seq]
+    (absent on legacy files), uptime seconds, optional session label,
+    and the gauge/histogram table. *)
 
 val load : string -> (artifact, string) result
 (** Read, sniff, parse and validate one artifact file. The error
@@ -25,8 +57,11 @@ val report : Format.formatter -> artifact -> unit
     pool utilization derived from the [pool.domain.<slot>.*] gauges),
     histogram quantile rows (p50/p95/p99/max, [_ns] names scaled to
     ms), the indented span tree for profiles, the replay verdict for
-    traces, and snapshots + trailing-baseline regressions for bench
-    histories. *)
+    traces (including the query-span lifecycle audit), run rows with
+    their artifact digests for ledgers, and snapshots +
+    trailing-baseline regressions for bench histories. An empty table
+    prints an explicit ["(no samples)"] row; telemetry with heartbeat
+    [seq] gaps prints a warning line. *)
 
 val aggregate : artifact -> artifact -> (artifact, string) result
 (** Merge two artifacts into one ([metrics/v1] only: pointwise counter

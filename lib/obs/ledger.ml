@@ -1,0 +1,237 @@
+(* The run ledger: one [runledger/v1] JSONL record per faultroute
+   invocation, binding the artifacts a run wrote (by path + content
+   digest) to the invocation that produced them. Appended through
+   [Atomic_file.append_line] so a crashed writer can at worst leave a
+   torn final line, which the parser tolerates exactly like the
+   checkpoint journal does. Strictly operational: nothing here touches
+   result bytes, and the record itself (wall time) is not expected to
+   be deterministic. *)
+
+let schema = "runledger/v1"
+
+type artifact = { path : string; digest : string }
+
+type record = {
+  subcommand : string;
+  config_digest : string;
+  seed : int64;
+  jobs : int;
+  wall_s : float;
+  exit_code : int;
+  artifacts : artifact list;
+}
+
+(* Digests reuse the stdlib MD5 convention of
+   [Experiments.Checkpoint.digest_key] — hex over the canonical
+   string / the file bytes. *)
+let digest_string s = Digest.to_hex (Digest.string s)
+
+let digest_file path =
+  match Digest.file path with
+  | d -> Ok (Digest.to_hex d)
+  | exception Sys_error m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Encoding.                                                           *)
+
+let record_line r =
+  Json.to_string
+    (Json.Obj
+       [
+         ("schema", Json.String schema);
+         ("subcommand", Json.String r.subcommand);
+         ("config_digest", Json.String r.config_digest);
+         ("seed", Json.String (Int64.to_string r.seed));
+         ("jobs", Json.Int r.jobs);
+         ("wall_s", Json.Float r.wall_s);
+         ("exit", Json.Int r.exit_code);
+         ( "artifacts",
+           Json.List
+             (List.map
+                (fun a ->
+                  Json.Obj
+                    [
+                      ("path", Json.String a.path);
+                      ("digest", Json.String a.digest);
+                    ])
+                r.artifacts) );
+       ])
+  ^ "\n"
+
+let append ~path r = Atomic_file.append_line ~path ~line:(record_line r)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing. A malformed final line is a torn append (process killed
+   mid-write) and is dropped, mirroring the checkpoint journal's
+   tolerance; a malformed line anywhere else is corruption and an
+   error.                                                              *)
+
+let ( let* ) = Result.bind
+
+let str_field name j =
+  match Option.bind (Json.member name j) Json.to_str with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "missing string field %S" name)
+
+let int_field name j =
+  match Option.bind (Json.member name j) Json.to_int with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "missing int field %S" name)
+
+let parse_record j =
+  let* tag = str_field "schema" j in
+  if tag <> schema then Error (Printf.sprintf "unsupported schema %S" tag)
+  else
+    let* subcommand = str_field "subcommand" j in
+    let* config_digest = str_field "config_digest" j in
+    let* seed_s = str_field "seed" j in
+    let* seed =
+      match Int64.of_string_opt seed_s with
+      | Some s -> Ok s
+      | None -> Error (Printf.sprintf "seed %S is not a 64-bit integer" seed_s)
+    in
+    let* jobs = int_field "jobs" j in
+    let* wall_s =
+      match Option.bind (Json.member "wall_s" j) Json.to_float with
+      | Some f -> Ok f
+      | None -> Error "missing number field \"wall_s\""
+    in
+    let* exit_code = int_field "exit" j in
+    let* artifacts =
+      match Option.bind (Json.member "artifacts" j) Json.to_list with
+      | None -> Error "missing list field \"artifacts\""
+      | Some items ->
+          let rec loop acc = function
+            | [] -> Ok (List.rev acc)
+            | item :: rest ->
+                let* path = str_field "path" item in
+                let* digest = str_field "digest" item in
+                loop ({ path; digest } :: acc) rest
+          in
+          loop [] items
+    in
+    Ok { subcommand; config_digest; seed; jobs; wall_s; exit_code; artifacts }
+
+let parse_lines lines =
+  let lines = List.filter (fun l -> String.trim l <> "") lines in
+  let total = List.length lines in
+  let rec loop acc i = function
+    | [] -> Ok (List.rev acc, false)
+    | line :: rest -> (
+        match
+          let* j = Json.of_string (String.trim line) in
+          parse_record j
+        with
+        | Ok r -> loop (r :: acc) (i + 1) rest
+        | Error m ->
+            if i = total then Ok (List.rev acc, true)
+            else Error (Printf.sprintf "line %d: %s" i m))
+  in
+  loop [] 1 lines
+
+(* ------------------------------------------------------------------ *)
+(* Verification: cross-check every recorded artifact against the file
+   on disk. Paths are resolved as recorded (i.e. relative to the
+   invoking working directory), so validate from where the run ran.    *)
+
+let verify records =
+  let errors = ref [] in
+  List.iteri
+    (fun i r ->
+      List.iter
+        (fun a ->
+          if not (Sys.file_exists a.path) then
+            errors :=
+              Printf.sprintf "record %d: artifact %s is missing" (i + 1) a.path
+              :: !errors
+          else
+            match digest_file a.path with
+            | Error m ->
+                errors :=
+                  Printf.sprintf "record %d: artifact %s: %s" (i + 1) a.path m
+                  :: !errors
+            | Ok d ->
+                if d <> a.digest then
+                  errors :=
+                    Printf.sprintf
+                      "record %d: artifact %s: digest mismatch (ledger %s, \
+                       disk %s)"
+                      (i + 1) a.path a.digest d
+                    :: !errors)
+        r.artifacts)
+    records;
+  List.rev !errors
+
+(* ------------------------------------------------------------------ *)
+(* The ambient per-process ledger the CLI arms: one [arm] at subcommand
+   start, [note_artifact] for every file the run will write, one
+   [finalize] after the exit code is known. All no-ops unless armed.   *)
+
+type armed = {
+  a_path : string;
+  a_subcommand : string;
+  a_config_digest : string;
+  a_seed : int64;
+  a_jobs : int;
+  a_started : float;
+  mutable a_artifacts : string list;  (* reversed *)
+}
+
+let lock = Mutex.create ()
+let state : armed option ref = ref None
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let arm ~path ~subcommand ~config_digest ~seed ~jobs =
+  locked (fun () ->
+      state :=
+        Some
+          {
+            a_path = path;
+            a_subcommand = subcommand;
+            a_config_digest = config_digest;
+            a_seed = seed;
+            a_jobs = jobs;
+            a_started = Unix.gettimeofday ();
+            a_artifacts = [];
+          })
+
+let armed () = locked (fun () -> !state <> None)
+
+let note_artifact path =
+  locked (fun () ->
+      match !state with
+      | None -> ()
+      | Some a ->
+          if not (List.mem path a.a_artifacts) then
+            a.a_artifacts <- path :: a.a_artifacts)
+
+let finalize ~exit_code =
+  match locked (fun () -> !state) with
+  | None -> ()
+  | Some a ->
+      locked (fun () -> state := None);
+      let artifacts =
+        List.filter_map
+          (fun path ->
+            if Sys.file_exists path then
+              match digest_file path with
+              | Ok digest -> Some { path; digest }
+              | Error _ -> None
+            else None)
+          (List.rev a.a_artifacts)
+      in
+      let r =
+        {
+          subcommand = a.a_subcommand;
+          config_digest = a.a_config_digest;
+          seed = a.a_seed;
+          jobs = a.a_jobs;
+          wall_s = Unix.gettimeofday () -. a.a_started;
+          exit_code;
+          artifacts;
+        }
+      in
+      append ~path:a.a_path r

@@ -1,0 +1,87 @@
+(** The run ledger — the [runledger/v1] JSONL stream.
+
+    Every [faultroute] invocation that asks for one ([--ledger FILE])
+    appends exactly one record binding the run to its outputs: the
+    subcommand, a canonical config digest, the root seed and job
+    count, wall time, the process exit code, and the path + content
+    digest of every artifact the run wrote. Appends go through
+    {!Atomic_file.append_line}, so a crashed writer leaves at worst a
+    torn final line — which {!parse_lines} tolerates, mirroring the
+    checkpoint/v1 journal.
+
+    The ledger is {e operational} metadata, deliberately outside the
+    determinism contract: wall time and digests of wall-clock-bearing
+    artifacts (telemetry, profiles) vary run to run. What it buys is
+    {e auditability}: [faultroute obs validate] cross-checks every
+    recorded digest against the file on disk, so a tampered or stale
+    artifact is detected (exit 2). *)
+
+val schema : string
+(** ["runledger/v1"]. *)
+
+type artifact = { path : string; digest : string }
+(** [digest] is the hex MD5 of the file bytes ({!digest_file}). *)
+
+type record = {
+  subcommand : string;
+  config_digest : string;
+      (** Canonical invocation digest ({!digest_string} over the argv
+          vector) — ties the record to the exact flags used. *)
+  seed : int64;
+  jobs : int;
+  wall_s : float;
+  exit_code : int;
+  artifacts : artifact list;
+}
+
+val digest_string : string -> string
+(** Hex MD5 of a string — the same stdlib convention as
+    [Experiments.Checkpoint.digest_key]. *)
+
+val digest_file : string -> (string, string) result
+(** Hex MD5 of a file's bytes; [Error] on an unreadable path. *)
+
+val record_line : record -> string
+(** One [runledger/v1] JSON line, newline included. *)
+
+val append : path:string -> record -> unit
+(** Append one record to the ledger at [path] (atomic rewrite). *)
+
+val parse_lines : string list -> (record list * bool, string) result
+(** Parse ledger lines (blank lines skipped). A malformed {e final}
+    line is a torn append: it is dropped and reported as [true] in the
+    second component. A malformed line anywhere else is corruption and
+    an [Error]. *)
+
+val verify : record list -> string list
+(** Cross-check every recorded artifact against the file on disk:
+    missing files and digest mismatches (tampered or stale artifacts)
+    each produce one message; [[]] means the ledger matches reality.
+    Paths are resolved relative to the current working directory, as
+    they were recorded. *)
+
+(** {2 The ambient process ledger}
+
+    The CLI arms one ledger per invocation; everything below is a
+    no-op unless {!arm} was called. *)
+
+val arm :
+  path:string ->
+  subcommand:string ->
+  config_digest:string ->
+  seed:int64 ->
+  jobs:int ->
+  unit
+(** Start the wall clock and remember the invocation identity. *)
+
+val armed : unit -> bool
+
+val note_artifact : string -> unit
+(** Register a path the run will (or did) write; duplicates are
+    ignored. Digests are taken at {!finalize} time, after every sink
+    has been flushed and closed. *)
+
+val finalize : exit_code:int -> unit
+(** Digest every registered artifact that exists on disk, append the
+    record, and disarm. Call exactly once, after the subcommand's exit
+    code is known. *)

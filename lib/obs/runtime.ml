@@ -1,0 +1,73 @@
+(* GC and allocation gauges for [telemetry/v1] — the first reader of
+   [Gc] anywhere in lib/. Per-domain pressure is measured as
+   [Gc.quick_stat] deltas over a pool slot (quick_stat reads only the
+   calling domain's counters plus cheap global words, no stop-the-
+   world), accumulated locally and published through the same
+   few-locks-per-slot path as the pool's busy/tasks gauges. Strictly
+   reporting-layer: nothing here can influence result bytes, and when
+   telemetry is off nothing reads the clock or the GC. *)
+
+type sample = {
+  s_minor_words : float;
+  s_promoted_words : float;
+  s_major_words : float;
+  s_minor_collections : int;
+  s_major_collections : int;
+}
+
+let sample () =
+  let s = Gc.quick_stat () in
+  {
+    s_minor_words = s.Gc.minor_words;
+    s_promoted_words = s.Gc.promoted_words;
+    s_major_words = s.Gc.major_words;
+    s_minor_collections = s.Gc.minor_collections;
+    s_major_collections = s.Gc.major_collections;
+  }
+
+type delta = {
+  minor_collections : int;
+  major_collections : int;
+  promoted_words : float;
+  allocated_words : float;
+}
+
+let delta_since s0 =
+  let s1 = sample () in
+  {
+    minor_collections = s1.s_minor_collections - s0.s_minor_collections;
+    major_collections = s1.s_major_collections - s0.s_major_collections;
+    promoted_words = s1.s_promoted_words -. s0.s_promoted_words;
+    (* Words allocated by this domain: minor allocations plus major
+       allocations that did not come from promotion. *)
+    allocated_words =
+      s1.s_minor_words -. s0.s_minor_words
+      +. (s1.s_major_words -. s0.s_major_words)
+      -. (s1.s_promoted_words -. s0.s_promoted_words);
+  }
+
+let publish_slot ~slot d =
+  if Telemetry.on () then begin
+    let prefix = Printf.sprintf "runtime.domain.%d." slot in
+    Telemetry.add_to
+      (prefix ^ "minor_collections")
+      (float_of_int d.minor_collections);
+    Telemetry.add_to
+      (prefix ^ "major_collections")
+      (float_of_int d.major_collections);
+    Telemetry.add_to (prefix ^ "promoted_words") d.promoted_words;
+    Telemetry.add_to (prefix ^ "allocated_words") d.allocated_words
+  end
+
+let publish_process () =
+  if Telemetry.on () then begin
+    let s = Gc.quick_stat () in
+    Telemetry.set_gauge "runtime.heap_words" (float_of_int s.Gc.heap_words);
+    Telemetry.max_gauge "runtime.top_heap_words"
+      (float_of_int s.Gc.top_heap_words);
+    Telemetry.set_gauge "runtime.compactions" (float_of_int s.Gc.compactions);
+    Telemetry.set_gauge "runtime.minor_collections"
+      (float_of_int s.Gc.minor_collections);
+    Telemetry.set_gauge "runtime.major_collections"
+      (float_of_int s.Gc.major_collections)
+  end

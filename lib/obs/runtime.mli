@@ -1,0 +1,44 @@
+(** GC and allocation gauges for [telemetry/v1] heartbeats.
+
+    Two publication paths, both no-ops when {!Telemetry.on} is false:
+
+    - {e per pool slot}: a worker takes a {!sample} when it joins a
+      pool dispatch and publishes the {!delta_since} it at slot end —
+      [runtime.domain.<slot>.minor_collections / major_collections /
+      promoted_words / allocated_words] accumulate across dispatches
+      exactly like the pool's [busy_s]/[tasks] gauges, costing a
+      handful of lock acquisitions per slot and nothing per task.
+    - {e per heartbeat}: {!publish_process} snapshots the caller
+      domain's [Gc.quick_stat] into instantaneous process gauges
+      ([runtime.heap_words], [runtime.top_heap_words],
+      [runtime.compactions], [runtime.minor_collections],
+      [runtime.major_collections]) right before a heartbeat.
+
+    Strictly reporting-layer: answers and artifacts on the
+    deterministic side are byte-identical with these gauges on or
+    off. *)
+
+type sample
+(** A [Gc.quick_stat] capture for the calling domain. *)
+
+val sample : unit -> sample
+
+type delta = {
+  minor_collections : int;
+  major_collections : int;
+  promoted_words : float;
+  allocated_words : float;
+      (** Words this domain allocated since the sample: minor words
+          plus non-promotion major words. *)
+}
+
+val delta_since : sample -> delta
+(** GC activity on the calling domain since [sample] was taken. *)
+
+val publish_slot : slot:int -> delta -> unit
+(** Accumulate a slot's delta into the [runtime.domain.<slot>.*]
+    gauges (one [add_to] per field). *)
+
+val publish_process : unit -> unit
+(** Overwrite the instantaneous process gauges from a fresh
+    [Gc.quick_stat] — call just before emitting a heartbeat. *)

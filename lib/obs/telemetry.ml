@@ -56,6 +56,13 @@ let sink : (string -> unit) ref =
 let interval = ref 1.0
 let last_beat = ref neg_infinity
 
+(* Heartbeats are numbered 1, 2, 3, ... per enable/reset. The counter
+   bumps only when a line is actually emitted, so a well-formed
+   telemetry file carries contiguous [seq] values — any gap means
+   lines were lost after emission (truncation, a dropped pipe), which
+   [Inspect] and [faultroute top] flag. *)
+let seq = ref 0
+
 let locked f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
@@ -63,7 +70,8 @@ let locked f =
 let enable () =
   locked (fun () ->
       started_at := Unix.gettimeofday ();
-      last_beat := neg_infinity);
+      last_beat := neg_infinity;
+      seq := 0);
   Atomic.set enabled true
 
 let disable () = Atomic.set enabled false
@@ -72,7 +80,8 @@ let reset () =
   locked (fun () ->
       Hashtbl.reset cells;
       started_at := Unix.gettimeofday ();
-      last_beat := neg_infinity)
+      last_beat := neg_infinity;
+      seq := 0)
 
 let set_sink f = locked (fun () -> sink := f)
 let set_interval s = locked (fun () -> interval := Float.max 0.01 s)
@@ -197,7 +206,7 @@ let snapshot () =
         hists = List.sort by_name hists;
       })
 
-let to_json_line ?(extra = []) (v : view) =
+let to_json_line ?seq:seq_n ?(extra = []) (v : view) =
   let hist_json (name, h) =
     let q p =
       match hist_quantile_ns h p with Some ns -> Json.Float ns | None -> Json.Null
@@ -222,6 +231,7 @@ let to_json_line ?(extra = []) (v : view) =
   Json.to_string
     (Json.Obj
        ([ ("schema", Json.String "telemetry/v1") ]
+       @ (match seq_n with Some n -> [ ("seq", Json.Int n) ] | None -> [])
        @ extra
        @ [
            ("uptime_s", Json.Float v.uptime_s);
@@ -232,7 +242,12 @@ let to_json_line ?(extra = []) (v : view) =
 
 let heartbeat ?extra () =
   if on () then begin
-    let line = to_json_line ?extra (snapshot ()) in
+    let n =
+      locked (fun () ->
+          incr seq;
+          !seq)
+    in
+    let line = to_json_line ~seq:n ?extra (snapshot ()) in
     let emit = locked (fun () -> !sink) in
     emit line;
     locked (fun () -> last_beat := Unix.gettimeofday ())

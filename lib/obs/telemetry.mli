@@ -76,13 +76,14 @@ val hist_quantile_ns : hist_view -> float -> float option
     same semantics as {!Metrics.quantile}. [None] on an empty view or
     [q] outside [\[0, 1\]]. *)
 
-val to_json_line : ?extra:(string * Json.t) list -> view -> string
+val to_json_line : ?seq:int -> ?extra:(string * Json.t) list -> view -> string
 (** One [telemetry/v1] JSONL line:
-    [{"schema": "telemetry/v1", ...extra, "uptime_s": ..,
+    [{"schema": "telemetry/v1", "seq": n, ...extra, "uptime_s": ..,
     "gauges": {...}, "histograms": {name: {count, sum_ns, min_ns,
     max_ns, p50_ns, p95_ns, p99_ns, buckets: [[lb, n], ...]}}}].
     Ends in a newline. [extra] fields (session id, progress counters)
-    are spliced in right after the schema tag. *)
+    are spliced in right after the schema tag; [seq] (emitted by
+    {!heartbeat}, omitted when absent) precedes them. *)
 
 val set_sink : (string -> unit) -> unit
 (** Where heartbeat lines go; default writes to stderr. *)
@@ -92,7 +93,11 @@ val set_interval : float -> unit
     floor 0.01). *)
 
 val heartbeat : ?extra:(string * Json.t) list -> unit -> unit
-(** Emit a snapshot line to the sink now (when enabled). *)
+(** Emit a snapshot line to the sink now (when enabled). Each emitted
+    line carries a monotonic [seq] field (1, 2, 3, ... per
+    {!enable}/{!reset}), so a gap in a heartbeat file proves lines
+    were dropped after emission — {!Inspect} and [faultroute top]
+    flag such gaps. *)
 
 val maybe_heartbeat : ?extra:(string * Json.t) list -> unit -> unit
 (** Emit only if at least the configured interval has passed since the

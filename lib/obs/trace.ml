@@ -1,5 +1,13 @@
 type reject_reason = Disconnected | Reveal_limit
 
+type qstage = Admit | Enqueue | Execute | Tally
+
+let qstage_string = function
+  | Admit -> "admit"
+  | Enqueue -> "enqueue"
+  | Execute -> "execute"
+  | Tally -> "tally"
+
 type event =
   | Attempt_start of { index : int }
   | Reveal_step of { v : int; dist : int }
@@ -7,6 +15,7 @@ type event =
   | Budget_hit of { probes : int }
   | Reject of { reason : reject_reason }
   | Accept of { distance : int; probes : int }
+  | Query_span of { q : int; stage : qstage }
 
 let distinct_probes_of_events events =
   List.fold_left
@@ -160,6 +169,13 @@ let event_fields attempt = function
         ("distance", Json.Int distance);
         ("probes", Json.Int probes);
       ]
+  | Query_span { q; stage } ->
+      [
+        ("ev", Json.String "qspan");
+        ("attempt", Json.Int attempt);
+        ("q", Json.Int q);
+        ("stage", Json.String (qstage_string stage));
+      ]
 
 let line fields = Json.to_string (Json.Obj fields) ^ "\n"
 
@@ -172,6 +188,14 @@ let end_line ~attempts ~accepted =
       ("ev", Json.String "run_end");
       ("attempts", Json.Int attempts);
       ("accepted", Json.Int accepted);
+    ]
+
+let qspan_line ~q ~stage =
+  line
+    [
+      ("ev", Json.String "qspan");
+      ("q", Json.Int q);
+      ("stage", Json.String (qstage_string stage));
     ]
 
 let fault_line ~chunk ~attempt ~kind =
@@ -217,6 +241,7 @@ module Replay = struct
     declared_attempts : int option;
     declared_accepted : int option;
     faults : int;
+    qspans : (int * qstage) list;  (* in emission order after flush *)
   }
 
   let empty_attempt index =
@@ -253,7 +278,13 @@ module Replay = struct
     | Some run ->
         {
           state with
-          done_runs = { run with attempts = List.rev run.attempts } :: state.done_runs;
+          done_runs =
+            {
+              run with
+              attempts = List.rev run.attempts;
+              qspans = List.rev run.qspans;
+            }
+            :: state.done_runs;
           current = None;
         }
 
@@ -300,6 +331,7 @@ module Replay = struct
                           declared_attempts = None;
                           declared_accepted = None;
                           faults = 0;
+                          qspans = [];
                         };
                   }
             | Some other ->
@@ -370,6 +402,39 @@ module Replay = struct
             | None -> Error (Printf.sprintf "line %d: fault outside a run" line_no)
             | Some run ->
                 Ok { state with current = Some { run with faults = run.faults + 1 } })
+        | "qspan" -> (
+            (* Query lifecycle span (serve): admit/enqueue/tally are
+               run-level lines written by the sequential session loop;
+               execute rides inside the query's attempt ring, so only
+               the run-level forms close an open attempt. *)
+            let* q = int_field "q" json line_no in
+            let* stage =
+              match Option.bind (Json.member "stage" json) Json.to_str with
+              | Some "admit" -> Ok Admit
+              | Some "enqueue" -> Ok Enqueue
+              | Some "execute" -> Ok Execute
+              | Some "tally" -> Ok Tally
+              | Some other ->
+                  Error
+                    (Printf.sprintf "line %d: unknown qspan stage %S" line_no
+                       other)
+              | None ->
+                  Error (Printf.sprintf "line %d: qspan without stage" line_no)
+            in
+            let state =
+              if Json.member "attempt" json = None then flush_attempt state
+              else state
+            in
+            match state.current with
+            | None ->
+                Error (Printf.sprintf "line %d: qspan outside a run" line_no)
+            | Some run ->
+                Ok
+                  {
+                    state with
+                    current =
+                      Some { run with qspans = (q, stage) :: run.qspans };
+                  })
         | "dropped" ->
             let* a = require_attempt state line_no in
             let* count = int_field "count" json line_no in
@@ -398,6 +463,42 @@ module Replay = struct
       (fun a -> match a.outcome with `Accept _ -> Some a.fresh_probes | _ -> None)
       run.attempts
 
+  (* Per-query lifecycle audit: stages of a query must appear in
+     strictly increasing admit < enqueue < execute < tally order (each
+     at most once, later stages may be skipped — a stats query goes
+     admit -> tally, a failed parse skips execute), the first event
+     must be the admit, and every query that appears must be tallied
+     exactly once. *)
+  let qspan_errors_of_run run =
+    let order = function Admit -> 0 | Enqueue -> 1 | Execute -> 2 | Tally -> 3 in
+    let last_stage = Hashtbl.create 64 in
+    let errs = ref [] in
+    let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+    List.iter
+      (fun (q, stage) ->
+        let o = order stage in
+        match Hashtbl.find_opt last_stage q with
+        | None ->
+            if stage <> Admit then
+              err "query %d: %s before admit" q (qstage_string stage);
+            Hashtbl.replace last_stage q o
+        | Some last ->
+            if last = order Tally then
+              err "query %d: %s after tally" q (qstage_string stage)
+            else if o <= last then
+              err "query %d: %s out of order" q (qstage_string stage)
+            else Hashtbl.replace last_stage q o)
+      run.qspans;
+    let untallied =
+      Hashtbl.fold
+        (fun q last acc -> if last <> order Tally then q :: acc else acc)
+        last_stage []
+    in
+    List.iter
+      (fun q -> err "query %d: admitted but never tallied" q)
+      (List.sort compare untallied);
+    List.rev !errs
+
   type verdict = {
     runs : int;
     attempts : int;
@@ -406,6 +507,8 @@ module Replay = struct
     mismatches : (int * int * int) list;
     unverifiable : int;
     count_errors : string list;
+    qspans : int;
+    qspan_errors : string list;
   }
 
   let check runs =
@@ -418,6 +521,8 @@ module Replay = struct
         mismatches = [];
         unverifiable = 0;
         count_errors = [];
+        qspans = 0;
+        qspan_errors = [];
       }
     in
     let verdict =
@@ -461,10 +566,15 @@ module Replay = struct
                 count_error run.declared_accepted run_accepted "accepted attempts";
               ]
           in
-          { v with count_errors = v.count_errors @ errors })
+          {
+            v with
+            count_errors = v.count_errors @ errors;
+            qspans = v.qspans + List.length run.qspans;
+            qspan_errors = v.qspan_errors @ qspan_errors_of_run run;
+          })
         verdict runs
     in
     { verdict with mismatches = List.rev verdict.mismatches }
 
-  let ok v = v.mismatches = [] && v.count_errors = []
+  let ok v = v.mismatches = [] && v.count_errors = [] && v.qspan_errors = []
 end

@@ -28,9 +28,22 @@
     {!default_ring_capacity}); the replay checker treats such attempts
     as unverifiable rather than wrong. Under supervision, run-level
     [fault] lines (see {!fault_line}) may appear between the last
-    attempt and [run_end]. *)
+    attempt and [run_end].
+
+    Serve runs additionally carry {e query lifecycle spans}: [qspan]
+    events keyed by admission index [q] with stage
+    [admit]/[enqueue]/[execute]/[tally]. The admit/enqueue/tally forms
+    are run-level lines written by the sequential session loop (see
+    {!qspan_line}); the execute form is emitted inside the query's
+    attempt ring and carries an [attempt] field. The replay checker
+    verifies per-query ordering and exactly-once tally. *)
 
 type reject_reason = Disconnected | Reveal_limit
+
+type qstage = Admit | Enqueue | Execute | Tally
+(** Lifecycle stage of one admitted serve query. *)
+
+val qstage_string : qstage -> string
 
 type event =
   | Attempt_start of { index : int }
@@ -50,6 +63,10 @@ type event =
       (** Conditioned attempt measured: ground-truth distance and the
           oracle's final [distinct_probes] (the observation, possibly
           censored at the budget). *)
+  | Query_span of { q : int; stage : qstage }
+      (** A query lifecycle stage. Only [Execute] is emitted through
+          the ring (inside the query's attempt); the run-level stages
+          use {!qspan_line}. *)
 
 val distinct_probes_of_events : event list -> int
 (** Number of [Probe] events with [fresh = true] — by the oracle's
@@ -123,6 +140,13 @@ val header_line : (string * Json.t) list -> string
 
 val end_line : attempts:int -> accepted:int -> string
 
+val qspan_line : q:int -> stage:qstage -> string
+(** A run-level query lifecycle line
+    [{"ev": "qspan", "q": N, "stage": "..."}] — written immediately by
+    the sequential serve loop (admit/enqueue) or appended after a
+    query's record lines (tally), so the stream stays byte-identical
+    across [--jobs]. *)
+
 val fault_line : chunk:int -> attempt:int -> kind:string -> string
 (** A run-level supervision event: chunk [chunk]'s attempt [attempt]
     failed with [kind] (an [Engine_par.Supervisor.kind_string]) and was
@@ -155,6 +179,8 @@ module Replay : sig
     declared_attempts : int option;  (** From [run_end]. *)
     declared_accepted : int option;
     faults : int;  (** Run-level [fault] lines seen. *)
+    qspans : (int * qstage) list;
+        (** Query lifecycle events in emission order. *)
   }
 
   val parse : string list -> (run list, string) result
@@ -177,14 +203,21 @@ module Replay : sig
     unverifiable : int;  (** Accepted attempts with dropped events. *)
     count_errors : string list;
         (** [run_end] totals that contradict the replayed attempts. *)
+    qspans : int;  (** Query lifecycle events replayed. *)
+    qspan_errors : string list;
+        (** Lifecycle violations: a stage out of
+            admit < enqueue < execute < tally order, a duplicate
+            stage, an event after (or a query without) its
+            exactly-once tally. *)
   }
 
   val check : run list -> verdict
   (** Re-derive every accepted attempt's distinct-probe count from its
       [fresh] probe events and compare with the [accept] line's
       recorded count — an end-to-end audit of the oracle's
-      accounting. *)
+      accounting. Also audits query lifecycle spans (see
+      [qspan_errors]). *)
 
   val ok : verdict -> bool
-  (** No mismatches and no count errors. *)
+  (** No mismatches, no count errors, no lifecycle violations. *)
 end

@@ -129,6 +129,8 @@ let observed ~qindex f =
       Obs.Trace.capture ~index:qindex (fun () ->
           with_metrics (fun () ->
               Obs.Trace.emit (Obs.Trace.Attempt_start { index = qindex });
+              Obs.Trace.emit
+                (Obs.Trace.Query_span { q = qindex; stage = Obs.Trace.Execute });
               f ()))
     in
     (v, snapshot, Some record)
@@ -398,7 +400,7 @@ let serve ?jobs t ~read ~write =
            ("worlds", J.Int (List.length t.residents));
            ("queue", J.Int capacity);
          ]);
-  let tally (line, acct) trace_buffer =
+  let tally ~qindex (line, acct) trace_buffer =
     write line;
     incr answered;
     Hashtbl.replace outcome_counts acct.outcome
@@ -428,6 +430,9 @@ let serve ?jobs t ~read ~write =
           (fun l -> Buffer.add_string trace_buffer l)
           (Obs.Trace.record_lines record)
     | None -> ());
+    if traced then
+      Buffer.add_string trace_buffer
+        (Obs.Trace.qspan_line ~q:qindex ~stage:Obs.Trace.Tally);
     match acct.metrics with
     | Some snapshot -> metrics_acc := Obs.Metrics.merge !metrics_acc snapshot
     | None -> ()
@@ -435,6 +440,7 @@ let serve ?jobs t ~read ~write =
   let pending = ref [] and pending_n = ref 0 in
   let beat ~force () =
     if telemetered then begin
+      Obs.Runtime.publish_process ();
       Obs.Telemetry.set_gauge "serve.admitted" (float_of_int !admitted);
       Obs.Telemetry.set_gauge "serve.answered" (float_of_int !answered);
       Obs.Telemetry.set_gauge "serve.rejected" (float_of_int !rejected);
@@ -455,13 +461,18 @@ let serve ?jobs t ~read ~write =
           items
       in
       let trace_buffer = Buffer.create (if traced then 4096 else 16) in
-      Array.iter (fun r -> tally r trace_buffer) results;
+      Array.iteri
+        (fun i r -> tally ~qindex:(fst items.(i)) r trace_buffer)
+        results;
       if traced && Buffer.length trace_buffer > 0 then
         Obs.Trace.write_line (Buffer.contents trace_buffer);
       beat ~force:false ()
     end
   in
   let enqueue qindex item =
+    if traced then
+      Obs.Trace.write_line
+        (Obs.Trace.qspan_line ~q:qindex ~stage:Obs.Trace.Enqueue);
     pending := (qindex, item) :: !pending;
     incr pending_n;
     if telemetered then
@@ -514,7 +525,9 @@ let serve ?jobs t ~read ~write =
         { base with elapsed_ns = (Unix.gettimeofday () -. t0) *. 1e9 }
       else base
     in
-    tally (line, acct) trace_buffer
+    tally ~qindex (line, acct) trace_buffer;
+    if traced && Buffer.length trace_buffer > 0 then
+      Obs.Trace.write_line (Buffer.contents trace_buffer)
   in
   let rec loop () =
     match read () with
@@ -535,6 +548,9 @@ let serve ?jobs t ~read ~write =
         else begin
           incr admitted;
           let qindex = !admitted in
+          if traced then
+            Obs.Trace.write_line
+              (Obs.Trace.qspan_line ~q:qindex ~stage:Obs.Trace.Admit);
           (match Query.parse line with
           | Error e ->
               enqueue qindex (Bad { qid = qid_of_bad_line line; error = e })

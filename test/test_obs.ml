@@ -812,6 +812,298 @@ let test_bench_history_regressions () =
   Alcotest.(check int) "missing keys skipped" 0
     (List.length (Obs.Bench_history.regressions ~baseline:empty_baseline current))
 
+(* ------------------------------------------------------------------ *)
+(* Run ledger                                                          *)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
+let report_string artifact = Format.asprintf "%a" Obs.Inspect.report artifact
+
+let with_ledger_fixture k =
+  let artifact = write_temp_file ".txt" "payload\n" in
+  let ledger = write_temp_file ".jsonl" "" in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists artifact then Sys.remove artifact;
+      Sys.remove ledger)
+    (fun () -> k ~artifact ~ledger)
+
+let ledger_record ~artifact =
+  let digest =
+    match Obs.Ledger.digest_file artifact with
+    | Ok d -> d
+    | Error e -> Alcotest.fail e
+  in
+  {
+    Obs.Ledger.subcommand = "serve";
+    config_digest = Obs.Ledger.digest_string "argv";
+    seed = 42L;
+    jobs = 4;
+    wall_s = 1.5;
+    exit_code = 0;
+    artifacts = [ { Obs.Ledger.path = artifact; digest } ];
+  }
+
+let ledger_lines ledger =
+  In_channel.with_open_bin ledger In_channel.input_all
+  |> String.split_on_char '\n'
+
+let test_ledger_round_trip () =
+  with_ledger_fixture @@ fun ~artifact ~ledger ->
+  let r = ledger_record ~artifact in
+  Obs.Ledger.append ~path:ledger r;
+  Obs.Ledger.append ~path:ledger
+    { r with Obs.Ledger.subcommand = "check"; exit_code = 2 };
+  match Obs.Ledger.parse_lines (ledger_lines ledger) with
+  | Error e -> Alcotest.fail e
+  | Ok (records, torn) -> (
+      Alcotest.(check bool) "no torn line" false torn;
+      match records with
+      | [ a; b ] ->
+          Alcotest.(check string) "subcommand" "serve" a.Obs.Ledger.subcommand;
+          Alcotest.(check int64) "seed" 42L a.Obs.Ledger.seed;
+          Alcotest.(check int) "jobs" 4 a.Obs.Ledger.jobs;
+          Alcotest.(check (float 1e-9)) "wall" 1.5 a.Obs.Ledger.wall_s;
+          Alcotest.(check string) "config digest survives"
+            r.Obs.Ledger.config_digest b.Obs.Ledger.config_digest;
+          Alcotest.(check int) "exit code" 2 b.Obs.Ledger.exit_code;
+          Alcotest.(check (list string)) "digests match disk" []
+            (Obs.Ledger.verify records);
+          (* The inspector loads (= validates) the same file. *)
+          Alcotest.(check (result string string))
+            "inspector sniffs runledger/v1" (Ok "runledger/v1")
+            (load_kind ledger)
+      | rs -> Alcotest.failf "expected 2 records, got %d" (List.length rs))
+
+let test_ledger_tamper_detected () =
+  with_ledger_fixture @@ fun ~artifact ~ledger ->
+  Obs.Ledger.append ~path:ledger (ledger_record ~artifact);
+  let oc = open_out_gen [ Open_append ] 0o644 artifact in
+  output_string oc "tamper\n";
+  close_out oc;
+  (match Obs.Ledger.parse_lines (ledger_lines ledger) with
+  | Error e -> Alcotest.fail e
+  | Ok (records, _) -> (
+      match Obs.Ledger.verify records with
+      | [ message ] ->
+          Alcotest.(check bool) "names the mismatch" true
+            (contains ~needle:"digest mismatch" message)
+      | msgs -> Alcotest.failf "expected 1 message, got %d" (List.length msgs)));
+  (match Obs.Inspect.load ledger with
+  | Ok _ -> Alcotest.fail "inspector accepted a tampered artifact"
+  | Error e ->
+      Alcotest.(check bool) "load error cites the mismatch" true
+        (contains ~needle:"digest mismatch" e));
+  (* A missing artifact is the other failure mode. *)
+  Sys.remove artifact;
+  match Obs.Ledger.parse_lines (ledger_lines ledger) with
+  | Error e -> Alcotest.fail e
+  | Ok (records, _) -> (
+      match Obs.Ledger.verify records with
+      | [ message ] ->
+          Alcotest.(check bool) "names the missing file" true
+            (contains ~needle:"missing" message)
+      | msgs -> Alcotest.failf "expected 1 message, got %d" (List.length msgs))
+
+let test_ledger_torn_final_line () =
+  with_ledger_fixture @@ fun ~artifact ~ledger ->
+  Obs.Ledger.append ~path:ledger (ledger_record ~artifact);
+  let whole = Obs.Ledger.record_line (ledger_record ~artifact) in
+  let oc = open_out_gen [ Open_append ] 0o644 ledger in
+  (* A crash mid-append: half a record, no newline. *)
+  output_string oc (String.sub whole 0 (String.length whole / 2));
+  close_out oc;
+  (match Obs.Ledger.parse_lines (ledger_lines ledger) with
+  | Error e -> Alcotest.fail e
+  | Ok (records, torn) ->
+      Alcotest.(check bool) "torn line reported" true torn;
+      Alcotest.(check int) "whole records kept" 1 (List.length records));
+  (* Torn is tolerated, corrupt is not: a malformed line that is NOT
+     final is corruption. *)
+  let lines = ledger_lines ledger @ [ whole ] in
+  match Obs.Ledger.parse_lines (List.filter (fun l -> String.trim l <> "") lines) with
+  | Ok _ -> Alcotest.fail "accepted corruption before the final line"
+  | Error e ->
+      Alcotest.(check bool) "cites the line" true (contains ~needle:"line 2" e)
+
+(* ------------------------------------------------------------------ *)
+(* Heartbeat seq, gap detection, the no-samples row                    *)
+
+let test_heartbeat_seq_monotonic () =
+  let buf = Buffer.create 256 in
+  with_telemetry (Buffer.add_string buf) @@ fun () ->
+  Obs.Telemetry.set_gauge "g" 1.0;
+  Obs.Telemetry.heartbeat ();
+  Obs.Telemetry.heartbeat ();
+  let seqs =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.map (fun l ->
+           match Obs.Json.of_string l with
+           | Ok j -> jint "seq" j
+           | Error e -> Alcotest.fail e)
+  in
+  Alcotest.(check (list (option int)))
+    "seq counts emissions, starting at 1"
+    [ Some 1; Some 2 ] seqs
+
+let heartbeat_line ~seq =
+  with_telemetry ignore (fun () ->
+      Obs.Telemetry.set_gauge "g" 1.0;
+      Obs.Telemetry.to_json_line ~seq (Obs.Telemetry.snapshot ()))
+
+let test_seq_gap_flagged () =
+  let path = write_temp_file ".jsonl" (heartbeat_line ~seq:1 ^ heartbeat_line ~seq:3) in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      match Obs.Inspect.load path with
+      | Error e -> Alcotest.fail e
+      | Ok artifact ->
+          let rendered = report_string artifact in
+          Alcotest.(check bool) "report warns about the gap" true
+            (contains ~needle:"1 missing" rendered);
+          (* A contiguous file draws no warning. *)
+          let clean = write_temp_file ".jsonl" (heartbeat_line ~seq:1 ^ heartbeat_line ~seq:2) in
+          Fun.protect
+            ~finally:(fun () -> Sys.remove clean)
+            (fun () ->
+              match Obs.Inspect.load clean with
+              | Error e -> Alcotest.fail e
+              | Ok artifact ->
+                  Alcotest.(check bool) "no spurious warning" false
+                    (contains ~needle:"WARNING" (report_string artifact))))
+
+let test_report_no_samples () =
+  let cases =
+    [
+      ("empty metrics", ".json", Obs.Metrics.to_json Obs.Metrics.empty);
+      ( "header-only telemetry", ".jsonl",
+        with_telemetry ignore (fun () ->
+            Obs.Telemetry.to_json_line (Obs.Telemetry.snapshot ())) );
+    ]
+  in
+  List.iter
+    (fun (label, suffix, content) ->
+      let path = write_temp_file suffix content in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          match Obs.Inspect.load path with
+          | Error e -> Alcotest.fail e
+          | Ok artifact ->
+              Alcotest.(check bool) (label ^ " prints the explicit row") true
+                (contains ~needle:"(no samples)" (report_string artifact))))
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Runtime gauges and the top renderer                                 *)
+
+let test_runtime_gauges_published () =
+  with_telemetry ignore @@ fun () ->
+  let results =
+    Engine_par.Pool.map ~jobs:2
+      (fun i -> Array.length (Array.make 4096 i))
+      (Array.init 64 Fun.id)
+  in
+  Alcotest.(check int) "pool results intact" 64 (Array.length results);
+  Obs.Runtime.publish_process ();
+  let v = Obs.Telemetry.snapshot () in
+  let has prefix =
+    List.exists
+      (fun (name, _) ->
+        String.length name >= String.length prefix
+        && String.sub name 0 (String.length prefix) = prefix)
+      v.Obs.Telemetry.gauges
+  in
+  Alcotest.(check bool) "per-domain GC gauges absorbed" true
+    (has "runtime.domain.");
+  Alcotest.(check bool) "process heap gauge" true
+    (List.mem_assoc "runtime.heap_words" v.Obs.Telemetry.gauges);
+  Alcotest.(check bool) "top-heap watermark" true
+    (List.mem_assoc "runtime.top_heap_words" v.Obs.Telemetry.gauges)
+
+let test_top_render () =
+  let line =
+    with_telemetry ignore (fun () ->
+        Obs.Telemetry.set_gauge "serve.admitted" 10.;
+        Obs.Telemetry.set_gauge "serve.answered" 9.;
+        Obs.Telemetry.set_gauge "serve.queue_depth_peak" 6.;
+        Obs.Telemetry.set_gauge "pool.domain.0.busy_s" 1.0;
+        Obs.Telemetry.set_gauge "pool.domain.0.wall_s" 2.0;
+        Obs.Telemetry.set_gauge "pool.domain.0.tasks" 5.;
+        Obs.Telemetry.add_to "runtime.domain.0.minor_collections" 3.;
+        Obs.Telemetry.add_to "runtime.domain.0.allocated_words" 1e6;
+        Obs.Telemetry.set_gauge "runtime.heap_words" 2e6;
+        Obs.Telemetry.observe_ns "serve.latency.route_ns" 1e6;
+        Obs.Telemetry.to_json_line ~seq:2
+          ~extra:[ ("session", Obs.Json.String "demo") ]
+          (Obs.Telemetry.snapshot ()))
+  in
+  match Obs.Top.frame_of_line line with
+  | Error e -> Alcotest.fail e
+  | Ok f ->
+      Alcotest.(check (option int)) "seq parsed" (Some 2) f.Obs.Top.seq;
+      Alcotest.(check (option string)) "session parsed" (Some "demo")
+        f.Obs.Top.session;
+      let rendered = Obs.Top.render f in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) (needle ^ " section present") true
+            (contains ~needle rendered))
+        [ "progress"; "pool"; "gc"; "heap"; "latency"; "route"; "p95"; "50.0" ];
+      (* Gap arithmetic: 2 -> 5 lost two heartbeats; unknown seq = 0. *)
+      Alcotest.(check int) "gap counts missing beats" 2
+        (Obs.Top.gap ~prev:f { f with Obs.Top.seq = Some 5 });
+      Alcotest.(check int) "unknown seq no gap" 0
+        (Obs.Top.gap ~prev:{ f with Obs.Top.seq = None } f);
+      match Obs.Top.frame_of_line "{\"schema\": \"metrics/v1\"}" with
+      | Ok _ -> Alcotest.fail "accepted a non-telemetry line"
+      | Error e ->
+          Alcotest.(check bool) "names the wrong schema" true
+            (contains ~needle:"metrics/v1" e)
+
+(* ------------------------------------------------------------------ *)
+(* Query lifecycle spans in replay                                     *)
+
+let test_replay_qspans () =
+  let run spans =
+    [ Obs.Trace.header_line [ ("kind", Obs.Json.String "serve") ] ]
+    @ List.map (fun (q, stage) -> Obs.Trace.qspan_line ~q ~stage) spans
+    @ [ Obs.Trace.end_line ~attempts:0 ~accepted:0 ]
+  in
+  let check_spans label spans expect_errors =
+    match Obs.Trace.Replay.parse (run spans) with
+    | Error e -> Alcotest.failf "%s: %s" label e
+    | Ok runs ->
+        let v = Obs.Trace.Replay.check runs in
+        Alcotest.(check int) (label ^ ": spans counted")
+          (List.length spans) v.Obs.Trace.Replay.qspans;
+        Alcotest.(check int) (label ^ ": violations")
+          expect_errors
+          (List.length v.Obs.Trace.Replay.qspan_errors);
+        Alcotest.(check bool) (label ^ ": verdict") (expect_errors = 0)
+          (Obs.Trace.Replay.ok v)
+  in
+  let open Obs.Trace in
+  check_spans "full lifecycle"
+    [ (1, Admit); (1, Enqueue); (1, Execute); (1, Tally) ] 0;
+  check_spans "stats shape (admit straight to tally)"
+    [ (1, Admit); (1, Tally) ] 0;
+  check_spans "interleaved queries"
+    [ (1, Admit); (2, Admit); (1, Enqueue); (2, Enqueue); (1, Tally); (2, Tally) ] 0;
+  check_spans "tally before admit" [ (7, Tally) ] 1;
+  check_spans "event after tally"
+    [ (1, Admit); (1, Tally); (1, Enqueue) ] 1;
+  check_spans "duplicate tally"
+    [ (1, Admit); (1, Tally); (1, Tally) ] 1;
+  check_spans "admitted but never tallied" [ (1, Admit) ] 1;
+  check_spans "out of order"
+    [ (1, Admit); (1, Execute); (1, Enqueue); (1, Tally) ] 1
+
 let () =
   Alcotest.run "obs"
     [
@@ -850,12 +1142,32 @@ let () =
         [
           Alcotest.test_case "artifact family loads" `Quick
             test_inspect_load_family;
+          Alcotest.test_case "heartbeat seq gap flagged" `Quick
+            test_seq_gap_flagged;
+          Alcotest.test_case "no samples row" `Quick test_report_no_samples;
+        ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "append round-trip" `Quick test_ledger_round_trip;
+          Alcotest.test_case "tamper detected" `Quick
+            test_ledger_tamper_detected;
+          Alcotest.test_case "torn final line tolerated" `Quick
+            test_ledger_torn_final_line;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "heartbeat seq monotonic" `Quick
+            test_heartbeat_seq_monotonic;
+          Alcotest.test_case "gc gauges published" `Quick
+            test_runtime_gauges_published;
+          Alcotest.test_case "top renders a frame" `Quick test_top_render;
         ] );
       ( "trace",
         [
           Alcotest.test_case "ring drop" `Quick test_ring_drop;
           Alcotest.test_case "jobs invariant" `Quick test_trace_jobs_invariant;
           Alcotest.test_case "replay re-derives" `Quick test_trace_replay_rederives;
+          Alcotest.test_case "query lifecycle spans" `Quick test_replay_qspans;
           Alcotest.test_case "catalog buffering" `Slow test_catalog_trace_jobs_invariant;
         ] );
       ( "oracle",

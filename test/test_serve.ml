@@ -363,7 +363,14 @@ let test_trace_replay_audits () =
       Alcotest.(check bool) "replay audit passes" true
         (Obs.Trace.Replay.ok v);
       (* 4 valid queries traced; garbage line emits no attempt. *)
-      Alcotest.(check int) "attempts" 4 v.Obs.Trace.Replay.attempts
+      Alcotest.(check int) "attempts" 4 v.Obs.Trace.Replay.attempts;
+      (* Every admitted query (the garbage line included) leaves
+         lifecycle spans, and the audit found no ordering or
+         exactly-once-tally violation. *)
+      Alcotest.(check bool) "query spans recorded" true
+        (v.Obs.Trace.Replay.qspans > 0);
+      Alcotest.(check (list string)) "no lifecycle violations" []
+        v.Obs.Trace.Replay.qspan_errors
 
 let test_telemetry_jobs_invariant () =
   (* The whole telemetry layer on — latency histograms, gauges,
@@ -523,6 +530,40 @@ let qcheck_tests =
         && out_a = out_c
         && measured_evidence oc_a.Svc.evidence
            = measured_evidence oc_c.Svc.evidence);
+    Test.make
+      ~name:
+        "serve: with query spans on, answer and trace bytes identical across \
+         jobs"
+      ~count:10 workload
+      (fun (seed, capacity, picks) ->
+        let mk queue =
+          session ~seed ~queue
+            [ world ~wid:"x" (); world ~wid:"y" ~p:0.4 ~seed:9L () ]
+        in
+        let lines = List.mapi (fun i pick -> line_of i pick) picks in
+        let traced jobs =
+          let buffer = Buffer.create 1024 in
+          Obs.Trace.enable ~sink:(Buffer.add_string buffer);
+          Fun.protect ~finally:Obs.Trace.disable (fun () ->
+              let out, _ = run ~jobs (mk capacity) lines in
+              (out, Buffer.contents buffer))
+        in
+        let out1, trace1 = traced 1 in
+        let out4, trace4 = traced 4 in
+        let out_off, _ = run ~jobs:4 (mk capacity) lines in
+        let audit_ok trace =
+          let trace_lines =
+            List.filter
+              (fun l -> String.trim l <> "")
+              (String.split_on_char '\n' trace)
+          in
+          match Obs.Trace.Replay.parse trace_lines with
+          | Error _ -> false
+          | Ok runs ->
+              let v = Obs.Trace.Replay.check runs in
+              Obs.Trace.Replay.ok v && v.Obs.Trace.Replay.qspans > 0
+        in
+        out1 = out4 && trace1 = trace4 && out1 = out_off && audit_ok trace1);
   ]
 
 let () =
