@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke smoke chaos-smoke serve-smoke obs-smoke check-claims update-baseline update-baseline-full ci clean
+.PHONY: all build test bench bench-smoke smoke chaos-smoke churn-smoke serve-smoke obs-smoke check-claims update-baseline update-baseline-full ci clean
 
 all: build
 
@@ -64,6 +64,29 @@ chaos-smoke:
 	dune exec bin/faultroute.exe -- exp E2 --quick --jobs 4 --seed 1 --checkpoint artifacts/CHAOS_ckpt --resume --metrics-out artifacts/CHAOS_metrics.json > artifacts/CHAOS_e2_resumed.txt
 	cmp artifacts/CHAOS_e2_clean.txt artifacts/CHAOS_e2_resumed.txt
 	grep -q '"checkpoint.chunks.restored": [1-9]' artifacts/CHAOS_metrics.json
+
+# Dynamic faults end to end. Leg 1: a churned gossip simulation must
+# be byte-identical across --jobs values (link trajectories are pure
+# in the seeds, never in scheduling), and its trace/v1 must replay
+# exactly. Leg 2: the churn sweep experiment (E26) killed mid-run by a
+# die@N plan (exit 137) must --resume from the checkpoint at a
+# different job count byte-identically, restoring finished chunks
+# (value cells) instead of recomputing them.
+churn-smoke:
+	mkdir -p artifacts
+	rm -rf artifacts/CHURN_ckpt
+	dune exec bin/faultroute.exe -- simulate hypercube:8 -p 1.0 --protocol gossip --churn 'fail=0.05,repair=0.3,seed=7' --rounds 40 --seed 11 --jobs 1 > artifacts/CHURN_sim_j1.txt
+	dune exec bin/faultroute.exe -- simulate hypercube:8 -p 1.0 --protocol gossip --churn 'fail=0.05,repair=0.3,seed=7' --rounds 40 --seed 11 --jobs 4 > artifacts/CHURN_sim_j4.txt
+	cmp artifacts/CHURN_sim_j1.txt artifacts/CHURN_sim_j4.txt
+	dune exec bin/faultroute.exe -- simulate hypercube:8 -p 1.0 --protocol gossip --churn 'fail=0.05,repair=0.3,seed=7' --seed 11 --trace artifacts/CHURN_trace.jsonl > /dev/null
+	head -1 artifacts/CHURN_trace.jsonl | grep -q '"schema": "trace/v1"'
+	grep -q '"schema": "churnplan/v1"' artifacts/CHURN_trace.jsonl
+	dune exec bin/faultroute.exe -- trace artifacts/CHURN_trace.jsonl
+	dune exec bin/faultroute.exe -- exp E26 --quick --jobs 1 --seed 1 > artifacts/CHURN_e26_clean.txt
+	dune exec bin/faultroute.exe -- exp E26 --quick --jobs 1 --seed 1 --checkpoint artifacts/CHURN_ckpt --inject 'die@2' > /dev/null 2>&1; test $$? -eq 137
+	dune exec bin/faultroute.exe -- exp E26 --quick --jobs 4 --seed 1 --checkpoint artifacts/CHURN_ckpt --resume --metrics-out artifacts/CHURN_metrics.json > artifacts/CHURN_e26_resumed.txt
+	cmp artifacts/CHURN_e26_clean.txt artifacts/CHURN_e26_resumed.txt
+	grep -q '"checkpoint.chunks.restored": [1-9]' artifacts/CHURN_metrics.json
 
 # The query service end to end. Leg 1: replay the committed 10k-query
 # file, concatenated to 100k, against the 3-world example manifest at
@@ -132,7 +155,7 @@ update-baseline:
 update-baseline-full:
 	dune exec bin/faultroute.exe -- check --update
 
-ci: build test smoke chaos-smoke serve-smoke obs-smoke check-claims
+ci: build test smoke chaos-smoke churn-smoke serve-smoke obs-smoke check-claims
 
 clean:
 	dune clean

@@ -501,7 +501,24 @@ let iso8601_utc () =
     (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
     tm.Unix.tm_sec
 
-let perc_json ~mode ~worlds results =
+(* The churn stepper: every (edge, round) liveness query on a mesh
+   under the E26-style renewal plan, fresh trajectories per iteration.
+   This is the per-round cost a churned netsim run adds on top of the
+   engine, so it gets its own history-tracked row. *)
+let churn_step_kernel ~rounds graph =
+  let plan = Netsim.Churn.make ~fail:0.05 ~repair:0.3 ~seed:perc_bench_seed () in
+  let edge_count = Topology.Graph.edge_count graph in
+  fun () ->
+    let state = Netsim.Churn.instantiate plan ~world_seed:1L in
+    let up = ref 0 in
+    for round = 1 to rounds do
+      for edge = 0 to edge_count - 1 do
+        if Netsim.Churn.link_up state ~edge ~round then incr up
+      done
+    done;
+    !up
+
+let perc_json ~mode ~worlds ~churn_step results =
   let buffer = Buffer.create 2048 in
   let timing_fields t =
     Printf.sprintf "{\"lazy_ns\": %.0f, \"cached_ns\": %.0f, \"speedup\": %.2f}"
@@ -527,7 +544,7 @@ let perc_json ~mode ~worlds results =
   Buffer.add_string buffer (Printf.sprintf "  \"worlds_per_kernel\": %d,\n" worlds);
   Buffer.add_string buffer "  \"topologies\": [\n";
   List.iteri
-    (fun i (case, cached, reveal, oracle, trial_ns, trials) ->
+    (fun _i (case, cached, reveal, oracle, trial_ns, trials) ->
       Buffer.add_string buffer
         (Printf.sprintf
            "    {\"name\": %S, \"cached\": %b,\n\
@@ -535,9 +552,14 @@ let perc_json ~mode ~worlds results =
            \     \"oracle_probe\": %s,\n\
            \     \"trial_run\": {\"ns\": %.0f, \"trials\": %d}}%s\n"
            case.case_name cached (reveal_fields reveal) (timing_fields oracle)
-           trial_ns trials
-           (if i = List.length results - 1 then "" else ",")))
+           trial_ns trials ","))
     results;
+  (let churn_ns, churn_queries = churn_step in
+   Buffer.add_string buffer
+     (Printf.sprintf
+        "    {\"name\": \"churn-stepper\", \"churn_step\": {\"ns\": %.0f, \
+         \"queries\": %d}}\n"
+        churn_ns churn_queries));
   Buffer.add_string buffer "  ]\n}\n";
   Buffer.contents buffer
 
@@ -566,7 +588,24 @@ let report_percolation ~quick ~out =
         (case, cached, reveal, oracle, trial_ns, trials))
       (perc_cases ())
   in
-  let json = perc_json ~mode:(if quick then "quick" else "full") ~worlds results in
+  let churn_rounds = if quick then 50 else 200 in
+  let churn_graph = topo "mesh2" ~size:60 in
+  let churn_ns =
+    time_median ~reps (churn_step_kernel ~rounds:churn_rounds churn_graph) *. 1e9
+  in
+  let churn_queries = churn_rounds * Topology.Graph.edge_count churn_graph in
+  Printf.printf "%-18s churn-step %6.1f ns/query (%d queries)\n%!" "churn-stepper"
+    (churn_ns /. float_of_int churn_queries)
+    churn_queries;
+  if not (Float.is_finite churn_ns && churn_ns > 0.0) then
+    failwith "bench: bad timing for churn-stepper";
+  let json =
+    perc_json
+      ~mode:(if quick then "quick" else "full")
+      ~worlds
+      ~churn_step:(churn_ns, churn_queries)
+      results
+  in
   (* Self-validate before writing: every timing positive and finite. *)
   List.iter
     (fun (case, _, reveal, oracle, trial_ns, _) ->

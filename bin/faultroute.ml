@@ -572,7 +572,30 @@ let cmd_mincut topology size seed source target =
     (String.concat ", " (List.map (fun (u, v) -> Printf.sprintf "(%d,%d)" u v) cut));
   0
 
-let cmd_simulate topology size p protocol_name source target max_rounds common =
+let cmd_simulate topology size p protocol_name source target max_rounds rounds
+    churn_spec common =
+  (* Eager validation, same convention as the bench arg parser: a
+     malformed flag dies on stderr with usage and exit 2 before any
+     world is built. *)
+  let die message =
+    Printf.eprintf "simulate: %s\n" message;
+    prerr_endline "usage: faultroute simulate TOPOLOGY[:SIZE] [-p P]";
+    prerr_endline
+      "         [--protocol flood|gossip|greedy|walk] [--source U] [--target V]";
+    prerr_endline
+      ("         [--max-rounds R] [--rounds N] [--churn "
+     ^ Netsim.Churn.spec_syntax ^ "]");
+    2
+  in
+  match Option.map Netsim.Churn.of_spec churn_spec with
+  | Some (Error message) -> die message
+  | (None | Some (Ok _)) as parsed_churn ->
+  if (match rounds with Some n -> n < 1 | None -> false) then
+    die "--rounds must be >= 1"
+  else begin
+  let churn =
+    match parsed_churn with Some (Ok plan) -> Some plan | _ -> None
+  in
   let seed = common.seed in
   let stream = Prng.Stream.create seed in
   with_instance topology ~size stream @@ fun instance ->
@@ -581,8 +604,11 @@ let cmd_simulate topology size p protocol_name source target max_rounds common =
   let source = Option.value source ~default:0 in
   let target = Option.value target ~default:(graph.Topology.Graph.vertex_count - 1) in
   with_common ~cmd:"simulate" common @@ fun () ->
-  Printf.printf "world: %s, p = %.4f, seed = %Ld; %s from %d to %d\n"
-    graph.Topology.Graph.name p seed protocol_name source target;
+  Printf.printf "world: %s, p = %.4f, seed = %Ld; %s from %d to %d%s\n"
+    graph.Topology.Graph.name p seed protocol_name source target
+    (match churn with
+    | Some plan -> Printf.sprintf " (churn %s)" (Netsim.Churn.describe plan)
+    | None -> "");
   let describe metrics result =
     (match result with
     | `Stopped rounds -> Printf.printf "outcome: target reached at round %d\n" rounds
@@ -594,27 +620,110 @@ let cmd_simulate topology size p protocol_name source target max_rounds common =
     if Obs.Metrics.on () then Obs.Metrics.absorb (Netsim.Metrics.snapshot metrics);
     0
   in
+  (* With [--rounds] the engine steps one round at a time, printing a
+     delivery summary per round from the metric deltas (stopping early
+     when the target is reached); otherwise the plain [run] loop. *)
+  let run_protocol :
+      type s m.
+      (s, m) Netsim.Engine.t ->
+      until:((s, m) Netsim.Engine.t -> bool) ->
+      [ `Stopped of int | `Quiescent of int | `Out_of_rounds ] =
+   fun engine ~until ->
+    match rounds with
+    | None -> Netsim.Engine.run ~max_rounds engine ~until
+    | Some n ->
+        let metrics = Netsim.Engine.metrics engine in
+        let outcome = ref None in
+        let r = ref 0 in
+        while !outcome = None && !r < n do
+          let sent0 = Netsim.Metrics.messages_sent metrics in
+          let delivered0 = Netsim.Metrics.messages_delivered metrics in
+          let blocked0 = Netsim.Metrics.churn_blocked metrics in
+          Netsim.Engine.run_round engine;
+          incr r;
+          Printf.printf "round %d: sent %d delivered %d churn-blocked %d in-flight %d\n"
+            !r
+            (Netsim.Metrics.messages_sent metrics - sent0)
+            (Netsim.Metrics.messages_delivered metrics - delivered0)
+            (Netsim.Metrics.churn_blocked metrics - blocked0)
+            (Netsim.Engine.in_flight engine);
+          if until engine then outcome := Some (`Stopped !r)
+        done;
+        (match !outcome with Some o -> o | None -> `Out_of_rounds)
+  in
+  (* Traced runs wrap the whole simulation in one trace/v1 attempt:
+     engine probes emit probe events inside the capture, and the
+     terminal accept/reject carries the distinct-probe count so the
+     replay checker audits the same accounting as routed runs. *)
+  let run_and_describe :
+      type s m.
+      (s, m) Netsim.Engine.t ->
+      until:((s, m) Netsim.Engine.t -> bool) ->
+      extra:((s, m) Netsim.Engine.t -> unit) ->
+      int =
+   fun engine ~until ~extra ->
+    let metrics = Netsim.Engine.metrics engine in
+    let compute () =
+      if Obs.Trace.on () then
+        Obs.Trace.emit (Obs.Trace.Attempt_start { index = 1 });
+      let result = run_protocol engine ~until in
+      (if Obs.Trace.on () then
+         match result with
+         | `Stopped r ->
+             Obs.Trace.emit
+               (Obs.Trace.Accept
+                  { distance = r; probes = Netsim.Metrics.distinct_probes metrics })
+         | `Quiescent _ | `Out_of_rounds ->
+             Obs.Trace.emit (Obs.Trace.Reject { reason = Obs.Trace.Disconnected }));
+      result
+    in
+    let result =
+      if Obs.Trace.on () then begin
+        let result, record = Obs.Trace.capture ~index:1 compute in
+        let buffer = Buffer.create 1024 in
+        Buffer.add_string buffer
+          (Obs.Trace.header_line
+             [
+               ("graph", Obs.Json.String graph.Topology.Graph.name);
+               ("p", Obs.Json.Float p);
+               ("source", Obs.Json.Int source);
+               ("target", Obs.Json.Int target);
+               ("protocol", Obs.Json.String (Netsim.Engine.protocol_name engine));
+               ( "churn",
+                 match churn with
+                 | Some plan -> Netsim.Churn.to_json plan
+                 | None -> Obs.Json.Null );
+               ("trials", Obs.Json.Int 1);
+               ("max_attempts", Obs.Json.Int 1);
+             ]);
+        List.iter (Buffer.add_string buffer) (Obs.Trace.record_lines record);
+        let accepted = match result with `Stopped _ -> 1 | _ -> 0 in
+        Buffer.add_string buffer (Obs.Trace.end_line ~attempts:1 ~accepted);
+        Obs.Trace.write_line (Buffer.contents buffer);
+        result
+      end
+      else compute ()
+    in
+    extra engine;
+    describe metrics result
+  in
   match String.lowercase_ascii protocol_name with
   | "flood" ->
-      let engine = Netsim.Engine.create world Netsim.Flood.protocol in
+      let engine = Netsim.Engine.create ?churn world Netsim.Flood.protocol in
       Netsim.Flood.start engine ~source;
-      let result =
-        Netsim.Engine.run ~max_rounds engine ~until:(fun e ->
-            Netsim.Flood.informed_at e target <> None)
-      in
-      (match Netsim.Flood.latency engine ~source ~target with
-      | Some latency -> Printf.printf "flood latency: %d rounds\n" latency
-      | None -> ());
-      describe (Netsim.Engine.metrics engine) result
+      run_and_describe engine
+        ~until:(fun e -> Netsim.Flood.informed_at e target <> None)
+        ~extra:(fun e ->
+          match Netsim.Flood.latency e ~source ~target with
+          | Some latency -> Printf.printf "flood latency: %d rounds\n" latency
+          | None -> ())
   | "gossip" ->
-      let engine = Netsim.Engine.create world Netsim.Gossip.protocol in
+      let engine = Netsim.Engine.create ?churn world Netsim.Gossip.protocol in
       Netsim.Gossip.start engine ~source;
-      let result =
-        Netsim.Engine.run ~max_rounds engine ~until:(fun e ->
-            Netsim.Gossip.informed_at e target <> None)
-      in
-      Printf.printf "informed nodes: %d\n" (Netsim.Gossip.informed_count engine);
-      describe (Netsim.Engine.metrics engine) result
+      run_and_describe engine
+        ~until:(fun e -> Netsim.Gossip.informed_at e target <> None)
+        ~extra:(fun e ->
+          Printf.printf "informed nodes: %d\n" (Netsim.Gossip.informed_count e))
   | "greedy" -> (
       match graph.Topology.Graph.distance with
       | None ->
@@ -622,28 +731,28 @@ let cmd_simulate topology size p protocol_name source target max_rounds common =
           1
       | Some metric ->
           let engine =
-            Netsim.Engine.create world (Netsim.Greedy_forward.protocol ~target ~metric)
+            Netsim.Engine.create ?churn world
+              (Netsim.Greedy_forward.protocol ~target ~metric)
           in
           Netsim.Greedy_forward.start engine ~source;
-          let result =
-            Netsim.Engine.run ~max_rounds engine ~until:(fun e ->
-                Netsim.Greedy_forward.arrived e ~target <> None)
-          in
-          (match Netsim.Greedy_forward.dropped engine with
-          | Some node -> Printf.printf "token dropped at node %d\n" node
-          | None -> ());
-          describe (Netsim.Engine.metrics engine) result)
+          run_and_describe engine
+            ~until:(fun e -> Netsim.Greedy_forward.arrived e ~target <> None)
+            ~extra:(fun e ->
+              match Netsim.Greedy_forward.dropped e with
+              | Some node -> Printf.printf "token dropped at node %d\n" node
+              | None -> ()))
   | "walk" ->
-      let engine = Netsim.Engine.create world (Netsim.Random_walk.protocol ~target) in
-      Netsim.Random_walk.start engine ~source;
-      let result =
-        Netsim.Engine.run ~max_rounds engine ~until:(fun e ->
-            Netsim.Random_walk.arrived e ~target <> None)
+      let engine =
+        Netsim.Engine.create ?churn world (Netsim.Random_walk.protocol ~target)
       in
-      describe (Netsim.Engine.metrics engine) result
+      Netsim.Random_walk.start engine ~source;
+      run_and_describe engine
+        ~until:(fun e -> Netsim.Random_walk.arrived e ~target <> None)
+        ~extra:(fun _ -> ())
   | other ->
       Printf.eprintf "unknown protocol %S (try flood, gossip, greedy, walk)\n" other;
       1
+  end
 
 let cmd_trace file =
   match
@@ -1323,11 +1432,30 @@ let simulate_cmd =
       value & opt int 10_000
       & info [ "max-rounds" ] ~docv:"R" ~doc:"Round limit.")
   in
+  let exact_rounds_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rounds" ] ~docv:"N"
+          ~doc:
+            "Step exactly $(docv) rounds, printing a per-round delivery \
+             summary (stops early once the target is reached).")
+  in
+  let churn_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "churn" ] ~docv:"SPEC"
+          ~doc:
+            "Link churn plan, $(b,fail=RATE[,repair=RATE][,seed=N]): links \
+             fail and repair mid-run with geometric sojourn times.")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a message-passing protocol on one percolated world.")
     Term.(
       const cmd_simulate $ topology_arg $ size_arg $ p_arg $ protocol_arg
-      $ source_arg $ target_arg $ rounds_arg $ common_term)
+      $ source_arg $ target_arg $ rounds_arg $ exact_rounds_arg $ churn_arg
+      $ common_term)
 
 let serve_cmd =
   let manifest_arg =

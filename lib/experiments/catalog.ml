@@ -30,6 +30,8 @@ let all =
     { id = E22_adversarial.id; title = E22_adversarial.title; run = E22_adversarial.run };
     { id = E23_site_percolation.id; title = E23_site_percolation.title; run = E23_site_percolation.run };
     { id = E24_butterfly_permutation.id; title = E24_butterfly_permutation.title; run = E24_butterfly_permutation.run };
+    { id = E25_clustered_faults.id; title = E25_clustered_faults.title; run = E25_clustered_faults.run };
+    { id = E26_churn_degradation.id; title = E26_churn_degradation.title; run = E26_churn_degradation.run };
   ]
 
 let find id =

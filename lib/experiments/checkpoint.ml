@@ -71,6 +71,33 @@ let cell_of_json json =
       | _ -> None)
   | _ -> None
 
+(* Value cells (the generic simulation runner's currency): one float
+   array per work item, serialized as IEEE-754 bit patterns in hex —
+   decimal printing would round through the parser and break the
+   byte-identical resume guarantee. *)
+
+let value_to_json v =
+  Obs.Json.String (Printf.sprintf "%Lx" (Int64.bits_of_float v))
+
+let value_of_json = function
+  | Obs.Json.String s -> (
+      match Int64.of_string_opt ("0x" ^ s) with
+      | Some bits -> Some (Int64.float_of_bits bits)
+      | None -> None)
+  | _ -> None
+
+let values_to_json vs =
+  Obs.Json.List (Array.to_list (Array.map value_to_json vs))
+
+let values_of_json json =
+  match Obs.Json.to_list json with
+  | None -> None
+  | Some items ->
+      let parsed = List.map value_of_json items in
+      if List.for_all Option.is_some parsed then
+        Some (Array.of_list (List.filter_map Fun.id parsed))
+      else None
+
 let chunk_line ~key ~chunk cells =
   Obs.Json.to_string
     (Obs.Json.Obj
@@ -80,6 +107,18 @@ let chunk_line ~key ~chunk cells =
          ("key", Obs.Json.String key);
          ("chunk", Obs.Json.Int chunk);
          ("cells", Obs.Json.List (Array.to_list (Array.map cell_to_json cells)));
+       ])
+  ^ "\n"
+
+let vchunk_line ~key ~chunk cells =
+  Obs.Json.to_string
+    (Obs.Json.Obj
+       [
+         ("schema", Obs.Json.String schema);
+         ("ev", Obs.Json.String "vchunk");
+         ("key", Obs.Json.String key);
+         ("chunk", Obs.Json.Int chunk);
+         ("cells", Obs.Json.List (Array.to_list (Array.map values_to_json cells)));
        ])
   ^ "\n"
 
@@ -96,6 +135,7 @@ let meta_line () =
 
 type journal = {
   table : (string * int, cell array) Hashtbl.t;
+  vtable : (string * int, float array array) Hashtbl.t;
   channel : out_channel;
 }
 
@@ -115,7 +155,7 @@ let active () = Atomic.get is_active
 (* Tolerant load: a torn final line (the kill case) or any other
    unparseable line is skipped, never fatal — losing one chunk to a
    crash costs recomputing it, not the resume. *)
-let load_journal path table =
+let load_journal path table vtable =
   In_channel.with_open_text path (fun ic ->
       let rec loop () =
         match In_channel.input_line ic with
@@ -134,6 +174,11 @@ let load_journal path table =
                     let cells = List.map cell_of_json cells_json in
                     if List.for_all Option.is_some cells then
                       Hashtbl.replace table (key, chunk)
+                        (Array.of_list (List.filter_map Fun.id cells)))
+                | Some "vchunk", Some key, Some chunk, Some cells_json -> (
+                    let cells = List.map values_of_json cells_json in
+                    if List.for_all Option.is_some cells then
+                      Hashtbl.replace vtable (key, chunk)
                         (Array.of_list (List.filter_map Fun.id cells)))
                 | _ -> ()));
             loop ()
@@ -161,8 +206,9 @@ let configure ~dir ~resume =
       Obs.Atomic_file.mkdir_p dir;
       let path = file ~dir in
       let table = Hashtbl.create 256 in
+      let vtable = Hashtbl.create 256 in
       let fresh = (not resume) || not (Sys.file_exists path) in
-      if not fresh then load_journal path table;
+      if not fresh then load_journal path table vtable;
       let channel =
         open_out_gen
           (Open_wronly :: Open_creat
@@ -173,7 +219,7 @@ let configure ~dir ~resume =
         output_string channel (meta_line ());
         flush channel
       end;
-      state := Some { table; channel };
+      state := Some { table; vtable; channel };
       Atomic.set is_active true;
       Atomic.set restored_count 0;
       Atomic.set appended_count 0;
@@ -197,17 +243,19 @@ let lookup ~key ~chunk =
   if hit <> None then Atomic.incr restored_count;
   hit
 
-let store ~key ~chunk cells =
-  Mutex.lock lock;
+(* Shared append path for both cell kinds: replace in the journal's
+   table, write one line, then count it against the kill budget. *)
+let append_chunk record line =
   let stored =
+    Mutex.lock lock;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock lock)
       (fun () ->
         match !state with
         | None -> false
         | Some j ->
-            Hashtbl.replace j.table (key, chunk) cells;
-            output_string j.channel (chunk_line ~key ~chunk cells);
+            record j;
+            output_string j.channel line;
             flush j.channel;
             true)
   in
@@ -220,6 +268,27 @@ let store ~key ~chunk cells =
     | Some threshold when n >= threshold -> Unix._exit 137
     | _ -> ()
   end
+
+let store ~key ~chunk cells =
+  append_chunk
+    (fun j -> Hashtbl.replace j.table (key, chunk) cells)
+    (chunk_line ~key ~chunk cells)
+
+let lookup_values ~key ~chunk =
+  Mutex.lock lock;
+  let hit =
+    match !state with
+    | None -> None
+    | Some j -> Hashtbl.find_opt j.vtable (key, chunk)
+  in
+  Mutex.unlock lock;
+  if hit <> None then Atomic.incr restored_count;
+  hit
+
+let store_values ~key ~chunk cells =
+  append_chunk
+    (fun j -> Hashtbl.replace j.vtable (key, chunk) cells)
+    (vchunk_line ~key ~chunk cells)
 
 let metrics_snapshot () =
   let registry = Obs.Metrics.create () in

@@ -64,6 +64,19 @@ val store : key:string -> chunk:int -> cell array -> unit
     exits immediately with code 137 — [Unix._exit], no cleanup — the
     deterministic stand-in for [kill -9] in resume tests. *)
 
+val lookup_values : key:string -> chunk:int -> float array array option
+(** Like {!lookup} for {e value chunks} — the generic simulation
+    runner's cells, one float array per work item (see {!Simrun}).
+    The two cell kinds share the journal file and counters but not
+    keyspaces: a [lookup_values] never answers from a {!store}d
+    chunk. *)
+
+val store_values : key:string -> chunk:int -> float array array -> unit
+(** Like {!store} for value chunks. Values are journaled as IEEE-754
+    bit patterns, so a restored cell is bit-identical to the computed
+    one — decimal formatting would break byte-reproducible resumes.
+    Counts against the same kill threshold as {!store}. *)
+
 val set_kill_after : int option -> unit
 (** Install the [Die_after_chunks] threshold from a fault plan:
     hard-kill the process after that many {!store} appends. *)

@@ -1,0 +1,195 @@
+(* E25 — fault geometry at equal budget (ROADMAP O3, after Bagchi et
+   al., "The Effect of Faults on Network Expansion").
+
+   The paper's fault model is i.i.d. edge percolation; real failures
+   cluster (a cut cable, a flooded rack row). On the 2-d mesh we fix
+   an exact edge budget k and compare how differently arranged fault
+   sets of the same size degrade the network: uniform random, BFS
+   balls around random centers, an Eden-growth infection blob, a
+   decaying blast around one epicenter, and the pair-targeted min-cut
+   adversary — the last padded to the same budget through the shared
+   Scenario API, so every curve sits on one axis. Degradation is the
+   surviving giant-component fraction, corner-to-corner survival, and
+   conditioned greedy routing cost. *)
+
+let id = "E25"
+let title = "Clustered vs random faults: degradation at equal budget"
+
+let claim =
+  "At equal edge budget, spatially clustered faults destroy strictly more of \
+   the network than the paper's i.i.d. faults: every clustered geometry leaves \
+   a smaller giant component than uniform removal of the same k edges, while \
+   random removal at a 20% budget barely dents the mesh (p = 0.8 is deep in \
+   the supercritical phase); the pair-targeted min-cut adversary disconnects \
+   the corner pair with any budget >= its edge connectivity."
+
+let run ?(quick = false) stream =
+  let side = if quick then 10 else 24 in
+  let trials = if quick then 5 else 20 in
+  let graph = Topology.Mesh.graph ~d:2 ~m:side in
+  let total_edges = Topology.Graph.edge_count graph in
+  let source = 0 in
+  let target = graph.Topology.Graph.vertex_count - 1 in
+  let budgets =
+    [ total_edges * 5 / 100; total_edges * 10 / 100; total_edges * 20 / 100 ]
+  in
+  let min_cut_model substream trial =
+    (* The adversary stops once the pair disconnects; pad to the exact
+       budget so its curve is budget-comparable with the others. *)
+    fun ~budget ->
+      let s = Prng.Stream.split substream trial in
+      let edges =
+        Percolation.Adversary.pick_edges s graph Percolation.Adversary.Min_cut
+          ~source ~target ~budget
+      in
+      Percolation.Scenario.pad_to_budget s graph ~budget edges
+  in
+  let models =
+    [
+      ("random", `Scenario Percolation.Scenario.Random);
+      ("ball:3", `Scenario (Percolation.Scenario.Ball { centers = 3 }));
+      ("infection", `Scenario Percolation.Scenario.Infection);
+      ("blast:0.5", `Scenario (Percolation.Scenario.Blast { decay = 0.5 }));
+      ("min-cut", `Min_cut);
+    ]
+  in
+  let table =
+    ref
+      (Stats.Table.create
+         ~headers:
+           [ "deleted k"; "model"; "giant frac"; "P[corner~corner]"; "mean greedy probes" ])
+  in
+  let results = ref [] in
+  List.iteri
+    (fun budget_index budget ->
+      List.iteri
+        (fun model_index (name, model) ->
+          let substream =
+            Prng.Stream.split stream ((budget_index * 10) + model_index)
+          in
+          let giant = ref Stats.Summary.empty in
+          let survived = ref 0 in
+          let probes = ref Stats.Summary.empty in
+          for trial = 1 to trials do
+            (* Base world fault-free: isolate the geometry's effect. *)
+            let base =
+              Worldpool.build graph ~p:1.0
+                ~seed:(Prng.Coin.derive (Prng.Stream.seed substream) trial)
+            in
+            let edges =
+              match model with
+              | `Scenario m ->
+                  Percolation.Scenario.sample
+                    (Prng.Stream.split substream trial)
+                    graph m ~budget
+              | `Min_cut -> min_cut_model substream trial ~budget
+            in
+            let faulted = Percolation.Scenario.apply base edges in
+            giant :=
+              Stats.Summary.add !giant
+                (Percolation.Clusters.giant_fraction
+                   (Percolation.Clusters.census faulted));
+            match Percolation.Reveal.connected faulted source target with
+            | Percolation.Reveal.Connected _ -> (
+                incr survived;
+                match
+                  Routing.Router.run Routing.Greedy.router faulted ~source ~target
+                with
+                | Routing.Outcome.Found { probes = cost; _ } ->
+                    probes := Stats.Summary.add !probes (float_of_int cost)
+                | Routing.Outcome.No_path _ | Routing.Outcome.Budget_exceeded _ -> ())
+            | Percolation.Reveal.Disconnected | Percolation.Reveal.Unknown -> ()
+          done;
+          results :=
+            ( (budget_index, name),
+              ( Stats.Summary.mean !giant,
+                float_of_int !survived /. float_of_int trials ) )
+            :: !results;
+          table :=
+            Stats.Table.add_row !table
+              [
+                string_of_int budget;
+                name;
+                Printf.sprintf "%.3f" (Stats.Summary.mean !giant);
+                Printf.sprintf "%d/%d" !survived trials;
+                (if Stats.Summary.count !probes = 0 then "-"
+                 else Printf.sprintf "%.0f" (Stats.Summary.mean !probes));
+              ])
+        models)
+    budgets;
+  let n_budgets = List.length budgets in
+  let giant_of key = Option.map fst (List.assoc_opt key !results) in
+  let survival_of key = Option.map snd (List.assoc_opt key !results) in
+  let notes =
+    [
+      Printf.sprintf
+        "mesh d=2 side %d (%d vertices, %d edges), corner pair; budgets k = 5%%, \
+         10%%, 20%% of all edges; every model removes exactly k distinct edges \
+         (min-cut padded with random edges once the pair is cut)."
+        side graph.Topology.Graph.vertex_count total_edges;
+      "Clustered removal concentrates its budget: a ball or blob of k edges \
+       isolates the vertices inside it, while the same k spread uniformly \
+       leaves the supercritical giant intact — the Bagchi et al. expansion \
+       argument made visible in the giant-fraction column.";
+    ]
+  in
+  let max_b = n_budgets - 1 in
+  let dominance clustered =
+    match (giant_of (max_b, clustered), giant_of (max_b, "random")) with
+    | Some c, Some r ->
+        [
+          Claim.ceiling
+            ~id:(Printf.sprintf "E25/%s-dominated" clustered)
+            ~description:
+              (Printf.sprintf
+                 "giant-fraction excess of %s over random at the 20%% budget \
+                  (clustered geometry must degrade at least as much)"
+                 clustered)
+            ~max:0.02 (c -. r);
+        ]
+    | _ -> []
+  in
+  let claims =
+    List.concat
+      [
+        (match giant_of (max_b, "random") with
+        | Some g ->
+            [
+              Claim.floor ~id:"E25/random-giant-floor"
+                ~description:
+                  "random-fault giant fraction at the 20% budget — i.i.d. \
+                   removal at p = 0.8 stays deep in the supercritical phase"
+                ~min:0.8 g;
+            ]
+        | None -> []);
+        dominance "ball:3";
+        dominance "infection";
+        dominance "blast:0.5";
+        (match survival_of (0, "min-cut") with
+        | Some s ->
+            [
+              Claim.ceiling ~id:"E25/min-cut-kills-pair"
+                ~description:
+                  "corner-pair survival under the budget-matched min-cut \
+                   adversary at the smallest budget (corner connectivity is 2)"
+                ~max:0.01 s;
+            ]
+        | None -> []);
+        (let infection_curve =
+           List.filter_map
+             (fun b -> giant_of (b, "infection"))
+             (List.init n_budgets Fun.id)
+         in
+         if List.length infection_curve = n_budgets then
+           [
+             Claim.decreasing ~id:"E25/infection-degrades-monotone"
+               ~description:
+                 "infection-blob giant fraction is non-increasing in the \
+                  budget — degradation curves never recover"
+               infection_curve;
+           ]
+         else []);
+      ]
+  in
+  Report.make ~id ~title ~claim ~seed:(Prng.Stream.seed stream) ~notes ~claims
+    [ ("degradation by fault geometry at equal budget", !table) ]

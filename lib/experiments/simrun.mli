@@ -1,0 +1,29 @@
+(** Generic deterministic chunked runner for non-trial workloads.
+
+    [Trial.run_engine] owns routing-trial campaigns; experiments whose
+    unit of work is something else — one churned netsim run, one
+    scenario world census — use this runner to get the same
+    machinery: the deterministic pool (index-ordered results,
+    byte-identical at any [--jobs]), supervised retries and fault
+    injection from the ambient [faultplan/v1], and checkpoint/resume
+    through {!Checkpoint}'s value cells (bit-exact float round-trips).
+
+    The contract mirrors [Trial]: [compute] must be a {e pure} function
+    of its index — derive every random decision from a per-index
+    stream split, never from shared mutable state — and [key] must be
+    a canonical string naming everything the results depend on except
+    the job count. Then chunk results are pure in [(key, chunk)], so a
+    resume with any parameter changed misses and recomputes, and a
+    resume of the same configuration restores bit-identical cells. *)
+
+val chunk_size : int
+(** Indices per supervised/checkpointed chunk (4, same as [Trial]). *)
+
+val run :
+  ?jobs:int -> key:string -> count:int -> (int -> float array) -> float array array
+(** [run ~key ~count compute] evaluates [compute i] for every
+    [i < count] and returns the cells in index order. [jobs] defaults
+    to the ambient pool default. Under supervision, a quarantined
+    chunk's cells come back as empty arrays (callers skip them; the
+    loss is visible in the supervisor's global summary and faults/v1).
+    @raise Invalid_argument on negative [count]. *)

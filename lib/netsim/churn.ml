@@ -1,0 +1,245 @@
+(* Link churn: every edge independently alternates between up and down
+   over rounds, driven by a seeded alternating-renewal process. The
+   plan (churnplan/v1) carries only the two hazard rates and a seed;
+   the whole trajectory of every link is a pure function of
+   (plan seed, world seed, edge id), so a churned simulation is exactly
+   as reproducible as a static one — at any [--jobs], across kills and
+   resumes — by the same argument as the percolation edge coins. *)
+
+type plan = { fail : float; repair : float; seed : int64 }
+
+let validate_rate name x =
+  if not (Float.is_finite x) || x < 0.0 || x > 1.0 then
+    invalid_arg (Printf.sprintf "Netsim.Churn: %s rate must be in [0, 1]" name)
+
+let make ?(seed = 0L) ~fail ~repair () =
+  validate_rate "fail" fail;
+  validate_rate "repair" repair;
+  { fail; repair; seed }
+
+let fail_rate t = t.fail
+let repair_rate t = t.repair
+let plan_seed t = t.seed
+
+let describe t =
+  Printf.sprintf "fail=%g,repair=%g,seed=%Ld" t.fail t.repair t.seed
+
+(* ------------------------------------------------------------------ *)
+(* churnplan/v1.                                                       *)
+
+let schema = "churnplan/v1"
+
+let to_json t =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String schema);
+      ("fail", Obs.Json.Float t.fail);
+      ("repair", Obs.Json.Float t.repair);
+      (* Seeds print as strings, like faultplan/v1: JSON readers must
+         not round 64-bit values through floats. *)
+      ("seed", Obs.Json.String (Printf.sprintf "%Ld" t.seed));
+    ]
+
+let to_string t = Obs.Json.to_string (to_json t) ^ "\n"
+
+let ( let* ) = Result.bind
+
+let of_json json =
+  let* declared =
+    match Option.bind (Obs.Json.member "schema" json) Obs.Json.to_str with
+    | Some s -> Ok s
+    | None -> Error "churnplan: missing schema"
+  in
+  let* () =
+    if declared = schema then Ok ()
+    else Error (Printf.sprintf "churnplan: schema %S, expected %S" declared schema)
+  in
+  let float_field name =
+    match Option.bind (Obs.Json.member name json) Obs.Json.to_float with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "churnplan: missing float field %S" name)
+  in
+  let* fail = float_field "fail" in
+  let* repair = float_field "repair" in
+  let* seed =
+    match Obs.Json.member "seed" json with
+    | None -> Ok 0L
+    | Some (Obs.Json.String s) -> (
+        match Int64.of_string_opt s with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "churnplan: bad seed %S" s))
+    | Some (Obs.Json.Int i) -> Ok (Int64.of_int i)
+    | Some _ -> Error "churnplan: bad seed"
+  in
+  match make ~seed ~fail ~repair () with
+  | plan -> Ok plan
+  | exception Invalid_argument message -> Error message
+
+let of_string text = Result.bind (Obs.Json.of_string text) of_json
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error message -> Error message
+
+(* Compact CLI spec: fail=0.05,repair=0.3,seed=7 (repair and seed
+   optional; repair defaults to the fail rate, seed to 0). *)
+let spec_syntax = "fail=RATE[,repair=RATE][,seed=N]"
+
+let of_spec spec =
+  let parse_item item =
+    let item = String.trim item in
+    let value_after prefix =
+      String.sub item (String.length prefix)
+        (String.length item - String.length prefix)
+    in
+    let starts_with prefix =
+      String.length item > String.length prefix
+      && String.sub item 0 (String.length prefix) = prefix
+    in
+    if starts_with "fail=" then
+      match float_of_string_opt (value_after "fail=") with
+      | Some f -> Ok (`Fail f)
+      | None -> Error (Printf.sprintf "churn spec: bad rate in %S" item)
+    else if starts_with "repair=" then
+      match float_of_string_opt (value_after "repair=") with
+      | Some f -> Ok (`Repair f)
+      | None -> Error (Printf.sprintf "churn spec: bad rate in %S" item)
+    else if starts_with "seed=" then
+      match Int64.of_string_opt (value_after "seed=") with
+      | Some s -> Ok (`Seed s)
+      | None -> Error (Printf.sprintf "churn spec: bad seed in %S" item)
+    else
+      Error
+        (Printf.sprintf "churn spec: %S (expected %s)" item spec_syntax)
+  in
+  let items =
+    String.split_on_char ',' spec |> List.filter (fun s -> String.trim s <> "")
+  in
+  if items = [] then Error "churn spec: empty"
+  else
+    let* parsed =
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          let* p = parse_item item in
+          Ok (p :: acc))
+        (Ok []) items
+    in
+    let parsed = List.rev parsed in
+    let* fail =
+      match List.find_map (function `Fail f -> Some f | _ -> None) parsed with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "churn spec: missing fail= (expected %s)" spec_syntax)
+    in
+    let repair =
+      match List.find_map (function `Repair f -> Some f | _ -> None) parsed with
+      | Some f -> f
+      | None -> fail
+    in
+    let seed =
+      match List.find_map (function `Seed s -> Some s | _ -> None) parsed with
+      | Some s -> s
+      | None -> 0L
+    in
+    match make ~seed ~fail ~repair () with
+    | plan -> Ok plan
+    | exception Invalid_argument message -> Error message
+
+(* ------------------------------------------------------------------ *)
+(* Runtime: per-edge renewal trajectories, memoized on demand.         *)
+
+(* One edge's trajectory is the list of toggle rounds: the link starts
+   up at round 1 and flips state at each recorded round. Durations are
+   geometric — a link that is up fails each round with probability
+   [fail] (so stays up Geometric(fail) rounds), a down link repairs
+   with probability [repair]. Each duration is drawn by inverse CDF
+   from the edge's own stream, so extending a trajectory never touches
+   another edge's randomness and the whole schedule is pure in
+   (plan seed, world seed, edge id). *)
+type trajectory = {
+  stream : Prng.Stream.t;
+  mutable toggles : int array;  (* ascending toggle rounds *)
+  mutable count : int;          (* used prefix of [toggles] *)
+  mutable horizon : int;        (* rounds < horizon are fully decided *)
+}
+
+type state = {
+  plan : plan;
+  edge_seed : int64;
+  cells : (int, trajectory) Hashtbl.t;
+}
+
+let instantiate plan ~world_seed =
+  (* Decorrelate from every other consumer of the two seeds: the world
+     seed feeds edge coins and the engine's node streams, the plan seed
+     may be shared across worlds in a sweep. *)
+  let edge_seed =
+    Int64.logxor (Prng.Coin.derive plan.seed 0xC4) world_seed
+  in
+  { plan; edge_seed; cells = Hashtbl.create 64 }
+
+let plan t = t.plan
+
+(* Geometric(rate) on {1, 2, ...} by inverse CDF. rate = 0 never
+   fires (caller special-cases); rate = 1 fires immediately. *)
+let geometric stream rate =
+  if rate >= 1.0 then 1
+  else
+    let u = Prng.Stream.float_unit stream in
+    let k = Float.ceil (Float.log1p (-.u) /. Float.log1p (-.rate)) in
+    if Float.is_finite k && k < 1073741823.0 then max 1 (int_of_float k)
+    else max_int / 4
+
+let trajectory t edge =
+  match Hashtbl.find_opt t.cells edge with
+  | Some cell -> cell
+  | None ->
+      let stream = Prng.Stream.create (Prng.Coin.derive t.edge_seed edge) in
+      let cell = { stream; toggles = Array.make 8 0; count = 0; horizon = 1 } in
+      Hashtbl.replace t.cells edge cell;
+      cell
+
+let push_toggle cell round =
+  if cell.count = Array.length cell.toggles then begin
+    let grown = Array.make (2 * cell.count) 0 in
+    Array.blit cell.toggles 0 grown 0 cell.count;
+    cell.toggles <- grown
+  end;
+  cell.toggles.(cell.count) <- round;
+  cell.count <- cell.count + 1
+
+(* Extend the trajectory until it covers [round]. The state at the
+   horizon alternates up/down with the toggle count; a zero hazard for
+   the current state freezes the trajectory there forever. *)
+let extend t cell ~round =
+  let continue = ref true in
+  while !continue && cell.horizon <= round do
+    let up = cell.count land 1 = 0 in
+    let rate = if up then t.plan.fail else t.plan.repair in
+    if rate <= 0.0 then continue := false
+    else begin
+      let duration = geometric cell.stream rate in
+      let next = cell.horizon + duration in
+      if next < cell.horizon then continue := false (* overflow guard *)
+      else begin
+        push_toggle cell next;
+        cell.horizon <- next
+      end
+    end
+  done
+
+let link_up t ~edge ~round =
+  if t.plan.fail <= 0.0 then true
+  else begin
+    let cell = trajectory t edge in
+    extend t cell ~round;
+    (* State at [round] = parity of toggles at rounds <= round; binary
+       search for the count of such toggles. *)
+    let lo = ref 0 and hi = ref cell.count in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cell.toggles.(mid) <= round then lo := mid + 1 else hi := mid
+    done;
+    !lo land 1 = 0
+  end

@@ -4,6 +4,8 @@ type ('state, 'message) t = {
   states : 'state array;
   link_capacity : int option;
       (* max deliveries per directed link per round; None = unbounded *)
+  churn : Churn.state option;
+      (* round-indexed up/down overlay on top of the percolation world *)
   mutable pending : (int, (int * 'message) list) Hashtbl.t;
       (* node -> inbox for the next round, newest first *)
   mutable pending_count : int;
@@ -18,7 +20,7 @@ type ('state, 'message) t = {
   mutable round : int;
 }
 
-let create ?seed ?link_capacity world protocol =
+let create ?seed ?link_capacity ?churn world protocol =
   (match link_capacity with
   | Some c when c < 1 -> invalid_arg "Engine.create: link capacity must be >= 1"
   | Some _ | None -> ());
@@ -34,6 +36,11 @@ let create ?seed ?link_capacity world protocol =
     protocol;
     states = Array.init n (fun node -> protocol.Protocol.init ~node);
     link_capacity;
+    churn =
+      Option.map
+        (fun plan ->
+          Churn.instantiate plan ~world_seed:(Percolation.World.seed world))
+        churn;
     pending = Hashtbl.create 64;
     pending_count = 0;
     queued = Hashtbl.create 64;
@@ -46,6 +53,15 @@ let create ?seed ?link_capacity world protocol =
   }
 
 let world t = t.world
+let churned t = Option.is_some t.churn
+
+(* Up at this round per the churn overlay (vacuously true unchurned).
+   Percolation-openness is checked separately by the callers. *)
+let churn_up t ~edge =
+  match t.churn with
+  | None -> true
+  | Some state -> Churn.link_up state ~edge ~round:t.round
+
 let protocol_name t = t.protocol.Protocol.name
 let round t = t.round
 let metrics t = t.metrics
@@ -84,16 +100,21 @@ let enqueue_on_link t ~sender ~receiver message =
   t.queued_count <- t.queued_count + 1
 
 let drain_links t capacity =
+  let graph = Percolation.World.graph t.world in
   Hashtbl.iter
     (fun (sender, receiver) backlog ->
-      let moved = ref 0 in
-      while !moved < capacity && not (Queue.is_empty backlog) do
-        let message = Queue.pop backlog in
-        t.queued_count <- t.queued_count - 1;
-        Metrics.tick_delivered t.metrics;
-        queue_delivery t ~node:receiver ~sender message;
-        incr moved
-      done)
+      (* A churned-down link holds its backlog (store-and-forward
+         waits for repair); nothing is lost, so no blocked tick. *)
+      if churn_up t ~edge:(graph.Topology.Graph.edge_id sender receiver) then begin
+        let moved = ref 0 in
+        while !moved < capacity && not (Queue.is_empty backlog) do
+          let message = Queue.pop backlog in
+          t.queued_count <- t.queued_count - 1;
+          Metrics.tick_delivered t.metrics;
+          queue_delivery t ~node:receiver ~sender message;
+          incr moved
+        done
+      end)
     t.queued
 
 let run_round t =
@@ -107,23 +128,31 @@ let run_round t =
     let probe v =
       let id = graph.Topology.Graph.edge_id node v in
       Metrics.tick_raw_probe t.metrics;
-      if not (Hashtbl.mem t.probed id) then begin
+      let fresh = not (Hashtbl.mem t.probed id) in
+      if fresh then begin
         Hashtbl.replace t.probed id ();
         Metrics.tick_distinct_probe t.metrics
       end;
-      Percolation.World.is_open t.world node v
+      let open_ =
+        Percolation.World.is_open t.world node v && churn_up t ~edge:id
+      in
+      if Obs.Trace.on () then
+        Obs.Trace.emit (Obs.Trace.Probe { u = node; v; open_; fresh });
+      open_
     in
     let send v message =
       (* Validates adjacency; delivery depends on the percolated state
          but the sender learns nothing from the call. *)
-      ignore (graph.Topology.Graph.edge_id node v : int);
+      let id = graph.Topology.Graph.edge_id node v in
       Metrics.tick_sent t.metrics;
       if Percolation.World.is_open t.world node v then begin
-        match t.link_capacity with
-        | None ->
-            Metrics.tick_delivered t.metrics;
-            queue_delivery t ~node:v ~sender:node message
-        | Some _ -> enqueue_on_link t ~sender:node ~receiver:v message
+        if churn_up t ~edge:id then
+          match t.link_capacity with
+          | None ->
+              Metrics.tick_delivered t.metrics;
+              queue_delivery t ~node:v ~sender:node message
+          | Some _ -> enqueue_on_link t ~sender:node ~receiver:v message
+        else Metrics.tick_churn_blocked t.metrics
       end
     in
     let api =

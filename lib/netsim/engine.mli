@@ -14,6 +14,7 @@ type ('state, 'message) t
 val create :
   ?seed:int64 ->
   ?link_capacity:int ->
+  ?churn:Churn.plan ->
   Percolation.World.t ->
   ('state, 'message) Protocol.t ->
   ('state, 'message) t
@@ -26,9 +27,20 @@ val create :
     store-and-forward: each {e directed} open link delivers at most
     that many messages per round, with the excess waiting in the
     link's queue — the congestion model permutation-routing experiments
-    need. @raise Invalid_argument if it is [< 1]. *)
+    need. @raise Invalid_argument if it is [< 1].
+
+    [churn] layers a round-indexed up/down overlay on every edge (see
+    {!Churn}): a probe answers [open && up], a send on an open-but-down
+    link is dropped (counted in [netsim.churn.blocked]), and a
+    capacity-limited link holds its backlog while down. The overlay is
+    instantiated against the world's seed, so churned runs inherit the
+    engine's full determinism guarantees. *)
 
 val world : ('state, 'message) t -> Percolation.World.t
+
+val churned : ('state, 'message) t -> bool
+(** Whether a churn overlay is active. *)
+
 val protocol_name : ('state, 'message) t -> string
 val round : ('state, 'message) t -> int
 val metrics : ('state, 'message) t -> Metrics.t

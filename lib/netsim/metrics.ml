@@ -8,6 +8,7 @@ let k_sent = "netsim.messages_sent"
 let k_delivered = "netsim.messages_delivered"
 let k_raw = "netsim.raw_probes"
 let k_distinct = "netsim.distinct_probes"
+let k_churn_blocked = "netsim.churn.blocked"
 
 let create () = Obs.Metrics.create ()
 
@@ -16,12 +17,14 @@ let tick_sent t = Obs.Metrics.incr t k_sent
 let tick_delivered t = Obs.Metrics.incr t k_delivered
 let tick_raw_probe t = Obs.Metrics.incr t k_raw
 let tick_distinct_probe t = Obs.Metrics.incr t k_distinct
+let tick_churn_blocked t = Obs.Metrics.incr t k_churn_blocked
 
 let rounds t = Obs.Metrics.peek t k_rounds
 let messages_sent t = Obs.Metrics.peek t k_sent
 let messages_delivered t = Obs.Metrics.peek t k_delivered
 let raw_probes t = Obs.Metrics.peek t k_raw
 let distinct_probes t = Obs.Metrics.peek t k_distinct
+let churn_blocked t = Obs.Metrics.peek t k_churn_blocked
 
 let snapshot = Obs.Metrics.snapshot
 
@@ -32,4 +35,6 @@ let delivery_rate t =
 let pp ppf t =
   Format.fprintf ppf "rounds=%d sent=%d delivered=%d probes=%d (%d raw)"
     (rounds t) (messages_sent t) (messages_delivered t) (distinct_probes t)
-    (raw_probes t)
+    (raw_probes t);
+  let blocked = churn_blocked t in
+  if blocked > 0 then Format.fprintf ppf " churn-blocked=%d" blocked

@@ -20,6 +20,7 @@ val tick_sent : t -> unit
 val tick_delivered : t -> unit
 val tick_raw_probe : t -> unit
 val tick_distinct_probe : t -> unit
+val tick_churn_blocked : t -> unit
 
 (** {2 Views} *)
 
@@ -38,6 +39,12 @@ val raw_probes : t -> int
 
 val distinct_probes : t -> int
 (** Distinct edges probed. *)
+
+val churn_blocked : t -> int
+(** Sends suppressed because the link was percolation-open but churned
+    down at that round ([netsim.churn.blocked]). Capacity-queue
+    backlogs are delayed, not dropped, so drains never tick this.
+    Zero on unchurned runs. *)
 
 val snapshot : t -> Obs.Metrics.snapshot
 (** The underlying counters as a pure mergeable snapshot (the

@@ -55,6 +55,10 @@ let of_json json =
                   kernel_ns "reveal_bfs" "bitset_ns";
                   kernel_ns "oracle_probe" "cached_ns";
                   kernel_ns "trial_run" "ns";
+                  (* The churn-stepper row (every (edge, round) liveness
+                     query under a renewal plan); absent on snapshots
+                     written before churn landed. *)
+                  kernel_ns "churn_step" "ns";
                 ]
             in
             if found = [] then

@@ -1,0 +1,58 @@
+(** Spatially clustered fault scenarios at exact edge budget.
+
+    Where {!Adversary} targets a specific source–target pair, a
+    scenario describes fault {e geometry}: how [k] dead edges are
+    arranged, independent of any routing question. All models answer
+    with {e exactly} [min k |E|] distinct edges, so degradation curves
+    compare Random / clustered / min-cut fault sets at strictly equal
+    budget (the Bagchi et al. comparison from ROADMAP O3), and every
+    set overlays onto a world through {!World.remove_edges} — oracles,
+    reveals, caches, claims and traces work unchanged.
+
+    Sampling is a pure function of the stream, the graph and the
+    model, so scenario worlds inherit the engine's byte-reproducible
+    determinism at any [--jobs]. *)
+
+type model =
+  | Random  (** i.i.d. faults: a uniform [k]-subset of the edges. *)
+  | Ball of { centers : int }
+      (** BFS edge balls grown round-robin around [centers] random
+          seed vertices — disjoint dead neighbourhoods. *)
+  | Infection
+      (** Eden growth: one seed edge spreads to a uniformly random
+          frontier edge per step — a single connected fault blob. *)
+  | Blast of { decay : float }
+      (** One epicenter; an edge at BFS distance [d] dies with weight
+          proportional to [decay^d] (sampled without replacement) —
+          a dense core with a fuzzy boundary. *)
+
+val model_name : model -> string
+(** Short table/report label, e.g. ["ball:3"], ["blast:0.5"]. *)
+
+val sample :
+  Prng.Stream.t -> Topology.Graph.t -> model -> budget:int -> (int * int) list
+(** [sample stream graph model ~budget] draws the fault set: exactly
+    [min budget (edge_count graph)] distinct edges. Models that
+    exhaust their geometry early (a ball covering a small component,
+    a blast in a disconnected graph) are padded with uniform random
+    edges so budgets always match.
+    @raise Invalid_argument on a negative budget or malformed model
+    (ball needs [centers >= 1], blast needs [decay] in [(0, 1]]). *)
+
+val pad_to_budget :
+  Prng.Stream.t ->
+  Topology.Graph.t ->
+  budget:int ->
+  (int * int) list ->
+  (int * int) list
+(** Normalize an externally chosen edge set to the exact budget:
+    dedupe (by edge id, first occurrence wins), truncate past the
+    budget, and top up with uniform random unchosen edges. Lets
+    experiments put {!Adversary.Min_cut} — which may under-deliver
+    once the pair disconnects — on the same budget axis. *)
+
+val apply : World.t -> (int * int) list -> World.t
+(** Overlay the fault set: [World.remove_edges]. *)
+
+val attack : Prng.Stream.t -> World.t -> model -> budget:int -> World.t
+(** [sample] + [apply] against the world's own graph. *)

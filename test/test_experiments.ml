@@ -151,7 +151,7 @@ let test_report_csv () =
 (* Catalog                                                             *)
 
 let test_catalog_complete () =
-  Alcotest.(check int) "twenty-four experiments" 24 (List.length Experiments.Catalog.all);
+  Alcotest.(check int) "twenty-six experiments" 26 (List.length Experiments.Catalog.all);
   List.iteri
     (fun index e ->
       Alcotest.(check string)

@@ -358,6 +358,86 @@ let test_resume_after_torn_line () =
     (Experiments.Checkpoint.appended () > 0)
 
 (* ------------------------------------------------------------------ *)
+(* Simrun: the generic chunked runner for non-trial workloads          *)
+
+(* One churned gossip run per index — the unit of work E26 puts through
+   the runner, so these tests pin the dynamic-fault determinism story
+   end to end: pure per-index streams in, byte-identical cells out. *)
+let simrun_compute stream index =
+  let substream = Prng.Stream.split stream index in
+  let world =
+    Percolation.World.create cube ~p:1.0
+      ~seed:(Prng.Coin.derive (Prng.Stream.seed substream) 1)
+  in
+  let churn =
+    Netsim.Churn.make ~fail:0.2 ~repair:0.4
+      ~seed:(Prng.Coin.derive (Prng.Stream.seed substream) 2)
+      ()
+  in
+  let engine = Netsim.Engine.create ~churn world Netsim.Gossip.protocol in
+  Netsim.Gossip.start engine ~source:0;
+  for _ = 1 to 20 do
+    Netsim.Engine.run_round engine
+  done;
+  let m = Netsim.Engine.metrics engine in
+  [|
+    float_of_int (Netsim.Gossip.informed_count engine);
+    float_of_int (Netsim.Metrics.messages_sent m);
+    float_of_int (Netsim.Metrics.churn_blocked m);
+  |]
+
+let run_simrun ?jobs () =
+  let stream = Prng.Stream.create 23L in
+  Experiments.Simrun.run ?jobs ~key:"test-simrun;seed=23" ~count:10
+    (simrun_compute stream)
+
+let test_simrun_jobs_identical () =
+  with_clean_supervision @@ fun () ->
+  let reference = run_simrun ~jobs:1 () in
+  Alcotest.(check bool) "cells non-trivial" true
+    (Array.exists (fun cell -> cell.(2) > 0.0) reference);
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs %d identical" jobs)
+        true
+        (Stdlib.compare reference (run_simrun ~jobs ()) = 0))
+    [ 2; 4 ]
+
+let test_simrun_crash_plan_identical () =
+  (* A recoverable crash@K plan retries the chunk exactly; the churned
+     cells must come out bit-identical to the fault-free run. *)
+  let reference = with_clean_supervision (fun () -> run_simrun ~jobs:1 ()) in
+  with_clean_supervision @@ fun () ->
+  Plan.set_ambient
+    (Some (Plan.make ~seed:5L [ Plan.Crash_on_chunk 1; Plan.Crash_on_chunk 2 ]));
+  let chaotic = run_simrun ~jobs:4 () in
+  Alcotest.(check bool) "crash plan byte-identical" true
+    (Stdlib.compare reference chaotic = 0);
+  let summary = Supervisor.global_summary () in
+  Alcotest.(check bool) "the plan actually fired" true
+    (summary.Supervisor.retries > 0)
+
+let test_simrun_checkpoint_resume () =
+  with_dir @@ fun dir ->
+  let reference = with_clean_supervision (fun () -> run_simrun ~jobs:1 ()) in
+  with_clean_supervision @@ fun () ->
+  configure_exn ~dir ~resume:false;
+  let first = run_simrun ~jobs:1 () in
+  Alcotest.(check bool) "value chunks journaled" true
+    (Experiments.Checkpoint.appended () > 0);
+  Experiments.Checkpoint.deconfigure ();
+  configure_exn ~dir ~resume:true;
+  let resumed = run_simrun ~jobs:4 () in
+  Alcotest.(check bool) "resume byte-identical" true
+    (Stdlib.compare first resumed = 0);
+  Alcotest.(check bool) "and matches the unsupervised run" true
+    (Stdlib.compare reference resumed = 0);
+  Alcotest.(check int) "nothing recomputed" 0 (Experiments.Checkpoint.appended ());
+  Alcotest.(check bool) "cells restored from the journal" true
+    (Experiments.Checkpoint.restored () > 0)
+
+(* ------------------------------------------------------------------ *)
 (* Atomic_file                                                         *)
 
 let test_atomic_file () =
@@ -409,6 +489,12 @@ let () =
           case "round-trip" test_checkpoint_round_trip;
           case "key isolation" test_checkpoint_key_isolation;
           case "resume after torn line" test_resume_after_torn_line;
+        ] );
+      ( "simrun",
+        [
+          case "jobs identical" test_simrun_jobs_identical;
+          case "crash plan identical" test_simrun_crash_plan_identical;
+          case "checkpoint resume" test_simrun_checkpoint_resume;
         ] );
       ("atomic_file", [ case "write and append" test_atomic_file ]);
     ]

@@ -415,6 +415,129 @@ let test_butterfly_capacity_only_delays () =
   Alcotest.(check bool) "capped at least as slow" true (max_capped >= max_unbounded)
 
 (* ------------------------------------------------------------------ *)
+(* Engine edge guards                                                  *)
+
+let test_probe_non_neighbour_raises () =
+  (* A protocol that probes a vertex two hops away on the path: the
+     engine must reject it with the graph's own exception rather than
+     silently answering. *)
+  let bad =
+    {
+      Netsim.Protocol.name = "bad-probe";
+      init = (fun ~node:_ -> ());
+      step =
+        (fun api () _ ->
+          if api.Netsim.Api.node = 0 then
+            ignore (api.Netsim.Api.probe 2 : bool));
+      idle = (fun _ -> true);
+    }
+  in
+  let engine = Netsim.Engine.create (world (path_graph 4)) bad in
+  match Netsim.Engine.run_round engine with
+  | () -> Alcotest.fail "probing a non-neighbour should raise"
+  | exception Topology.Graph.Not_an_edge _ -> ()
+
+let test_inject_delivers_at_round_one () =
+  let engine = Netsim.Engine.create (world (cube 3)) probing_protocol in
+  Netsim.Engine.inject engine ~node:5 ~sender:5 ();
+  Alcotest.(check int) "queued" 1 (Netsim.Engine.in_flight engine);
+  Netsim.Engine.run_round engine;
+  Alcotest.(check int) "received at round 1" 1 (Netsim.Engine.state engine 5).received;
+  Alcotest.(check int) "others got nothing" 0 (Netsim.Engine.state engine 0).received;
+  (* Injection is a bootstrap, not traffic. *)
+  Alcotest.(check int) "not counted as sent" 0
+    (Netsim.Metrics.messages_sent (Netsim.Engine.metrics engine))
+
+(* ------------------------------------------------------------------ *)
+(* Churn                                                               *)
+
+let test_churn_spec_parsing () =
+  (match Netsim.Churn.of_spec "fail=0.1,repair=0.4,seed=9" with
+  | Ok plan ->
+      Alcotest.(check string) "describe" "fail=0.1,repair=0.4,seed=9"
+        (Netsim.Churn.describe plan);
+      (match Netsim.Churn.of_string (Netsim.Churn.to_string plan) with
+      | Ok back ->
+          Alcotest.(check string) "churnplan/v1 round trip"
+            (Netsim.Churn.describe plan) (Netsim.Churn.describe back)
+      | Error m -> Alcotest.fail m)
+  | Error m -> Alcotest.fail m);
+  (match Netsim.Churn.of_spec "fail=0.2" with
+  | Ok plan ->
+      Alcotest.(check string) "repair defaults to fail, seed to 0"
+        "fail=0.2,repair=0.2,seed=0" (Netsim.Churn.describe plan)
+  | Error m -> Alcotest.fail m);
+  List.iter
+    (fun spec ->
+      match Netsim.Churn.of_spec spec with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "spec %S should be rejected" spec)
+      | Error _ -> ())
+    [ ""; "fail=oops"; "repair=0.2"; "fail=1.5"; "fail=0.1,bogus=3" ]
+
+let test_churn_every_link_starts_up () =
+  let g = cube 5 in
+  let plan = Netsim.Churn.make ~fail:0.9 ~repair:0.1 ~seed:3L () in
+  let state = Netsim.Churn.instantiate plan ~world_seed:17L in
+  for edge = 0 to Topology.Graph.edge_count g - 1 do
+    if not (Netsim.Churn.link_up state ~edge ~round:1) then
+      Alcotest.fail (Printf.sprintf "edge %d down at round 1" edge)
+  done
+
+let test_churn_zero_fail_never_fires () =
+  let plan = Netsim.Churn.make ~fail:0.0 ~repair:0.5 ~seed:3L () in
+  let state = Netsim.Churn.instantiate plan ~world_seed:17L in
+  List.iter
+    (fun round ->
+      Alcotest.(check bool)
+        (Printf.sprintf "up at round %d" round)
+        true
+        (Netsim.Churn.link_up state ~edge:12 ~round))
+    [ 1; 2; 100; 100_000 ]
+
+let test_churn_query_order_irrelevant () =
+  (* Trajectories extend lazily; answers must not depend on the order
+     rounds are asked in. Query one instance backwards and scattered,
+     the other forwards, and compare everywhere. *)
+  let plan = Netsim.Churn.make ~fail:0.3 ~repair:0.4 ~seed:11L () in
+  let forward = Netsim.Churn.instantiate plan ~world_seed:5L in
+  let scattered = Netsim.Churn.instantiate plan ~world_seed:5L in
+  let edges = [ 0; 3; 7 ] and rounds = 60 in
+  List.iter
+    (fun edge ->
+      ignore (Netsim.Churn.link_up scattered ~edge ~round:rounds : bool);
+      ignore (Netsim.Churn.link_up scattered ~edge ~round:7 : bool))
+    edges;
+  List.iter
+    (fun edge ->
+      for round = 1 to rounds do
+        Alcotest.(check bool)
+          (Printf.sprintf "edge %d round %d" edge round)
+          (Netsim.Churn.link_up forward ~edge ~round)
+          (Netsim.Churn.link_up scattered ~edge ~round)
+      done)
+    edges
+
+let test_churn_blocked_accounting () =
+  (* On a fault-free world with unlimited capacity every sent message
+     is either delivered, blocked by churn, or still in flight. *)
+  let engine =
+    Netsim.Engine.create
+      ~churn:(Netsim.Churn.make ~fail:0.3 ~repair:0.3 ~seed:2L ())
+      (world (cube 5)) Netsim.Gossip.protocol
+  in
+  Netsim.Gossip.start engine ~source:0;
+  for _ = 1 to 30 do
+    Netsim.Engine.run_round engine
+  done;
+  let m = Netsim.Engine.metrics engine in
+  Alcotest.(check bool) "churn actually bit" true (Netsim.Metrics.churn_blocked m > 0);
+  (* Unlimited capacity counts delivery at send time, so on a
+     fault-free world every send is either delivered or blocked. *)
+  Alcotest.(check int) "sent = delivered + blocked"
+    (Netsim.Metrics.messages_sent m)
+    (Netsim.Metrics.messages_delivered m + Netsim.Metrics.churn_blocked m)
+
+(* ------------------------------------------------------------------ *)
 (* QCheck properties                                                   *)
 
 let qcheck_tests =
@@ -458,6 +581,26 @@ let qcheck_tests =
         | `Quiescent _ | `Stopped _ | `Out_of_rounds -> ());
         Netsim.Butterfly_route.delivered engine + Netsim.Butterfly_route.dropped engine
         = 16);
+    Test.make ~name:"churned gossip is replayable" ~count:30
+      (pair int64 (float_range 0.05 0.5))
+      (fun (seed, fail) ->
+        let run () =
+          let engine =
+            Netsim.Engine.create ~seed:9L
+              ~churn:(Netsim.Churn.make ~fail ~repair:0.4 ~seed ())
+              (P.World.create (cube 5) ~p:1.0 ~seed:4L)
+              Netsim.Gossip.protocol
+          in
+          Netsim.Gossip.start engine ~source:0;
+          for _ = 1 to 25 do
+            Netsim.Engine.run_round engine
+          done;
+          let m = Netsim.Engine.metrics engine in
+          ( Netsim.Gossip.informed_count engine,
+            Netsim.Metrics.messages_sent m,
+            Netsim.Metrics.churn_blocked m )
+        in
+        run () = run ());
   ]
 
 let () =
@@ -507,6 +650,19 @@ let () =
           case "full world delivers all" test_butterfly_full_world_delivers_all;
           case "conservation under faults" test_butterfly_conservation_under_faults;
           case "capacity only delays" test_butterfly_capacity_only_delays;
+        ] );
+      ( "edge guards",
+        [
+          case "non-neighbour probe raises" test_probe_non_neighbour_raises;
+          case "inject delivers at round 1" test_inject_delivers_at_round_one;
+        ] );
+      ( "churn",
+        [
+          case "spec parsing" test_churn_spec_parsing;
+          case "every link starts up" test_churn_every_link_starts_up;
+          case "zero fail never fires" test_churn_zero_fail_never_fires;
+          case "query order irrelevant" test_churn_query_order_irrelevant;
+          case "blocked accounting" test_churn_blocked_accounting;
         ] );
       ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests);
     ]

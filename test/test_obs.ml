@@ -812,6 +812,22 @@ let test_bench_history_regressions () =
   Alcotest.(check int) "missing keys skipped" 0
     (List.length (Obs.Bench_history.regressions ~baseline:empty_baseline current))
 
+let test_bench_history_churn_step () =
+  (* The churn-stepper entry carries only its own kernel: it must be
+     harvested into the regression keyspace and satisfy the
+     at-least-one-timing rule on its own. *)
+  let snapshot =
+    parse_snapshot
+      {|{"schema": "bench_percolation/v3", "mode": "quick", "topologies": [
+          {"name": "churn-stepper", "churn_step": {"ns": 41805983.0, "queries": 354000}}]}|}
+  in
+  Alcotest.(check (option (float 1e-3)))
+    "churn metric harvested" (Some 41805983.0)
+    (List.assoc_opt "churn-stepper/churn_step.ns"
+       snapshot.Obs.Bench_history.metrics);
+  Alcotest.(check int) "only the churn metric" 1
+    (List.length snapshot.Obs.Bench_history.metrics)
+
 (* ------------------------------------------------------------------ *)
 (* Run ledger                                                          *)
 
@@ -1189,5 +1205,7 @@ let () =
             test_bench_history_parse_error_cites_line;
           Alcotest.test_case "regression threshold" `Quick
             test_bench_history_regressions;
+          Alcotest.test_case "churn-stepper row" `Quick
+            test_bench_history_churn_step;
         ] );
     ]

@@ -932,6 +932,135 @@ let test_diff_removal_overlay () =
     (P.World.is_open cached 0 1)
 
 (* ------------------------------------------------------------------ *)
+(* Fault scenarios                                                     *)
+
+let mesh10 = Topology.Mesh.graph ~d:2 ~m:10
+
+let scenario_models =
+  [
+    P.Scenario.Random;
+    P.Scenario.Ball { centers = 3 };
+    P.Scenario.Infection;
+    P.Scenario.Blast { decay = 0.5 };
+  ]
+
+let test_scenario_exact_budget () =
+  let total = G.edge_count mesh10 in
+  List.iter
+    (fun model ->
+      List.iter
+        (fun budget ->
+          let edges =
+            P.Scenario.sample (Prng.Stream.create 5L) mesh10 model ~budget
+          in
+          let ids = List.map (fun (u, v) -> mesh10.G.edge_id u v) edges in
+          let distinct = List.sort_uniq compare ids in
+          Alcotest.(check int)
+            (Printf.sprintf "%s budget %d distinct edges"
+               (P.Scenario.model_name model) budget)
+            (min budget total) (List.length distinct);
+          Alcotest.(check int)
+            (Printf.sprintf "%s budget %d no duplicates"
+               (P.Scenario.model_name model) budget)
+            (List.length edges) (List.length distinct))
+        [ 0; 1; 9; 60; total; total + 25 ])
+    scenario_models
+
+let test_scenario_sampling_pure () =
+  List.iter
+    (fun model ->
+      let draw () =
+        P.Scenario.sample (Prng.Stream.create 77L) mesh10 model ~budget:40
+      in
+      Alcotest.(check (list (pair int int)))
+        (P.Scenario.model_name model) (draw ()) (draw ()))
+    scenario_models
+
+let test_scenario_overlay_differential () =
+  (* A scenario overlay must behave identically over the cached and the
+     lazy world representation, and every sampled edge must be dead. *)
+  List.iter
+    (fun model ->
+      let edges =
+        P.Scenario.sample (Prng.Stream.create 13L) hypercube6 model ~budget:40
+      in
+      let cached, lazy_ = world_pair hypercube6 ~p:0.9 ~seed:67L in
+      let cached' = P.Scenario.apply cached edges in
+      let lazy' = P.Scenario.apply lazy_ edges in
+      G.iter_edges hypercube6 (fun u v ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s is_open (%d,%d)" (P.Scenario.model_name model) u v)
+            (P.World.is_open lazy' u v)
+            (P.World.is_open cached' u v));
+      List.iter
+        (fun (u, v) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s sampled edge (%d,%d) closed"
+               (P.Scenario.model_name model) u v)
+            false (P.World.is_open cached' u v))
+        edges)
+    scenario_models
+
+let test_scenario_infection_blob_connected () =
+  (* Eden growth spreads only along frontier edges, so (below the
+     padding regime) the blob is one connected edge set. *)
+  let edges =
+    P.Scenario.sample (Prng.Stream.create 3L) mesh10 P.Scenario.Infection
+      ~budget:50
+  in
+  let adj = Hashtbl.create 64 in
+  let push u v =
+    Hashtbl.replace adj u (v :: Option.value (Hashtbl.find_opt adj u) ~default:[])
+  in
+  List.iter
+    (fun (u, v) ->
+      push u v;
+      push v u)
+    edges;
+  let seen = Hashtbl.create 64 in
+  let rec visit v =
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.replace seen v ();
+      List.iter visit (Option.value (Hashtbl.find_opt adj v) ~default:[])
+    end
+  in
+  visit (fst (List.hd edges));
+  Alcotest.(check int) "blob endpoints all reachable" (Hashtbl.length adj)
+    (Hashtbl.length seen)
+
+let test_scenario_validation () =
+  List.iter
+    (fun model ->
+      match P.Scenario.sample (Prng.Stream.create 1L) mesh10 model ~budget:5 with
+      | _ -> Alcotest.fail "malformed model should be rejected"
+      | exception Invalid_argument _ -> ())
+    [
+      P.Scenario.Ball { centers = 0 };
+      P.Scenario.Blast { decay = 0.0 };
+      P.Scenario.Blast { decay = 1.5 };
+    ];
+  match
+    P.Scenario.sample (Prng.Stream.create 1L) mesh10 P.Scenario.Random ~budget:(-1)
+  with
+  | _ -> Alcotest.fail "negative budget should be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_scenario_pad_to_budget () =
+  let stream = Prng.Stream.create 21L in
+  (* Over-long input with duplicates: dedupe keeps first occurrences,
+     truncates to the budget. *)
+  let chosen = [ (0, 1); (1, 0); (0, 10); (0, 1); (1, 2) ] in
+  let padded = P.Scenario.pad_to_budget stream mesh10 ~budget:2 chosen in
+  Alcotest.(check (list (pair int int))) "dedupe + truncate" [ (0, 1); (0, 10) ] padded;
+  (* Under-budget input is topped up to the exact budget with fresh
+     distinct edges, keeping the chosen prefix. *)
+  let topped = P.Scenario.pad_to_budget stream mesh10 ~budget:12 [ (0, 1) ] in
+  Alcotest.(check int) "topped up" 12 (List.length topped);
+  Alcotest.(check (pair int int)) "prefix kept" (0, 1) (List.hd topped);
+  let ids = List.map (fun (u, v) -> mesh10.G.edge_id u v) topped in
+  Alcotest.(check int) "all distinct" 12 (List.length (List.sort_uniq compare ids))
+
+(* ------------------------------------------------------------------ *)
 (* Coupled sweep families                                              *)
 
 let test_coupled_identity_bond () =
@@ -1273,6 +1402,15 @@ let () =
           case "router outcomes" test_diff_router_outcomes;
           case "site percolation" test_diff_site;
           case "removal overlay" test_diff_removal_overlay;
+        ] );
+      ( "scenario",
+        [
+          case "exact budget" test_scenario_exact_budget;
+          case "sampling pure" test_scenario_sampling_pure;
+          case "overlay differential" test_scenario_overlay_differential;
+          case "infection blob connected" test_scenario_infection_blob_connected;
+          case "validation" test_scenario_validation;
+          case "pad to budget" test_scenario_pad_to_budget;
         ] );
       ( "scaling",
         [
